@@ -1,0 +1,17 @@
+"""ABL-1 / ABL-2: timebase and schedule ablations."""
+
+from repro.experiments.ablation import run_schedule_ablation, run_timebase_ablation
+
+
+def test_timebase_ablation(record_experiment):
+    result = record_experiment(run_timebase_ablation, max_segments=400_000)
+    deep = [row for row in result.rows if row["case"].startswith("wait-and-sweep")][0]
+    assert deep["exact_met"]
+    shallow = [row for row in result.rows if row["case"].startswith("aurv")]
+    assert all(row["float_met"] and row["exact_met"] for row in shallow)
+
+
+def test_schedule_ablation(record_experiment):
+    result = record_experiment(run_schedule_ablation, max_segments=400_000)
+    for row in result.rows:
+        assert row["paper_met"] and row["compact_met"]

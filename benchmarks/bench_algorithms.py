@@ -1,0 +1,67 @@
+"""Per-algorithm benchmarks: time-to-rendezvous of each procedure on its home turf.
+
+One benchmark per algorithm family, each asserting the rendezvous outcome and
+recording the simulated meeting time alongside the wall-clock cost.  Together
+with bench_theorem32 these are the reproduction's "main results table".
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.almost_universal import AlmostUniversalRV
+from repro.algorithms.cgkk import CGKK
+from repro.algorithms.dedicated import (
+    AlignedDelayWalk,
+    AsynchronousWaitAndSweep,
+    Lemma39Boundary,
+    LinearProbe,
+    OppositeChiralityLineSearch,
+)
+from repro.algorithms.latecomers import Latecomers
+from repro.analysis.exceptions import make_s2_instance
+from repro.core.instance import Instance
+from repro.sim.engine import RendezvousSimulator
+
+CASES = {
+    "cgkk-type4": (CGKK(), Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1, t=0.0)),
+    "latecomers-type2": (Latecomers(), Instance(r=0.6, x=1.0, y=0.0, t=1.5)),
+    "linear-probe-2a": (LinearProbe(), Instance(r=0.5, x=2.0, y=-1.0, phi=1.0, chi=1, t=3.0)),
+    "wait-and-sweep-type3": (AsynchronousWaitAndSweep(), Instance(r=0.5, x=2.0, y=0.0, tau=2.0, t=1.0)),
+    "aligned-delay-walk-2b": (AlignedDelayWalk(), Instance(r=0.5, x=3.0, y=0.0, t=4.0)),
+    "line-search-2c": (OppositeChiralityLineSearch(), Instance(r=0.5, x=2.0, y=1.0, chi=-1, t=2.0)),
+    "lemma39-s2-boundary": (Lemma39Boundary(), make_s2_instance(2.0, 1.0, 0.0, 0.5)),
+    "aurv-type1": (AlmostUniversalRV(), Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0)),
+    "aurv-type2": (AlmostUniversalRV(), Instance(r=0.6, x=1.0, y=0.0, t=1.5)),
+    "aurv-type4": (AlmostUniversalRV(), Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1, t=0.5)),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_algorithm_rendezvous(benchmark, case):
+    algorithm, instance = CASES[case]
+    simulator = RendezvousSimulator(
+        max_time=1e30, max_segments=600_000, timebase="exact", radius_slack=1e-9
+    )
+
+    def run():
+        return simulator.run(instance, algorithm)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.met, case
+    benchmark.extra_info["meeting_time"] = result.meeting_time
+    benchmark.extra_info["segments"] = result.segments_total
+    benchmark.extra_info["algorithm"] = result.algorithm_name
+
+
+def test_aurv_type3_exact(benchmark):
+    """Type-3 coverage needs the exact timebase (deep block-3 waits)."""
+    instance = Instance(r=0.5, x=1.0, y=0.0, tau=0.5, v=1.0, t=0.0)
+    simulator = RendezvousSimulator(max_time=1e45, max_segments=600_000, timebase="exact")
+
+    def run():
+        return simulator.run(instance, AlmostUniversalRV())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.met
+    benchmark.extra_info["meeting_time"] = result.meeting_time

@@ -1,0 +1,34 @@
+"""FIG-1 .. FIG-5: regenerate the data behind the paper's five figures."""
+
+from repro.experiments.figures import (
+    figure1_canonical_line,
+    figure2_coordinate_systems,
+    figure3_claim31_geometry,
+    figure4_endgame_cases,
+    figure5_lemma39_cases,
+)
+
+
+def test_figure1(record_experiment):
+    result = record_experiment(figure1_canonical_line)
+    assert result.rows[0]["proj_distance"] > 0.0
+
+
+def test_figure2(record_experiment):
+    result = record_experiment(figure2_coordinate_systems)
+    assert result.rows[0]["alpha_below_step"]
+
+
+def test_figure3(record_experiment):
+    result = record_experiment(figure3_claim31_geometry)
+    assert result.rows[0]["bound_holds"]
+
+
+def test_figure4(record_experiment):
+    result = record_experiment(figure4_endgame_cases)
+    assert all(row["met"] for row in result.rows)
+
+
+def test_figure5(record_experiment):
+    result = record_experiment(figure5_lemma39_cases)
+    assert all(row["meets_at_exactly_r"] for row in result.rows)

@@ -1,0 +1,22 @@
+"""SEC-4: the measure / dimension experiment and the vectorized classifier throughput."""
+
+import numpy as np
+
+from repro.analysis.measure import ParameterBox, classify_array
+from repro.experiments.measure_experiment import run_measure_experiment
+
+
+def test_measure_experiment(record_experiment):
+    result = record_experiment(run_measure_experiment, samples=200_000, seed=5)
+    by_class = {row["class"]: row for row in result.rows}
+    assert by_class["S1-boundary"]["fraction_general_position"] == 0.0
+    assert by_class["S2-boundary"]["fraction_general_position"] == 0.0
+    assert by_class["infeasible"]["fraction_synchronous_slice"] > 0.0
+
+
+def test_vectorized_classifier_throughput(benchmark):
+    """Raw classification throughput (instances per call) of the numpy path."""
+    box = ParameterBox(synchronous_fraction=0.5)
+    params = box.sample(100_000, np.random.default_rng(0))
+    classes = benchmark(classify_array, params)
+    assert classes.shape == (100_000,)

@@ -1,0 +1,30 @@
+"""Batch-runner benchmark: inline versus process-pool execution of a campaign."""
+
+import pytest
+
+from repro.analysis.sampler import InstanceSampler
+from repro.core.classification import InstanceClass
+from repro.parallel.runner import BatchRunner, BatchTask
+
+
+def _tasks(count: int):
+    sampler = InstanceSampler(seed=2)
+    instances = []
+    for cls in (InstanceClass.TYPE_2, InstanceClass.TYPE_4):
+        instances.extend(sampler.batch_of_class(cls, count // 2))
+    return [
+        BatchTask.make(instance, "dedicated", max_time=1e7, max_segments=100_000)
+        for instance in instances
+    ]
+
+
+@pytest.mark.parametrize("processes", [1, 4])
+def test_batch_runner(benchmark, processes):
+    tasks = _tasks(32)
+    runner = BatchRunner(processes=processes)
+
+    records = benchmark.pedantic(runner.run, args=(tasks,), rounds=1, iterations=1)
+    assert len(records) == len(tasks)
+    assert all(record["met"] for record in records)
+    benchmark.extra_info["processes"] = processes
+    benchmark.extra_info["tasks"] = len(tasks)

@@ -1,0 +1,18 @@
+"""THM-3.1: the feasibility characterization experiment (dedicated witnesses)."""
+
+from repro.experiments.theorem31 import run_characterization_experiment
+
+
+def test_theorem31_characterization(record_experiment):
+    result = record_experiment(
+        run_characterization_experiment,
+        samples_per_class=6,
+        infeasible_samples=6,
+        seed=7,
+        max_segments=200_000,
+    )
+    by_label = {row["label"]: row for row in result.rows}
+    feasible_labels = [label for label in by_label if label != "infeasible"]
+    assert all(by_label[label]["success_rate"] == 1.0 for label in feasible_labels)
+    assert by_label["infeasible"]["success_rate"] == 0.0
+    assert by_label["infeasible"]["lower_bound_respected"] is True

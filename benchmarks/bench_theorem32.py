@@ -1,0 +1,14 @@
+"""THM-3.2: AlmostUniversalRV coverage across the four instance types."""
+
+from repro.experiments.theorem32 import run_universal_coverage_experiment
+
+
+def test_theorem32_universal_coverage(record_experiment):
+    result = record_experiment(
+        run_universal_coverage_experiment,
+        samples_per_type=5,
+        seed=11,
+        max_segments=600_000,
+    )
+    for row in result.rows:
+        assert row["success_rate"] == 1.0, row["label"]

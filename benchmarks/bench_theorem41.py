@@ -1,0 +1,16 @@
+"""THM-4.1 / Section 4: the exception sets S1 and S2."""
+
+from repro.experiments.theorem41 import run_exception_boundary_experiment
+
+
+def test_theorem41_exception_sets(record_experiment):
+    result = record_experiment(
+        run_exception_boundary_experiment,
+        samples_per_set=4,
+        seed=23,
+        max_segments=200_000,
+    )
+    for row in result.rows:
+        assert row["dedicated_success"] == row["samples"]
+        assert row["dedicated_meets_at_exactly_r"] == row["samples"]
+        assert row["universal_success_after_perturbation"] == row["samples"]

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the experiments of the DESIGN.md
+per-experiment index (the paper has no numeric tables of its own; these are
+the tables/figures of the reproduction).  Heavy experiments are run with
+``benchmark.pedantic(rounds=1)`` so the harness stays minutes-, not hours-,
+long; the *content* of each experiment (the rows) is attached to the benchmark
+record via ``benchmark.extra_info`` so the numbers land in the benchmark JSON
+as well as in ``results/``.
+"""
+
+import pytest
+
+
+def attach_rows(benchmark, result, max_rows: int = 12) -> None:
+    """Attach an experiment's rows/notes to the benchmark record."""
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["rows"] = result.rows[:max_rows]
+    benchmark.extra_info["notes"] = result.notes
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Run an experiment callable once under the benchmark and keep its rows."""
+
+    def runner(func, *args, **kwargs):
+        result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        attach_rows(benchmark, result)
+        return result
+
+    return runner

@@ -1,0 +1,45 @@
+"""Terminal rendering of the paper's geometry and of live simulations.
+
+Draws Figure-1-style scenes (agents, frames, canonical line) and the actual
+trajectories followed by the dedicated clause-2c algorithm and by
+``AlmostUniversalRV``, straight in the terminal — no plotting library needed.
+It also exports all figure data (JSON, plus PNG when matplotlib is installed)
+under ``results/``.
+
+Run with::
+
+    python examples/ascii_figures.py
+"""
+
+from repro import AlmostUniversalRV, Instance, simulate
+from repro.algorithms.dedicated import OppositeChiralityLineSearch
+from repro.experiments.figures import FIGURE1_INSTANCE
+from repro.viz import export_all_figures, render_scene, render_simulation
+
+
+def main() -> None:
+    print("Figure 1 — an instance with opposite chiralities and its canonical line\n")
+    print(render_scene(FIGURE1_INSTANCE))
+
+    instance = Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0)
+    print("\nDedicated clause-2c line search (trajectories + meeting point)\n")
+    dedicated = simulate(
+        instance, OppositeChiralityLineSearch(), max_time=1e6, record_trajectories=True
+    )
+    print(render_simulation(dedicated))
+
+    print("\nAlmostUniversalRV on the same instance\n")
+    universal = simulate(
+        instance, AlmostUniversalRV(), max_time=1e9, max_segments=400_000,
+        record_trajectories=True,
+    )
+    print(render_simulation(universal))
+
+    exported = export_all_figures()
+    print("\nFigure data exported:")
+    for item in exported:
+        print("  ", item["json"], "(+ PNG)" if "png" in item else "")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Search-and-rescue scenario: two drones must physically meet after a drop.
+
+Two autonomous drones are air-dropped over a disaster area to merge their
+partial maps.  They cannot communicate (radios are down); they can only *see*
+each other within some visibility range.  Their flight controllers are
+identical (same firmware = same deterministic algorithm, no identifiers), but
+the drop leaves them with:
+
+* different positions (obviously),
+* compasses misaligned by an unknown angle (orientation ``phi``),
+* possibly mirrored camera rigs (chirality ``chi``),
+* clocks that drift at different rates (``tau``) and different cruise speeds
+  (``v``),
+* and different boot times after the drop (delay ``t``).
+
+That is exactly the model of the paper.  This example uses the library to
+answer the operational questions: *will they ever meet?  with which firmware
+(dedicated vs universal)?  how long will it take as the visibility range
+degrades?*
+
+Run with::
+
+    python examples/search_and_rescue.py
+"""
+
+import math
+
+from repro import (
+    AlmostUniversalRV,
+    Instance,
+    classify,
+    dedicated_witness,
+    feasibility_clause,
+    simulate,
+)
+from repro.experiments.report import format_table
+
+#: Drop outcomes (all lengths in kilometres, times in minutes, speeds in km/min).
+SCENARIOS = {
+    "clean drop, misaligned compasses": dict(
+        x=1.2, y=0.8, phi=math.pi / 3.0, tau=1.0, v=1.0, t=0.0, chi=1
+    ),
+    "one drone boots late": dict(x=2.0, y=0.5, phi=0.0, tau=1.0, v=1.0, t=2.5, chi=1),
+    "mirrored camera rig": dict(x=1.5, y=1.0, phi=0.0, tau=1.0, v=1.0, t=2.0, chi=-1),
+    "clock drift between units": dict(x=1.5, y=0.0, phi=1.0, tau=0.6, v=1.0, t=0.5, chi=1),
+    "identical twins, simultaneous boot": dict(x=2.0, y=0.0, phi=0.0, tau=1.0, v=1.0, t=0.0, chi=1),
+}
+
+VISIBILITY_KM = 0.4
+
+
+def assess(label: str, params: dict) -> dict:
+    instance = Instance(r=VISIBILITY_KM, **params)
+    cls = classify(instance)
+    clause = feasibility_clause(instance)
+    row = {
+        "scenario": label,
+        "class": cls.value,
+        "why": clause.value,
+    }
+    witness = dedicated_witness(instance)
+    if witness is None:
+        row["mission plan"] = "abort: no algorithm can make them meet"
+        row["ETA dedicated (min)"] = None
+        row["ETA universal (min)"] = None
+        return row
+    dedicated_run = simulate(
+        instance, witness, max_time=1e9, max_segments=300_000, radius_slack=1e-9
+    )
+    universal_run = simulate(
+        instance, AlmostUniversalRV(), max_time=1e30, max_segments=500_000, timebase="exact"
+    )
+    row["mission plan"] = f"dedicated firmware: {witness.name}"
+    row["ETA dedicated (min)"] = round(dedicated_run.meeting_time, 2) if dedicated_run.met else None
+    row["ETA universal (min)"] = round(universal_run.meeting_time, 2) if universal_run.met else None
+    return row
+
+
+def visibility_degradation() -> list:
+    """How the universal firmware's ETA grows as smoke reduces visibility."""
+    rows = []
+    for visibility in (0.8, 0.4, 0.2, 0.1):
+        instance = Instance(r=visibility, x=1.2, y=0.8, phi=math.pi / 3.0, t=0.0)
+        run = simulate(
+            instance, AlmostUniversalRV(), max_time=1e30, max_segments=600_000, timebase="exact"
+        )
+        rows.append(
+            {
+                "visibility (km)": visibility,
+                "met": run.met,
+                "ETA universal (min)": round(run.meeting_time, 2) if run.met else None,
+                "trajectory segments simulated": run.segments_total,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("Mission assessment (visibility", VISIBILITY_KM, "km)\n")
+    rows = [assess(label, params) for label, params in SCENARIOS.items()]
+    print(format_table(rows))
+    print(
+        "\nThe 'identical twins' drop is the paper's impossibility case: same clocks, speeds,\n"
+        "compasses, chirality and boot time — their distance can never change, so the mission\n"
+        "must be aborted (or the drop re-done with an induced asymmetry).\n"
+    )
+    print("Visibility degradation for the misaligned-compass drop:\n")
+    print(format_table(visibility_degradation()))
+
+
+if __name__ == "__main__":
+    main()

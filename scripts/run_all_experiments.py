@@ -1,0 +1,77 @@
+"""Run every experiment of the DESIGN.md index and write results/ artifacts.
+
+Usage::
+
+    python scripts/run_all_experiments.py [--quick]
+
+``--quick`` shrinks the sample counts (used by CI-style smoke runs); the
+default parameters are the ones recorded in EXPERIMENTS.md.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    all_figures,
+    run_characterization_experiment,
+    run_exception_boundary_experiment,
+    run_measure_experiment,
+    run_scaling_experiment,
+    run_schedule_ablation,
+    run_timebase_ablation,
+    run_universal_coverage_experiment,
+)
+from repro.util.timers import format_duration
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sample counts")
+    parser.add_argument("--results-dir", default=None, help="output directory (default: ./results)")
+    args = parser.parse_args(argv)
+
+    scale = 0.5 if args.quick else 1.0
+
+    jobs = [
+        ("figures", lambda: all_figures()),
+        (
+            "theorem-3.1",
+            lambda: run_characterization_experiment(
+                samples_per_class=max(2, int(10 * scale)),
+                infeasible_samples=max(2, int(10 * scale)),
+            ),
+        ),
+        (
+            "theorem-3.2",
+            lambda: run_universal_coverage_experiment(samples_per_type=max(2, int(8 * scale))),
+        ),
+        (
+            "theorem-4.1",
+            lambda: run_exception_boundary_experiment(samples_per_set=max(2, int(6 * scale))),
+        ),
+        ("section-4-measure", lambda: run_measure_experiment(samples=int(200_000 * scale))),
+        ("scaling", lambda: run_scaling_experiment()),
+        ("ablation-timebase", lambda: run_timebase_ablation()),
+        ("ablation-schedule", lambda: run_schedule_ablation()),
+    ]
+
+    overall_start = time.perf_counter()
+    for name, job in jobs:
+        start = time.perf_counter()
+        outcome = job()
+        elapsed = time.perf_counter() - start
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            paths = result.save(args.results_dir)
+            print(result.render())
+            print(f"[saved] {paths['csv']}")
+            print()
+        print(f"[{name}] completed in {format_duration(elapsed)}\n" + "=" * 78 + "\n")
+
+    print(f"All experiments completed in {format_duration(time.perf_counter() - overall_start)}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

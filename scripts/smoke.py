@@ -1,0 +1,101 @@
+"""Developer smoke test: quick end-to-end sanity checks of the core pipeline."""
+
+import math
+import time
+
+from repro import (
+    AlmostUniversalRV,
+    CGKK,
+    DedicatedRendezvous,
+    Instance,
+    Latecomers,
+    classify,
+    simulate,
+)
+from repro.algorithms.dedicated import (
+    AlignedDelayWalk,
+    AsynchronousWaitAndSweep,
+    Lemma39Boundary,
+    LinearProbe,
+    OppositeChiralityLineSearch,
+)
+from repro.core.canonical import projection_distance
+
+
+def check(label, result, expect_met=True):
+    status = "OK " if result.met == expect_met else "FAIL"
+    print(
+        f"{status} {label:45s} met={result.met} t={result.meeting_time} "
+        f"min_d={result.min_distance:.4g} segs={result.segments_total} wall={result.elapsed_wall_seconds:.2f}s"
+    )
+    return result.met == expect_met
+
+
+ok = True
+
+# Dedicated witnesses -------------------------------------------------------------
+inst_2a = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2, chi=1)
+ok &= check("LinearProbe on clause 2a", simulate(inst_2a, LinearProbe()))
+
+inst_async = Instance(r=0.5, x=2.0, y=0.0, tau=2.0, v=1.0, t=1.0)
+ok &= check("WaitAndSweep on tau=2", simulate(inst_async, AsynchronousWaitAndSweep(), max_time=1e9))
+
+inst_2b = Instance(r=0.5, x=3.0, y=0.0, t=4.0)
+ok &= check("AlignedDelayWalk on clause 2b", simulate(inst_2b, AlignedDelayWalk()))
+
+inst_2c = Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0)
+print("  proj distance 2c:", projection_distance(inst_2c))
+ok &= check("LineSearch on clause 2c", simulate(inst_2c, OppositeChiralityLineSearch(), max_time=1e6))
+
+pd = projection_distance(inst_2c)
+inst_s2 = Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=pd - 0.5)
+ok &= check("Lemma39 on S2 boundary", simulate(inst_s2, Lemma39Boundary()))
+
+# Universal sub-procedures ---------------------------------------------------------
+inst_type4 = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2, chi=1, t=0.0)
+ok &= check("CGKK on type 4 (t=0)", simulate(inst_type4, CGKK(), max_time=1e5))
+
+inst_type2 = Instance(r=0.6, x=1.0, y=0.0, t=1.5)
+ok &= check("Latecomers on type 2", simulate(inst_type2, Latecomers(), max_time=1e5))
+
+# AlmostUniversalRV -----------------------------------------------------------------
+t0 = time.time()
+ok &= check(
+    "AURV on type 4",
+    simulate(Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2, chi=1, t=0.5),
+             AlmostUniversalRV(), max_time=1e12, max_segments=2_000_000),
+)
+print(f"   (AURV type-4 wall: {time.time()-t0:.1f}s)")
+
+t0 = time.time()
+ok &= check(
+    "AURV on type 2",
+    simulate(Instance(r=0.6, x=1.0, y=0.0, t=1.5),
+             AlmostUniversalRV(), max_time=1e12, max_segments=2_000_000),
+)
+print(f"   (AURV type-2 wall: {time.time()-t0:.1f}s)")
+
+t0 = time.time()
+ok &= check(
+    "AURV on type 1",
+    simulate(Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0),
+             AlmostUniversalRV(), max_time=1e12, max_segments=3_000_000),
+)
+print(f"   (AURV type-1 wall: {time.time()-t0:.1f}s)")
+
+t0 = time.time()
+ok &= check(
+    "AURV on type 3 (exact timebase)",
+    simulate(Instance(r=0.5, x=1.0, y=0.0, tau=0.5, v=1.0, t=0.0),
+             AlmostUniversalRV(), max_time=1e45, max_segments=2_000_000, timebase="exact"),
+)
+print(f"   (AURV type-3 wall: {time.time()-t0:.1f}s)")
+
+# Infeasible ------------------------------------------------------------------------
+inst_bad = Instance(r=0.5, x=3.0, y=0.0, t=0.5)
+print("classify infeasible:", classify(inst_bad).value)
+ok &= check("AURV on infeasible (expect no meet)",
+            simulate(inst_bad, AlmostUniversalRV(), max_time=1e6, max_segments=300_000),
+            expect_met=False)
+
+print("\nALL OK" if ok else "\nSOME CHECKS FAILED")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable (``pip install -e .``) in fully offline
+environments where pip cannot set up a PEP 517 build-isolation environment
+(no network access to fetch ``setuptools``/``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — reproduction of *Almost Universal Anonymous Rendezvous in the Plane*.
+
+The package implements, from scratch, the full model of the SPAA 2020 paper by
+Bouchard, Dieudonné, Pelc and Petit: anonymous agents in the plane with
+private coordinate systems, clock rates, speeds and wake-up times; a
+continuous-time rendezvous simulator; the paper's algorithm
+``AlmostUniversalRV`` together with the procedures it builds on; the exact
+feasibility characterization of Theorem 3.1; and the exception-set analysis of
+Section 4.
+
+Quickstart
+----------
+>>> from repro import Instance, simulate, LinearProbe, classify
+>>> import math
+>>> inst = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2, chi=1)
+>>> classify(inst).value
+'type-4'
+>>> simulate(inst, LinearProbe()).met
+True
+"""
+
+from repro.core import (
+    AgentSpec,
+    AgentUnits,
+    CanonicalGeometry,
+    FeasibilityClause,
+    Frame,
+    Instance,
+    InstanceClass,
+    canonical_geometry,
+    canonical_line,
+    classify,
+    feasibility_clause,
+    feasibility_margin,
+    instance_type,
+    is_covered_by_universal,
+    is_exception,
+    is_feasible,
+)
+from repro.sim import (
+    AsymmetricOutcome,
+    ExactTimebase,
+    FloatTimebase,
+    RendezvousSimulator,
+    SimulationResult,
+    TerminationReason,
+    simulate,
+    simulate_asymmetric,
+)
+from repro.algorithms import (
+    AlignedDelayWalk,
+    Algorithm,
+    AlmostUniversalRV,
+    AsynchronousWaitAndSweep,
+    CGKK,
+    CompactSchedule,
+    DedicatedRendezvous,
+    Latecomers,
+    Lemma39Boundary,
+    LinearCowWalk,
+    LinearProbe,
+    OppositeChiralityLineSearch,
+    PaperSchedule,
+    PlanarCowWalk,
+    StayPut,
+    available_algorithms,
+    dedicated_witness,
+    get_algorithm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Instance",
+    "AgentSpec",
+    "AgentUnits",
+    "Frame",
+    "CanonicalGeometry",
+    "canonical_geometry",
+    "canonical_line",
+    "InstanceClass",
+    "classify",
+    "instance_type",
+    "FeasibilityClause",
+    "feasibility_clause",
+    "feasibility_margin",
+    "is_feasible",
+    "is_covered_by_universal",
+    "is_exception",
+    # simulation
+    "simulate",
+    "simulate_asymmetric",
+    "AsymmetricOutcome",
+    "RendezvousSimulator",
+    "SimulationResult",
+    "TerminationReason",
+    "FloatTimebase",
+    "ExactTimebase",
+    # algorithms
+    "Algorithm",
+    "AlmostUniversalRV",
+    "PaperSchedule",
+    "CompactSchedule",
+    "CGKK",
+    "Latecomers",
+    "LinearCowWalk",
+    "PlanarCowWalk",
+    "StayPut",
+    "LinearProbe",
+    "AsynchronousWaitAndSweep",
+    "AlignedDelayWalk",
+    "OppositeChiralityLineSearch",
+    "Lemma39Boundary",
+    "DedicatedRendezvous",
+    "dedicated_witness",
+    "available_algorithms",
+    "get_algorithm",
+]

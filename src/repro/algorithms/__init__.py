@@ -1,0 +1,101 @@
+"""Rendezvous algorithms.
+
+Two families live here, mirroring the paper's distinction:
+
+* *universal* algorithms — the same program for both agents, no knowledge of
+  the instance whatsoever (``LinearCowWalk``/``PlanarCowWalk`` building
+  blocks, the ``CGKK`` and ``Latecomers`` procedures, and the paper's
+  ``AlmostUniversalRV``);
+* *dedicated* algorithms — per-instance algorithms used as feasibility
+  witnesses for Theorem 3.1 and for the exception-set experiments (Lemma 3.8,
+  Lemma 3.9, and a handful of cheap constructions described in DESIGN.md).
+"""
+
+from repro.algorithms.base import (
+    Algorithm,
+    UniversalAlgorithm,
+    DedicatedAlgorithm,
+    AgentKnowledge,
+    FunctionAlgorithm,
+)
+from repro.algorithms.cow_walk import (
+    linear_cow_walk,
+    planar_cow_walk,
+    linear_cow_walk_duration,
+    planar_cow_walk_duration,
+    planar_cow_walk_segment_count,
+    LinearCowWalk,
+    PlanarCowWalk,
+)
+from repro.algorithms.cgkk import CGKK, cgkk_program, cgkk_target_displacement
+from repro.algorithms.latecomers import Latecomers, latecomers_program
+from repro.algorithms.schedules import Schedule, PaperSchedule, CompactSchedule
+from repro.algorithms.almost_universal import AlmostUniversalRV
+from repro.algorithms.dedicated import (
+    StayPut,
+    LinearProbe,
+    AlignedDelayWalk,
+    OppositeChiralityLineSearch,
+    Lemma39Boundary,
+    AsynchronousWaitAndSweep,
+    DedicatedRendezvous,
+    dedicated_witness,
+)
+from repro.algorithms.bounds import (
+    universal_phase_bound,
+    type1_phase_bound,
+    type2_phase_bound,
+    type3_phase_bound,
+    type4_phase_bound,
+    phase_cost,
+    estimate_simulation_cost,
+    PhaseCost,
+)
+from repro.algorithms.registry import (
+    register_algorithm,
+    get_algorithm,
+    available_algorithms,
+)
+
+__all__ = [
+    "Algorithm",
+    "UniversalAlgorithm",
+    "DedicatedAlgorithm",
+    "AgentKnowledge",
+    "FunctionAlgorithm",
+    "linear_cow_walk",
+    "planar_cow_walk",
+    "linear_cow_walk_duration",
+    "planar_cow_walk_duration",
+    "planar_cow_walk_segment_count",
+    "LinearCowWalk",
+    "PlanarCowWalk",
+    "CGKK",
+    "cgkk_program",
+    "cgkk_target_displacement",
+    "Latecomers",
+    "latecomers_program",
+    "Schedule",
+    "PaperSchedule",
+    "CompactSchedule",
+    "AlmostUniversalRV",
+    "StayPut",
+    "LinearProbe",
+    "AlignedDelayWalk",
+    "OppositeChiralityLineSearch",
+    "Lemma39Boundary",
+    "AsynchronousWaitAndSweep",
+    "DedicatedRendezvous",
+    "dedicated_witness",
+    "universal_phase_bound",
+    "type1_phase_bound",
+    "type2_phase_bound",
+    "type3_phase_bound",
+    "type4_phase_bound",
+    "phase_cost",
+    "estimate_simulation_cost",
+    "PhaseCost",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+]

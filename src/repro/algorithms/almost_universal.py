@@ -1,0 +1,101 @@
+"""``AlmostUniversalRV`` — Algorithm 1 of the paper.
+
+The algorithm is a single infinite program executed identically by both
+agents; the simulator interrupts it the moment the agents see each other
+(distance at most ``r``), which is exactly the "interrupt the execution as
+soon as the other agent is seen" of line 1.
+
+Each iteration of the repeat loop (phase ``i``) consists of four blocks, one
+per instance type of Section 3.1.1:
+
+* **Block 1 (type 1):** ``PlanarCowWalk(i)`` executed in each of the rotated
+  frames ``Rot(j * pi / 2**i)`` for ``j = 1 .. 2**(i+1)``.
+* **Block 2 (type 2):** ``wait(2**i)``, run ``Latecomers`` for ``2**i`` local
+  time units, then backtrack along the path just followed.
+* **Block 3 (type 3):** ``wait(2**(15 i^2))`` then ``PlanarCowWalk(i)``.
+* **Block 4 (type 4):** split the solo execution of ``CGKK`` during ``2**i``
+  local time units into ``2**(2i)`` chunks of ``2**-i`` each, execute them
+  interleaved with waits of ``2**i``, then backtrack along the path followed.
+
+The block sizes come from a :class:`~repro.algorithms.schedules.Schedule`
+(default: the paper's literal constants).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.algorithms.base import UniversalAlgorithm
+from repro.algorithms.cgkk import cgkk_program
+from repro.algorithms.cow_walk import planar_cow_walk
+from repro.algorithms.latecomers import latecomers_program
+from repro.algorithms.schedules import PaperSchedule, Schedule
+from repro.motion.instructions import Instruction, Wait
+from repro.motion.program import (
+    chunked_with_waits,
+    replay_path,
+    rotate_instructions,
+    take_local_time,
+)
+
+
+class AlmostUniversalRV(UniversalAlgorithm):
+    """Algorithm 1, parameterized by a phase schedule.
+
+    Parameters
+    ----------
+    schedule:
+        The phase constants (default: the paper's).
+    max_phase:
+        Optional upper bound on the number of phases generated.  ``None``
+        (default) reproduces the paper's infinite loop; a finite bound is
+        occasionally convenient in tests that inspect the emitted program
+        outside the simulator.
+    """
+
+    def __init__(self, schedule: Optional[Schedule] = None, *, max_phase: Optional[int] = None) -> None:
+        self.schedule = schedule if schedule is not None else PaperSchedule()
+        self.max_phase = max_phase
+        self.name = f"almost-universal-rv[{self.schedule.name}]"
+
+    # -- the four blocks --------------------------------------------------------------
+    def _block1_type1(self, i: int) -> Iterator[Instruction]:
+        """Lines 5-7: rotated ``PlanarCowWalk`` sweeps."""
+        resolution = self.schedule.planar_resolution(i)
+        step = self.schedule.rotation_step(i)
+        for j in range(1, self.schedule.rotations(i) + 1):
+            yield from rotate_instructions(planar_cow_walk(resolution), j * step)
+
+    def _block2_type2(self, i: int) -> Iterator[Instruction]:
+        """Lines 9-12: wait, run ``Latecomers`` for a bounded time, backtrack."""
+        yield Wait(self.schedule.block2_wait(i))
+        path = take_local_time(latecomers_program(), self.schedule.block2_run(i))
+        yield from replay_path(path)
+        yield from replay_path(path.backtrack())
+
+    def _block3_type3(self, i: int) -> Iterator[Instruction]:
+        """Lines 14-15: the long wait followed by a planar sweep."""
+        yield Wait(self.schedule.block3_wait(i))
+        yield from planar_cow_walk(self.schedule.planar_resolution(i))
+
+    def _block4_type4(self, i: int) -> Iterator[Instruction]:
+        """Lines 17-20: chunked ``CGKK`` interleaved with waits, then backtrack."""
+        solo = take_local_time(cgkk_program(), self.schedule.block4_run(i))
+        yield from chunked_with_waits(
+            solo, self.schedule.block4_chunk(i), self.schedule.block4_wait(i)
+        )
+        yield from replay_path(solo.backtrack())
+
+    def phase(self, i: int) -> Iterator[Instruction]:
+        """The full instruction stream of phase ``i`` (all four blocks)."""
+        yield from self._block1_type1(i)
+        yield from self._block2_type2(i)
+        yield from self._block3_type3(i)
+        yield from self._block4_type4(i)
+
+    # -- the algorithm ---------------------------------------------------------------------
+    def program(self) -> Iterator[Instruction]:
+        i = 1
+        while self.max_phase is None or i <= self.max_phase:
+            yield from self.phase(i)
+            i += 1

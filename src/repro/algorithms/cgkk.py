@@ -1,0 +1,134 @@
+"""The ``CGKK`` procedure (substitute construction — see DESIGN.md §3).
+
+The paper uses the rendezvous procedure of Czyzowicz, Gąsieniec, Killick and
+Kranakis (PODC 2019) as a black box with the following contract: *with
+simultaneous wake-up, it achieves rendezvous for every instance that is
+non-synchronous or has the same chirality and different orientations*, using
+only straight-segment moves.  The full PODC 2019 construction is not available
+to this reproduction, so we provide our own procedure satisfying the part of
+the contract the paper actually relies on (the type-4 block of Algorithm 1:
+instances with ``tau = 1`` that are non-synchronous or have ``chi = +1`` and
+``phi != 0``).
+
+Construction
+------------
+Both agents enumerate dyadic displacement guesses ``u`` on finer and wider
+grids and perform *out-and-back probes*: ``Move(u)`` then ``Move(-u)``.
+Because wake-up is simultaneous and ``tau = 1``, the agents stay time-locked
+instruction by instruction, so at the end of the out-leg of a probe the
+relative position of the agents is ``rho_0 + M(u)`` where ``rho_0 = (x, y)``
+is the initial relative position and ``M = v * R_B - I`` with ``R_B`` the
+linear part of agent B's frame (rotation by ``phi``, composed with a
+reflection when ``chi = -1``).
+
+``M`` is invertible exactly when ``v != 1`` or (``chi = +1`` and
+``phi != 0``), i.e. for every instance of type 4.  There is then a unique
+target ``u* = -M^{-1}(rho_0)``, and any dyadic guess within
+``r / ||M||`` of ``u*`` brings the agents within ``r`` at the end of the
+out-leg.  Enumerating grids of spacing ``2**(1-k)`` and extent ``2**(k-1)``
+for ``k = 1, 2, ...`` guarantees such a guess is eventually probed, hence
+rendezvous in finite time — which is the contract Lemma 3.5 needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.algorithms.base import UniversalAlgorithm
+from repro.core.instance import Instance
+from repro.geometry.transforms import LinearMap2, frame_matrix
+from repro.geometry.vec import Vec2
+from repro.motion.instructions import Instruction, Move
+from repro.util.dyadic import dyadic_ball_grid
+
+
+def _ordered_probe_points(resolution: int, extent: int) -> List[Tuple[float, float]]:
+    """Dyadic grid points of one enumeration phase, nearest-first.
+
+    Points are ordered by increasing norm and, for equal norms, by increasing
+    polar angle (with ties broken deterministically), so that "easy" targets
+    close to the origin are probed early.  The origin itself is skipped (a
+    zero-length probe is a no-op).
+    """
+    points = dyadic_ball_grid(resolution, extent)
+    points = [p for p in points if p != (0.0, 0.0)]
+    points.sort(key=lambda p: (round(math.hypot(p[0], p[1]), 12), math.atan2(p[1], p[0]) % (2.0 * math.pi)))
+    return points
+
+
+def cgkk_probe_schedule(max_phase: int | None = None) -> Iterator[Tuple[int, Vec2]]:
+    """Yield ``(phase, guess)`` pairs in the order the procedure probes them."""
+    k = 1
+    while max_phase is None or k <= max_phase:
+        resolution = k - 1
+        extent = 2 ** (k - 1)
+        for point in _ordered_probe_points(resolution, extent):
+            yield k, point
+        k += 1
+
+
+def cgkk_program() -> Iterator[Instruction]:
+    """The (infinite) instruction stream of the CGKK substitute procedure."""
+    for _phase, (ux, uy) in cgkk_probe_schedule():
+        yield Move(ux, uy)
+        yield Move(-ux, -uy)
+
+
+class CGKK(UniversalAlgorithm):
+    """The CGKK substitute packaged as a universal algorithm."""
+
+    name = "cgkk"
+
+    def program(self) -> Iterator[Instruction]:
+        return cgkk_program()
+
+
+# -- analysis helpers (used by tests and experiments) ---------------------------------
+
+
+def cgkk_relative_map(instance: Instance) -> LinearMap2:
+    """The linear map ``M = v * R_B - I`` governing probe displacements."""
+    a, b, c, d = frame_matrix(instance.phi, instance.chi)
+    v = instance.v
+    return LinearMap2((v * a - 1.0, v * b, v * c, v * d - 1.0))
+
+
+def cgkk_target_displacement(instance: Instance) -> Vec2:
+    """The ideal probe ``u* = -M^{-1}((x, y))`` (raises when ``M`` is singular).
+
+    When both agents simultaneously execute ``Move(u*)`` in their own frames
+    they end up at the same point; dyadic probes sufficiently close to ``u*``
+    end within ``r`` of each other.
+    """
+    target = cgkk_relative_map(instance).inverse()((instance.x, instance.y))
+    return (-target[0], -target[1])
+
+
+def cgkk_supported(instance: Instance) -> bool:
+    """Whether the substitute's correctness argument applies to the instance.
+
+    This is the set the type-4 block of Algorithm 1 relies on: ``tau = 1`` and
+    the relative map invertible (``v != 1``, or ``chi = +1`` and
+    ``phi != 0``); wake-up delay is irrelevant here because Algorithm 1
+    absorbs it with the chunk/wait interleaving of line 18.
+    """
+    if abs(instance.tau - 1.0) > 1e-12:
+        return False
+    return abs(cgkk_relative_map(instance).determinant()) > 1e-12
+
+
+def cgkk_meeting_phase_bound(instance: Instance) -> int:
+    """A sufficient enumeration phase for the probe argument to fire.
+
+    Needs a grid of extent ``>= |u*|`` and spacing ``<= r / (sqrt(2) * ||M||)``
+    (the grid error is at most ``spacing / sqrt(2)`` per axis, i.e. at most
+    ``spacing * sqrt(2) / 2`` in norm).  Used by tests to bound simulation
+    budgets, not by the algorithm itself (which knows nothing).
+    """
+    target = cgkk_target_displacement(instance)
+    operator_norm = cgkk_relative_map(instance).operator_norm()
+    extent_phase = max(1, math.ceil(math.log2(max(math.hypot(*target), 1.0))) + 1)
+    spacing_needed = instance.r / (math.sqrt(2.0) * max(operator_norm, 1e-12))
+    spacing_phase = max(1, math.ceil(1.0 - math.log2(max(spacing_needed, 1e-300))))
+    return max(extent_phase, spacing_phase)

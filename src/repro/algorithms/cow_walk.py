@@ -1,0 +1,109 @@
+"""``LinearCowWalk`` and ``PlanarCowWalk`` (Algorithms 3 and 2 of the paper).
+
+``LinearCowWalk(i)`` performs the first ``i`` steps of the classic cow-path
+linear search along the agent's local x-axis: step ``j`` goes East ``2**j``,
+West ``2**(j+1)`` and back East ``2**j``, so every step (and therefore the
+whole walk) starts and ends at the same point while visiting every point of
+the line at distance at most ``2**j`` from it.
+
+``PlanarCowWalk(i)`` repeats ``LinearCowWalk(i)`` from every point
+``(0, k / 2**i)`` with ``|k| <= 2**(2*i)`` of the local y-axis (first sweeping
+North, then South, returning to the start in between and at the end), which
+lets an agent pass within ``2**-i`` local units of every point of the square
+``[-2**i, 2**i]^2`` around its start.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algorithms.base import UniversalAlgorithm
+from repro.motion.instructions import Instruction, go_east, go_north, go_south, go_west
+
+
+def linear_cow_walk(i: int) -> Iterator[Instruction]:
+    """Algorithm 3: the first ``i`` steps of the linear cow-path search."""
+    if i < 0:
+        raise ValueError("LinearCowWalk parameter must be non-negative")
+    for j in range(1, i + 1):
+        step = float(2**j)
+        yield go_east(step)
+        yield go_west(2.0 * step)
+        yield go_east(step)
+
+
+def planar_cow_walk(i: int) -> Iterator[Instruction]:
+    """Algorithm 2: parallel linear searches on a dyadic grid of rows."""
+    if i < 0:
+        raise ValueError("PlanarCowWalk parameter must be non-negative")
+    row_step = 1.0 / float(2**i)
+    rows = 2 ** (2 * i)
+    half_height = float(2**i)
+
+    yield from linear_cow_walk(i)
+    for direction in (1, 2):
+        for _ in range(rows):
+            if direction == 1:
+                yield go_north(row_step)
+            else:
+                yield go_south(row_step)
+            yield from linear_cow_walk(i)
+        if direction == 1:
+            yield go_south(half_height)
+        else:
+            yield go_north(half_height)
+
+
+# -- analytic helpers used by schedules, tests and benchmarks -----------------------
+
+
+def linear_cow_walk_duration(i: int) -> float:
+    """Local time units needed to execute ``LinearCowWalk(i)`` (``= 2**(i+3) - 8``)."""
+    return float(sum(4 * 2**j for j in range(1, i + 1)))
+
+
+def linear_cow_walk_segment_count(i: int) -> int:
+    """Number of move instructions emitted by ``LinearCowWalk(i)``."""
+    return 3 * i
+
+
+def planar_cow_walk_duration(i: int) -> float:
+    """Local time units needed to execute ``PlanarCowWalk(i)``.
+
+    One leading ``LinearCowWalk(i)``, then for each of the two vertical sweeps
+    ``2**(2i)`` rows each costing ``2**-i`` (the vertical hop) plus one
+    ``LinearCowWalk(i)``, plus the final vertical return of ``2**i``.
+    """
+    lcw = linear_cow_walk_duration(i)
+    rows = 2 ** (2 * i)
+    per_sweep = rows * (1.0 / 2**i + lcw) + 2**i
+    return lcw + 2.0 * per_sweep
+
+
+def planar_cow_walk_segment_count(i: int) -> int:
+    """Number of move instructions emitted by ``PlanarCowWalk(i)``."""
+    lcw = linear_cow_walk_segment_count(i)
+    rows = 2 ** (2 * i)
+    return lcw + 2 * (rows * (1 + lcw) + 1)
+
+
+class LinearCowWalk(UniversalAlgorithm):
+    """``LinearCowWalk(i)`` packaged as a (finite) universal algorithm."""
+
+    def __init__(self, i: int) -> None:
+        self.i = int(i)
+        self.name = f"linear-cow-walk({self.i})"
+
+    def program(self) -> Iterator[Instruction]:
+        return linear_cow_walk(self.i)
+
+
+class PlanarCowWalk(UniversalAlgorithm):
+    """``PlanarCowWalk(i)`` packaged as a (finite) universal algorithm."""
+
+    def __init__(self, i: int) -> None:
+        self.i = int(i)
+        self.name = f"planar-cow-walk({self.i})"
+
+    def program(self) -> Iterator[Instruction]:
+        return planar_cow_walk(self.i)

@@ -1,0 +1,325 @@
+"""Dedicated (per-instance) algorithms: feasibility witnesses for Theorem 3.1.
+
+The feasibility definition of the paper allows the algorithm to be designed
+for the specific instance, given as input — but the two agents still run the
+*same* program and do not know which of them is which.  Every construction in
+this module therefore only uses quantities that are symmetric functions of the
+instance tuple (possibly re-expressed in the executing agent's own frame, such
+as the vector to its own projection on the canonical line, which is legitimate
+because the canonical line has the same equation in both agents' systems).
+
+The witnesses, and the instance families they cover:
+
+=============================  =======================================================
+Algorithm                       Covers
+=============================  =======================================================
+:class:`StayPut`                trivial instances (``r >= dist``)
+:class:`LinearProbe`            every instance whose relative map
+                                ``M = (tau*v) R_B - I`` is invertible — in particular
+                                clause 2a (synchronous, ``chi=+1``, ``phi!=0``) and all
+                                non-synchronous instances with ``tau*v != 1`` or
+                                ``chi=+1, phi!=0``
+:class:`AsynchronousWaitAndSweep`  every instance with ``tau != 1`` (clock rates differ)
+:class:`AlignedDelayWalk`       clause 2b (synchronous, ``chi=+1``, ``phi=0``,
+                                ``t >= dist - r``), including the S1 boundary
+:class:`OppositeChiralityLineSearch`  clause 2c (synchronous, ``chi=-1``,
+                                ``t >= dist(projA,projB) - r``), including the S2
+                                boundary
+:class:`Lemma39Boundary`        the paper's own Lemma 3.9 construction for the S2
+                                boundary (kept separately for the Figure 5 /
+                                Theorem 4.1 experiments)
+=============================  =======================================================
+
+Together the first five cover every feasible instance (see
+``tests/test_dedicated.py`` and the THM-3.1 experiment), which is how the
+"if" direction of Theorem 3.1 is demonstrated executably.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+from repro.algorithms.base import AgentKnowledge, DedicatedAlgorithm, UniversalAlgorithm
+from repro.algorithms.cow_walk import planar_cow_walk, planar_cow_walk_duration
+from repro.core.canonical import projection_distance
+from repro.core.feasibility import is_feasible
+from repro.core.instance import Instance
+from repro.geometry.transforms import LinearMap2, frame_matrix
+from repro.geometry.vec import Vec2
+from repro.motion.instructions import Instruction, Move, Wait, go_east, go_west
+from repro.motion.program import rotate_instructions
+from repro.util.errors import KnowledgeError
+
+
+# ---------------------------------------------------------------------------------
+# Trivial instances
+# ---------------------------------------------------------------------------------
+
+
+class StayPut(UniversalAlgorithm):
+    """Do nothing: correct whenever the agents already see each other."""
+
+    name = "stay-put"
+
+    def program(self) -> Iterator[Instruction]:
+        return iter(())
+
+
+# ---------------------------------------------------------------------------------
+# The linear-probe witness
+# ---------------------------------------------------------------------------------
+
+
+def relative_displacement_map(instance: Instance) -> LinearMap2:
+    """The map ``M = (tau * v) * R_B - I``.
+
+    When both agents execute ``Move(u)`` (the same local displacement) and then
+    stop, the final relative position of the agents is ``(x, y) + M(u)``:
+    agent A displaces by ``u`` while agent B displaces by ``tau * v * R_B(u)``
+    (its length unit times its frame's linear part).  ``M`` is singular exactly
+    when ``tau * v = 1`` and the frame's linear part fixes a direction
+    (``chi = +1, phi = 0``, or ``chi = -1`` — a reflection always has
+    eigenvalue 1).
+    """
+    a, b, c, d = frame_matrix(instance.phi, instance.chi)
+    unit = instance.tau * instance.v
+    return LinearMap2((unit * a - 1.0, unit * b, unit * c, unit * d - 1.0))
+
+
+def linear_probe_displacement(instance: Instance) -> Vec2:
+    """The probe ``u* = -M^{-1}((x, y))`` that makes the final positions coincide."""
+    solution = relative_displacement_map(instance).inverse()((instance.x, instance.y))
+    return (-solution[0], -solution[1])
+
+
+class LinearProbe(DedicatedAlgorithm):
+    """Single straight move ``u*`` computed from the instance, then stop.
+
+    After both agents finish their move their positions coincide exactly, so
+    rendezvous occurs no later than ``max(|u*|, t + tau * |u*|)`` — typically
+    much earlier, during the moves.
+    """
+
+    name = "dedicated-linear-probe"
+
+    #: Determinant threshold below which the map is treated as singular.
+    SINGULARITY_TOL = 1e-9
+
+    def supports(self, instance: Instance) -> bool:
+        return abs(relative_displacement_map(instance).determinant()) > self.SINGULARITY_TOL
+
+    def program_with_knowledge(self, knowledge: AgentKnowledge) -> Iterator[Instruction]:
+        ux, uy = linear_probe_displacement(knowledge.instance)
+        if ux != 0.0 or uy != 0.0:
+            yield Move(ux, uy)
+
+
+# ---------------------------------------------------------------------------------
+# Different clock rates: wait-then-sweep (the type-3 intuition of Section 3.1.1)
+# ---------------------------------------------------------------------------------
+
+
+class AsynchronousWaitAndSweep(DedicatedAlgorithm):
+    """Wait long enough that the faster-clock agent finishes a full planar sweep alone.
+
+    Both agents wait ``delta`` of *their own* time units and then execute
+    ``PlanarCowWalk(i)``; the constants are chosen from the instance so that
+    the agent with the faster clock (smaller ``tau``) completes its entire
+    sweep — which covers the other agent's start position within the
+    visibility radius — before the slower agent finishes waiting.
+    """
+
+    name = "dedicated-wait-and-sweep"
+
+    def supports(self, instance: Instance) -> bool:
+        return abs(instance.tau - 1.0) > 1e-12
+
+    @staticmethod
+    def parameters(instance: Instance) -> tuple[int, float]:
+        """Return ``(sweep_resolution, wait_local_units)`` for the instance."""
+        tau_b = instance.tau
+        tau_min = min(1.0, tau_b)
+        tau_max = max(1.0, tau_b)
+        # Length unit of the faster-clock agent (A has unit 1).
+        fast_unit = tau_b * instance.v if tau_b < 1.0 else 1.0
+        distance = instance.initial_distance
+        resolution = max(
+            1,
+            math.ceil(math.log2(max(2.0 * fast_unit / instance.r, 1.0))),
+            math.ceil(math.log2(max(distance / fast_unit, 1.0))),
+        )
+        sweep_local = planar_cow_walk_duration(resolution)
+        delta = math.ceil((instance.t + sweep_local * tau_min + 1.0) / (tau_max - tau_min))
+        return resolution, float(delta)
+
+    def program_with_knowledge(self, knowledge: AgentKnowledge) -> Iterator[Instruction]:
+        resolution, delta = self.parameters(knowledge.instance)
+        yield Wait(delta)
+        yield from planar_cow_walk(resolution)
+
+
+# ---------------------------------------------------------------------------------
+# Clause 2b: aligned frames, late enough wake-up (includes the S1 boundary)
+# ---------------------------------------------------------------------------------
+
+
+class AlignedDelayWalk(DedicatedAlgorithm):
+    """Walk ``t`` length units in the instance's ``(x, y)`` direction, then stop.
+
+    With identical frames (``chi=+1``, ``phi=0``) both agents walk in the same
+    absolute direction; while the later agent is still asleep the gap shrinks
+    by exactly the earlier agent's head start.  At the boundary
+    ``t = dist - r`` the agents end up at distance exactly ``r``; for larger
+    ``t`` the later agent walks through the earlier agent's resting point.
+    """
+
+    name = "dedicated-aligned-delay-walk"
+
+    def supports(self, instance: Instance) -> bool:
+        return (
+            instance.is_synchronous
+            and instance.same_chirality
+            and instance.same_orientation
+            and instance.t >= instance.initial_distance - instance.r - 1e-12
+        )
+
+    def program_with_knowledge(self, knowledge: AgentKnowledge) -> Iterator[Instruction]:
+        instance = knowledge.instance
+        distance = instance.initial_distance
+        if distance == 0.0 or instance.t == 0.0:
+            return
+        ux = instance.x / distance
+        uy = instance.y / distance
+        # Walk far enough that the later agent reaches the earlier agent's
+        # resting point even when t > dist + r.
+        walk = instance.t
+        yield Move(ux * walk, uy * walk)
+
+
+# ---------------------------------------------------------------------------------
+# Clause 2c: opposite chiralities, late enough wake-up (includes the S2 boundary)
+# ---------------------------------------------------------------------------------
+
+
+class OppositeChiralityLineSearch(DedicatedAlgorithm):
+    """Project onto the canonical line, then run an unbounded linear cow-path search.
+
+    The working frame is ``Rot(phi / 2)``: in that frame "East" is the same
+    absolute direction along the canonical line L for both agents (their
+    chiralities are opposite, so rotating each system by half the relative
+    orientation aligns the x-axes with L and with each other).  Once both
+    agents are on L and perform the same growing linear search delayed by
+    ``t``, the window displacement argument of the type-1 intuition makes them
+    meet as soon as a search step exceeds ``t`` — for every
+    ``t >= dist(projA, projB) - r``, boundary included.
+    """
+
+    name = "dedicated-line-search"
+
+    def supports(self, instance: Instance) -> bool:
+        if not (instance.is_synchronous and instance.chi == -1):
+            return False
+        return instance.t >= projection_distance(instance) - instance.r - 1e-12
+
+    def program_with_knowledge(self, knowledge: AgentKnowledge) -> Iterator[Instruction]:
+        to_projection = knowledge.to_canonical_projection_local
+        if knowledge.canonical_distance_local > 0.0:
+            yield Move(*to_projection)
+        alpha = knowledge.instance.phi / 2.0
+
+        def search() -> Iterator[Instruction]:
+            k = 1
+            while True:
+                step = float(2**k)
+                yield go_east(step)
+                yield go_west(2.0 * step)
+                yield go_east(step)
+                k += 1
+
+        yield from rotate_instructions(search(), alpha)
+
+
+class Lemma39Boundary(DedicatedAlgorithm):
+    """The paper's Lemma 3.9 construction for the S2 boundary.
+
+    Each agent goes to the orthogonal projection of its initial position on
+    the canonical line L, then — in the working frame ``Rot((phi + pi) / 2)``,
+    whose "North" is the same absolute direction along L for both agents —
+    goes North ``t`` and South ``t``, and stops.  At the boundary
+    ``t = dist(projA, projB) - r`` the agents end at distance exactly ``r``.
+    """
+
+    name = "dedicated-lemma-3.9"
+
+    #: Tolerance on the boundary equation ``t = dist(projA, projB) - r``.
+    BOUNDARY_TOL = 1e-9
+
+    def supports(self, instance: Instance) -> bool:
+        if not (instance.is_synchronous and instance.chi == -1):
+            return False
+        return abs(instance.t - (projection_distance(instance) - instance.r)) <= self.BOUNDARY_TOL
+
+    def program_with_knowledge(self, knowledge: AgentKnowledge) -> Iterator[Instruction]:
+        instance = knowledge.instance
+        if knowledge.canonical_distance_local > 0.0:
+            yield Move(*knowledge.to_canonical_projection_local)
+        alpha = (instance.phi + math.pi) / 2.0
+        t = instance.t
+        if t > 0.0:
+            yield from rotate_instructions(iter([Move(0.0, t), Move(0.0, -t)]), alpha)
+
+
+# ---------------------------------------------------------------------------------
+# Dispatcher
+# ---------------------------------------------------------------------------------
+
+
+def dedicated_witness(instance: Instance) -> Optional[object]:
+    """Pick a dedicated witness algorithm for a feasible instance.
+
+    Returns ``None`` for infeasible instances (Theorem 3.1 "only if"
+    direction: no algorithm at all can work).
+    """
+    if not is_feasible(instance):
+        return None
+    if instance.is_trivial:
+        return StayPut()
+    probe = LinearProbe()
+    if probe.supports(instance):
+        return probe
+    sweep = AsynchronousWaitAndSweep()
+    if sweep.supports(instance):
+        return sweep
+    aligned = AlignedDelayWalk()
+    if aligned.supports(instance):
+        return aligned
+    line_search = OppositeChiralityLineSearch()
+    if line_search.supports(instance):
+        return line_search
+    # is_feasible() held, so one of the above must have matched.
+    raise KnowledgeError(
+        f"no dedicated witness found for feasible instance {instance.describe()}"
+    )
+
+
+class DedicatedRendezvous(DedicatedAlgorithm):
+    """Meta-algorithm: delegate to the witness chosen by :func:`dedicated_witness`."""
+
+    name = "dedicated-rendezvous"
+
+    def supports(self, instance: Instance) -> bool:
+        return is_feasible(instance)
+
+    def program_for(self, instance: Instance, spec, role):
+        self.check_supported(instance)
+        witness = dedicated_witness(instance)
+        return witness.program_for(instance, spec, role)
+
+    def program_with_knowledge(self, knowledge: AgentKnowledge) -> Iterator[Instruction]:
+        # ``program_for`` is overridden, so this is only reachable if called
+        # directly; delegate consistently.
+        witness = dedicated_witness(knowledge.instance)
+        if isinstance(witness, DedicatedAlgorithm):
+            return witness.program_with_knowledge(knowledge)
+        return witness.program()

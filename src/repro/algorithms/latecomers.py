@@ -1,0 +1,118 @@
+"""The ``Latecomers`` procedure (substitute construction — see DESIGN.md §3).
+
+The paper uses ``GATHER(2)`` of Pelc & Yadav (ICDCN 2020) as a black box with
+the contract: *for synchronous instances whose coordinate systems are shifts
+of each other (``chi = +1``, ``phi = 0``) and whose delay satisfies
+``t > dist - r``, it achieves rendezvous*.  The original construction is not
+available to this reproduction; the procedure below satisfies the same
+contract.
+
+Construction
+------------
+Because the two systems are shifts of each other and the instance is
+synchronous, agent B's trajectory is agent A's trajectory shifted by
+``(x, y)`` in space and by ``t`` in time.  Writing ``Q(s)`` for the position
+reached after ``s`` local time units of the common program (``Q(s) = 0`` for
+``s <= 0``), the relative position at absolute time ``z`` is
+``(x, y) + Q(z - t) - Q(z)``; rendezvous needs ``Q(z) - Q(z - t)`` to come
+within ``r`` of ``(x, y)``.
+
+The program is a sequence of *probes*, grouped in phases ``k = 1, 2, ...``.
+A probe with guess ``w`` in phase ``k`` is::
+
+    wait(2**k); Move(w); Move(-w)
+
+At the end of the out-leg of a probe (time ``z``), the displacement
+``Q(z) - Q(z - t)`` equals
+
+* ``w``              when ``|w| <= t <= 2**k + |w|`` (the window reaches back
+  into the probe's leading wait, where the agent sat at the probe's base), or
+* ``t * w / |w|``    when ``t < |w|`` (the window starts inside the out-leg).
+
+Hence once ``2**k >= t``, a dyadic guess close enough to the point of the
+segment ``[0, (x, y)]`` at distance ``min(t, dist)`` from the origin realizes
+a displacement within ``r`` of ``(x, y)`` — possible exactly when
+``t > dist - r`` (and, on the boundary ``t = dist - r``, only when the
+direction of ``(x, y)`` happens to be hit exactly, which is why the boundary
+set S1 cannot be covered in general).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from repro.algorithms.base import UniversalAlgorithm
+from repro.algorithms.cgkk import _ordered_probe_points
+from repro.core.instance import Instance
+from repro.geometry.vec import Vec2
+from repro.motion.instructions import Instruction, Move, Wait
+
+
+def latecomers_probe_schedule(max_phase: int | None = None) -> Iterator[Tuple[int, Vec2]]:
+    """Yield ``(phase, guess)`` pairs in probing order (nearest guesses first)."""
+    k = 1
+    while max_phase is None or k <= max_phase:
+        resolution = k - 1
+        extent = 2 ** (k - 1)
+        for point in _ordered_probe_points(resolution, extent):
+            yield k, point
+        k += 1
+
+
+def latecomers_program() -> Iterator[Instruction]:
+    """The (infinite) instruction stream of the Latecomers substitute."""
+    for phase, (wx, wy) in latecomers_probe_schedule():
+        yield Wait(float(2**phase))
+        yield Move(wx, wy)
+        yield Move(-wx, -wy)
+
+
+class Latecomers(UniversalAlgorithm):
+    """The Latecomers substitute packaged as a universal algorithm."""
+
+    name = "latecomers"
+
+    def program(self) -> Iterator[Instruction]:
+        return latecomers_program()
+
+
+# -- analysis helpers -------------------------------------------------------------------
+
+
+def latecomers_supported(instance: Instance) -> bool:
+    """The contract precondition: synchronous, shift frames, ``t > dist - r``."""
+    return (
+        instance.is_synchronous
+        and instance.same_chirality
+        and instance.same_orientation
+        and instance.t > instance.initial_distance - instance.r
+    )
+
+
+def latecomers_target_displacement(instance: Instance) -> Vec2:
+    """The ideal window displacement: the point of ``[0, (x,y)]`` at distance ``min(t, dist)``."""
+    distance = instance.initial_distance
+    if distance == 0.0:
+        return (0.0, 0.0)
+    reach = min(instance.t, distance)
+    return (instance.x * reach / distance, instance.y * reach / distance)
+
+
+def latecomers_meeting_phase_bound(instance: Instance) -> int:
+    """A sufficient probe-schedule phase for the contract argument to fire.
+
+    Requires ``2**k >= t`` (window validity), grid extent at least
+    ``min(t, dist)`` and grid spacing at most ``margin * sqrt(2)`` where
+    ``margin = r - (dist - min(t, dist))`` is the slack left for grid error.
+    """
+    if not latecomers_supported(instance):
+        raise ValueError("instance outside the Latecomers contract")
+    distance = instance.initial_distance
+    reach = min(instance.t, distance)
+    margin = instance.r - (distance - reach)
+    delay_phase = max(1, math.ceil(math.log2(max(instance.t, 1.0))))
+    extent_phase = max(1, math.ceil(math.log2(max(reach, 1.0))) + 1)
+    spacing_needed = margin * math.sqrt(2.0) / 2.0
+    spacing_phase = max(1, math.ceil(1.0 - math.log2(max(spacing_needed, 1e-300))))
+    return max(delay_phase, extent_phase, spacing_phase)

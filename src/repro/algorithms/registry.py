@@ -1,0 +1,67 @@
+"""A small name-based registry of algorithm factories.
+
+The experiment drivers and the parallel batch runner refer to algorithms by
+name (strings serialize cleanly across process boundaries and into CSV
+output); the registry maps those names back to constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.almost_universal import AlmostUniversalRV
+from repro.algorithms.base import Algorithm
+from repro.algorithms.cgkk import CGKK
+from repro.algorithms.dedicated import (
+    AlignedDelayWalk,
+    AsynchronousWaitAndSweep,
+    DedicatedRendezvous,
+    Lemma39Boundary,
+    LinearProbe,
+    OppositeChiralityLineSearch,
+    StayPut,
+)
+from repro.algorithms.latecomers import Latecomers
+from repro.algorithms.schedules import CompactSchedule, PaperSchedule
+
+AlgorithmFactory = Callable[[], Algorithm]
+
+_REGISTRY: Dict[str, AlgorithmFactory] = {}
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory, *, overwrite: bool = False) -> None:
+    """Register a factory under ``name`` (raise on duplicates unless ``overwrite``)."""
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Instantiate the algorithm registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_algorithms() -> List[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+# -- built-ins -------------------------------------------------------------------------
+
+register_algorithm("almost-universal", lambda: AlmostUniversalRV(PaperSchedule()))
+register_algorithm("almost-universal-compact", lambda: AlmostUniversalRV(CompactSchedule()))
+register_algorithm("cgkk", CGKK)
+register_algorithm("latecomers", Latecomers)
+register_algorithm("stay-put", StayPut)
+register_algorithm("linear-probe", LinearProbe)
+register_algorithm("wait-and-sweep", AsynchronousWaitAndSweep)
+register_algorithm("aligned-delay-walk", AlignedDelayWalk)
+register_algorithm("line-search", OppositeChiralityLineSearch)
+register_algorithm("lemma-3.9", Lemma39Boundary)
+register_algorithm("dedicated", DedicatedRendezvous)

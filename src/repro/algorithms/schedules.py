@@ -1,0 +1,147 @@
+"""Phase schedules for ``AlmostUniversalRV``.
+
+Algorithm 1 is an infinite repeat loop; each iteration (``phase i``) runs four
+blocks whose sizes are governed by constants chosen in the paper for proof
+convenience, not for simulation friendliness (block 3 of phase ``i`` starts
+with a wait of ``2**(15 i^2)`` local time units).  The structure of the
+algorithm — which block runs when, in which rotated frame, for how long
+relative to the others — is what its correctness rests on; the exact constants
+only determine *which* phase finally catches a given instance.
+
+A :class:`Schedule` therefore parameterizes those constants.
+:class:`PaperSchedule` reproduces the pseudocode literally and is the default;
+:class:`CompactSchedule` keeps the structure (and the same asymptotic growth
+pattern: geometric rotations/extents, a dominating block-3 wait) with gentler
+constants so that multi-phase simulations stay tractable — it is used for the
+schedule ablation (ABL-2 in DESIGN.md) and clearly reported in experiment
+output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Constants of one phase of ``AlmostUniversalRV``.
+
+    The methods receive the phase index ``i >= 1`` and return, in local units
+    of the executing agent:
+
+    * :meth:`rotations` — how many rotated frames block 1 sweeps,
+    * :meth:`rotation_step` — the angular step between consecutive frames,
+    * :meth:`planar_resolution` — the ``PlanarCowWalk`` parameter used in
+      blocks 1 and 3,
+    * :meth:`block2_wait` / :meth:`block2_run` — the wait before and the
+      truncation time of the ``Latecomers`` run of block 2,
+    * :meth:`block3_wait` — the long wait of block 3,
+    * :meth:`block4_run`, :meth:`block4_chunk`, :meth:`block4_wait` — the
+      truncation time of the solo ``CGKK`` run, the chunk duration, and the
+      wait inserted after each chunk in block 4.
+    """
+
+    name: str = "schedule"
+
+    def planar_resolution(self, i: int) -> int:
+        raise NotImplementedError
+
+    def rotations(self, i: int) -> int:
+        raise NotImplementedError
+
+    def rotation_step(self, i: int) -> float:
+        raise NotImplementedError
+
+    def block2_wait(self, i: int) -> float:
+        raise NotImplementedError
+
+    def block2_run(self, i: int) -> float:
+        raise NotImplementedError
+
+    def block3_wait(self, i: int) -> float:
+        raise NotImplementedError
+
+    def block4_run(self, i: int) -> float:
+        raise NotImplementedError
+
+    def block4_chunk(self, i: int) -> float:
+        raise NotImplementedError
+
+    def block4_wait(self, i: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PaperSchedule(Schedule):
+    """The literal constants of Algorithm 1."""
+
+    name: str = "paper"
+
+    def planar_resolution(self, i: int) -> int:
+        return i
+
+    def rotations(self, i: int) -> int:
+        return 2 ** (i + 1)
+
+    def rotation_step(self, i: int) -> float:
+        return math.pi / float(2**i)
+
+    def block2_wait(self, i: int) -> float:
+        return float(2**i)
+
+    def block2_run(self, i: int) -> float:
+        return float(2**i)
+
+    def block3_wait(self, i: int) -> float:
+        return float(2 ** (15 * i * i))
+
+    def block4_run(self, i: int) -> float:
+        return float(2**i)
+
+    def block4_chunk(self, i: int) -> float:
+        return 1.0 / float(2**i)
+
+    def block4_wait(self, i: int) -> float:
+        return float(2**i)
+
+
+@dataclass(frozen=True)
+class CompactSchedule(Schedule):
+    """Same structure, gentler constants (for the ABL-2 schedule ablation).
+
+    The block-3 wait grows like ``2**(wait_exponent * i)`` instead of
+    ``2**(15 i^2)``: still the dominating term of a phase, but small enough
+    that float timestamps survive a few more phases and exact timestamps stay
+    cheap.  All other blocks keep the paper's growth.
+    """
+
+    name: str = "compact"
+    wait_exponent: int = 6
+
+    def planar_resolution(self, i: int) -> int:
+        return i
+
+    def rotations(self, i: int) -> int:
+        return 2 ** (i + 1)
+
+    def rotation_step(self, i: int) -> float:
+        return math.pi / float(2**i)
+
+    def block2_wait(self, i: int) -> float:
+        return float(2**i)
+
+    def block2_run(self, i: int) -> float:
+        return float(2**i)
+
+    def block3_wait(self, i: int) -> float:
+        return float(2 ** (self.wait_exponent * i))
+
+    def block4_run(self, i: int) -> float:
+        return float(2**i)
+
+    def block4_chunk(self, i: int) -> float:
+        return 1.0 / float(2**i)
+
+    def block4_wait(self, i: int) -> float:
+        return float(2**i)

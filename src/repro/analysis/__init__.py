@@ -1,0 +1,59 @@
+"""Analysis layer: instance samplers, exception sets, measure estimates, metrics."""
+
+from repro.analysis.sampler import (
+    InstanceSampler,
+    SamplerConfig,
+    sample_instance,
+    sample_instances,
+    sample_instance_of_class,
+)
+from repro.analysis.exceptions import (
+    make_s1_instance,
+    make_s2_instance,
+    in_s1,
+    in_s2,
+    perturb_off_boundary,
+    S1_FREE_DIMENSIONS,
+    S2_FREE_DIMENSIONS,
+    FEASIBLE_DIMENSIONS,
+)
+from repro.analysis.measure import (
+    ParameterBox,
+    classify_array,
+    estimate_class_fractions,
+    estimate_boundary_thickness,
+    feasible_fraction,
+)
+from repro.analysis.metrics import (
+    ResultSummary,
+    summarize_results,
+    group_results,
+    success_rate,
+    meeting_time_stats,
+)
+
+__all__ = [
+    "InstanceSampler",
+    "SamplerConfig",
+    "sample_instance",
+    "sample_instances",
+    "sample_instance_of_class",
+    "make_s1_instance",
+    "make_s2_instance",
+    "in_s1",
+    "in_s2",
+    "perturb_off_boundary",
+    "S1_FREE_DIMENSIONS",
+    "S2_FREE_DIMENSIONS",
+    "FEASIBLE_DIMENSIONS",
+    "ParameterBox",
+    "classify_array",
+    "estimate_class_fractions",
+    "estimate_boundary_thickness",
+    "feasible_fraction",
+    "ResultSummary",
+    "summarize_results",
+    "group_results",
+    "success_rate",
+    "meeting_time_stats",
+]

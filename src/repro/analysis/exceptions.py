@@ -1,0 +1,105 @@
+"""The exception sets S1 and S2 of Section 4.
+
+S1 is the set of synchronous instances with ``chi = +1``, ``phi = 0`` and
+``t = dist((0,0),(x,y)) - r``; S2 is the set of synchronous instances with
+``chi = -1`` and ``t = dist(projA, projB) - r``.  Both are feasible (Theorem
+3.1) but no single algorithm can cover either set entirely (Theorem 4.1 and
+[38]); ``AlmostUniversalRV`` covers every feasible instance outside them.
+
+Geometrically the exception sets are *small*: synchronous instances satisfy
+``tau = v = 1`` (two equations), S1 additionally fixes ``phi = 0`` and ties
+``t`` to ``(x, y, r)`` (two more equations), so S1 sits inside a copy of R^3
+of the 7-dimensional instance space; S2 ties ``t`` to ``(x, y, phi, r)``
+(one more equation on top of synchronicity), so it sits inside a copy of R^4.
+The constructors below produce boundary instances from exactly those free
+parameters, which is how the Section 4 experiment exercises the dimension
+claim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.canonical import projection_distance
+from repro.core.classification import DEFAULT_BOUNDARY_TOL, InstanceClass, classify
+from repro.core.instance import Instance
+
+#: Dimension of the ambient instance space used in Section 4 (an instance is
+#: ``(x, y, phi, tau, v, t, r)`` plus the discrete chirality bit).
+FEASIBLE_DIMENSIONS = 7
+#: Number of free real parameters of S1: ``(x, y, r)``.
+S1_FREE_DIMENSIONS = 3
+#: Number of free real parameters of S2: ``(x, y, phi, r)``.
+S2_FREE_DIMENSIONS = 4
+
+
+def make_s1_instance(x: float, y: float, r: float) -> Instance:
+    """Construct the S1 instance with free parameters ``(x, y, r)``.
+
+    Requires ``r < dist((0,0),(x,y))`` so the determined delay
+    ``t = dist - r`` is positive and the instance is not trivial.
+    """
+    distance = math.hypot(x, y)
+    if r <= 0.0 or r >= distance:
+        raise ValueError("S1 requires 0 < r < dist((0,0),(x,y))")
+    return Instance(r=r, x=x, y=y, phi=0.0, tau=1.0, v=1.0, t=distance - r, chi=1)
+
+
+def make_s2_instance(x: float, y: float, phi: float, r: float) -> Instance:
+    """Construct the S2 instance with free parameters ``(x, y, phi, r)``.
+
+    The delay is set to ``dist(projA, projB) - r``; it must come out
+    non-negative, i.e. ``r <= dist(projA, projB)`` (otherwise the instance
+    would be trivial or require a negative delay and is rejected).
+    """
+    if r <= 0.0:
+        raise ValueError("r must be positive")
+    probe = Instance(r=r, x=x, y=y, phi=phi, tau=1.0, v=1.0, t=0.0, chi=-1)
+    proj = projection_distance(probe)
+    delay = proj - r
+    if delay < 0.0:
+        raise ValueError(
+            "S2 requires r <= dist(projA, projB); "
+            f"got r={r} > proj distance {proj:.6g}"
+        )
+    return Instance(r=r, x=x, y=y, phi=phi, tau=1.0, v=1.0, t=delay, chi=-1)
+
+
+def in_s1(instance: Instance, *, tol: float = DEFAULT_BOUNDARY_TOL) -> bool:
+    """Membership test for S1 (up to ``tol`` on the boundary equation)."""
+    return classify(instance, boundary_tol=tol) is InstanceClass.S1_BOUNDARY
+
+
+def in_s2(instance: Instance, *, tol: float = DEFAULT_BOUNDARY_TOL) -> bool:
+    """Membership test for S2 (up to ``tol`` on the boundary equation)."""
+    return classify(instance, boundary_tol=tol) is InstanceClass.S2_BOUNDARY
+
+
+def perturb_off_boundary(instance: Instance, delta: float) -> Instance:
+    """Shift the delay of a boundary instance by ``delta``.
+
+    A positive ``delta`` moves the instance into the interior covered by
+    ``AlmostUniversalRV`` (type 1 or 2); a negative ``delta`` makes it
+    infeasible.  Used by the Theorem 4.1 experiment to show how thin the
+    exception sets are.
+    """
+    new_t = instance.t + delta
+    if new_t < 0.0:
+        raise ValueError("perturbation would make the wake-up delay negative")
+    return instance.with_delay(new_t)
+
+
+def boundary_margin(instance: Instance) -> Optional[float]:
+    """Distance of the instance's delay from the relevant S1/S2 boundary.
+
+    Returns ``None`` for instances whose feasibility does not depend on the
+    delay (non-synchronous, or synchronous with ``chi=+1`` and ``phi!=0``).
+    """
+    if not instance.is_synchronous:
+        return None
+    if instance.chi == -1:
+        return instance.t - (projection_distance(instance) - instance.r)
+    if instance.same_orientation:
+        return instance.t - (instance.initial_distance - instance.r)
+    return None

@@ -1,0 +1,124 @@
+"""Aggregation of simulation results into experiment-level metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass
+class ResultSummary:
+    """Aggregate statistics over a group of simulation results."""
+
+    count: int
+    successes: int
+    success_rate: float
+    meeting_time_mean: Optional[float]
+    meeting_time_median: Optional[float]
+    meeting_time_max: Optional[float]
+    min_distance_mean: float
+    segments_mean: float
+    wall_seconds_total: float
+    label: str = ""
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict suitable for the report table writer."""
+        return {
+            "label": self.label,
+            "count": self.count,
+            "successes": self.successes,
+            "success_rate": round(self.success_rate, 4),
+            "meeting_time_mean": _round_opt(self.meeting_time_mean),
+            "meeting_time_median": _round_opt(self.meeting_time_median),
+            "meeting_time_max": _round_opt(self.meeting_time_max),
+            "min_distance_mean": round(self.min_distance_mean, 6),
+            "segments_mean": round(self.segments_mean, 1),
+            "wall_seconds_total": round(self.wall_seconds_total, 3),
+        }
+
+
+def _round_opt(value: Optional[float], digits: int = 6) -> Optional[float]:
+    if value is None:
+        return None
+    return round(value, digits)
+
+
+def success_rate(results: Sequence[SimulationResult]) -> float:
+    """Fraction of results that achieved rendezvous."""
+    if not results:
+        return float("nan")
+    return sum(1 for r in results if r.met) / len(results)
+
+
+def meeting_time_stats(results: Sequence[SimulationResult]) -> Dict[str, Optional[float]]:
+    """Mean / median / max meeting time over the successful results."""
+    times = [r.meeting_time for r in results if r.met and r.meeting_time is not None]
+    if not times:
+        return {"mean": None, "median": None, "max": None}
+    arr = np.asarray(times, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+    }
+
+
+def summarize_results(results: Sequence[SimulationResult], label: str = "") -> ResultSummary:
+    """Aggregate a group of results into a :class:`ResultSummary`."""
+    results = list(results)
+    if not results:
+        return ResultSummary(
+            count=0,
+            successes=0,
+            success_rate=float("nan"),
+            meeting_time_mean=None,
+            meeting_time_median=None,
+            meeting_time_max=None,
+            min_distance_mean=float("nan"),
+            segments_mean=float("nan"),
+            wall_seconds_total=0.0,
+            label=label,
+        )
+    stats = meeting_time_stats(results)
+    finite_min_distances = [
+        r.min_distance for r in results if math.isfinite(r.min_distance)
+    ]
+    return ResultSummary(
+        count=len(results),
+        successes=sum(1 for r in results if r.met),
+        success_rate=success_rate(results),
+        meeting_time_mean=stats["mean"],
+        meeting_time_median=stats["median"],
+        meeting_time_max=stats["max"],
+        min_distance_mean=(
+            float(np.mean(finite_min_distances)) if finite_min_distances else float("inf")
+        ),
+        segments_mean=float(np.mean([r.segments_total for r in results])),
+        wall_seconds_total=float(sum(r.elapsed_wall_seconds for r in results)),
+        label=label,
+    )
+
+
+def group_results(
+    results: Iterable[SimulationResult],
+    key: Callable[[SimulationResult], object],
+) -> Dict[object, List[SimulationResult]]:
+    """Group results by an arbitrary key function (e.g. instance class)."""
+    grouped: Dict[object, List[SimulationResult]] = {}
+    for result in results:
+        grouped.setdefault(key(result), []).append(result)
+    return grouped
+
+
+def summarize_grouped(
+    results: Iterable[SimulationResult],
+    key: Callable[[SimulationResult], object],
+) -> List[ResultSummary]:
+    """Group then summarize, labelling each summary with its group key."""
+    grouped = group_results(results, key)
+    return [summarize_results(group, label=str(label)) for label, group in sorted(grouped.items(), key=lambda kv: str(kv[0]))]

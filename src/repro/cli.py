@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday uses of the library without writing any
+Python:
+
+* ``repro classify``   — classify an instance, report feasibility/coverage and
+  the analytical phase bound;
+* ``repro simulate``   — run one algorithm on one instance (optionally with
+  asymmetric visibility radii and an ASCII rendering of the outcome);
+* ``repro experiment`` — run one (or all) of the DESIGN.md experiments and
+  write the results under ``results/``;
+* ``repro algorithms`` — list the registered algorithms.
+
+The module is also installed as the ``python -m repro`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.bounds import universal_phase_bound
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.core.classification import classify
+from repro.core.feasibility import feasibility_clause, is_covered_by_universal, is_feasible
+from repro.core.instance import Instance
+from repro.sim.asymmetric import simulate_asymmetric
+from repro.sim.engine import simulate
+from repro.util.errors import ReproError
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("instance (r, x, y, phi, tau, v, t, chi)")
+    group.add_argument("--r", type=float, required=True, help="visibility radius (> 0)")
+    group.add_argument("--x", type=float, required=True, help="x-coordinate of agent B")
+    group.add_argument("--y", type=float, required=True, help="y-coordinate of agent B")
+    group.add_argument("--phi", type=float, default=0.0, help="orientation of B in [0, 2*pi)")
+    group.add_argument("--tau", type=float, default=1.0, help="clock rate of B (> 0)")
+    group.add_argument("--v", type=float, default=1.0, help="speed of B (> 0)")
+    group.add_argument("--t", type=float, default=0.0, help="wake-up delay of B (>= 0)")
+    group.add_argument("--chi", type=int, default=1, choices=(1, -1), help="chirality of B")
+
+
+def _instance_from_args(args: argparse.Namespace) -> Instance:
+    return Instance(
+        r=args.r, x=args.x, y=args.y, phi=args.phi, tau=args.tau, v=args.v, t=args.t, chi=args.chi
+    )
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    cls = classify(instance)
+    print("instance          :", instance.describe())
+    print("class             :", cls.value)
+    print("feasibility clause:", feasibility_clause(instance).value)
+    print("feasible          :", is_feasible(instance))
+    print("covered by AURV   :", is_covered_by_universal(instance))
+    bound = universal_phase_bound(instance) if cls.is_covered_by_universal else None
+    print("phase bound       :", bound if bound is not None else "n/a")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    algorithm = get_algorithm(args.algorithm)
+    if args.radius_a is not None or args.radius_b is not None:
+        outcome = simulate_asymmetric(
+            instance,
+            algorithm,
+            radius_a=args.radius_a,
+            radius_b=args.radius_b,
+            max_time=args.max_time,
+            max_segments=args.max_segments,
+            timebase=args.timebase,
+        )
+        result = outcome.result
+        if outcome.frozen_agent is not None:
+            print(
+                f"agent {outcome.frozen_agent} froze at t={outcome.freeze_time:.6g} "
+                f"(distance {outcome.freeze_distance:.6g})"
+            )
+    else:
+        result = simulate(
+            instance,
+            algorithm,
+            max_time=args.max_time,
+            max_segments=args.max_segments,
+            timebase=args.timebase,
+            record_trajectories=args.render,
+        )
+    print(result.summary())
+    if args.render:
+        from repro.viz.ascii_canvas import render_simulation
+
+        print(render_simulation(result))
+    return 0 if result.met or args.allow_miss else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        all_figures,
+        run_characterization_experiment,
+        run_exception_boundary_experiment,
+        run_measure_experiment,
+        run_scaling_experiment,
+        run_schedule_ablation,
+        run_timebase_ablation,
+        run_universal_coverage_experiment,
+    )
+
+    registry = {
+        "figures": lambda: all_figures(),
+        "thm31": lambda: run_characterization_experiment(samples_per_class=args.samples),
+        "thm32": lambda: run_universal_coverage_experiment(samples_per_type=args.samples),
+        "thm41": lambda: run_exception_boundary_experiment(samples_per_set=args.samples),
+        "measure": lambda: run_measure_experiment(samples=args.samples * 20_000),
+        "scaling": lambda: run_scaling_experiment(),
+        "ablation": lambda: [run_timebase_ablation(), run_schedule_ablation()],
+    }
+    names = list(registry) if args.name == "all" else [args.name]
+    for name in names:
+        outcome = registry[name]()
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            print(result.render())
+            if not args.no_save:
+                paths = result.save(args.results_dir)
+                print(f"[saved] {paths['csv']}")
+            print()
+    return 0
+
+
+def _cmd_algorithms(_args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(f"{name:28s} {get_algorithm(name).name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Almost Universal Anonymous Rendezvous in the Plane — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify_parser = subparsers.add_parser("classify", help="classify an instance")
+    _add_instance_arguments(classify_parser)
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    simulate_parser = subparsers.add_parser("simulate", help="simulate one algorithm on one instance")
+    _add_instance_arguments(simulate_parser)
+    simulate_parser.add_argument(
+        "--algorithm", default="almost-universal", choices=available_algorithms()
+    )
+    simulate_parser.add_argument("--max-time", type=float, default=1e12)
+    simulate_parser.add_argument("--max-segments", type=int, default=600_000)
+    simulate_parser.add_argument("--timebase", default="exact", choices=("float", "exact"))
+    simulate_parser.add_argument("--radius-a", type=float, default=None,
+                                 help="agent A's visibility radius (Section 5 extension)")
+    simulate_parser.add_argument("--radius-b", type=float, default=None,
+                                 help="agent B's visibility radius (Section 5 extension)")
+    simulate_parser.add_argument("--render", action="store_true", help="ASCII rendering of the run")
+    simulate_parser.add_argument(
+        "--allow-miss", action="store_true",
+        help="exit 0 even when rendezvous does not occur within the budget",
+    )
+    simulate_parser.set_defaults(handler=_cmd_simulate)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run a DESIGN.md experiment")
+    experiment_parser.add_argument(
+        "name",
+        choices=("figures", "thm31", "thm32", "thm41", "measure", "scaling", "ablation", "all"),
+    )
+    experiment_parser.add_argument("--samples", type=int, default=6, help="samples per class/type/set")
+    experiment_parser.add_argument("--results-dir", default=None)
+    experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    algorithms_parser = subparsers.add_parser("algorithms", help="list registered algorithms")
+    algorithms_parser.set_defaults(handler=_cmd_algorithms)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

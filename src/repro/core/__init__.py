@@ -1,0 +1,35 @@
+"""Core model layer: instances, agent frames and units, canonical line,
+classification and the feasibility characterization of Theorem 3.1."""
+
+from repro.core.units import AgentUnits
+from repro.core.frames import Frame
+from repro.core.instance import Instance, AgentSpec
+from repro.core.canonical import CanonicalGeometry, canonical_line, canonical_geometry
+from repro.core.classification import InstanceClass, classify, instance_type
+from repro.core.feasibility import (
+    FeasibilityClause,
+    feasibility_clause,
+    is_feasible,
+    is_covered_by_universal,
+    is_exception,
+    feasibility_margin,
+)
+
+__all__ = [
+    "AgentUnits",
+    "Frame",
+    "Instance",
+    "AgentSpec",
+    "CanonicalGeometry",
+    "canonical_line",
+    "canonical_geometry",
+    "InstanceClass",
+    "classify",
+    "instance_type",
+    "FeasibilityClause",
+    "feasibility_clause",
+    "is_feasible",
+    "is_covered_by_universal",
+    "is_exception",
+    "feasibility_margin",
+]

@@ -1,0 +1,99 @@
+"""The canonical line of an instance (Definition 2.1) and its projections.
+
+Definition 2.1: for ``phi = 0`` the canonical line is the line parallel to the
+x-axes of both agents and equidistant from their origins; otherwise it is the
+line parallel to the bisectrix of the angle between the two x-axes and
+equidistant from the origins.  In both cases the line through the *midpoint*
+of the two origins with inclination ``phi / 2`` (mod pi) satisfies the
+definition, and it is the line used throughout the paper's proofs (the agents
+sit symmetrically on either side of it).
+
+The projections ``projA`` / ``projB`` of the agents' positions on the
+canonical line drive the feasibility condition for instances with different
+chiralities (Theorem 3.1, clause 2c) and the whole type-1 analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.instance import Instance
+from repro.geometry.lines import Line
+from repro.geometry.vec import Vec2, dist, midpoint
+
+
+def canonical_inclination(instance: Instance) -> float:
+    """Inclination (in ``[0, pi)``) of the canonical line of the instance."""
+    inclination = math.fmod(instance.phi / 2.0, math.pi)
+    if inclination < 0.0:
+        inclination += math.pi
+    return inclination
+
+
+def canonical_line(instance: Instance) -> Line:
+    """The canonical line ``L`` of the instance, in agent A's coordinates."""
+    origin_a = (0.0, 0.0)
+    origin_b = (instance.x, instance.y)
+    return Line.from_point_and_angle(midpoint(origin_a, origin_b), canonical_inclination(instance))
+
+
+@dataclass(frozen=True)
+class CanonicalGeometry:
+    """Pre-computed canonical-line quantities of an instance.
+
+    Attributes
+    ----------
+    line:
+        The canonical line ``L`` in agent A's coordinates.
+    proj_a, proj_b:
+        Orthogonal projections of the initial positions of A and B on ``L``
+        (``projA(0)`` and ``projB(0)`` in the paper's notation).
+    proj_distance:
+        ``dist(projA, projB)``.
+    offset_a, offset_b:
+        Signed distances of the initial positions to ``L`` (they are always
+        opposite — or both zero — because ``L`` passes through the midpoint).
+    """
+
+    line: Line
+    proj_a: Vec2
+    proj_b: Vec2
+    proj_distance: float
+    offset_a: float
+    offset_b: float
+
+    @property
+    def agents_on_line(self) -> bool:
+        """Whether both agents start exactly on the canonical line."""
+        return self.offset_a == 0.0 and self.offset_b == 0.0
+
+    def distance_to_line(self, point: Vec2) -> float:
+        """Distance from an arbitrary point to the canonical line."""
+        return self.line.distance_to(point)
+
+    def project(self, point: Vec2) -> Vec2:
+        """Orthogonal projection of an arbitrary point on the canonical line."""
+        return self.line.project(point)
+
+
+def canonical_geometry(instance: Instance) -> CanonicalGeometry:
+    """Compute the :class:`CanonicalGeometry` of an instance."""
+    line = canonical_line(instance)
+    start_a = (0.0, 0.0)
+    start_b = (instance.x, instance.y)
+    proj_a = line.project(start_a)
+    proj_b = line.project(start_b)
+    return CanonicalGeometry(
+        line=line,
+        proj_a=proj_a,
+        proj_b=proj_b,
+        proj_distance=dist(proj_a, proj_b),
+        offset_a=line.signed_offset(start_a),
+        offset_b=line.signed_offset(start_b),
+    )
+
+
+def projection_distance(instance: Instance) -> float:
+    """``dist(projA, projB)`` — the quantity in Theorem 3.1 clause 2c."""
+    return canonical_geometry(instance).proj_distance

@@ -1,0 +1,138 @@
+"""Classification of instances.
+
+Two classifications coexist in the paper and both are implemented here:
+
+* the *feasibility* classification of Theorem 3.1 (feasible / infeasible,
+  with the boundary exception sets S1 and S2 of Section 4 singled out), and
+* the *algorithmic* classification into types 1-4 of Section 3.1.1, which is
+  the case split Algorithm 1 is built around.
+
+Both are exposed through a single enum :class:`InstanceClass` plus the
+convenience functions :func:`classify` and :func:`instance_type`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.canonical import projection_distance
+from repro.core.instance import Instance
+
+
+class InstanceClass(enum.Enum):
+    """Exhaustive, mutually exclusive classification of instances."""
+
+    #: ``r >= dist((0,0),(x,y))``: the agents see each other immediately.
+    TRIVIAL = "trivial"
+    #: Synchronous, ``chi = -1`` and ``t > dist(projA, projB) - r``.
+    TYPE_1 = "type-1"
+    #: Synchronous, ``chi = +1``, ``phi = 0`` and ``t > dist - r``.
+    TYPE_2 = "type-2"
+    #: ``tau != 1`` (different clock rates).
+    TYPE_3 = "type-3"
+    #: Remaining instances covered by Theorem 3.2: non-synchronous with
+    #: ``tau = 1`` (hence ``v != 1``), or synchronous with ``chi = +1`` and
+    #: ``phi != 0``.
+    TYPE_4 = "type-4"
+    #: Exception set S1: synchronous, ``chi = +1``, ``phi = 0`` and
+    #: ``t = dist - r`` (feasible, but not covered by any single algorithm).
+    S1_BOUNDARY = "S1-boundary"
+    #: Exception set S2: synchronous, ``chi = -1`` and
+    #: ``t = dist(projA, projB) - r`` (feasible, not covered — Theorem 4.1).
+    S2_BOUNDARY = "S2-boundary"
+    #: Synchronous instances violating the Theorem 3.1 conditions: rendezvous
+    #: is impossible even with an algorithm dedicated to the instance.
+    INFEASIBLE = "infeasible"
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether a dedicated algorithm can achieve rendezvous (Theorem 3.1)."""
+        return self is not InstanceClass.INFEASIBLE
+
+    @property
+    def is_covered_by_universal(self) -> bool:
+        """Whether ``AlmostUniversalRV`` guarantees rendezvous (Theorem 3.2)."""
+        return self in (
+            InstanceClass.TRIVIAL,
+            InstanceClass.TYPE_1,
+            InstanceClass.TYPE_2,
+            InstanceClass.TYPE_3,
+            InstanceClass.TYPE_4,
+        )
+
+    @property
+    def is_exception(self) -> bool:
+        """Whether the instance belongs to one of the exception sets S1 / S2."""
+        return self in (InstanceClass.S1_BOUNDARY, InstanceClass.S2_BOUNDARY)
+
+
+#: Default tolerance for deciding that the delay ``t`` sits exactly on the
+#: feasibility boundary (``t = dist - r`` or ``t = dist(projA,projB) - r``).
+#: The boundary sets have measure zero, so random instances essentially never
+#: land on them; instances *constructed* to be on the boundary land within
+#: floating-point error of it, which this tolerance absorbs.
+DEFAULT_BOUNDARY_TOL = 1e-9
+
+
+def classify(instance: Instance, *, boundary_tol: float = DEFAULT_BOUNDARY_TOL) -> InstanceClass:
+    """Classify an instance into the exhaustive :class:`InstanceClass` partition.
+
+    Parameters
+    ----------
+    instance:
+        The instance to classify.
+    boundary_tol:
+        Absolute tolerance used to decide whether ``t`` equals the feasibility
+        threshold exactly (S1/S2 membership) rather than exceeding or missing
+        it.
+    """
+    if instance.is_trivial:
+        return InstanceClass.TRIVIAL
+
+    if not instance.is_synchronous:
+        if abs(instance.tau - 1.0) > 1e-12:
+            return InstanceClass.TYPE_3
+        return InstanceClass.TYPE_4
+
+    # Synchronous instances from here on.
+    if instance.chi == -1:
+        threshold = projection_distance(instance) - instance.r
+        margin = instance.t - threshold
+        if abs(margin) <= boundary_tol:
+            return InstanceClass.S2_BOUNDARY
+        if margin > 0.0:
+            return InstanceClass.TYPE_1
+        return InstanceClass.INFEASIBLE
+
+    # Synchronous, chi = +1.
+    if not instance.same_orientation:
+        return InstanceClass.TYPE_4
+
+    # Synchronous, chi = +1, phi = 0.
+    threshold = instance.initial_distance - instance.r
+    margin = instance.t - threshold
+    if abs(margin) <= boundary_tol:
+        return InstanceClass.S1_BOUNDARY
+    if margin > 0.0:
+        return InstanceClass.TYPE_2
+    return InstanceClass.INFEASIBLE
+
+
+def instance_type(
+    instance: Instance, *, boundary_tol: float = DEFAULT_BOUNDARY_TOL
+) -> Optional[int]:
+    """Return the Section 3.1.1 type (1-4) of the instance, or ``None``.
+
+    ``None`` is returned for trivial instances, for the exception sets S1/S2
+    and for infeasible instances — i.e. exactly when the instance is not one
+    of the four types the blocks of Algorithm 1 are designed for.
+    """
+    cls = classify(instance, boundary_tol=boundary_tol)
+    mapping = {
+        InstanceClass.TYPE_1: 1,
+        InstanceClass.TYPE_2: 2,
+        InstanceClass.TYPE_3: 3,
+        InstanceClass.TYPE_4: 4,
+    }
+    return mapping.get(cls)

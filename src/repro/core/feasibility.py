@@ -1,0 +1,109 @@
+"""Feasibility characterization (Theorem 3.1) and coverage (Theorem 3.2).
+
+Theorem 3.1:
+
+1. All non-synchronous instances are feasible.
+2. A synchronous instance ``(r, x, y, phi, tau, v, t, chi)`` is feasible iff
+
+   a. ``chi = 1`` and ``phi != 0``, or
+   b. ``chi = 1``, ``phi = 0`` and ``t >= dist((0,0),(x,y)) - r``, or
+   c. ``chi = -1`` and ``t >= dist(projA, projB) - r``.
+
+Theorem 3.2 (coverage of ``AlmostUniversalRV``) replaces the two ``>=`` above
+by strict ``>``; the difference — the boundary sets S1 and S2 — is exactly
+what Section 4 proves cannot be covered by any single algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.canonical import projection_distance
+from repro.core.classification import DEFAULT_BOUNDARY_TOL, InstanceClass, classify
+from repro.core.instance import Instance
+
+
+class FeasibilityClause(enum.Enum):
+    """Which clause of Theorem 3.1 makes the instance feasible (if any)."""
+
+    #: ``r >= dist``: rendezvous holds at time 0 regardless of everything else.
+    TRIVIAL = "trivial"
+    #: Clause 1: the instance is not synchronous.
+    NON_SYNCHRONOUS = "non-synchronous"
+    #: Clause 2a: synchronous, same chirality, different orientations.
+    SAME_CHIRALITY_ROTATED = "2a: chi=+1, phi!=0"
+    #: Clause 2b: synchronous, same chirality and orientation, late enough wake-up.
+    SAME_CHIRALITY_ALIGNED_DELAY = "2b: chi=+1, phi=0, t >= dist - r"
+    #: Clause 2c: synchronous, opposite chiralities, late enough wake-up.
+    OPPOSITE_CHIRALITY_DELAY = "2c: chi=-1, t >= dist(projA,projB) - r"
+    #: No clause applies: the instance is infeasible.
+    INFEASIBLE = "infeasible"
+
+
+def feasibility_margin(instance: Instance) -> float:
+    """Slack of the delay condition of Theorem 3.1 (positive = strict interior).
+
+    * For synchronous instances with ``chi = +1`` and ``phi = 0`` this is
+      ``t - (dist - r)``.
+    * For synchronous instances with ``chi = -1`` this is
+      ``t - (dist(projA, projB) - r)``.
+    * For all other instances (non-synchronous, or clause 2a) the delay plays
+      no role in feasibility and the margin is ``+inf``.
+    """
+    if not instance.is_synchronous:
+        return float("inf")
+    if instance.chi == -1:
+        return instance.t - (projection_distance(instance) - instance.r)
+    if instance.same_orientation:
+        return instance.t - (instance.initial_distance - instance.r)
+    return float("inf")
+
+
+def feasibility_clause(instance: Instance) -> FeasibilityClause:
+    """Return the Theorem 3.1 clause that applies to the instance."""
+    if instance.is_trivial:
+        return FeasibilityClause.TRIVIAL
+    if not instance.is_synchronous:
+        return FeasibilityClause.NON_SYNCHRONOUS
+    if instance.chi == 1 and not instance.same_orientation:
+        return FeasibilityClause.SAME_CHIRALITY_ROTATED
+    margin = feasibility_margin(instance)
+    if instance.chi == 1:
+        if margin >= 0.0:
+            return FeasibilityClause.SAME_CHIRALITY_ALIGNED_DELAY
+        return FeasibilityClause.INFEASIBLE
+    if margin >= 0.0:
+        return FeasibilityClause.OPPOSITE_CHIRALITY_DELAY
+    return FeasibilityClause.INFEASIBLE
+
+
+def is_feasible(instance: Instance) -> bool:
+    """Theorem 3.1 predicate: does *some* (possibly dedicated) algorithm work?"""
+    return feasibility_clause(instance) is not FeasibilityClause.INFEASIBLE
+
+
+def is_covered_by_universal(
+    instance: Instance, *, boundary_tol: float = DEFAULT_BOUNDARY_TOL
+) -> bool:
+    """Theorem 3.2 predicate: does ``AlmostUniversalRV`` guarantee rendezvous?"""
+    return classify(instance, boundary_tol=boundary_tol).is_covered_by_universal
+
+
+def is_exception(
+    instance: Instance, *, boundary_tol: float = DEFAULT_BOUNDARY_TOL
+) -> bool:
+    """Whether the instance is feasible but in one of the exception sets S1/S2."""
+    return classify(instance, boundary_tol=boundary_tol).is_exception
+
+
+def exception_set(
+    instance: Instance, *, boundary_tol: float = DEFAULT_BOUNDARY_TOL
+) -> Optional[str]:
+    """Return ``"S1"`` / ``"S2"`` when the instance is an exception, else ``None``."""
+    cls = classify(instance, boundary_tol=boundary_tol)
+    if cls is InstanceClass.S1_BOUNDARY:
+        return "S1"
+    if cls is InstanceClass.S2_BOUNDARY:
+        return "S2"
+    return None

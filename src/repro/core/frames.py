@@ -1,0 +1,103 @@
+"""Private Cartesian coordinate systems of the agents.
+
+Each agent has a private system with origin at its starting point, x-axis
+rotated by ``phi`` with respect to the absolute system and chirality ``chi``
+(+1 when the private system is a rotation of the absolute one, -1 when it is a
+rotation composed with a reflection of the y-axis).  A :class:`Frame` converts
+between local and absolute coordinates and produces the rotated sub-frames
+``Rot(alpha)`` that Algorithm 1 and the dedicated Lemma 3.9 algorithm use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.transforms import Matrix2, apply_matrix, frame_matrix, invert_2x2
+from repro.geometry.vec import Vec2, add, sub, vec
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A private coordinate system: origin, orientation ``phi`` and chirality ``chi``."""
+
+    origin: Vec2 = (0.0, 0.0)
+    phi: float = 0.0
+    chi: int = 1
+    _matrix: Matrix2 = field(init=False, repr=False, compare=False)
+    _inverse: Matrix2 = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.chi not in (1, -1):
+            raise ValueError(f"chirality must be +1 or -1, got {self.chi!r}")
+        object.__setattr__(self, "origin", vec(*self.origin))
+        object.__setattr__(self, "phi", normalize_angle(float(self.phi)))
+        matrix = frame_matrix(self.phi, self.chi)
+        object.__setattr__(self, "_matrix", matrix)
+        object.__setattr__(self, "_inverse", invert_2x2(matrix))
+
+    # -- canonical frames -----------------------------------------------------
+    @staticmethod
+    def absolute() -> "Frame":
+        """The absolute system Gamma (which is also agent A's system)."""
+        return Frame((0.0, 0.0), 0.0, 1)
+
+    # -- direction / vector conversions -----------------------------------------
+    def local_vector_to_absolute(self, local: Vec2) -> Vec2:
+        """Map a free vector expressed locally to absolute coordinates."""
+        return apply_matrix(self._matrix, local)
+
+    def absolute_vector_to_local(self, absolute: Vec2) -> Vec2:
+        """Map a free vector expressed in absolute coordinates to local ones."""
+        return apply_matrix(self._inverse, absolute)
+
+    def local_point_to_absolute(self, local: Vec2) -> Vec2:
+        """Map a point expressed locally to absolute coordinates."""
+        return add(self.origin, self.local_vector_to_absolute(local))
+
+    def absolute_point_to_local(self, absolute: Vec2) -> Vec2:
+        """Map a point expressed in absolute coordinates to local ones."""
+        return self.absolute_vector_to_local(sub(absolute, self.origin))
+
+    # -- frame axes ------------------------------------------------------------
+    def x_axis_direction(self) -> Vec2:
+        """Absolute direction of the local positive x-axis (East)."""
+        return self.local_vector_to_absolute((1.0, 0.0))
+
+    def y_axis_direction(self) -> Vec2:
+        """Absolute direction of the local positive y-axis (North)."""
+        return self.local_vector_to_absolute((0.0, 1.0))
+
+    def x_axis_angle(self) -> float:
+        """Absolute inclination (direction) of the local positive x-axis."""
+        direction = self.x_axis_direction()
+        return normalize_angle(math.atan2(direction[1], direction[0]))
+
+    # -- derived frames -----------------------------------------------------------
+    def rotated(self, alpha: float) -> "Frame":
+        """The local system ``Rot(alpha)`` of the paper.
+
+        ``Rot(alpha)`` is the system obtained by rotating this frame by
+        ``alpha`` *counterclockwise with respect to this frame*.  For a frame
+        of chirality -1, a locally counterclockwise rotation is clockwise in
+        absolute terms, hence the new orientation is ``phi + chi * alpha``
+        while the chirality is preserved.
+        """
+        return Frame(self.origin, self.phi + self.chi * alpha, self.chi)
+
+    def with_origin(self, origin: Vec2) -> "Frame":
+        """Same orientation and chirality, different origin."""
+        return Frame(origin, self.phi, self.chi)
+
+    def translated(self, offset: Vec2) -> "Frame":
+        """Frame with its origin translated by an absolute offset."""
+        return Frame(add(self.origin, offset), self.phi, self.chi)
+
+    # -- relations between frames ----------------------------------------------------
+    def orientation_relative_to(self, other: "Frame") -> float:
+        """Angle by which ``other``'s x-axis must rotate (ccw, absolute) to match ours."""
+        return normalize_angle(self.x_axis_angle() - other.x_axis_angle())
+
+    def same_chirality_as(self, other: "Frame") -> bool:
+        return self.chi == other.chi

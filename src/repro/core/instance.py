@@ -1,0 +1,206 @@
+"""Instances of the rendezvous problem.
+
+An instance is the tuple ``(r, x, y, phi, tau, v, t, chi)`` of Section 1.2:
+agent A is, by convention, the absolute reference (origin at ``(0, 0)``,
+orientation 0, chirality +1, clock rate 1, speed 1, wake-up time 0) and the
+tuple records the visibility radius plus all attributes of agent B expressed
+in A's units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.core.frames import Frame
+from repro.core.units import AgentUnits
+from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.util.errors import InvalidInstanceError
+from repro.util.validation import require_in_range, require_non_negative, require_positive
+
+#: Relative tolerance used when deciding whether a parameter equals 1 (for the
+#: synchronous predicate) or whether ``t`` sits exactly on a feasibility
+#: boundary.  Exact equality on floats is meaningful here because the
+#: boundary sets S1/S2 of the paper are measure-zero: an instance is *on* the
+#: boundary only when constructed to be, and instances constructed to be on
+#: the boundary hit it exactly (or within this tolerance when a projection is
+#: involved).
+EQUALITY_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """Everything the simulator needs to embody one agent: a frame and units."""
+
+    frame: Frame
+    units: AgentUnits
+    name: str = "agent"
+
+    @property
+    def start(self) -> Tuple[float, float]:
+        return self.frame.origin
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An instance ``(r, x, y, phi, tau, v, t, chi)`` of the rendezvous problem.
+
+    Attributes
+    ----------
+    r:
+        Visibility radius (absolute length units), ``r > 0``.
+    x, y:
+        Initial position of agent B in agent A's coordinate system.
+    phi:
+        Orientation of agent B's x-axis relative to A's, ``0 <= phi < 2*pi``.
+    tau:
+        Clock rate of agent B (absolute time units per B-tick), ``tau > 0``.
+    v:
+        Speed of agent B in absolute units, ``v > 0``.
+    t:
+        Wake-up delay of agent B relative to A (absolute time), ``t >= 0``.
+    chi:
+        Chirality of agent B's system relative to A's, ``+1`` or ``-1``.
+    """
+
+    r: float
+    x: float
+    y: float
+    phi: float = 0.0
+    tau: float = 1.0
+    v: float = 1.0
+    t: float = 0.0
+    chi: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive(self.r, "r (visibility radius)", InvalidInstanceError)
+        require_positive(self.tau, "tau (clock rate)", InvalidInstanceError)
+        require_positive(self.v, "v (speed)", InvalidInstanceError)
+        require_non_negative(self.t, "t (wake-up delay)", InvalidInstanceError)
+        for name in ("x", "y"):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                raise InvalidInstanceError(f"{name} must be a finite real number, got {value!r}")
+        require_in_range(
+            self.phi, 0.0, TWO_PI, "phi (orientation)", include_low=True, include_high=False,
+            exc=InvalidInstanceError,
+        )
+        if self.chi not in (1, -1):
+            raise InvalidInstanceError(f"chi (chirality) must be +1 or -1, got {self.chi!r}")
+        object.__setattr__(self, "r", float(self.r))
+        object.__setattr__(self, "x", float(self.x))
+        object.__setattr__(self, "y", float(self.y))
+        object.__setattr__(self, "phi", float(self.phi))
+        object.__setattr__(self, "tau", float(self.tau))
+        object.__setattr__(self, "v", float(self.v))
+        object.__setattr__(self, "t", float(self.t))
+        object.__setattr__(self, "chi", int(self.chi))
+
+    # -- basic derived quantities -------------------------------------------------
+    @property
+    def initial_distance(self) -> float:
+        """Euclidean distance between the initial positions, ``dist((0,0), (x,y))``."""
+        return math.hypot(self.x, self.y)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether the agents already see each other at the start (``r >= dist``)."""
+        return self.r >= self.initial_distance
+
+    @property
+    def is_synchronous(self) -> bool:
+        """Whether ``tau = v = 1`` (same clock rates and speeds as agent A)."""
+        return (
+            abs(self.tau - 1.0) <= EQUALITY_TOLERANCE
+            and abs(self.v - 1.0) <= EQUALITY_TOLERANCE
+        )
+
+    @property
+    def same_orientation(self) -> bool:
+        """Whether ``phi = 0`` (x-axes of both agents point the same way)."""
+        return self.phi == 0.0 or abs(self.phi - TWO_PI) <= EQUALITY_TOLERANCE
+
+    @property
+    def same_chirality(self) -> bool:
+        """Whether ``chi = +1``."""
+        return self.chi == 1
+
+    # -- agent specifications -------------------------------------------------------
+    def agent_a(self) -> AgentSpec:
+        """Agent A: the absolute reference agent."""
+        return AgentSpec(frame=Frame.absolute(), units=AgentUnits(1.0, 1.0, 0.0), name="A")
+
+    def agent_b(self) -> AgentSpec:
+        """Agent B: frame and units described by this instance."""
+        return AgentSpec(
+            frame=Frame((self.x, self.y), self.phi, self.chi),
+            units=AgentUnits(self.tau, self.v, self.t),
+            name="B",
+        )
+
+    def agents(self) -> Tuple[AgentSpec, AgentSpec]:
+        """Both agents, A first."""
+        return (self.agent_a(), self.agent_b())
+
+    # -- transformations ---------------------------------------------------------
+    def with_visibility_radius(self, r: float) -> "Instance":
+        """A copy of the instance with a different visibility radius."""
+        return replace(self, r=r)
+
+    def with_delay(self, t: float) -> "Instance":
+        """A copy of the instance with a different wake-up delay."""
+        return replace(self, t=t)
+
+    def halved_radius_no_delay(self) -> "Instance":
+        """The image ``h(I)`` used in the type-4 analysis (Lemma 3.5).
+
+        ``h`` maps an instance to the identical one except that the visibility
+        radius is divided by 2 and the delay between starting times is 0.
+        """
+        return replace(self, r=self.r / 2.0, t=0.0)
+
+    # -- serialization ------------------------------------------------------------
+    def as_tuple(self) -> Tuple[float, float, float, float, float, float, float, int]:
+        """The raw tuple ``(r, x, y, phi, tau, v, t, chi)``."""
+        return (self.r, self.x, self.y, self.phi, self.tau, self.v, self.t, self.chi)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form (useful for JSON/CSV output)."""
+        return {
+            "r": self.r,
+            "x": self.x,
+            "y": self.y,
+            "phi": self.phi,
+            "tau": self.tau,
+            "v": self.v,
+            "t": self.t,
+            "chi": self.chi,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, float]) -> "Instance":
+        """Inverse of :meth:`as_dict`."""
+        return Instance(
+            r=float(data["r"]),
+            x=float(data["x"]),
+            y=float(data["y"]),
+            phi=float(data.get("phi", 0.0)),
+            tau=float(data.get("tau", 1.0)),
+            v=float(data.get("v", 1.0)),
+            t=float(data.get("t", 0.0)),
+            chi=int(data.get("chi", 1)),
+        )
+
+    @staticmethod
+    def from_tuple(values) -> "Instance":
+        """Build an instance from the tuple ``(r, x, y, phi, tau, v, t, chi)``."""
+        r, x, y, phi, tau, v, t, chi = values
+        return Instance(r=r, x=x, y=y, phi=phi, tau=tau, v=v, t=t, chi=int(chi))
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (
+            f"Instance(r={self.r:g}, start_B=({self.x:g}, {self.y:g}), phi={self.phi:g}, "
+            f"tau={self.tau:g}, v={self.v:g}, t={self.t:g}, chi={self.chi:+d})"
+        )

@@ -1,0 +1,94 @@
+"""Private time and length units of an agent.
+
+Section 1.2 of the paper: each agent has a clock whose tick lasts ``tau``
+absolute time units, moves at constant absolute speed ``v`` whenever it moves,
+wakes up at absolute time ``t`` and defines its private length unit as the
+distance travelled during one of its time units, i.e. ``tau * v`` in absolute
+length.  This module encapsulates the resulting conversions; the rest of the
+library never multiplies these factors by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class AgentUnits:
+    """Clock rate, speed and wake-up time of one agent (in absolute units).
+
+    Attributes
+    ----------
+    clock_rate:
+        ``tau`` — absolute duration of one local time unit (one clock tick).
+    speed:
+        ``v`` — absolute distance travelled per absolute time unit while
+        moving.
+    wake_time:
+        absolute time at which the agent wakes up and its clock starts.
+    """
+
+    clock_rate: float = 1.0
+    speed: float = 1.0
+    wake_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.clock_rate, "clock_rate")
+        require_positive(self.speed, "speed")
+        require_non_negative(self.wake_time, "wake_time")
+
+    # -- derived quantities ---------------------------------------------------
+    @property
+    def length_unit(self) -> float:
+        """Absolute length of one local length unit (``tau * v``)."""
+        return self.clock_rate * self.speed
+
+    # -- length conversions -----------------------------------------------------
+    def local_length_to_absolute(self, local_length: float) -> float:
+        """Absolute length of a move of ``local_length`` local length units."""
+        return local_length * self.length_unit
+
+    def absolute_length_to_local(self, absolute_length: float) -> float:
+        """Local length corresponding to an absolute length."""
+        return absolute_length / self.length_unit
+
+    # -- duration conversions ------------------------------------------------------
+    def local_duration_to_absolute(self, local_duration: float) -> float:
+        """Absolute duration of ``local_duration`` local time units."""
+        return local_duration * self.clock_rate
+
+    def absolute_duration_to_local(self, absolute_duration: float) -> float:
+        """Local duration corresponding to an absolute duration."""
+        return absolute_duration / self.clock_rate
+
+    def move_duration_local(self, local_length: float) -> float:
+        """Local time units spent moving ``local_length`` local length units.
+
+        An agent's local length unit is the distance it covers in one local
+        time unit, so this is simply ``local_length``; the method exists to
+        make that modelling fact explicit (and testable) rather than implicit.
+        """
+        return local_length
+
+    def move_duration_absolute(self, local_length: float) -> float:
+        """Absolute duration of a move of ``local_length`` local length units.
+
+        A move of ``d`` local units covers ``d * tau * v`` absolute length at
+        absolute speed ``v``, hence lasts ``d * tau`` absolute time units.
+        """
+        return local_length * self.clock_rate
+
+    # -- clock conversions ---------------------------------------------------------
+    def local_time_to_absolute(self, local_time: float) -> float:
+        """Absolute time at which the agent's clock shows ``local_time``."""
+        return self.wake_time + local_time * self.clock_rate
+
+    def absolute_time_to_local(self, absolute_time: float) -> float:
+        """Agent clock reading at a given absolute time (negative before wake-up)."""
+        return (absolute_time - self.wake_time) / self.clock_rate
+
+    def is_awake_at(self, absolute_time: float) -> bool:
+        """Whether the agent is awake at the given absolute time."""
+        return absolute_time >= self.wake_time

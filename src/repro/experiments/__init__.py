@@ -1,0 +1,50 @@
+"""Experiment drivers reproducing the paper's figures and theorems.
+
+Each experiment is a plain function returning an
+:class:`~repro.experiments.report.ExperimentResult` (rows of scalars plus
+notes), so the same code serves the test-suite (tiny parameters), the
+benchmark harness (default parameters) and EXPERIMENTS.md (recorded output).
+"""
+
+from repro.experiments.report import (
+    ExperimentResult,
+    format_table,
+    write_csv,
+    write_json,
+    results_directory,
+)
+from repro.experiments.figures import (
+    figure1_canonical_line,
+    figure2_coordinate_systems,
+    figure3_claim31_geometry,
+    figure4_endgame_cases,
+    figure5_lemma39_cases,
+    all_figures,
+)
+from repro.experiments.theorem31 import run_characterization_experiment
+from repro.experiments.theorem32 import run_universal_coverage_experiment
+from repro.experiments.theorem41 import run_exception_boundary_experiment
+from repro.experiments.scaling import run_scaling_experiment
+from repro.experiments.ablation import run_timebase_ablation, run_schedule_ablation
+from repro.experiments.measure_experiment import run_measure_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "write_csv",
+    "write_json",
+    "results_directory",
+    "figure1_canonical_line",
+    "figure2_coordinate_systems",
+    "figure3_claim31_geometry",
+    "figure4_endgame_cases",
+    "figure5_lemma39_cases",
+    "all_figures",
+    "run_characterization_experiment",
+    "run_universal_coverage_experiment",
+    "run_exception_boundary_experiment",
+    "run_scaling_experiment",
+    "run_timebase_ablation",
+    "run_schedule_ablation",
+    "run_measure_experiment",
+]

@@ -1,0 +1,128 @@
+"""Ablation experiments (ABL-1, ABL-2 of the DESIGN.md index).
+
+* **Timebase ablation** — the float timebase collapses sub-unit event spacing
+  once absolute times exceed ``2**53``; Algorithm 1's block-3 wait reaches
+  that after two phases.  The ablation runs the same type-3 instance under
+  both timebases and reports who met, when, and how much wall-clock the exact
+  arithmetic costs.
+* **Schedule ablation** — the paper's constants versus the compact schedule:
+  same structure, different constants, so both meet on covered instances but
+  at different simulated times / segment counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.almost_universal import AlmostUniversalRV
+from repro.algorithms.schedules import CompactSchedule, PaperSchedule
+from repro.core.instance import Instance
+from repro.experiments.report import ExperimentResult
+from repro.sim.engine import RendezvousSimulator
+
+#: Type-3 instances for the AlmostUniversalRV part of the ablation (they meet
+#: early, so both timebases must agree — a consistency check).
+DEEP_TYPE3_INSTANCES = (
+    Instance(r=0.5, x=1.0, y=0.0, tau=0.5, v=1.0, t=0.0),
+    Instance(r=0.4, x=1.5, y=0.5, tau=0.5, v=1.0, t=0.5),
+    Instance(r=0.5, x=1.0, y=1.0, tau=2.0, v=1.0, t=0.0),
+)
+
+#: A nearly-synchronous instance whose dedicated wait-and-sweep witness only
+#: starts moving after ~2e18 time units — far beyond 2**53, where float
+#: timestamps can no longer resolve individual sweep segments (the ulp is 256
+#: time units).  Both timebases still detect the meeting (the sweep passes
+#: exactly through the other agent), but the float run reports a drifted
+#: meeting time and a corrupted segment schedule, which is what the drift
+#: columns quantify.
+DEEP_WAIT_INSTANCE = Instance(r=0.2, x=33.0, y=0.0, tau=1.0 + 2e-12, v=1.0, t=0.0)
+
+#: Instances that meet early, for the schedule comparison.
+SCHEDULE_INSTANCES = (
+    Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1, t=0.5),
+    Instance(r=0.6, x=1.0, y=0.0, phi=0.0, chi=1, t=1.5),
+    Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0),
+)
+
+
+def run_timebase_ablation(
+    instances: Sequence[Instance] = DEEP_TYPE3_INSTANCES,
+    *,
+    deep_instance: Instance = DEEP_WAIT_INSTANCE,
+    max_time: float = 1e45,
+    max_segments: int = 600_000,
+) -> ExperimentResult:
+    """ABL-1: float versus exact timestamps on shallow and deep runs."""
+    rows: List[Dict[str, object]] = []
+
+    def compare(label: str, instance: Instance, algorithm) -> Dict[str, object]:
+        row: Dict[str, object] = {"case": label, "tau": instance.tau, "t": instance.t}
+        for timebase in ("float", "exact"):
+            simulator = RendezvousSimulator(
+                max_time=max_time, max_segments=max_segments, timebase=timebase
+            )
+            outcome = simulator.run(instance, algorithm)
+            row[f"{timebase}_met"] = outcome.met
+            row[f"{timebase}_meeting_time"] = outcome.meeting_time
+            row[f"{timebase}_segments"] = outcome.segments_total
+            row[f"{timebase}_wall_s"] = round(outcome.elapsed_wall_seconds, 4)
+        if row["float_met"] and row["exact_met"]:
+            row["meeting_time_drift"] = abs(
+                row["float_meeting_time"] - row["exact_meeting_time"]
+            )
+            row["segment_count_drift"] = abs(
+                row["float_segments"] - row["exact_segments"]
+            )
+        return row
+
+    for index, instance in enumerate(instances):
+        rows.append(compare(f"aurv-type3-{index}", instance, AlmostUniversalRV()))
+    from repro.algorithms.dedicated import AsynchronousWaitAndSweep
+
+    rows.append(
+        compare("wait-and-sweep-beyond-2^53", deep_instance, AsynchronousWaitAndSweep())
+    )
+    result = ExperimentResult(name="ablation-timebase", rows=rows)
+    result.add_note(
+        "Shallow runs (meeting before ~2**53 absolute time) agree across timebases; the deep "
+        "wait-and-sweep run starts moving after ~2e18 time units, where the float ulp is 256 "
+        "time units — the meeting is still detected but its time and the processed segment "
+        "schedule drift (meeting_time_drift / segment_count_drift columns)."
+    )
+    result.add_note(
+        "Timestamps are Fractions under the exact timebase while per-segment geometry stays "
+        "float, so exactness costs only the bookkeeping, not the closest-approach kernel."
+    )
+    return result
+
+
+def run_schedule_ablation(
+    instances: Sequence[Instance] = SCHEDULE_INSTANCES,
+    *,
+    max_time: float = 1e30,
+    max_segments: int = 600_000,
+    timebase: str = "exact",
+) -> ExperimentResult:
+    """ABL-2: the paper's constants versus the compact schedule."""
+    rows: List[Dict[str, object]] = []
+    schedules = (PaperSchedule(), CompactSchedule())
+    simulator = RendezvousSimulator(
+        max_time=max_time, max_segments=max_segments, timebase=timebase
+    )
+    for index, instance in enumerate(instances):
+        row: Dict[str, object] = {"instance": index, "class_hint": instance.describe()}
+        for schedule in schedules:
+            outcome = simulator.run(instance, AlmostUniversalRV(schedule))
+            prefix = schedule.name
+            row[f"{prefix}_met"] = outcome.met
+            row[f"{prefix}_meeting_time"] = outcome.meeting_time
+            row[f"{prefix}_segments"] = outcome.segments_total
+        rows.append(row)
+    result = ExperimentResult(name="ablation-schedule", rows=rows)
+    result.add_note(
+        "Both schedules share Algorithm 1's structure; the compact schedule only shrinks the "
+        "block-3 wait, so instances that meet before block 3 behave identically and deep runs "
+        "finish at much smaller simulated times."
+    )
+    return result

@@ -1,0 +1,276 @@
+"""Data generators for the paper's five figures.
+
+The figures of the paper are geometric illustrations, not measurement plots;
+what matters for reproduction is the underlying geometry.  Each generator
+returns an :class:`~repro.experiments.report.ExperimentResult` whose ``extra``
+payload holds named point/segment series that can be plotted with any tool
+(matplotlib, gnuplot, a notebook); the ``rows`` hold the scalar annotations
+(angles, distances) that the figure captions mention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.algorithms.dedicated import Lemma39Boundary, OppositeChiralityLineSearch
+from repro.analysis.exceptions import make_s2_instance
+from repro.core.canonical import canonical_geometry, canonical_inclination
+from repro.core.instance import Instance
+from repro.experiments.report import ExperimentResult
+from repro.geometry.vec import Vec2, add, from_polar, scale
+from repro.sim.engine import simulate
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+def _axis_segment(origin: Vec2, angle: float, length: float = 1.5) -> List[Tuple[float, float]]:
+    """A short segment representing a coordinate axis for plotting."""
+    return [origin, add(origin, from_polar(length, angle))]
+
+
+def _line_segment(geometry, half_length: float = 6.0) -> List[Tuple[float, float]]:
+    """A finite chunk of an infinite line, centred on its reference point."""
+    line = geometry.line if hasattr(geometry, "line") else geometry
+    return [line.point_at(-half_length), line.point_at(half_length)]
+
+
+def _frame_series(instance: Instance) -> Series:
+    """Axis segments of both agents' private systems (Figures 1 and 2)."""
+    spec_a, spec_b = instance.agents()
+    return {
+        "agent_a_x_axis": _axis_segment(spec_a.start, spec_a.frame.x_axis_angle()),
+        "agent_a_y_axis": _axis_segment(
+            spec_a.start, math.atan2(*reversed(spec_a.frame.y_axis_direction()))
+        ),
+        "agent_b_x_axis": _axis_segment(spec_b.start, spec_b.frame.x_axis_angle()),
+        "agent_b_y_axis": _axis_segment(
+            spec_b.start, math.atan2(*reversed(spec_b.frame.y_axis_direction()))
+        ),
+        "agent_positions": [spec_a.start, spec_b.start],
+    }
+
+
+#: The example instance used for Figure 1: different chiralities, rotated axes.
+FIGURE1_INSTANCE = Instance(r=0.5, x=3.0, y=2.0, phi=2.0 * math.pi / 3.0, chi=-1, t=1.0)
+
+
+def figure1_canonical_line(instance: Instance = FIGURE1_INSTANCE) -> ExperimentResult:
+    """Figure 1: an instance with opposite chiralities and its canonical line."""
+    geometry = canonical_geometry(instance)
+    series = _frame_series(instance)
+    series["canonical_line_L"] = _line_segment(geometry)
+    bisectrix_angle = canonical_inclination(instance)
+    series["bisectrix_D"] = [
+        add((0.0, 0.0), from_polar(-4.0, bisectrix_angle)),
+        add((0.0, 0.0), from_polar(4.0, bisectrix_angle)),
+    ]
+    series["projections"] = [geometry.proj_a, geometry.proj_b]
+    result = ExperimentResult(
+        name="figure1-canonical-line",
+        rows=[
+            {
+                "phi": instance.phi,
+                "chi": instance.chi,
+                "canonical_inclination": bisectrix_angle,
+                "offset_A": geometry.offset_a,
+                "offset_B": geometry.offset_b,
+                "proj_distance": geometry.proj_distance,
+            }
+        ],
+        extra={"series": series, "instance": instance.as_dict()},
+    )
+    result.add_note(
+        "The agents sit symmetrically on either side of L (equal and opposite offsets)."
+    )
+    return result
+
+
+def figure2_coordinate_systems(
+    instance: Instance = None, *, phase: int = 2, epoch: int = 1
+) -> ExperimentResult:
+    """Figure 2: the systems Gamma, Sigma and Rot(j*pi/2**i) of the Lemma 3.2 proof."""
+    if instance is None:
+        instance = Instance(r=0.5, x=2.0, y=1.0, phi=math.pi / 3.0, chi=-1, t=2.0)
+    geometry = canonical_geometry(instance)
+    spec_a, _ = instance.agents()
+    alpha_step = math.pi / float(2**phase)
+    rot_angle = epoch * alpha_step
+    sigma_angle = canonical_inclination(instance)
+    series = _frame_series(instance)
+    series["canonical_line_L"] = _line_segment(geometry)
+    series["sigma_x_axis"] = _axis_segment(spec_a.start, sigma_angle, 2.0)
+    series["rot_x_axis"] = _axis_segment(spec_a.start, rot_angle, 2.0)
+    alpha = abs(rot_angle - sigma_angle) % math.pi
+    alpha = min(alpha, math.pi - alpha)
+    result = ExperimentResult(
+        name="figure2-coordinate-systems",
+        rows=[
+            {
+                "phase_i": phase,
+                "epoch_j": epoch,
+                "rotation_step": alpha_step,
+                "sigma_inclination": sigma_angle,
+                "rot_frame_inclination": rot_angle,
+                "alpha_angle_with_L": alpha,
+                "alpha_below_step": alpha < alpha_step,
+            }
+        ],
+        extra={"series": series, "instance": instance.as_dict()},
+    )
+    result.add_note(
+        "alpha is the angle between the Rot(j*pi/2^i) x-axis and the canonical line; "
+        "block 1 of Algorithm 1 guarantees some epoch has alpha < pi/2^i."
+    )
+    return result
+
+
+def figure3_claim31_geometry(instance: Instance = None, *, phase: int = 3) -> ExperimentResult:
+    """Figure 3: distance from agent A to the canonical line under the rotated frame.
+
+    Claim 3.1 bounds the distance between A's start and the intersection of
+    the rotated y-axis with L by ``sqrt(x^2+y^2) / cos(alpha)``; the figure
+    data exposes every quantity in that bound.
+    """
+    if instance is None:
+        instance = Instance(r=0.5, x=2.0, y=1.0, phi=math.pi / 3.0, chi=-1, t=2.0)
+    geometry = canonical_geometry(instance)
+    sigma_angle = canonical_inclination(instance)
+    # Pick the epoch whose rotated frame is closest to Sigma, as the proof does.
+    step = math.pi / float(2**phase)
+    best_epoch = max(1, round(sigma_angle / step)) if sigma_angle > 0 else 2**phase
+    rot_angle = best_epoch * step
+    alpha = abs(rot_angle - sigma_angle) % math.pi
+    alpha = min(alpha, math.pi - alpha)
+    start_distance = geometry.distance_to_line((0.0, 0.0))
+    bound = instance.initial_distance / max(math.cos(alpha), 1e-12)
+    series: Series = {
+        "canonical_line_L": _line_segment(geometry),
+        "agent_a": [(0.0, 0.0)],
+        "projection_of_a": [geometry.proj_a],
+        "rotated_y_axis": _axis_segment((0.0, 0.0), rot_angle + math.pi / 2.0, 3.0),
+    }
+    result = ExperimentResult(
+        name="figure3-claim31-geometry",
+        rows=[
+            {
+                "phase_i": phase,
+                "epoch_j": best_epoch,
+                "alpha": alpha,
+                "distance_A_to_L": start_distance,
+                "half_initial_distance": instance.initial_distance / 2.0,
+                "claim31_bound": bound,
+                "bound_holds": start_distance <= bound + 1e-12,
+            }
+        ],
+        extra={"series": series, "instance": instance.as_dict()},
+    )
+    result.add_note("Claim 3.1: dist(A, L) <= sqrt(x^2+y^2)/2 and the o-intersection bound holds.")
+    return result
+
+
+def figure4_endgame_cases() -> ExperimentResult:
+    """Figure 4: the two end-game cases of the type-1 analysis.
+
+    Case (a): the projections of the agents cross during A's negative move.
+    Case (b): the projections approach but never coincide; the agents still
+    end within ``r`` by the Pythagorean bound.  We generate both by running
+    the clause-2c dedicated line search (same mechanism as block 1 of
+    Algorithm 1, without the enumeration overhead) on two instances with a
+    crossing / non-crossing delay and recording the trajectories.
+    """
+    crossing = Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.5)
+    grazing = Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=1.6)
+    rows = []
+    series: Dict[str, object] = {}
+    for label, instance in (("case_a_crossing", crossing), ("case_b_grazing", grazing)):
+        geometry = canonical_geometry(instance)
+        result = simulate(
+            instance,
+            OppositeChiralityLineSearch(),
+            max_time=1e6,
+            record_trajectories=True,
+        )
+        rows.append(
+            {
+                "case": label,
+                "t": instance.t,
+                "proj_distance": geometry.proj_distance,
+                "threshold": geometry.proj_distance - instance.r,
+                "met": result.met,
+                "meeting_time": result.meeting_time,
+                "meeting_distance": result.meeting_distance,
+            }
+        )
+        series[label] = {
+            "trace_a": list(result.trace_a) if result.trace_a else [],
+            "trace_b": list(result.trace_b) if result.trace_b else [],
+            "canonical_line": _line_segment(geometry),
+            "meeting_points": [result.meeting_point_a, result.meeting_point_b],
+        }
+    out = ExperimentResult(name="figure4-endgame-cases", rows=rows, extra={"series": series})
+    out.add_note(
+        "Both cases meet; in case (a) the projections cross, in case (b) the meeting "
+        "happens at distance close to r without the projections coinciding."
+    )
+    return out
+
+
+def figure5_lemma39_cases() -> ExperimentResult:
+    """Figure 5: the two cases of the Lemma 3.9 boundary algorithm.
+
+    The two sub-figures correspond to projB being North or South of projA
+    along the canonical line; both are produced by running the paper's
+    dedicated construction on S2-boundary instances and recording the final
+    positions, which end exactly at distance ``r``.
+    """
+    north_case = make_s2_instance(2.0, 1.0, 0.0, 0.5)
+    south_case = make_s2_instance(-2.0, -1.0, 0.0, 0.5)
+    rows = []
+    series: Dict[str, object] = {}
+    for label, instance in (("projB_north", north_case), ("projB_south", south_case)):
+        geometry = canonical_geometry(instance)
+        result = simulate(
+            instance,
+            Lemma39Boundary(),
+            max_time=1e5,
+            record_trajectories=True,
+            radius_slack=1e-9,
+        )
+        rows.append(
+            {
+                "case": label,
+                "t": instance.t,
+                "proj_distance": geometry.proj_distance,
+                "met": result.met,
+                "meeting_time": result.meeting_time,
+                "meeting_distance": result.meeting_distance,
+                "meets_at_exactly_r": (
+                    result.meeting_distance is not None
+                    and abs(result.meeting_distance - instance.r) < 1e-6
+                ),
+            }
+        )
+        series[label] = {
+            "trace_a": list(result.trace_a) if result.trace_a else [],
+            "trace_b": list(result.trace_b) if result.trace_b else [],
+            "canonical_line": _line_segment(geometry),
+            "projections": [geometry.proj_a, geometry.proj_b],
+        }
+    out = ExperimentResult(name="figure5-lemma39-cases", rows=rows, extra={"series": series})
+    out.add_note(
+        "At the S2 boundary the dedicated algorithm ends with the agents at distance "
+        "exactly r — the zero-slack behaviour that makes a universal algorithm impossible."
+    )
+    return out
+
+
+def all_figures() -> List[ExperimentResult]:
+    """Generate every figure's data (FIG-1 .. FIG-5 of the DESIGN.md index)."""
+    return [
+        figure1_canonical_line(),
+        figure2_coordinate_systems(),
+        figure3_claim31_geometry(),
+        figure4_endgame_cases(),
+        figure5_lemma39_cases(),
+    ]

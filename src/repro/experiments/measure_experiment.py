@@ -1,0 +1,81 @@
+"""SEC-4 experiment: the measure/dimension argument, illustrated numerically.
+
+Section 4 argues the feasible set is fat (positive, in fact infinite,
+7-dimensional measure) while the exception sets are contained in copies of
+R^3 / R^4 and hence are 7-dimensional null sets.  The experiment produces:
+
+* a class histogram over a bounded parameter box (general position: no sample
+  ever lands on S1/S2, and a positive fraction is feasible — clause 1 alone
+  already gives that);
+* the same histogram with the synchronous subspace forced (``tau = v = 1``),
+  where the delay-dependent clauses and the infeasible region appear, but the
+  boundary sets still have frequency ~0;
+* the boundary-thickness curve: the fraction of synchronous instances whose
+  delay is within ``eps`` of the S1/S2 threshold decays linearly in ``eps``
+  (codimension 1 inside the synchronous slice), which is the numeric face of
+  "measure zero".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.measure import (
+    ParameterBox,
+    dimension_summary,
+    estimate_boundary_thickness,
+    estimate_class_fractions,
+)
+from repro.experiments.report import ExperimentResult
+
+
+def run_measure_experiment(
+    samples: int = 200_000,
+    seed: int = 5,
+    *,
+    epsilons: Sequence[float] = (0.2, 0.1, 0.05, 0.025, 0.0125),
+) -> ExperimentResult:
+    """Run the Section 4 measure experiment and return its table."""
+    general_box = ParameterBox()
+    synchronous_box = ParameterBox(synchronous_fraction=1.0)
+
+    general = estimate_class_fractions(samples, general_box, seed)
+    synchronous = estimate_class_fractions(samples, synchronous_box, seed + 1)
+    thickness = estimate_boundary_thickness(samples, epsilons, synchronous_box, seed + 2)
+
+    rows: List[Dict[str, object]] = []
+    for cls in sorted(set(general) | set(synchronous)):
+        rows.append(
+            {
+                "class": cls,
+                "fraction_general_position": round(general.get(cls, 0.0), 6),
+                "fraction_synchronous_slice": round(synchronous.get(cls, 0.0), 6),
+            }
+        )
+
+    result = ExperimentResult(name="section-4-measure", rows=rows)
+    result.extra["boundary_thickness"] = {str(k): v for k, v in thickness.items()}
+    result.extra["dimension_summary"] = dimension_summary()
+
+    feasible_general = 1.0 - general.get("infeasible", 0.0)
+    exceptions_general = general.get("S1-boundary", 0.0) + general.get("S2-boundary", 0.0)
+    result.add_note(
+        f"General position: feasible fraction = {feasible_general:.4f}, exception fraction = "
+        f"{exceptions_general:.6f} (expected 0 — the exception sets are null sets)."
+    )
+    ratios = []
+    eps_sorted = sorted(thickness)
+    for smaller, larger in zip(eps_sorted, eps_sorted[1:]):
+        if thickness[larger] > 0:
+            ratios.append(thickness[smaller] / thickness[larger])
+    if ratios:
+        result.add_note(
+            "Boundary thickness halves with eps (ratios "
+            + ", ".join(f"{ratio:.2f}" for ratio in ratios)
+            + "): linear decay, i.e. a codimension-1 slice of the synchronous subspace."
+        )
+    result.add_note(
+        "Dimension counting (Section 4): ambient space R^7, S1 inside a copy of R^3, "
+        "S2 inside a copy of R^4."
+    )
+    return result

@@ -1,0 +1,131 @@
+"""Experiment results, table formatting and on-disk output.
+
+The paper has no numeric tables of its own (it is a theory paper); the
+experiments here *create* the tables that make its claims measurable, and this
+module is the common output path: plain-text tables for the console and
+EXPERIMENTS.md, CSV/JSON files under ``results/`` for downstream analysis.
+Plotting is intentionally optional — matplotlib is not a dependency — so every
+figure's *data* is always written even when no image can be produced.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def results_directory(base: Optional[str] = None) -> str:
+    """Directory where experiment artifacts are written (created on demand)."""
+    directory = base or os.environ.get("REPRO_RESULTS_DIR", os.path.join(os.getcwd(), "results"))
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def format_table(rows: Sequence[Dict[str, Any]], *, columns: Optional[List[str]] = None) -> str:
+    """Render rows of scalars as a fixed-width plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+        for row in rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def render(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    rendered = [[render(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[idx]) for line in rendered)) for idx, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[idx]) for idx, col in enumerate(columns))
+    separator = "-+-".join("-" * widths[idx] for idx in range(len(columns)))
+    body = [
+        " | ".join(line[idx].ljust(widths[idx]) for idx in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def write_csv(rows: Sequence[Dict[str, Any]], path: str) -> str:
+    """Write rows to a CSV file (columns = union of keys, insertion order)."""
+    rows = list(rows)
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_json(payload: Any, path: str) -> str:
+    """Write an arbitrary JSON-serializable payload."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for one experiment's output.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (matches the DESIGN.md per-experiment index).
+    rows:
+        The table the experiment produces (list of flat dicts).
+    notes:
+        Free-form remarks: which schedule was used, what a failure means, etc.
+    extra:
+        Any additional structured payload (figure series, raw records, ...).
+    """
+
+    name: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def table(self, columns: Optional[List[str]] = None) -> str:
+        """The rows rendered as a plain-text table."""
+        return format_table(self.rows, columns=columns)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Table plus notes, ready for the console or EXPERIMENTS.md."""
+        parts = [f"== {self.name} ==", self.table()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def save(self, directory: Optional[str] = None) -> Dict[str, str]:
+        """Write the rows (CSV) and the full payload (JSON) under ``results/``."""
+        directory = results_directory(directory)
+        base = os.path.join(directory, self.name.replace(" ", "_"))
+        paths = {
+            "csv": write_csv(self.rows, base + ".csv"),
+            "json": write_json(
+                {"name": self.name, "rows": self.rows, "notes": self.notes, "extra": self.extra},
+                base + ".json",
+            ),
+        }
+        return paths

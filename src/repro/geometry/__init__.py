@@ -1,0 +1,107 @@
+"""Planar geometry substrate.
+
+Everything in the paper happens in the Euclidean plane: agents are points,
+moves are straight segments, the canonical line and its projections drive the
+feasibility characterization, and rendezvous detection reduces to the closest
+approach of two uniformly moving points.  This package provides those
+primitives, implemented from scratch on plain floats (with numpy used for the
+batched/vectorized entry points).
+"""
+
+from repro.geometry.vec import (
+    Vec2,
+    vec,
+    add,
+    sub,
+    scale,
+    dot,
+    cross,
+    norm,
+    norm_sq,
+    dist,
+    dist_sq,
+    normalize,
+    perp,
+    lerp,
+    is_close,
+    midpoint,
+    angle_of,
+    from_polar,
+)
+from repro.geometry.angles import (
+    TWO_PI,
+    normalize_angle,
+    normalize_signed_angle,
+    angle_between,
+    unoriented_angle_between_lines,
+    bisector_direction,
+    angles_close,
+)
+from repro.geometry.transforms import (
+    Rotation,
+    Reflection,
+    Isometry,
+    LinearMap2,
+    rotation_matrix,
+    reflection_matrix,
+    frame_matrix,
+    apply_matrix,
+    invert_2x2,
+    solve_2x2,
+)
+from repro.geometry.lines import Line
+from repro.geometry.segments import Segment
+from repro.geometry.polyline import Polyline
+from repro.geometry.closest_approach import (
+    ClosestApproach,
+    closest_approach_moving_points,
+    first_time_within,
+    first_time_within_segment_pair,
+    min_distance_over_window,
+)
+
+__all__ = [
+    "Vec2",
+    "vec",
+    "add",
+    "sub",
+    "scale",
+    "dot",
+    "cross",
+    "norm",
+    "norm_sq",
+    "dist",
+    "dist_sq",
+    "normalize",
+    "perp",
+    "lerp",
+    "is_close",
+    "midpoint",
+    "angle_of",
+    "from_polar",
+    "TWO_PI",
+    "normalize_angle",
+    "normalize_signed_angle",
+    "angle_between",
+    "unoriented_angle_between_lines",
+    "bisector_direction",
+    "angles_close",
+    "Rotation",
+    "Reflection",
+    "Isometry",
+    "LinearMap2",
+    "rotation_matrix",
+    "reflection_matrix",
+    "frame_matrix",
+    "apply_matrix",
+    "invert_2x2",
+    "solve_2x2",
+    "Line",
+    "Segment",
+    "Polyline",
+    "ClosestApproach",
+    "closest_approach_moving_points",
+    "first_time_within",
+    "first_time_within_segment_pair",
+    "min_distance_over_window",
+]

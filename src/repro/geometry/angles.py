@@ -1,0 +1,75 @@
+"""Angle arithmetic.
+
+Orientations in the model are angles ``0 <= phi < 2*pi``; lines have
+*inclinations* in ``[0, pi)``; the canonical line of an instance with
+``phi != 0`` is parallel to the bisectrix of the angle between the two x-axes.
+This module collects the normalizations and comparisons those notions need.
+"""
+
+from __future__ import annotations
+
+import math
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(angle: float) -> float:
+    """Map an angle to the canonical representative in ``[0, 2*pi)``."""
+    reduced = math.fmod(angle, TWO_PI)
+    if reduced < 0.0:
+        reduced += TWO_PI
+    # fmod of values extremely close to a multiple of 2*pi can land exactly on
+    # TWO_PI after the correction above; fold that case back to 0.
+    if reduced >= TWO_PI:
+        reduced -= TWO_PI
+    return reduced
+
+
+def normalize_signed_angle(angle: float) -> float:
+    """Map an angle to the representative in ``(-pi, pi]``."""
+    reduced = normalize_angle(angle)
+    if reduced > math.pi:
+        reduced -= TWO_PI
+    return reduced
+
+
+def angle_between(a: float, b: float) -> float:
+    """Smallest non-negative rotation distance between two directions.
+
+    Directions are understood as full vectors (period ``2*pi``); the result
+    lies in ``[0, pi]``.
+    """
+    diff = abs(normalize_signed_angle(a - b))
+    return diff
+
+
+def unoriented_angle_between_lines(a: float, b: float) -> float:
+    """Smallest unoriented angle between two *lines* of inclinations a and b.
+
+    Lines have period ``pi``; the result lies in ``[0, pi/2]``.  This is the
+    notion of angle the paper uses when it speaks of "the angle between two
+    lines" (always the smallest unoriented one).
+    """
+    diff = math.fmod(a - b, math.pi)
+    if diff < 0.0:
+        diff += math.pi
+    return min(diff, math.pi - diff)
+
+
+def bisector_direction(a: float, b: float) -> float:
+    """Inclination of the bisectrix of the angle between directions a and b.
+
+    Definition 2.1 case 2: for ``phi != 0`` the canonical line is parallel to
+    the bisectrix of the angle between the x-axes of the two agents.  With the
+    x-axis of agent A at inclination ``0`` and the x-axis of agent B at
+    inclination ``phi`` this is the direction ``phi / 2`` (as a line, i.e.
+    modulo ``pi``); the general form used here averages two arbitrary
+    directions along the *shorter* arc.
+    """
+    delta = normalize_signed_angle(b - a)
+    return normalize_angle(a + delta / 2.0)
+
+
+def angles_close(a: float, b: float, *, abs_tol: float = 1e-12) -> bool:
+    """Whether two directions are equal modulo ``2*pi`` up to ``abs_tol``."""
+    return angle_between(a, b) <= abs_tol

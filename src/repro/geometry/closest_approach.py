@@ -1,0 +1,148 @@
+"""Closest approach of two uniformly moving points.
+
+Rendezvous occurs at the *first* instant the two agents are at distance at
+most ``r``.  Between consecutive trajectory events both agents move with
+constant (possibly zero) velocity, so their relative position is an affine
+function of time and the squared distance is a quadratic.  Finding the first
+time the distance drops to ``r`` therefore reduces to solving one quadratic
+per overlapping segment pair — this module implements that kernel and a few
+derived conveniences.
+
+All computations are on plain floats; the durations handed in by the engine
+are *offsets from the start of the overlap window*, which stay small even when
+absolute simulation times are astronomically large (the exact timebase keeps
+the absolute times as ``Fraction``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.vec import Vec2, dot, norm, sub
+
+
+@dataclass(frozen=True)
+class ClosestApproach:
+    """Result of a closest-approach computation over a time window.
+
+    Attributes
+    ----------
+    min_distance:
+        The minimum distance achieved over the window.
+    time_offset:
+        The offset (from the window start) at which the minimum is achieved.
+    """
+
+    min_distance: float
+    time_offset: float
+
+
+def _relative_motion(
+    pos_a: Vec2, vel_a: Vec2, pos_b: Vec2, vel_b: Vec2
+) -> tuple[Vec2, Vec2]:
+    """Return the relative position and velocity ``(b - a)``."""
+    return sub(pos_b, pos_a), sub(vel_b, vel_a)
+
+
+def closest_approach_moving_points(
+    pos_a: Vec2,
+    vel_a: Vec2,
+    pos_b: Vec2,
+    vel_b: Vec2,
+    duration: float,
+) -> ClosestApproach:
+    """Minimum distance between two uniformly moving points over ``[0, duration]``.
+
+    ``pos_*`` are the positions at offset 0 and ``vel_*`` the constant
+    velocities.  ``duration`` may be 0 (both points static for an instant).
+    """
+    if duration < 0.0:
+        raise ValueError("duration must be non-negative")
+    rel_pos, rel_vel = _relative_motion(pos_a, vel_a, pos_b, vel_b)
+    speed_sq = dot(rel_vel, rel_vel)
+    if speed_sq == 0.0:
+        return ClosestApproach(norm(rel_pos), 0.0)
+    # d(t)^2 = |rel_pos + t rel_vel|^2 is minimized at t* = -<p, v>/|v|^2.
+    t_star = -dot(rel_pos, rel_vel) / speed_sq
+    t_star = min(duration, max(0.0, t_star))
+    at_star = (rel_pos[0] + t_star * rel_vel[0], rel_pos[1] + t_star * rel_vel[1])
+    return ClosestApproach(norm(at_star), t_star)
+
+
+def first_time_within(
+    pos_a: Vec2,
+    vel_a: Vec2,
+    pos_b: Vec2,
+    vel_b: Vec2,
+    radius: float,
+    duration: float,
+) -> Optional[float]:
+    """First offset in ``[0, duration]`` at which the distance is ``<= radius``.
+
+    Returns ``None`` when the points never come within ``radius`` of each
+    other during the window.  The returned offset is exact up to floating
+    point: it is the smaller root of the quadratic
+    ``|rel_pos + t * rel_vel|^2 = radius^2`` clamped to the window.
+    """
+    if radius < 0.0:
+        raise ValueError("radius must be non-negative")
+    if duration < 0.0:
+        raise ValueError("duration must be non-negative")
+    rel_pos, rel_vel = _relative_motion(pos_a, vel_a, pos_b, vel_b)
+    c = dot(rel_pos, rel_pos) - radius * radius
+    if c <= 0.0:
+        return 0.0
+    a = dot(rel_vel, rel_vel)
+    b = 2.0 * dot(rel_pos, rel_vel)
+    if a == 0.0:
+        # Relative position is constant and outside the radius.
+        return None
+    # Quadratic a t^2 + b t + c = 0 with a > 0, c > 0: we need the smaller
+    # positive root, which exists iff the discriminant is non-negative and
+    # b < 0 (the points are approaching).
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0 or b >= 0.0:
+        return None
+    sqrt_disc = math.sqrt(disc)
+    # Numerically stable smaller root for b < 0: 2c / (-b + sqrt_disc).
+    t_hit = (2.0 * c) / (-b + sqrt_disc)
+    if t_hit > duration:
+        return None
+    return max(0.0, t_hit)
+
+
+def first_time_within_segment_pair(
+    start_a: Vec2,
+    end_a: Vec2,
+    start_b: Vec2,
+    end_b: Vec2,
+    radius: float,
+    duration: float,
+) -> Optional[float]:
+    """Same as :func:`first_time_within` but for endpoint-parametrized motion.
+
+    Both points move from their start to their end position at constant speed
+    over exactly ``duration`` time units (a zero duration means a static
+    snapshot).  Useful when trajectories are given as synchronized polylines.
+    """
+    if duration < 0.0:
+        raise ValueError("duration must be non-negative")
+    if duration == 0.0:
+        rel = sub(start_b, start_a)
+        return 0.0 if norm(rel) <= radius else None
+    vel_a = ((end_a[0] - start_a[0]) / duration, (end_a[1] - start_a[1]) / duration)
+    vel_b = ((end_b[0] - start_b[0]) / duration, (end_b[1] - start_b[1]) / duration)
+    return first_time_within(start_a, vel_a, start_b, vel_b, radius, duration)
+
+
+def min_distance_over_window(
+    pos_a: Vec2,
+    vel_a: Vec2,
+    pos_b: Vec2,
+    vel_b: Vec2,
+    duration: float,
+) -> float:
+    """Convenience wrapper returning only the minimum distance of the window."""
+    return closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, duration).min_distance

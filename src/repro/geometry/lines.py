@@ -1,0 +1,106 @@
+"""Infinite lines in the plane.
+
+The canonical line of an instance (Definition 2.1) and the proofs around it
+need: distance from a point to a line, orthogonal projection, inclination,
+the signed side of a point, and equality of lines regardless of
+parametrization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.angles import normalize_angle, unoriented_angle_between_lines
+from repro.geometry.vec import Vec2, add, dot, norm, normalize, perp, scale, sub, vec
+
+
+@dataclass(frozen=True)
+class Line:
+    """An infinite line given by a point and a (non-zero) direction vector."""
+
+    point: Vec2
+    direction: Vec2
+
+    def __post_init__(self) -> None:
+        if norm(self.direction) == 0.0:
+            raise ValueError("line direction must be non-zero")
+        object.__setattr__(self, "point", vec(*self.point))
+        object.__setattr__(self, "direction", normalize(self.direction))
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def through(a: Vec2, b: Vec2) -> "Line":
+        """Line through two distinct points."""
+        return Line(a, sub(b, a))
+
+    @staticmethod
+    def from_point_and_angle(point: Vec2, angle: float) -> "Line":
+        """Line through ``point`` with inclination ``angle``."""
+        return Line(point, (math.cos(angle), math.sin(angle)))
+
+    # -- basic queries -------------------------------------------------------
+    @property
+    def normal(self) -> Vec2:
+        """Unit normal (direction rotated by +90 degrees)."""
+        return perp(self.direction)
+
+    def inclination(self) -> float:
+        """Inclination of the line in ``[0, pi)``."""
+        angle = math.atan2(self.direction[1], self.direction[0])
+        angle = normalize_angle(angle)
+        if angle >= math.pi:
+            angle -= math.pi
+        return angle
+
+    def project(self, p: Vec2) -> Vec2:
+        """Orthogonal projection of ``p`` onto the line."""
+        rel = sub(p, self.point)
+        along = dot(rel, self.direction)
+        return add(self.point, scale(self.direction, along))
+
+    def signed_offset(self, p: Vec2) -> float:
+        """Signed distance from ``p`` to the line (positive on the normal side)."""
+        return dot(sub(p, self.point), self.normal)
+
+    def distance_to(self, p: Vec2) -> float:
+        """Unsigned distance from ``p`` to the line."""
+        return abs(self.signed_offset(p))
+
+    def coordinate_along(self, p: Vec2) -> float:
+        """Abscissa of the projection of ``p`` along the line's direction.
+
+        Measured from ``self.point``; this is the 1-D coordinate used when the
+        paper compares projections ("projA is not West of projB") after fixing
+        an orientation of the canonical line.
+        """
+        return dot(sub(p, self.point), self.direction)
+
+    def point_at(self, s: float) -> Vec2:
+        """Point at abscissa ``s`` along the line."""
+        return add(self.point, scale(self.direction, s))
+
+    def contains(self, p: Vec2, *, tol: float = 1e-9) -> bool:
+        """Whether ``p`` lies on the line up to ``tol``."""
+        return self.distance_to(p) <= tol
+
+    def is_parallel_to(self, other: "Line", *, tol: float = 1e-12) -> bool:
+        """Whether two lines are parallel (as unoriented lines)."""
+        return unoriented_angle_between_lines(self.inclination(), other.inclination()) <= tol
+
+    def same_line_as(self, other: "Line", *, tol: float = 1e-9) -> bool:
+        """Whether the two objects describe the same set of points."""
+        return self.is_parallel_to(other, tol=1e-9) and self.distance_to(other.point) <= tol
+
+    def angle_with(self, other: "Line") -> float:
+        """Smallest unoriented angle with another line, in ``[0, pi/2]``."""
+        return unoriented_angle_between_lines(self.inclination(), other.inclination())
+
+    def reflect(self, p: Vec2) -> Vec2:
+        """Mirror image of ``p`` across the line (used by Lemma 2.1)."""
+        proj = self.project(p)
+        return add(proj, sub(proj, p))
+
+    def translate(self, offset: Vec2) -> "Line":
+        """The line translated by ``offset``."""
+        return Line(add(self.point, offset), self.direction)

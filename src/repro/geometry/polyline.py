@@ -1,0 +1,131 @@
+"""Polygonal chains (trajectories of agents are piecewise-linear)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.segments import Segment
+from repro.geometry.vec import Vec2, add, dist, vec
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """A polygonal chain given by its ordered vertices.
+
+    A polyline with a single vertex is a (legal) degenerate chain of length 0;
+    an empty vertex list is rejected.  Consecutive duplicate vertices are
+    allowed — they appear naturally when an agent waits.
+    """
+
+    vertices: Tuple[Vec2, ...]
+
+    def __init__(self, vertices: Iterable[Vec2]) -> None:
+        pts = tuple(vec(*p) for p in vertices)
+        if not pts:
+            raise ValueError("a polyline needs at least one vertex")
+        object.__setattr__(self, "vertices", pts)
+
+    # -- basic structure -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __iter__(self) -> Iterator[Vec2]:
+        return iter(self.vertices)
+
+    @property
+    def start(self) -> Vec2:
+        return self.vertices[0]
+
+    @property
+    def end(self) -> Vec2:
+        return self.vertices[-1]
+
+    def segments(self) -> List[Segment]:
+        """Non-degenerate representation as a list of directed segments."""
+        return [
+            Segment(self.vertices[k], self.vertices[k + 1])
+            for k in range(len(self.vertices) - 1)
+        ]
+
+    def length(self) -> float:
+        """Total arc length."""
+        return sum(dist(self.vertices[k], self.vertices[k + 1]) for k in range(len(self.vertices) - 1))
+
+    def is_closed(self, *, tol: float = 1e-9) -> bool:
+        """Whether the chain returns to its starting point."""
+        return dist(self.start, self.end) <= tol
+
+    # -- derived chains -------------------------------------------------------
+    def reversed(self) -> "Polyline":
+        """The chain traversed backwards (used for backtracking)."""
+        return Polyline(tuple(reversed(self.vertices)))
+
+    def translate(self, offset: Vec2) -> "Polyline":
+        return Polyline(tuple(add(p, offset) for p in self.vertices))
+
+    def concatenate(self, other: "Polyline", *, tol: float = 1e-9) -> "Polyline":
+        """Concatenate two chains; the second must start where the first ends."""
+        if dist(self.end, other.start) > tol:
+            raise ValueError("cannot concatenate: chains are not contiguous")
+        return Polyline(self.vertices + other.vertices[1:])
+
+    def simplified(self, *, tol: float = 0.0) -> "Polyline":
+        """Drop consecutive duplicate vertices (within ``tol``)."""
+        kept: List[Vec2] = [self.vertices[0]]
+        for p in self.vertices[1:]:
+            if dist(kept[-1], p) > tol:
+                kept.append(p)
+        return Polyline(tuple(kept))
+
+    # -- queries ---------------------------------------------------------------
+    def point_at_arclength(self, s: float) -> Vec2:
+        """Point at arc length ``s`` from the start (clamped to the chain)."""
+        if s <= 0.0:
+            return self.start
+        remaining = s
+        for seg in self.segments():
+            seg_len = seg.length()
+            if remaining <= seg_len:
+                if seg_len == 0.0:
+                    return seg.start
+                return seg.point_at(remaining / seg_len)
+            remaining -= seg_len
+        return self.end
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Distance from a point to the chain."""
+        best = dist(self.vertices[0], p)
+        for seg in self.segments():
+            best = min(best, seg.distance_to_point(p))
+        return best
+
+    def bounding_box(self) -> Tuple[Vec2, Vec2]:
+        """Axis-aligned bounding box as ``(lower_left, upper_right)``."""
+        xs = [p[0] for p in self.vertices]
+        ys = [p[1] for p in self.vertices]
+        return (min(xs), min(ys)), (max(xs), max(ys))
+
+    def as_array(self) -> np.ndarray:
+        """Vertices as an ``(n, 2)`` float array (for vectorized analysis/plots)."""
+        return np.asarray(self.vertices, dtype=float)
+
+    @staticmethod
+    def from_array(array: Sequence[Sequence[float]]) -> "Polyline":
+        """Build a polyline from an ``(n, 2)`` array-like of vertices."""
+        arr = np.asarray(array, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("expected an (n, 2) array of vertices")
+        return Polyline([(float(x), float(y)) for x, y in arr])
+
+    def resample(self, count: int) -> np.ndarray:
+        """``count`` points evenly spaced in arc length along the chain."""
+        if count < 2:
+            raise ValueError("resample count must be at least 2")
+        total = self.length()
+        if total == 0.0:
+            return np.repeat(np.asarray([self.start], dtype=float), count, axis=0)
+        targets = np.linspace(0.0, total, count)
+        return np.asarray([self.point_at_arclength(float(s)) for s in targets], dtype=float)

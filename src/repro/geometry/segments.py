@@ -1,0 +1,125 @@
+"""Straight segments (the only move primitive the model allows)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.lines import Line
+from repro.geometry.vec import Vec2, add, dist, dot, lerp, norm, scale, sub, vec
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed straight segment from ``start`` to ``end``."""
+
+    start: Vec2
+    end: Vec2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", vec(*self.start))
+        object.__setattr__(self, "end", vec(*self.end))
+
+    # -- measures -----------------------------------------------------------
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return dist(self.start, self.end)
+
+    def is_degenerate(self, *, tol: float = 0.0) -> bool:
+        """Whether the segment has (numerically) zero length."""
+        return self.length() <= tol
+
+    def displacement(self) -> Vec2:
+        """Vector from start to end."""
+        return sub(self.end, self.start)
+
+    def direction(self) -> Vec2:
+        """Unit direction vector (raises on degenerate segments)."""
+        d = self.displacement()
+        length = norm(d)
+        if length == 0.0:
+            raise ZeroDivisionError("degenerate segment has no direction")
+        return scale(d, 1.0 / length)
+
+    def inclination(self) -> float:
+        """Inclination of the carrying line in ``[0, pi)``."""
+        return self.carrying_line().inclination()
+
+    # -- geometry -----------------------------------------------------------
+    def point_at(self, fraction: float) -> Vec2:
+        """Point at parameter ``fraction`` in ``[0, 1]`` along the segment."""
+        return lerp(self.start, self.end, fraction)
+
+    def midpoint(self) -> Vec2:
+        return self.point_at(0.5)
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed backwards."""
+        return Segment(self.end, self.start)
+
+    def translate(self, offset: Vec2) -> "Segment":
+        return Segment(add(self.start, offset), add(self.end, offset))
+
+    def carrying_line(self) -> Line:
+        """The infinite line through the segment (raises if degenerate)."""
+        return Line.through(self.start, self.end)
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Distance from a point to the (closed) segment."""
+        d = self.displacement()
+        length_sq = dot(d, d)
+        if length_sq == 0.0:
+            return dist(self.start, p)
+        s = dot(sub(p, self.start), d) / length_sq
+        s = min(1.0, max(0.0, s))
+        return dist(self.point_at(s), p)
+
+    def closest_point_to(self, p: Vec2) -> Vec2:
+        """Closest point of the (closed) segment to ``p``."""
+        d = self.displacement()
+        length_sq = dot(d, d)
+        if length_sq == 0.0:
+            return self.start
+        s = dot(sub(p, self.start), d) / length_sq
+        s = min(1.0, max(0.0, s))
+        return self.point_at(s)
+
+    def is_parallel_to_line(self, line: Line, *, tol: float = 1e-12) -> bool:
+        """Whether the segment is parallel to a given line."""
+        if self.is_degenerate():
+            return True
+        return self.carrying_line().is_parallel_to(line, tol=tol)
+
+    def max_distance_to_line(self, line: Line) -> float:
+        """Largest distance from a point of the segment to ``line``.
+
+        The distance to a line is affine along the segment, so the maximum is
+        attained at one of the endpoints; Claim 3.4 of the paper bounds
+        exactly this quantity for the positive/negative moves.
+        """
+        return max(line.distance_to(self.start), line.distance_to(self.end))
+
+    def sample(self, count: int) -> list:
+        """``count`` evenly spaced points including both endpoints."""
+        if count < 2:
+            raise ValueError("sample count must be at least 2")
+        return [self.point_at(k / (count - 1)) for k in range(count)]
+
+    def time_parametrized(self, speed: float):
+        """Return a callable mapping elapsed time to position at ``speed``.
+
+        Convenience used in tests; the simulation layer has its own, richer
+        time-parametrization that also tracks absolute start times.
+        """
+        if speed <= 0.0 or not math.isfinite(speed):
+            raise ValueError("speed must be positive and finite")
+        length = self.length()
+        duration = length / speed
+
+        def position(elapsed: float) -> Vec2:
+            if duration == 0.0:
+                return self.start
+            fraction = min(1.0, max(0.0, elapsed / duration))
+            return self.point_at(fraction)
+
+        return position

@@ -1,0 +1,195 @@
+"""Planar linear maps and isometries.
+
+The model of Section 1.2 relates the private coordinate system of an agent to
+the absolute one by a rotation (orientation ``phi``), an optional reflection
+(chirality ``chi``) and a translation (the initial position).  This module
+provides those maps as small immutable objects plus raw 2x2-matrix helpers
+used by the ``CGKK`` construction (which needs to reason about the linear map
+``v * R_B - I`` and its inverse).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.vec import Vec2, add, sub, vec
+
+Matrix2 = Tuple[float, float, float, float]
+"""Row-major 2x2 matrix ``(a, b, c, d)`` representing ``[[a, b], [c, d]]``."""
+
+
+def rotation_matrix(angle: float) -> Matrix2:
+    """Matrix of the counterclockwise rotation by ``angle``."""
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (c, -s, s, c)
+
+
+def reflection_matrix(axis_angle: float) -> Matrix2:
+    """Matrix of the reflection across the line through the origin at ``axis_angle``."""
+    c = math.cos(2.0 * axis_angle)
+    s = math.sin(2.0 * axis_angle)
+    return (c, s, s, -c)
+
+
+def frame_matrix(phi: float, chi: int) -> Matrix2:
+    """Matrix sending *local* coordinates of a frame to absolute coordinates.
+
+    The frame's x-axis is the absolute x-axis rotated by ``phi``; its y-axis
+    is the rotated y-axis for chirality ``chi = +1`` and the opposite of it
+    for ``chi = -1``.  Hence a local vector ``(a, b)`` maps to
+    ``R_phi @ (a, chi * b)``.
+    """
+    if chi not in (1, -1):
+        raise ValueError(f"chirality must be +1 or -1, got {chi!r}")
+    c = math.cos(phi)
+    s = math.sin(phi)
+    if chi == 1:
+        return (c, -s, s, c)
+    return (c, s, s, -c)
+
+
+def apply_matrix(m: Matrix2, v: Vec2) -> Vec2:
+    """Apply a 2x2 matrix to a vector."""
+    a, b, c, d = m
+    return (a * v[0] + b * v[1], c * v[0] + d * v[1])
+
+
+def matrix_multiply(m1: Matrix2, m2: Matrix2) -> Matrix2:
+    """Matrix product ``m1 @ m2``."""
+    a1, b1, c1, d1 = m1
+    a2, b2, c2, d2 = m2
+    return (
+        a1 * a2 + b1 * c2,
+        a1 * b2 + b1 * d2,
+        c1 * a2 + d1 * c2,
+        c1 * b2 + d1 * d2,
+    )
+
+
+def determinant(m: Matrix2) -> float:
+    """Determinant of a 2x2 matrix."""
+    a, b, c, d = m
+    return a * d - b * c
+
+
+def invert_2x2(m: Matrix2) -> Matrix2:
+    """Inverse of a 2x2 matrix.
+
+    Raises ``ZeroDivisionError`` when the matrix is singular (determinant 0);
+    the ``CGKK`` analysis depends on knowing exactly when ``v*R - I`` is
+    singular, so we never silently regularize.
+    """
+    det = determinant(m)
+    if det == 0.0:
+        raise ZeroDivisionError("singular 2x2 matrix")
+    a, b, c, d = m
+    return (d / det, -b / det, -c / det, a / det)
+
+
+def solve_2x2(m: Matrix2, rhs: Vec2) -> Vec2:
+    """Solve ``m @ x = rhs`` for ``x``."""
+    return apply_matrix(invert_2x2(m), rhs)
+
+
+@dataclass(frozen=True)
+class LinearMap2:
+    """An arbitrary 2x2 linear map with convenience methods."""
+
+    matrix: Matrix2
+
+    def __call__(self, v: Vec2) -> Vec2:
+        return apply_matrix(self.matrix, v)
+
+    def determinant(self) -> float:
+        return determinant(self.matrix)
+
+    def is_singular(self, *, tol: float = 0.0) -> bool:
+        return abs(self.determinant()) <= tol
+
+    def inverse(self) -> "LinearMap2":
+        return LinearMap2(invert_2x2(self.matrix))
+
+    def compose(self, other: "LinearMap2") -> "LinearMap2":
+        """Return ``self ∘ other`` (apply ``other`` first)."""
+        return LinearMap2(matrix_multiply(self.matrix, other.matrix))
+
+    def operator_norm(self) -> float:
+        """Spectral norm (largest singular value), used for error bounds."""
+        a, b, c, d = self.matrix
+        # Singular values of [[a,b],[c,d]]: sqrt of eigenvalues of M^T M.
+        p = a * a + b * b + c * c + d * d
+        q = 2.0 * abs(a * d - b * c)
+        inner = max(p * p - q * q, 0.0)
+        return math.sqrt(max((p + math.sqrt(inner)) / 2.0, 0.0))
+
+
+@dataclass(frozen=True)
+class Rotation(LinearMap2):
+    """Rotation about the origin by a fixed angle."""
+
+    angle: float = 0.0
+
+    def __init__(self, angle: float) -> None:
+        object.__setattr__(self, "angle", float(angle))
+        object.__setattr__(self, "matrix", rotation_matrix(float(angle)))
+
+    def inverse(self) -> "Rotation":
+        return Rotation(-self.angle)
+
+
+@dataclass(frozen=True)
+class Reflection(LinearMap2):
+    """Reflection across the line through the origin at ``axis_angle``."""
+
+    axis_angle: float = 0.0
+
+    def __init__(self, axis_angle: float) -> None:
+        object.__setattr__(self, "axis_angle", float(axis_angle))
+        object.__setattr__(self, "matrix", reflection_matrix(float(axis_angle)))
+
+    def inverse(self) -> "Reflection":
+        return Reflection(self.axis_angle)
+
+
+@dataclass(frozen=True)
+class Isometry:
+    """Affine isometry ``x -> linear(x) + translation``.
+
+    Lemma 2.1 describes the later agent's trajectory as the earlier agent's
+    trajectory composed with a shift and an axial symmetry; this class is the
+    object that statement (and its tests) manipulate.
+    """
+
+    linear: LinearMap2
+    translation: Vec2 = (0.0, 0.0)
+
+    def __call__(self, point: Vec2) -> Vec2:
+        return add(self.linear(point), self.translation)
+
+    @staticmethod
+    def identity() -> "Isometry":
+        return Isometry(LinearMap2((1.0, 0.0, 0.0, 1.0)), (0.0, 0.0))
+
+    @staticmethod
+    def translation_by(offset: Vec2) -> "Isometry":
+        return Isometry(LinearMap2((1.0, 0.0, 0.0, 1.0)), vec(*offset))
+
+    @staticmethod
+    def rotation_about(center: Vec2, angle: float) -> "Isometry":
+        rot = Rotation(angle)
+        return Isometry(rot, sub(center, rot(center)))
+
+    @staticmethod
+    def reflection_across_line(point_on_line: Vec2, axis_angle: float) -> "Isometry":
+        refl = Reflection(axis_angle)
+        return Isometry(refl, sub(point_on_line, refl(point_on_line)))
+
+    def compose(self, other: "Isometry") -> "Isometry":
+        """Return ``self ∘ other`` (apply ``other`` first)."""
+        return Isometry(
+            self.linear.compose(other.linear),
+            add(self.linear(other.translation), self.translation),
+        )

@@ -1,0 +1,111 @@
+"""Plain-float 2-D vector operations.
+
+The simulation kernel works on individual segments, so the vectors here are
+ordinary ``(float, float)`` tuples: for scalar-sized operands this is several
+times faster than creating numpy arrays, and it keeps the values hashable and
+exactly reproducible.  The analysis layer converts to numpy when it operates
+on thousands of points at once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+Vec2 = Tuple[float, float]
+
+
+def vec(x: float, y: float) -> Vec2:
+    """Build a vector, coercing the components to float."""
+    return (float(x), float(y))
+
+
+def add(a: Vec2, b: Vec2) -> Vec2:
+    """Component-wise sum ``a + b``."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: Vec2, b: Vec2) -> Vec2:
+    """Component-wise difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def scale(a: Vec2, factor: float) -> Vec2:
+    """Scalar multiple ``factor * a``."""
+    return (a[0] * factor, a[1] * factor)
+
+
+def dot(a: Vec2, b: Vec2) -> float:
+    """Euclidean inner product."""
+    return a[0] * b[0] + a[1] * b[1]
+
+
+def cross(a: Vec2, b: Vec2) -> float:
+    """Scalar (z-component of the) cross product ``a x b``."""
+    return a[0] * b[1] - a[1] * b[0]
+
+
+def norm_sq(a: Vec2) -> float:
+    """Squared Euclidean norm."""
+    return a[0] * a[0] + a[1] * a[1]
+
+
+def norm(a: Vec2) -> float:
+    """Euclidean norm (uses ``hypot`` for robustness to over/underflow)."""
+    return math.hypot(a[0], a[1])
+
+
+def dist_sq(a: Vec2, b: Vec2) -> float:
+    """Squared Euclidean distance between two points."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def dist(a: Vec2, b: Vec2) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def normalize(a: Vec2) -> Vec2:
+    """Return ``a / |a|``.
+
+    Raises ``ZeroDivisionError`` for the zero vector: callers that may hold a
+    zero vector must check explicitly, silent fallbacks hide geometry bugs.
+    """
+    length = norm(a)
+    if length == 0.0:
+        raise ZeroDivisionError("cannot normalize the zero vector")
+    return (a[0] / length, a[1] / length)
+
+
+def perp(a: Vec2) -> Vec2:
+    """Return ``a`` rotated by +90 degrees (counterclockwise)."""
+    return (-a[1], a[0])
+
+
+def lerp(a: Vec2, b: Vec2, s: float) -> Vec2:
+    """Linear interpolation ``a + s * (b - a)``."""
+    return (a[0] + s * (b[0] - a[0]), a[1] + s * (b[1] - a[1]))
+
+
+def midpoint(a: Vec2, b: Vec2) -> Vec2:
+    """Midpoint of the segment ``[a, b]``."""
+    return ((a[0] + b[0]) * 0.5, (a[1] + b[1]) * 0.5)
+
+
+def is_close(a: Vec2, b: Vec2, *, abs_tol: float = 1e-9) -> bool:
+    """Whether two points coincide up to an absolute tolerance per component."""
+    return math.isclose(a[0], b[0], abs_tol=abs_tol, rel_tol=0.0) and math.isclose(
+        a[1], b[1], abs_tol=abs_tol, rel_tol=0.0
+    )
+
+
+def angle_of(a: Vec2) -> float:
+    """Polar angle of ``a`` in ``(-pi, pi]`` (``atan2`` convention)."""
+    return math.atan2(a[1], a[0])
+
+
+def from_polar(radius: float, angle: float) -> Vec2:
+    """Vector of the given length pointing in direction ``angle``."""
+    return (radius * math.cos(angle), radius * math.sin(angle))

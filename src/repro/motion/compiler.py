@@ -1,0 +1,162 @@
+"""Compile local instruction streams into absolute-time trajectory segments.
+
+An agent executes its program in its own coordinate system and units; the
+simulator needs the resulting motion in absolute coordinates and absolute
+time.  The compiler performs that translation segment by segment, lazily, so
+infinite programs can be consumed under a budget:
+
+* a local move of ``d`` length units becomes an absolute segment of length
+  ``d * tau * v`` traversed at speed ``v`` (hence lasting ``d * tau`` absolute
+  time units), in the direction given by the agent's frame;
+* a local wait of ``z`` time units becomes a zero-velocity segment lasting
+  ``z * tau`` absolute time units;
+* the time before the agent's wake-up is represented by an initial
+  zero-velocity segment starting at absolute time 0.
+
+Timestamps are handled through an optional *timebase* object (see
+:mod:`repro.sim.timebase`): with the default ``None`` they are plain floats;
+with an exact timebase they are ``Fraction`` values, which keeps event times
+exact even when the paper's algorithms schedule waits of ``2**(15 i^2)`` time
+units next to sub-unit moves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.instance import AgentSpec
+from repro.geometry.vec import Vec2, add, scale
+from repro.motion.instructions import Instruction, Move, Wait
+from repro.util.errors import AlgorithmContractError
+
+
+@dataclass(frozen=True)
+class TrajectorySegment:
+    """A maximal interval of constant-velocity motion in absolute terms.
+
+    Attributes
+    ----------
+    start_time:
+        Absolute time at which the segment starts (float or exact value,
+        depending on the timebase in use).
+    duration:
+        Length of the segment in absolute time units, as a float.  Durations
+        are always "small" numbers (the duration of one instruction), so a
+        float is exact enough even under the exact timebase; only *absolute*
+        times need exactness.
+    start_pos:
+        Absolute position at ``start_time``.
+    velocity:
+        Constant absolute velocity over the segment (zero for waits/sleep).
+    kind:
+        ``"move"``, ``"wait"`` or ``"sleep"`` — used for reporting only.
+    """
+
+    start_time: Any
+    duration: float
+    start_pos: Vec2
+    velocity: Vec2
+    kind: str = "move"
+
+    @property
+    def end_pos(self) -> Vec2:
+        """Absolute position at the end of the segment."""
+        return add(self.start_pos, scale(self.velocity, self.duration))
+
+    def position_at_offset(self, offset: float) -> Vec2:
+        """Absolute position ``offset`` time units after the segment start."""
+        if offset < 0.0 or offset > self.duration * (1.0 + 1e-12) + 1e-15:
+            raise ValueError(f"offset {offset!r} outside segment duration {self.duration!r}")
+        return add(self.start_pos, scale(self.velocity, offset))
+
+    @property
+    def is_stationary(self) -> bool:
+        return self.velocity == (0.0, 0.0)
+
+
+def sleep_segment(spec: AgentSpec, timebase: Optional[Any] = None) -> Optional[TrajectorySegment]:
+    """The pre-wake-up segment of an agent (``None`` when it wakes at time 0)."""
+    wake = spec.units.wake_time
+    if wake <= 0.0:
+        return None
+    zero = timebase.lift(0.0) if timebase is not None else 0.0
+    return TrajectorySegment(
+        start_time=zero,
+        duration=wake,
+        start_pos=spec.start,
+        velocity=(0.0, 0.0),
+        kind="sleep",
+    )
+
+
+def compile_trajectory(
+    spec: AgentSpec,
+    program: Iterable[Instruction],
+    *,
+    timebase: Optional[Any] = None,
+) -> Iterator[TrajectorySegment]:
+    """Lazily translate a local program into absolute trajectory segments.
+
+    Parameters
+    ----------
+    spec:
+        The agent (frame + units) executing the program.
+    program:
+        Iterable of :class:`Move` / :class:`Wait` instructions in the agent's
+        local coordinates and units.
+    timebase:
+        Optional timebase object providing ``lift(float)`` and
+        ``add(time, float_delta)``; ``None`` uses plain floats.
+    """
+    units = spec.units
+    frame = spec.frame
+
+    def lift(value: float):
+        return timebase.lift(value) if timebase is not None else float(value)
+
+    def advance(current, delta: float):
+        return timebase.add(current, delta) if timebase is not None else current + delta
+
+    current_time = lift(units.wake_time)
+    current_pos: Vec2 = spec.start
+
+    pre_wake = sleep_segment(spec, timebase)
+    if pre_wake is not None:
+        yield pre_wake
+
+    for instruction in program:
+        if isinstance(instruction, Wait):
+            if instruction.duration == 0.0:
+                continue
+            duration = units.local_duration_to_absolute(instruction.duration)
+            yield TrajectorySegment(
+                start_time=current_time,
+                duration=duration,
+                start_pos=current_pos,
+                velocity=(0.0, 0.0),
+                kind="wait",
+            )
+            current_time = advance(current_time, duration)
+        elif isinstance(instruction, Move):
+            if instruction.is_null():
+                continue
+            local_length = instruction.length
+            duration = units.move_duration_absolute(local_length)
+            absolute_disp = scale(
+                frame.local_vector_to_absolute((instruction.dx, instruction.dy)),
+                units.length_unit,
+            )
+            velocity = scale(absolute_disp, 1.0 / duration)
+            yield TrajectorySegment(
+                start_time=current_time,
+                duration=duration,
+                start_pos=current_pos,
+                velocity=velocity,
+                kind="move",
+            )
+            current_time = advance(current_time, duration)
+            current_pos = add(current_pos, absolute_disp)
+        else:  # pragma: no cover - defensive
+            raise AlgorithmContractError(f"unknown instruction {instruction!r}")

@@ -1,0 +1,279 @@
+"""Time-parametrized paths in an agent's own coordinates and units.
+
+A :class:`LocalPath` is the record of "what the agent did", expressed locally:
+a sequence of steps, each either a straight move or a wait, with local
+durations.  Algorithm 1 manipulates such records explicitly:
+
+* line 11-12: ``P <- the path followed in the latest execution of line 10;
+  backtrack on P``;
+* line 17-18: split the solo execution of ``CGKK`` during local time ``2**i``
+  into ``2**(2i)`` chunks of local duration ``2**-i`` each and interleave them
+  with waits;
+* line 19-20: backtrack again.
+
+The operations needed for that — building a path from instructions, truncating
+to a local duration, splitting into equal-duration chunks, backtracking — are
+implemented here, together with conversions back to instruction streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry.polyline import Polyline
+from repro.motion.instructions import Instruction, Move, Wait
+from repro.util.errors import AlgorithmContractError
+
+
+@dataclass(frozen=True)
+class LocalStep:
+    """One step of a local path: a displacement performed over a local duration.
+
+    A step with zero displacement and positive duration is a wait; a step with
+    non-zero displacement has duration equal to its length (local speed is one
+    local length unit per local time unit by definition).
+    """
+
+    dx: float
+    dy: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not (
+            math.isfinite(self.dx)
+            and math.isfinite(self.dy)
+            and math.isfinite(self.duration)
+            and self.duration >= 0.0
+        ):
+            raise AlgorithmContractError(
+                f"invalid local step ({self.dx!r}, {self.dy!r}, {self.duration!r})"
+            )
+        object.__setattr__(self, "dx", float(self.dx))
+        object.__setattr__(self, "dy", float(self.dy))
+        object.__setattr__(self, "duration", float(self.duration))
+
+    @property
+    def length(self) -> float:
+        return math.hypot(self.dx, self.dy)
+
+    @property
+    def is_wait(self) -> bool:
+        return self.dx == 0.0 and self.dy == 0.0
+
+    def split_at(self, offset: float) -> Tuple["LocalStep", "LocalStep"]:
+        """Split the step into two at a time offset within ``[0, duration]``."""
+        if offset < 0.0 or offset > self.duration:
+            raise ValueError(f"split offset {offset!r} outside [0, {self.duration!r}]")
+        if self.duration == 0.0:
+            return self, LocalStep(0.0, 0.0, 0.0)
+        fraction = offset / self.duration
+        first = LocalStep(self.dx * fraction, self.dy * fraction, offset)
+        second = LocalStep(
+            self.dx * (1.0 - fraction), self.dy * (1.0 - fraction), self.duration - offset
+        )
+        return first, second
+
+    def to_instruction(self) -> Instruction:
+        """The instruction that reproduces this step."""
+        if self.is_wait:
+            return Wait(self.duration)
+        return Move(self.dx, self.dy)
+
+
+class LocalPath:
+    """A finite sequence of :class:`LocalStep`, i.e. a locally recorded path."""
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, steps: Iterable[LocalStep] = ()) -> None:
+        self._steps: Tuple[LocalStep, ...] = tuple(steps)
+
+    # -- constructors ------------------------------------------------------------
+    @staticmethod
+    def from_instructions(instructions: Iterable[Instruction]) -> "LocalPath":
+        """Record the path produced by executing a finite instruction sequence."""
+        steps: List[LocalStep] = []
+        for instruction in instructions:
+            if isinstance(instruction, Move):
+                if not instruction.is_null():
+                    steps.append(LocalStep(instruction.dx, instruction.dy, instruction.duration))
+            elif isinstance(instruction, Wait):
+                if not instruction.is_null():
+                    steps.append(LocalStep(0.0, 0.0, instruction.duration))
+            else:  # pragma: no cover - defensive
+                raise AlgorithmContractError(f"unknown instruction {instruction!r}")
+        return LocalPath(steps)
+
+    # -- container protocol --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[LocalStep]:
+        return iter(self._steps)
+
+    def __getitem__(self, index: int) -> LocalStep:
+        return self._steps[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalPath):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __repr__(self) -> str:
+        return f"LocalPath(steps={len(self._steps)}, duration={self.total_duration():g})"
+
+    @property
+    def steps(self) -> Tuple[LocalStep, ...]:
+        return self._steps
+
+    # -- measures --------------------------------------------------------------------
+    def total_duration(self) -> float:
+        """Total local time spent executing the path."""
+        return sum(step.duration for step in self._steps)
+
+    def total_length(self) -> float:
+        """Total local distance travelled."""
+        return sum(step.length for step in self._steps)
+
+    def end_displacement(self) -> Tuple[float, float]:
+        """Net local displacement from start to end of the path."""
+        return (
+            sum(step.dx for step in self._steps),
+            sum(step.dy for step in self._steps),
+        )
+
+    def is_closed(self, *, tol: float = 1e-9) -> bool:
+        """Whether the path returns to its starting point."""
+        dx, dy = self.end_displacement()
+        return math.hypot(dx, dy) <= tol
+
+    def position_at(self, local_time: float) -> Tuple[float, float]:
+        """Local position (relative to the path start) at a local time offset."""
+        if local_time <= 0.0:
+            return (0.0, 0.0)
+        x = y = 0.0
+        remaining = local_time
+        for step in self._steps:
+            if remaining >= step.duration:
+                x += step.dx
+                y += step.dy
+                remaining -= step.duration
+            else:
+                if step.duration > 0.0:
+                    fraction = remaining / step.duration
+                    x += step.dx * fraction
+                    y += step.dy * fraction
+                return (x, y)
+        return (x, y)
+
+    def vertices(self) -> List[Tuple[float, float]]:
+        """The polygonal vertices of the path (relative to its start)."""
+        points = [(0.0, 0.0)]
+        x = y = 0.0
+        for step in self._steps:
+            if step.is_wait:
+                continue
+            x += step.dx
+            y += step.dy
+            points.append((x, y))
+        return points
+
+    def as_polyline(self) -> Polyline:
+        """Geometric shape of the path as a :class:`Polyline` (waits dropped)."""
+        return Polyline(self.vertices())
+
+    # -- path algebra -------------------------------------------------------------------
+    def concatenate(self, other: "LocalPath") -> "LocalPath":
+        """This path followed by another."""
+        return LocalPath(self._steps + other._steps)
+
+    def truncate(self, duration: float) -> "LocalPath":
+        """The prefix of the path lasting exactly ``duration`` local time units.
+
+        If the path is shorter than ``duration`` the result is the whole path
+        padded with a trailing wait, so the returned path always has total
+        duration exactly ``duration``.
+        """
+        if duration < 0.0:
+            raise ValueError("truncate duration must be non-negative")
+        steps: List[LocalStep] = []
+        remaining = duration
+        for step in self._steps:
+            if remaining <= 0.0:
+                break
+            if step.duration <= remaining:
+                steps.append(step)
+                remaining -= step.duration
+            else:
+                head, _tail = step.split_at(remaining)
+                steps.append(head)
+                remaining = 0.0
+        if remaining > 0.0:
+            steps.append(LocalStep(0.0, 0.0, remaining))
+        return LocalPath(steps)
+
+    def chunks(self, chunk_duration: float) -> List["LocalPath"]:
+        """Split the path into consecutive chunks of equal local duration.
+
+        The last chunk is padded with a wait when the total duration is not an
+        exact multiple of ``chunk_duration`` (it never is off by more than one
+        chunk).  This implements the segments ``S_1 ... S_{2^{2i}}`` of
+        Algorithm 1 line 17.
+        """
+        if chunk_duration <= 0.0:
+            raise ValueError("chunk duration must be positive")
+        chunks: List[LocalPath] = []
+        current: List[LocalStep] = []
+        room = chunk_duration
+        pending = list(self._steps)
+        index = 0
+        while index < len(pending):
+            step = pending[index]
+            if step.duration <= room + 1e-15:
+                current.append(step)
+                room -= step.duration
+                index += 1
+            else:
+                head, tail = step.split_at(room)
+                current.append(head)
+                pending[index] = tail
+                room = 0.0
+            if room <= 1e-15:
+                chunks.append(LocalPath(current))
+                current = []
+                room = chunk_duration
+        if current:
+            total = sum(s.duration for s in current)
+            if chunk_duration - total > 0.0:
+                current.append(LocalStep(0.0, 0.0, chunk_duration - total))
+            chunks.append(LocalPath(current))
+        return chunks
+
+    def backtrack(self) -> "LocalPath":
+        """The path retracing this one's geometry back to its starting point.
+
+        Waits are dropped (backtracking is purely geometric) and moves are
+        replayed in reverse order with opposite displacements, so the
+        backtrack takes at most as much local time as the original path.
+        """
+        steps = [
+            LocalStep(-step.dx, -step.dy, step.duration)
+            for step in reversed(self._steps)
+            if not step.is_wait
+        ]
+        return LocalPath(steps)
+
+    def rotated(self, alpha: float) -> "LocalPath":
+        """The path as executed in the working frame rotated by ``alpha`` (ccw)."""
+        c = math.cos(alpha)
+        s = math.sin(alpha)
+        return LocalPath(
+            LocalStep(c * step.dx - s * step.dy, s * step.dx + c * step.dy, step.duration)
+            for step in self._steps
+        )
+
+    def to_instructions(self) -> List[Instruction]:
+        """Instruction sequence whose execution reproduces this path."""
+        return [step.to_instruction() for step in self._steps if step.duration > 0.0 or not step.is_wait]

@@ -1,0 +1,5 @@
+"""Parallel execution of simulation batches across processes."""
+
+from repro.parallel.runner import BatchRunner, BatchTask, run_batch
+
+__all__ = ["BatchRunner", "BatchTask", "run_batch"]

@@ -1,0 +1,122 @@
+"""Process-pool batch runner for simulation campaigns.
+
+The Monte-Carlo experiments (Theorem 3.1 / 3.2 characterization sweeps,
+scaling studies) simulate hundreds of independent instances; each simulation
+is pure CPU work with small inputs and outputs, which is the textbook case for
+process-level parallelism in Python (the GIL rules out thread-level speedup).
+
+Design notes, following the hpc-parallel guides:
+
+* tasks are *descriptions* (instance dict + algorithm name + simulator
+  options), not live objects, so they pickle cheaply and deterministically;
+* the worker re-instantiates the algorithm from the registry by name;
+* results come back as flat records (dicts of scalars), not
+  :class:`SimulationResult` objects, so the driver can assemble a numpy /
+  CSV table without shipping trajectories between processes;
+* ``processes=1`` (or batches smaller than ``min_parallel``) bypasses the pool
+  entirely, which keeps unit tests fast and stack traces readable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.instance import Instance
+from repro.sim.engine import RendezvousSimulator
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One simulation to run: an instance, an algorithm name, simulator options."""
+
+    instance: Dict[str, float]
+    algorithm: str
+    simulator_options: Dict[str, Any] = field(default_factory=dict)
+    tag: str = ""
+
+    @staticmethod
+    def make(
+        instance: Instance,
+        algorithm: str,
+        *,
+        tag: str = "",
+        **simulator_options: Any,
+    ) -> "BatchTask":
+        """Build a task from a live :class:`Instance`."""
+        return BatchTask(
+            instance=instance.as_dict(),
+            algorithm=algorithm,
+            simulator_options=dict(simulator_options),
+            tag=tag,
+        )
+
+
+def _execute_task(task: BatchTask) -> Dict[str, Any]:
+    """Worker entry point: run one task and return a flat result record."""
+    instance = Instance.from_dict(task.instance)
+    algorithm = get_algorithm(task.algorithm)
+    simulator = RendezvousSimulator(**task.simulator_options)
+    result = simulator.run(instance, algorithm)
+    record = result.as_record()
+    record["tag"] = task.tag
+    return record
+
+
+@dataclass
+class BatchRunner:
+    """Runs batches of :class:`BatchTask`, optionally across processes.
+
+    Parameters
+    ----------
+    processes:
+        Number of worker processes.  ``None`` uses ``os.cpu_count() - 1``
+        (at least 1); ``1`` runs everything inline.
+    min_parallel:
+        Batches smaller than this run inline even when ``processes > 1`` —
+        the pool start-up cost would dominate.
+    chunksize:
+        Tasks handed to a worker at a time (``None`` lets the runner pick
+        roughly ``len(tasks) / (4 * processes)``).
+    """
+
+    processes: Optional[int] = None
+    min_parallel: int = 8
+    chunksize: Optional[int] = None
+
+    def resolved_processes(self) -> int:
+        if self.processes is not None:
+            return max(1, int(self.processes))
+        return max(1, (os.cpu_count() or 2) - 1)
+
+    def run(self, tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
+        """Execute all tasks and return their result records, input order preserved."""
+        tasks = list(tasks)
+        workers = self.resolved_processes()
+        if workers <= 1 or len(tasks) < self.min_parallel:
+            return [_execute_task(task) for task in tasks]
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (4 * workers))
+        context = get_context("spawn")
+        with context.Pool(processes=workers) as pool:
+            return list(pool.map(_execute_task, tasks, chunksize=chunksize))
+
+
+def run_batch(
+    instances: Iterable[Instance],
+    algorithm: str,
+    *,
+    processes: Optional[int] = 1,
+    tag: str = "",
+    **simulator_options: Any,
+) -> List[Dict[str, Any]]:
+    """Convenience wrapper: same algorithm and options for every instance."""
+    tasks = [
+        BatchTask.make(instance, algorithm, tag=tag, **simulator_options)
+        for instance in instances
+    ]
+    return BatchRunner(processes=processes).run(tasks)

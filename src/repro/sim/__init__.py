@@ -1,0 +1,28 @@
+"""Continuous-time rendezvous simulator.
+
+The engine consumes the two agents' trajectory streams (produced by the
+motion compiler) and finds the first absolute time at which the agents are at
+distance at most ``r`` of each other — the definition of rendezvous in the
+paper.  Everything is event-driven: waits of ``2**60`` time units cost the
+same as waits of one time unit.
+"""
+
+from repro.sim.timebase import FloatTimebase, ExactTimebase, Timebase, get_timebase
+from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.recorder import TrajectoryRecorder
+from repro.sim.engine import RendezvousSimulator, simulate
+from repro.sim.asymmetric import AsymmetricOutcome, simulate_asymmetric
+
+__all__ = [
+    "FloatTimebase",
+    "ExactTimebase",
+    "Timebase",
+    "get_timebase",
+    "SimulationResult",
+    "TerminationReason",
+    "TrajectoryRecorder",
+    "RendezvousSimulator",
+    "simulate",
+    "AsymmetricOutcome",
+    "simulate_asymmetric",
+]

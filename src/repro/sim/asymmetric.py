@@ -1,0 +1,222 @@
+"""Different visibility radii (the Section 5 extension of the paper).
+
+The body of the paper assumes both agents share the visibility radius ``r``.
+Section 5 sketches the generalization: if the radii are ``r_1 >= r_2``,
+rendezvous means being at distance at most ``r_2`` (the smaller radius), and
+an agent stops forever the moment it *sees* the other one — i.e. the moment
+the distance drops to its own radius.  The paper argues that all results
+survive: the agent with the larger radius freezes first, and any algorithm
+that keeps performing a planar search (as every phase of
+``AlmostUniversalRV`` does) will subsequently bring the still-moving agent
+within the smaller radius.
+
+This module adds that semantics to the simulator:
+
+* the first time the distance reaches the *larger* radius, the corresponding
+  agent freezes at its current position (its remaining program is discarded);
+* the simulation then continues with only the other agent moving;
+* rendezvous is declared at the first time the distance reaches the *smaller*
+  radius.
+
+The symmetric case (``r_a == r_b``) degenerates to the ordinary engine.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro.core.instance import Instance
+from repro.geometry.closest_approach import closest_approach_moving_points, first_time_within
+from repro.geometry.vec import Vec2, add, scale
+from repro.motion.compiler import TrajectorySegment
+from repro.sim.engine import _AgentCursor, _algorithm_name, _resolve_program
+from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.timebase import Timebase, get_timebase
+
+
+@dataclass
+class AsymmetricOutcome:
+    """Outcome of an asymmetric-visibility simulation.
+
+    ``result`` is an ordinary :class:`SimulationResult` (``met`` means the
+    distance reached the smaller radius); the extra fields record the freeze
+    event of the larger-radius agent.
+    """
+
+    result: SimulationResult
+    radius_a: float
+    radius_b: float
+    frozen_agent: Optional[str] = None
+    freeze_time: Optional[float] = None
+    freeze_distance: Optional[float] = None
+
+    @property
+    def met(self) -> bool:
+        return self.result.met
+
+    @property
+    def meeting_time(self) -> Optional[float]:
+        return self.result.meeting_time
+
+
+def _freeze(cursor: _AgentCursor, when, timebase: Timebase) -> Vec2:
+    """Stop an agent forever at its position at absolute time ``when``."""
+    position, _velocity = cursor.state_at(when)
+    cursor.current = TrajectorySegment(
+        start_time=when,
+        duration=math.inf,
+        start_pos=position,
+        velocity=(0.0, 0.0),
+        kind="frozen",
+    )
+    cursor.stream = iter(())
+    cursor.exhausted = True
+    return position
+
+
+def simulate_asymmetric(
+    instance: Instance,
+    algorithm: Any,
+    *,
+    radius_a: Optional[float] = None,
+    radius_b: Optional[float] = None,
+    max_time: float = 1e9,
+    max_segments: int = 2_000_000,
+    timebase: Union[str, Timebase, None] = "float",
+    radius_slack: float = 0.0,
+) -> AsymmetricOutcome:
+    """Simulate ``algorithm`` on ``instance`` with per-agent visibility radii.
+
+    ``radius_a`` / ``radius_b`` default to ``instance.r``.  The instance's own
+    ``r`` is otherwise ignored for meeting detection (it still defines the
+    feasibility classification of the underlying symmetric instance).
+    """
+    r_a = instance.r if radius_a is None else float(radius_a)
+    r_b = instance.r if radius_b is None else float(radius_b)
+    if r_a <= 0.0 or r_b <= 0.0:
+        raise ValueError("visibility radii must be positive")
+    if not (math.isfinite(max_time) and max_time > 0.0):
+        raise ValueError("max_time must be positive and finite")
+
+    small = min(r_a, r_b) + radius_slack
+    large = max(r_a, r_b) + radius_slack
+    larger_agent = "A" if r_a >= r_b else "B"
+
+    tb = get_timebase(timebase)
+    wall_start = _time.perf_counter()
+    spec_a, spec_b = instance.agents()
+    cursor_a = _AgentCursor(spec_a, _resolve_program(algorithm, instance, spec_a, "A"), tb)
+    cursor_b = _AgentCursor(spec_b, _resolve_program(algorithm, instance, spec_b, "B"), tb)
+
+    horizon = tb.lift(max_time)
+    current = tb.lift(0.0)
+
+    met = False
+    meeting_time_exact = None
+    meeting_pos_a = meeting_pos_b = None
+    min_distance = math.inf
+    min_distance_time: Optional[float] = None
+    windows = 0
+    termination = TerminationReason.MAX_TIME
+    frozen_agent: Optional[str] = None
+    freeze_time: Optional[float] = None
+    freeze_distance: Optional[float] = None
+
+    while True:
+        windows += 1
+        end_a = cursor_a.end_time()
+        end_b = cursor_b.end_time()
+        window_end = horizon
+        if end_a is not None and end_a < window_end:
+            window_end = end_a
+        if end_b is not None and end_b < window_end:
+            window_end = end_b
+        window = max(tb.diff(window_end, current), 0.0)
+
+        pos_a, vel_a = cursor_a.state_at(current)
+        pos_b, vel_b = cursor_b.state_at(current)
+
+        approach = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, window)
+        if approach.min_distance < min_distance:
+            min_distance = approach.min_distance
+            min_distance_time = tb.to_float(current) + approach.time_offset
+
+        hit_small = first_time_within(pos_a, vel_a, pos_b, vel_b, small, window)
+        hit_large = (
+            first_time_within(pos_a, vel_a, pos_b, vel_b, large, window)
+            if frozen_agent is None
+            else None
+        )
+
+        # The *earliest* event wins: if the larger-radius agent sees the other
+        # one strictly before the distance reaches the smaller radius, it
+        # freezes and the rest of the window must be re-simulated with it
+        # stationary (its original motion past that moment never happens).
+        if hit_large is not None and (hit_small is None or hit_large < hit_small):
+            freeze_at = tb.add(current, hit_large)
+            frozen_agent = larger_agent
+            freeze_time = tb.to_float(freeze_at)
+            frozen_cursor = cursor_a if larger_agent == "A" else cursor_b
+            frozen_pos = _freeze(frozen_cursor, freeze_at, tb)
+            other_cursor = cursor_b if larger_agent == "A" else cursor_a
+            other_pos, _ = other_cursor.state_at(freeze_at)
+            freeze_distance = math.hypot(
+                frozen_pos[0] - other_pos[0], frozen_pos[1] - other_pos[1]
+            )
+            current = freeze_at
+            other_cursor.advance_past(current)
+            continue
+
+        if hit_small is not None:
+            met = True
+            termination = TerminationReason.RENDEZVOUS
+            meeting_time_exact = tb.add(current, hit_small)
+            meeting_pos_a = add(pos_a, scale(vel_a, hit_small))
+            meeting_pos_b = add(pos_b, scale(vel_b, hit_small))
+            break
+
+        if cursor_a.exhausted and cursor_b.exhausted:
+            termination = TerminationReason.PROGRAMS_FINISHED
+            current = window_end
+            break
+        if window_end >= horizon:
+            termination = TerminationReason.MAX_TIME
+            current = horizon
+            break
+
+        current = window_end
+        cursor_a.advance_past(current)
+        cursor_b.advance_past(current)
+        if cursor_a.segments_consumed + cursor_b.segments_consumed > max_segments:
+            termination = TerminationReason.MAX_SEGMENTS
+            break
+
+    result = SimulationResult(
+        instance=instance,
+        algorithm_name=_algorithm_name(algorithm) + f"[r_a={r_a:g}, r_b={r_b:g}]",
+        met=met,
+        termination=termination,
+        meeting_time=(tb.to_float(meeting_time_exact) if met else None),
+        meeting_point_a=meeting_pos_a,
+        meeting_point_b=meeting_pos_b,
+        min_distance=min_distance,
+        min_distance_time=min_distance_time,
+        simulated_time=tb.to_float(meeting_time_exact if met else current),
+        segments_a=cursor_a.segments_consumed,
+        segments_b=cursor_b.segments_consumed,
+        windows_processed=windows,
+        elapsed_wall_seconds=_time.perf_counter() - wall_start,
+        timebase_name=tb.name,
+        meeting_time_exact=meeting_time_exact,
+    )
+    return AsymmetricOutcome(
+        result=result,
+        radius_a=r_a,
+        radius_b=r_b,
+        frozen_agent=frozen_agent,
+        freeze_time=freeze_time,
+        freeze_distance=freeze_distance,
+    )

@@ -1,0 +1,358 @@
+"""The event-driven rendezvous engine.
+
+The engine advances absolute time from event to event, where events are the
+starts/ends of trajectory segments of either agent.  Between two consecutive
+events both agents move with constant velocity, so the first time their
+distance drops to the visibility radius is found exactly by the quadratic
+closest-approach kernel of :mod:`repro.geometry.closest_approach`.
+
+The engine is deliberately oblivious to *what* the agents are running: it
+only sees two lazy streams of trajectory segments.  Algorithms plug in through
+the tiny ``program_for(instance, spec, role)`` protocol (or a bare callable
+with the same signature), so the simulator does not depend on the algorithm
+layer.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.core.instance import AgentSpec, Instance
+from repro.geometry.closest_approach import closest_approach_moving_points, first_time_within
+from repro.geometry.vec import Vec2, add, scale
+from repro.motion.compiler import TrajectorySegment, compile_trajectory
+from repro.motion.instructions import Instruction
+from repro.sim.recorder import TrajectoryRecorder
+from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.timebase import Timebase, get_timebase
+from repro.util.errors import SimulationBudgetExceeded
+from repro.util.logging import get_logger
+
+logger = get_logger("sim.engine")
+
+#: Signature of the plain-callable algorithm interface accepted by the engine.
+ProgramFactory = Callable[[Instance, AgentSpec, str], Iterable[Instruction]]
+
+
+def _resolve_program(algorithm: Any, instance: Instance, spec: AgentSpec, role: str):
+    """Obtain the instruction stream of ``algorithm`` for one agent."""
+    if hasattr(algorithm, "program_for"):
+        return algorithm.program_for(instance, spec, role)
+    if callable(algorithm):
+        return algorithm(instance, spec, role)
+    raise TypeError(
+        "algorithm must expose program_for(instance, spec, role) or be a callable "
+        f"with that signature, got {algorithm!r}"
+    )
+
+
+def _algorithm_name(algorithm: Any) -> str:
+    name = getattr(algorithm, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return getattr(algorithm, "__name__", type(algorithm).__name__)
+
+
+class _AgentCursor:
+    """Iterates the trajectory segments of one agent, one window at a time."""
+
+    __slots__ = (
+        "timebase",
+        "stream",
+        "current",
+        "segments_consumed",
+        "exhausted",
+        "recorder",
+    )
+
+    def __init__(
+        self,
+        spec: AgentSpec,
+        program: Iterable[Instruction],
+        timebase: Timebase,
+        recorder: Optional[TrajectoryRecorder] = None,
+    ) -> None:
+        self.timebase = timebase
+        self.stream: Iterator[TrajectorySegment] = iter(
+            compile_trajectory(spec, program, timebase=timebase)
+        )
+        self.segments_consumed = 0
+        self.exhausted = False
+        self.recorder = recorder
+        first = self._pull()
+        if first is None:
+            # The program is empty: the agent never moves.
+            self.current = TrajectorySegment(
+                start_time=timebase.lift(0.0),
+                duration=math.inf,
+                start_pos=spec.start,
+                velocity=(0.0, 0.0),
+                kind="idle",
+            )
+            self.exhausted = True
+        else:
+            self.current = first
+            if self.timebase.to_float(first.start_time) > 0.0:
+                # The compiler only emits the first segment at the wake-up
+                # time when there is no sleep segment (wake_time == 0), so a
+                # positive start here cannot happen; guard anyway.
+                self.current = TrajectorySegment(
+                    start_time=timebase.lift(0.0),
+                    duration=self.timebase.to_float(first.start_time),
+                    start_pos=spec.start,
+                    velocity=(0.0, 0.0),
+                    kind="sleep",
+                )
+                self.stream = self._chain(first, self.stream)
+
+    @staticmethod
+    def _chain(head: TrajectorySegment, rest: Iterator[TrajectorySegment]):
+        yield head
+        yield from rest
+
+    def _pull(self) -> Optional[TrajectorySegment]:
+        try:
+            segment = next(self.stream)
+        except StopIteration:
+            return None
+        self.segments_consumed += 1
+        if self.recorder is not None:
+            self.recorder.record_segment(segment)
+        return segment
+
+    # -- time window helpers -------------------------------------------------------
+    def end_time(self):
+        """Absolute end time of the current segment, or ``None`` if unbounded."""
+        if math.isinf(self.current.duration):
+            return None
+        return self.timebase.add(self.current.start_time, self.current.duration)
+
+    def state_at(self, when) -> Tuple[Vec2, Vec2]:
+        """(position, velocity) of the agent at absolute time ``when``.
+
+        ``when`` must lie inside the current segment (up to rounding); the
+        offset is clamped into the segment for robustness.
+        """
+        offset = self.timebase.diff(when, self.current.start_time)
+        if offset < 0.0:
+            offset = 0.0
+        if not math.isinf(self.current.duration) and offset > self.current.duration:
+            offset = self.current.duration
+        position = add(self.current.start_pos, scale(self.current.velocity, offset))
+        return position, self.current.velocity
+
+    def advance_past(self, when) -> None:
+        """Move to the segment that is active just after absolute time ``when``."""
+        while True:
+            end = self.end_time()
+            if end is None or end > when:
+                return
+            nxt = self._pull()
+            if nxt is None:
+                # Finite program: the agent stays at its final position forever.
+                self.current = TrajectorySegment(
+                    start_time=end,
+                    duration=math.inf,
+                    start_pos=self.current.end_pos,
+                    velocity=(0.0, 0.0),
+                    kind="finished",
+                )
+                self.exhausted = True
+                return
+            self.current = nxt
+
+
+@dataclass
+class RendezvousSimulator:
+    """Simulates one algorithm on one instance until rendezvous or budget end.
+
+    Parameters
+    ----------
+    max_time:
+        Simulated-time budget (absolute time units).  The simulation stops at
+        this horizon when rendezvous has not occurred earlier.
+    max_segments:
+        Budget on the total number of trajectory segments consumed across both
+        agents — the actual computational cost driver.
+    timebase:
+        ``"float"`` (default), ``"exact"`` or a :class:`Timebase` instance.
+    record_trajectories:
+        Whether to record the agents' polygonal traces (capped at
+        ``record_limit`` vertices each) in the result.
+    raise_on_budget:
+        If true, budget exhaustion raises :class:`SimulationBudgetExceeded`
+        instead of returning a result with ``met = False``.
+    radius_slack:
+        Additive tolerance on the visibility radius used *only* for meeting
+        detection.  The default 0.0 is the model's exact ``<= r`` test; the
+        boundary experiments (S1/S2, where the meeting happens at distance
+        exactly ``r`` with zero slack) pass a tiny positive value so that a
+        one-ulp rounding error in the trajectory does not flip the verdict.
+    """
+
+    max_time: float = 1e9
+    max_segments: int = 2_000_000
+    timebase: Union[str, Timebase, None] = "float"
+    record_trajectories: bool = False
+    record_limit: int = 100_000
+    raise_on_budget: bool = False
+    radius_slack: float = 0.0
+
+    def run(self, instance: Instance, algorithm: Any) -> SimulationResult:
+        """Simulate ``algorithm`` on ``instance`` and return the outcome."""
+        if not (math.isfinite(self.max_time) and self.max_time > 0.0):
+            raise ValueError("max_time must be positive and finite")
+        if self.max_segments <= 0:
+            raise ValueError("max_segments must be positive")
+
+        timebase = get_timebase(self.timebase)
+        wall_start = _time.perf_counter()
+
+        spec_a, spec_b = instance.agents()
+        recorder_a = (
+            TrajectoryRecorder(spec_a.start, self.record_limit)
+            if self.record_trajectories
+            else None
+        )
+        recorder_b = (
+            TrajectoryRecorder(spec_b.start, self.record_limit)
+            if self.record_trajectories
+            else None
+        )
+
+        cursor_a = _AgentCursor(
+            spec_a, _resolve_program(algorithm, instance, spec_a, "A"), timebase, recorder_a
+        )
+        cursor_b = _AgentCursor(
+            spec_b, _resolve_program(algorithm, instance, spec_b, "B"), timebase, recorder_b
+        )
+
+        if self.radius_slack < 0.0:
+            raise ValueError("radius_slack must be non-negative")
+        horizon = timebase.lift(self.max_time)
+        current = timebase.lift(0.0)
+        radius = instance.r + self.radius_slack
+
+        met = False
+        meeting_time_exact = None
+        meeting_offset = None
+        min_distance = math.inf
+        min_distance_time: Optional[float] = None
+        windows = 0
+        termination = TerminationReason.MAX_TIME
+
+        while True:
+            windows += 1
+            end_a = cursor_a.end_time()
+            end_b = cursor_b.end_time()
+            window_end = horizon
+            if end_a is not None and end_a < window_end:
+                window_end = end_a
+            if end_b is not None and end_b < window_end:
+                window_end = end_b
+
+            window = timebase.diff(window_end, current)
+            if window < 0.0:
+                window = 0.0
+
+            pos_a, vel_a = cursor_a.state_at(current)
+            pos_b, vel_b = cursor_b.state_at(current)
+
+            hit = first_time_within(pos_a, vel_a, pos_b, vel_b, radius, window)
+            approach = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, window)
+            if approach.min_distance < min_distance:
+                min_distance = approach.min_distance
+                min_distance_time = timebase.to_float(current) + approach.time_offset
+
+            if hit is not None:
+                met = True
+                termination = TerminationReason.RENDEZVOUS
+                meeting_time_exact = timebase.add(current, hit)
+                meeting_offset = hit
+                meeting_pos_a = add(pos_a, scale(vel_a, hit))
+                meeting_pos_b = add(pos_b, scale(vel_b, hit))
+                if recorder_a is not None:
+                    recorder_a.record_point(meeting_pos_a)
+                if recorder_b is not None:
+                    recorder_b.record_point(meeting_pos_b)
+                break
+
+            if cursor_a.exhausted and cursor_b.exhausted:
+                termination = TerminationReason.PROGRAMS_FINISHED
+                current = window_end
+                break
+
+            if window_end >= horizon:
+                termination = TerminationReason.MAX_TIME
+                current = horizon
+                break
+
+            current = window_end
+            cursor_a.advance_past(current)
+            cursor_b.advance_past(current)
+
+            if cursor_a.segments_consumed + cursor_b.segments_consumed > self.max_segments:
+                termination = TerminationReason.MAX_SEGMENTS
+                break
+
+        elapsed = _time.perf_counter() - wall_start
+
+        if not met and self.raise_on_budget and termination in (
+            TerminationReason.MAX_TIME,
+            TerminationReason.MAX_SEGMENTS,
+        ):
+            raise SimulationBudgetExceeded(
+                f"simulation budget exhausted ({termination.value}) after "
+                f"{cursor_a.segments_consumed + cursor_b.segments_consumed} segments"
+            )
+
+        result = SimulationResult(
+            instance=instance,
+            algorithm_name=_algorithm_name(algorithm),
+            met=met,
+            termination=termination,
+            meeting_time=(timebase.to_float(meeting_time_exact) if met else None),
+            meeting_point_a=(meeting_pos_a if met else None),
+            meeting_point_b=(meeting_pos_b if met else None),
+            min_distance=min_distance,
+            min_distance_time=min_distance_time,
+            simulated_time=timebase.to_float(current if not met else meeting_time_exact),
+            segments_a=cursor_a.segments_consumed,
+            segments_b=cursor_b.segments_consumed,
+            windows_processed=windows,
+            elapsed_wall_seconds=elapsed,
+            timebase_name=timebase.name,
+            trace_a=(recorder_a.as_polyline() if recorder_a is not None else None),
+            trace_b=(recorder_b.as_polyline() if recorder_b is not None else None),
+            meeting_time_exact=meeting_time_exact,
+        )
+        logger.debug("%s", result.summary())
+        return result
+
+
+def simulate(
+    instance: Instance,
+    algorithm: Any,
+    *,
+    max_time: float = 1e9,
+    max_segments: int = 2_000_000,
+    timebase: Union[str, Timebase, None] = "float",
+    record_trajectories: bool = False,
+    record_limit: int = 100_000,
+    raise_on_budget: bool = False,
+    radius_slack: float = 0.0,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`RendezvousSimulator` and run it once."""
+    simulator = RendezvousSimulator(
+        max_time=max_time,
+        max_segments=max_segments,
+        timebase=timebase,
+        record_trajectories=record_trajectories,
+        record_limit=record_limit,
+        raise_on_budget=raise_on_budget,
+        radius_slack=radius_slack,
+    )
+    return simulator.run(instance, algorithm)

@@ -1,0 +1,58 @@
+"""Recording of simulated trajectories (for figures and debugging)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.geometry.polyline import Polyline
+from repro.geometry.vec import Vec2, dist
+from repro.motion.compiler import TrajectorySegment
+
+
+class TrajectoryRecorder:
+    """Accumulates the polygonal trace of one agent during a simulation.
+
+    Recording every vertex of a multi-million-segment simulation would defeat
+    the purpose of the event-driven engine, so the recorder keeps at most
+    ``max_vertices`` vertices and simply stops appending beyond that (the
+    ``truncated`` flag says whether that happened).  The figure experiments
+    only ever need the first few thousand vertices.
+    """
+
+    def __init__(self, start: Vec2, max_vertices: int = 100_000) -> None:
+        if max_vertices < 2:
+            raise ValueError("max_vertices must be at least 2")
+        self._vertices: List[Vec2] = [start]
+        self._max_vertices = max_vertices
+        self.truncated = False
+
+    def record_segment(self, segment: TrajectorySegment) -> None:
+        """Append the endpoint of a trajectory segment to the trace."""
+        if self.truncated:
+            return
+        end = segment.end_pos
+        if dist(end, self._vertices[-1]) == 0.0:
+            return
+        if len(self._vertices) >= self._max_vertices:
+            self.truncated = True
+            return
+        self._vertices.append(end)
+
+    def record_point(self, point: Vec2) -> None:
+        """Append an explicit point (e.g. the meeting position)."""
+        if self.truncated:
+            return
+        if dist(point, self._vertices[-1]) == 0.0:
+            return
+        if len(self._vertices) >= self._max_vertices:
+            self.truncated = True
+            return
+        self._vertices.append(point)
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    def as_polyline(self) -> Optional[Polyline]:
+        """The recorded trace as a :class:`Polyline` (``None`` if nothing moved)."""
+        return Polyline(self._vertices)

@@ -1,0 +1,113 @@
+"""Timebases: how absolute simulation timestamps are represented.
+
+Algorithm 1 schedules waits like ``2**(15 i^2)`` local time units right next
+to moves of fractions of a unit.  With float64 timestamps the sub-unit
+structure of events is lost as soon as absolute times exceed ``2**53``; the
+*exact* timebase therefore keeps timestamps as ``fractions.Fraction`` while
+durations and geometric quantities stay floats (the elapsed offset within a
+window is exact-and-small, so converting it to float for the geometry kernel
+is harmless).
+
+The engine and the motion compiler are generic over the timebase; they only
+use the three operations below.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+TimeValue = Union[float, Fraction]
+
+
+class Timebase:
+    """Interface shared by the two timebases."""
+
+    name: str = "abstract"
+
+    def lift(self, value: float) -> TimeValue:
+        """Convert a float/int duration or timestamp into a timebase value."""
+        raise NotImplementedError
+
+    def add(self, time: TimeValue, delta: float) -> TimeValue:
+        """Advance a timestamp by a float duration."""
+        raise NotImplementedError
+
+    def diff(self, later: TimeValue, earlier: TimeValue) -> float:
+        """Return ``later - earlier`` as a float (assumed representable)."""
+        raise NotImplementedError
+
+    def to_float(self, time: TimeValue) -> float:
+        """Timestamp as a float (possibly lossy for the exact timebase)."""
+        raise NotImplementedError
+
+    def compare_key(self, time: TimeValue):
+        """A value usable for ordering comparisons (identity for both bases)."""
+        return time
+
+
+class FloatTimebase(Timebase):
+    """Plain float timestamps: fastest, exact only up to ``2**53``."""
+
+    name = "float"
+
+    def lift(self, value: float) -> float:
+        return float(value)
+
+    def add(self, time: float, delta: float) -> float:
+        return time + delta
+
+    def diff(self, later: float, earlier: float) -> float:
+        return later - earlier
+
+    def to_float(self, time: float) -> float:
+        return float(time)
+
+
+class ExactTimebase(Timebase):
+    """Exact rational timestamps (``fractions.Fraction``).
+
+    ``lift``/``add`` convert float durations with ``Fraction(float)``, which is
+    exact (floats are dyadic rationals), so no rounding ever occurs on the
+    time axis; ``diff`` is exact subtraction followed by a single conversion
+    to float, which is where the (benign, local) rounding happens.
+    """
+
+    name = "exact"
+
+    def lift(self, value) -> Fraction:
+        if isinstance(value, Fraction):
+            return value
+        return Fraction(value)
+
+    def add(self, time: Fraction, delta: float) -> Fraction:
+        return time + Fraction(delta)
+
+    def diff(self, later: Fraction, earlier: Fraction) -> float:
+        return float(later - earlier)
+
+    def to_float(self, time: Fraction) -> float:
+        return float(time)
+
+
+_REGISTRY = {
+    "float": FloatTimebase,
+    "exact": ExactTimebase,
+}
+
+
+def get_timebase(spec: Union[str, Timebase, None]) -> Timebase:
+    """Resolve a timebase from a name (``"float"``/``"exact"``), instance or ``None``.
+
+    ``None`` resolves to the float timebase.
+    """
+    if spec is None:
+        return FloatTimebase()
+    if isinstance(spec, Timebase):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown timebase {spec!r}; expected one of {sorted(_REGISTRY)} or a Timebase instance"
+        ) from None

@@ -1,0 +1,54 @@
+"""Utility layer: errors, dyadic rationals, validation helpers and timers.
+
+These are small, dependency-free building blocks used throughout the
+library.  They are deliberately kept separate from the geometric and
+simulation layers so that every higher layer can import them without
+creating cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    InvalidInstanceError,
+    SimulationBudgetExceeded,
+    AlgorithmContractError,
+    KnowledgeError,
+)
+from repro.util.dyadic import (
+    Dyadic,
+    dyadic_range,
+    dyadic_grid_1d,
+    dyadic_grid_2d,
+    dyadic_angles,
+    dyadic_ball_grid,
+)
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    require_finite,
+)
+from repro.util.timers import WallTimer, format_duration
+from repro.util.logging import get_logger
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "SimulationBudgetExceeded",
+    "AlgorithmContractError",
+    "KnowledgeError",
+    "Dyadic",
+    "dyadic_range",
+    "dyadic_grid_1d",
+    "dyadic_grid_2d",
+    "dyadic_angles",
+    "dyadic_ball_grid",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_finite",
+    "WallTimer",
+    "format_duration",
+    "get_logger",
+]

@@ -1,0 +1,144 @@
+"""Dyadic rationals and dyadic grids.
+
+The algorithms of the paper enumerate quantities of the form ``k / 2**i``
+(positions of the parallel linear searches in ``PlanarCowWalk``, rotation
+angles ``j * pi / 2**i``, guessed delays and displacements in our ``CGKK`` and
+``Latecomers`` constructions).  This module provides an exact dyadic rational
+type plus generators for the 1-D / 2-D grids and angle fans the algorithms
+sweep.
+
+Dyadic rationals are exactly representable as Python ``Fraction`` and (up to
+the usual 53-bit mantissa limits) as floats, which is why the motion layer can
+mix them freely with the float geometry kernel without rounding surprises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Dyadic:
+    """An exact dyadic rational ``numerator / 2**exponent``.
+
+    The representation is not required to be canonical (the numerator may be
+    even); :meth:`normalized` returns the canonical form.  Arithmetic between
+    dyadics stays exact; conversion to ``float`` is exact whenever the value
+    fits a double.
+    """
+
+    numerator: int
+    exponent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise ValueError("Dyadic exponent must be non-negative")
+
+    # -- conversions -------------------------------------------------------
+    def as_fraction(self) -> Fraction:
+        """Return the exact value as a :class:`fractions.Fraction`."""
+        return Fraction(self.numerator, 1 << self.exponent)
+
+    def __float__(self) -> float:
+        return self.numerator / float(1 << self.exponent)
+
+    def normalized(self) -> "Dyadic":
+        """Return the canonical representation (odd numerator or exponent 0)."""
+        num, exp = self.numerator, self.exponent
+        while exp > 0 and num % 2 == 0:
+            num //= 2
+            exp -= 1
+        return Dyadic(num, exp)
+
+    # -- arithmetic --------------------------------------------------------
+    def _aligned(self, other: "Dyadic") -> Tuple[int, int, int]:
+        exp = max(self.exponent, other.exponent)
+        a = self.numerator << (exp - self.exponent)
+        b = other.numerator << (exp - other.exponent)
+        return a, b, exp
+
+    def __add__(self, other: "Dyadic") -> "Dyadic":
+        a, b, exp = self._aligned(other)
+        return Dyadic(a + b, exp)
+
+    def __sub__(self, other: "Dyadic") -> "Dyadic":
+        a, b, exp = self._aligned(other)
+        return Dyadic(a - b, exp)
+
+    def __neg__(self) -> "Dyadic":
+        return Dyadic(-self.numerator, self.exponent)
+
+    def __mul__(self, other: "Dyadic") -> "Dyadic":
+        return Dyadic(self.numerator * other.numerator, self.exponent + other.exponent)
+
+    def __abs__(self) -> "Dyadic":
+        return Dyadic(abs(self.numerator), self.exponent)
+
+    def scaled_by_pow2(self, k: int) -> "Dyadic":
+        """Return ``self * 2**k`` (``k`` may be negative)."""
+        if k >= 0:
+            return Dyadic(self.numerator << k, self.exponent)
+        return Dyadic(self.numerator, self.exponent - k)
+
+    def is_zero(self) -> bool:
+        return self.numerator == 0
+
+
+def dyadic_range(exponent: int, start: int, stop: int) -> Iterator[Dyadic]:
+    """Yield ``k / 2**exponent`` for ``k`` in ``range(start, stop)``."""
+    for k in range(start, stop):
+        yield Dyadic(k, exponent)
+
+
+def dyadic_grid_1d(resolution: int, extent: int) -> List[float]:
+    """Return the 1-D dyadic grid ``{k / 2**resolution : |k| <= extent * 2**resolution}``.
+
+    ``resolution`` controls the spacing (``2**-resolution``) and ``extent`` the
+    half-width of the covered interval, mirroring the
+    ``PlanarCowWalk(i)`` sweep which visits ``k / 2**i`` for ``|k| <= 2**(2i)``
+    (i.e. ``extent = 2**i``).
+    """
+    if resolution < 0 or extent < 0:
+        raise ValueError("resolution and extent must be non-negative")
+    count = extent << resolution
+    step = 1.0 / (1 << resolution)
+    return [k * step for k in range(-count, count + 1)]
+
+
+def dyadic_grid_2d(resolution: int, extent: int) -> List[Tuple[float, float]]:
+    """Return the 2-D dyadic grid with the same spacing/extent on both axes."""
+    axis = dyadic_grid_1d(resolution, extent)
+    return [(x, y) for y in axis for x in axis]
+
+
+def dyadic_angles(resolution: int, *, full_turn: bool = True) -> List[float]:
+    """Return the angle fan ``{j * pi / 2**resolution}``.
+
+    With ``full_turn`` (default) ``j`` ranges over ``0 .. 2**(resolution+1)-1``
+    covering ``[0, 2*pi)``; otherwise ``j`` ranges over ``0 .. 2**resolution-1``
+    covering ``[0, pi)``.  This is exactly the family of rotated frames
+    ``Rot(j*pi/2**i)`` enumerated by Algorithm 1.
+    """
+    if resolution < 0:
+        raise ValueError("resolution must be non-negative")
+    count = (1 << (resolution + 1)) if full_turn else (1 << resolution)
+    step = math.pi / (1 << resolution)
+    return [j * step for j in range(count)]
+
+
+def dyadic_ball_grid(resolution: int, extent: int) -> List[Tuple[float, float]]:
+    """Return the dyadic grid points inside the closed disc of radius ``extent``.
+
+    Used by the guess enumerations of ``CGKK``/``Latecomers``: the guessed
+    displacement vectors are dyadic grid points of spacing ``2**-resolution``
+    within distance ``extent`` of the origin.
+    """
+    radius_sq = float(extent) * float(extent) + 1e-12
+    points = []
+    for x, y in dyadic_grid_2d(resolution, extent):
+        if x * x + y * y <= radius_sq:
+            points.append((x, y))
+    return points

@@ -1,0 +1,52 @@
+"""Exception hierarchy of the ``repro`` library.
+
+All library-specific exceptions derive from :class:`ReproError`, so callers
+can catch everything raised intentionally by the library with a single
+``except ReproError`` clause while letting programming errors (``TypeError``,
+``ValueError`` coming from numpy, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception intentionally raised by the library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """Raised when an :class:`repro.core.instance.Instance` violates the model.
+
+    Examples: non-positive visibility radius, non-positive clock rate or
+    speed, negative wake-up delay, orientation outside ``[0, 2*pi)`` or a
+    chirality different from ``+1``/``-1``.
+    """
+
+
+class SimulationBudgetExceeded(ReproError, RuntimeError):
+    """Raised (optionally) when a simulation exceeds its time/segment budget.
+
+    The engine normally reports budget exhaustion through a
+    :class:`repro.sim.results.SimulationResult` with ``met = False``; this
+    exception exists for callers that prefer *raise-on-timeout* semantics
+    (``RendezvousSimulator.run(..., raise_on_budget=True)``).
+    """
+
+
+class AlgorithmContractError(ReproError, RuntimeError):
+    """Raised when an algorithm emits an instruction violating the model.
+
+    The Section 1.2 model only allows straight-segment moves and waits with
+    finite, non-negative durations; anything else (NaN displacement, negative
+    wait, ...) is a contract violation of the algorithm implementation.
+    """
+
+
+class KnowledgeError(ReproError, RuntimeError):
+    """Raised when a *universal* algorithm asks for per-instance knowledge.
+
+    Dedicated (per-instance) algorithms receive an
+    :class:`repro.algorithms.base.AgentKnowledge`; universal algorithms must
+    work without it.  Accessing knowledge that was not granted raises this
+    error, which keeps the anonymity constraints of the paper structurally
+    enforced.
+    """

@@ -1,0 +1,30 @@
+"""Logging setup for the library.
+
+The library never configures the root logger; it only creates namespaced
+loggers under ``repro.*`` so that applications embedding the library stay in
+control of handlers and levels.  ``get_logger`` attaches a ``NullHandler`` to
+the package root once, which silences the "no handler" warning for users that
+do not configure logging at all.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_ROOT = "repro"
+_initialized = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``name`` may be a fully qualified module name (``repro.sim.engine``) or a
+    short suffix (``sim.engine``); both resolve to the same logger.
+    """
+    global _initialized
+    if not _initialized:
+        logging.getLogger(_PACKAGE_ROOT).addHandler(logging.NullHandler())
+        _initialized = True
+    if not name.startswith(_PACKAGE_ROOT):
+        name = f"{_PACKAGE_ROOT}.{name}"
+    return logging.getLogger(name)

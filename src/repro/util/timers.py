@@ -1,0 +1,74 @@
+"""Wall-clock timing helpers used by the experiment drivers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class WallTimer:
+    """A tiny context-manager stopwatch.
+
+    Example
+    -------
+    >>> with WallTimer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    started_at: Optional[float] = None
+    stopped_at: Optional[float] = None
+    _laps: list = field(default_factory=list)
+
+    def __enter__(self) -> "WallTimer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self.started_at = time.perf_counter()
+        self.stopped_at = None
+
+    def stop(self) -> float:
+        if self.started_at is None:
+            raise RuntimeError("WallTimer.stop() called before start()")
+        self.stopped_at = time.perf_counter()
+        return self.elapsed
+
+    def lap(self, label: str = "") -> float:
+        """Record a lap and return the elapsed time since start."""
+        now = time.perf_counter()
+        if self.started_at is None:
+            raise RuntimeError("WallTimer.lap() called before start()")
+        elapsed = now - self.started_at
+        self._laps.append((label, elapsed))
+        return elapsed
+
+    @property
+    def laps(self):
+        return tuple(self._laps)
+
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
+        return end - self.started_at
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an adaptive unit (us, ms, s, min)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

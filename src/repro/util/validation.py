@@ -1,0 +1,57 @@
+"""Small validation helpers shared by the constructors of the library.
+
+They raise ``ValueError`` subclasses with uniform, greppable messages, which
+keeps the dataclass ``__post_init__`` bodies short and the tests precise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def require(condition: bool, message: str, exc: type = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def require_positive(value: float, name: str, exc: type = ValueError) -> None:
+    """Require ``value > 0`` (and finite)."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise exc(f"{name} must be a positive finite number, got {value!r}")
+
+
+def require_non_negative(value: float, name: str, exc: type = ValueError) -> None:
+    """Require ``value >= 0`` (and finite)."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value >= 0):
+        raise exc(f"{name} must be a non-negative finite number, got {value!r}")
+
+
+def require_in_range(
+    value: float,
+    low: float,
+    high: float,
+    name: str,
+    *,
+    include_low: bool = True,
+    include_high: bool = False,
+    exc: type = ValueError,
+) -> None:
+    """Require ``value`` to lie in the interval ``[low, high]`` / variants."""
+    ok_low = value >= low if include_low else value > low
+    ok_high = value <= high if include_high else value < high
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and ok_low and ok_high):
+        lo_b = "[" if include_low else "("
+        hi_b = "]" if include_high else ")"
+        raise exc(f"{name} must lie in {lo_b}{low}, {high}{hi_b}, got {value!r}")
+
+
+def require_finite(value: Any, name: str, exc: type = ValueError) -> None:
+    """Require a finite real number."""
+    try:
+        ok = math.isfinite(float(value))
+    except (TypeError, ValueError):
+        ok = False
+    if not ok:
+        raise exc(f"{name} must be a finite real number, got {value!r}")

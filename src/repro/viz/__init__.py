@@ -1,0 +1,18 @@
+"""Lightweight visualization: ASCII scene rendering and figure-data export.
+
+matplotlib is *not* a dependency of this library; the figure experiments
+always emit their raw series (JSON/CSV), and this package renders quick-look
+ASCII pictures for the terminal and, when matplotlib happens to be installed,
+PNG files as well.
+"""
+
+from repro.viz.ascii_canvas import AsciiCanvas, render_scene, render_simulation
+from repro.viz.export import export_figure, export_all_figures
+
+__all__ = [
+    "AsciiCanvas",
+    "render_scene",
+    "render_simulation",
+    "export_figure",
+    "export_all_figures",
+]

@@ -1,0 +1,145 @@
+"""ASCII rendering of planar scenes (trajectories, lines, points).
+
+The renderer is deliberately simple: a fixed-size character grid, world
+coordinates mapped by a common affine transform, Bresenham-style segment
+rasterization.  It is good enough to eyeball an instance, a canonical line and
+a pair of trajectories directly in the terminal or in test output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.canonical import canonical_geometry
+from repro.core.instance import Instance
+from repro.geometry.polyline import Polyline
+from repro.geometry.vec import Vec2
+from repro.sim.results import SimulationResult
+
+Point = Tuple[float, float]
+
+
+class AsciiCanvas:
+    """A character grid with world-coordinate drawing primitives."""
+
+    def __init__(self, width: int = 72, height: int = 28, padding: float = 0.5) -> None:
+        if width < 8 or height < 4:
+            raise ValueError("canvas must be at least 8x4 characters")
+        self.width = width
+        self.height = height
+        self.padding = padding
+        self._cells: List[List[str]] = [[" "] * width for _ in range(height)]
+        self._bounds: Optional[Tuple[float, float, float, float]] = None
+
+    # -- world-to-grid mapping -------------------------------------------------------
+    def fit(self, points: Iterable[Point]) -> None:
+        """Set the world window to the bounding box of ``points`` (plus padding)."""
+        xs, ys = [], []
+        for x, y in points:
+            if math.isfinite(x) and math.isfinite(y):
+                xs.append(float(x))
+                ys.append(float(y))
+        if not xs:
+            raise ValueError("cannot fit an empty point set")
+        min_x, max_x = min(xs) - self.padding, max(xs) + self.padding
+        min_y, max_y = min(ys) - self.padding, max(ys) + self.padding
+        if max_x - min_x < 1e-9:
+            min_x, max_x = min_x - 1.0, max_x + 1.0
+        if max_y - min_y < 1e-9:
+            min_y, max_y = min_y - 1.0, max_y + 1.0
+        self._bounds = (min_x, min_y, max_x, max_y)
+
+    def _to_cell(self, point: Point) -> Optional[Tuple[int, int]]:
+        if self._bounds is None:
+            raise RuntimeError("call fit() before drawing")
+        min_x, min_y, max_x, max_y = self._bounds
+        col = int(round((point[0] - min_x) / (max_x - min_x) * (self.width - 1)))
+        row = int(round((point[1] - min_y) / (max_y - min_y) * (self.height - 1)))
+        if 0 <= col < self.width and 0 <= row < self.height:
+            # Row 0 is the top of the rendering, i.e. the largest y.
+            return self.height - 1 - row, col
+        return None
+
+    # -- drawing primitives -------------------------------------------------------------
+    def plot_point(self, point: Point, symbol: str = "*") -> None:
+        cell = self._to_cell(point)
+        if cell is not None:
+            row, col = cell
+            self._cells[row][col] = symbol[0]
+
+    def plot_segment(self, start: Point, end: Point, symbol: str = ".") -> None:
+        length = math.hypot(end[0] - start[0], end[1] - start[1])
+        steps = max(2, int(length / self._world_step()) * 2)
+        for k in range(steps + 1):
+            fraction = k / steps
+            self.plot_point(
+                (start[0] + fraction * (end[0] - start[0]), start[1] + fraction * (end[1] - start[1])),
+                symbol,
+            )
+
+    def plot_polyline(self, polyline: Sequence[Point], symbol: str = ".") -> None:
+        points = list(polyline)
+        for start, end in zip(points, points[1:]):
+            self.plot_segment(start, end, symbol)
+
+    def _world_step(self) -> float:
+        min_x, min_y, max_x, max_y = self._bounds
+        return max((max_x - min_x) / self.width, (max_y - min_y) / self.height)
+
+    # -- output ----------------------------------------------------------------------------
+    def render(self) -> str:
+        border = "+" + "-" * self.width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in self._cells)
+        return f"{border}\n{body}\n{border}"
+
+
+def render_scene(
+    instance: Instance,
+    *,
+    trajectories: Optional[Sequence[Polyline]] = None,
+    width: int = 72,
+    height: int = 28,
+    show_canonical_line: bool = True,
+) -> str:
+    """Render an instance (start positions, canonical line, optional trajectories)."""
+    geometry = canonical_geometry(instance)
+    start_a: Vec2 = (0.0, 0.0)
+    start_b: Vec2 = (instance.x, instance.y)
+
+    points: List[Point] = [start_a, start_b, geometry.proj_a, geometry.proj_b]
+    polylines: List[Sequence[Point]] = []
+    if trajectories:
+        for trace in trajectories:
+            if trace is not None:
+                polylines.append(list(trace))
+                points.extend(trace)
+
+    canvas = AsciiCanvas(width, height)
+    canvas.fit(points)
+
+    if show_canonical_line:
+        half_span = max(instance.initial_distance, 1.0) * 1.5
+        canvas.plot_segment(
+            geometry.line.point_at(-half_span), geometry.line.point_at(half_span), "-"
+        )
+    symbols = [".", ","]
+    for index, polyline in enumerate(polylines):
+        canvas.plot_polyline(polyline, symbols[index % len(symbols)])
+    canvas.plot_point(start_a, "A")
+    canvas.plot_point(start_b, "B")
+    return canvas.render()
+
+
+def render_simulation(result: SimulationResult, *, width: int = 72, height: int = 28) -> str:
+    """Render a simulation result: traces (if recorded), start and meeting points."""
+    traces = [trace for trace in (result.trace_a, result.trace_b) if trace is not None]
+    picture = render_scene(
+        result.instance, trajectories=traces, width=width, height=height
+    )
+    lines = [picture, result.summary()]
+    if result.met and result.meeting_point_a is not None:
+        lines.append(
+            f"meeting near ({result.meeting_point_a[0]:.3g}, {result.meeting_point_a[1]:.3g})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Export figure experiments to files (JSON always, PNG when matplotlib exists)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.experiments.figures import all_figures
+from repro.experiments.report import ExperimentResult, results_directory, write_json
+from repro.util.logging import get_logger
+
+logger = get_logger("viz.export")
+
+
+def _matplotlib():
+    """Return the pyplot module if matplotlib is installed, else ``None``."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        return plt
+    except Exception:  # pragma: no cover - depends on the environment
+        return None
+
+
+def _plot_series(plt, series: Dict[str, object], path: str) -> None:  # pragma: no cover
+    """Best-effort 2-D plot of a figure's named series."""
+    figure, axes = plt.subplots(figsize=(6.0, 6.0))
+    for name, points in series.items():
+        if isinstance(points, dict):
+            # Nested case dictionaries (figures 4 and 5): flatten one level.
+            for sub_name, sub_points in points.items():
+                if isinstance(sub_points, (list, tuple)) and sub_points:
+                    xs = [p[0] for p in sub_points if p is not None]
+                    ys = [p[1] for p in sub_points if p is not None]
+                    axes.plot(xs, ys, marker="o", markersize=2, label=f"{name}/{sub_name}")
+        elif isinstance(points, (list, tuple)) and points:
+            xs = [p[0] for p in points if p is not None]
+            ys = [p[1] for p in points if p is not None]
+            axes.plot(xs, ys, marker="o", markersize=3, label=name)
+    axes.set_aspect("equal", adjustable="datalim")
+    axes.legend(fontsize=6, loc="best")
+    figure.savefig(path, dpi=150, bbox_inches="tight")
+    plt.close(figure)
+
+
+def export_figure(result: ExperimentResult, directory: Optional[str] = None) -> Dict[str, str]:
+    """Write one figure's data (JSON) and, when possible, a PNG rendering."""
+    directory = results_directory(directory)
+    base = os.path.join(directory, result.name.replace(" ", "_"))
+    paths = {"json": write_json(result.extra, base + "_series.json")}
+    series = result.extra.get("series")
+    plt = _matplotlib()
+    if plt is not None and isinstance(series, dict):  # pragma: no cover - optional dep
+        png_path = base + ".png"
+        try:
+            _plot_series(plt, series, png_path)
+            paths["png"] = png_path
+        except Exception as error:
+            logger.warning("matplotlib rendering of %s failed: %s", result.name, error)
+    return paths
+
+
+def export_all_figures(directory: Optional[str] = None) -> List[Dict[str, str]]:
+    """Generate and export every figure (FIG-1 .. FIG-5)."""
+    return [export_figure(figure, directory) for figure in all_figures()]

@@ -1,0 +1,69 @@
+"""Shared fixtures: representative instances of every class and common helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.exceptions import make_s1_instance, make_s2_instance
+from repro.core.instance import Instance
+from repro.sim.engine import RendezvousSimulator
+
+
+@pytest.fixture
+def trivial_instance() -> Instance:
+    """Agents already within the visibility radius."""
+    return Instance(r=2.0, x=1.0, y=0.5)
+
+
+@pytest.fixture
+def type1_instance() -> Instance:
+    """Synchronous, opposite chiralities, delay above the projection threshold."""
+    return Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0)
+
+
+@pytest.fixture
+def type2_instance() -> Instance:
+    """Synchronous, identical frames, delay above the distance threshold."""
+    return Instance(r=0.6, x=1.0, y=0.0, phi=0.0, chi=1, t=1.5)
+
+
+@pytest.fixture
+def type3_instance() -> Instance:
+    """Different clock rates."""
+    return Instance(r=0.5, x=1.0, y=0.0, tau=0.5, v=1.0, t=0.0)
+
+
+@pytest.fixture
+def type4_instance() -> Instance:
+    """Synchronous, same chirality, rotated frames."""
+    return Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1, t=0.5)
+
+
+@pytest.fixture
+def s1_instance() -> Instance:
+    """Exception set S1 with exactly representable geometry (3-4-5 triangle)."""
+    return make_s1_instance(3.0, 4.0, 1.0)
+
+
+@pytest.fixture
+def s2_instance() -> Instance:
+    """Exception set S2 with exactly representable geometry (phi = 0)."""
+    return make_s2_instance(2.0, 1.0, 0.0, 0.5)
+
+
+@pytest.fixture
+def infeasible_instance() -> Instance:
+    """Synchronous, identical frames, delay below the distance threshold."""
+    return Instance(r=0.5, x=3.0, y=0.0, phi=0.0, chi=1, t=0.5)
+
+
+@pytest.fixture
+def fast_simulator() -> RendezvousSimulator:
+    """A simulator with budgets suited to unit tests."""
+    return RendezvousSimulator(max_time=1e7, max_segments=200_000)
+
+
+@pytest.fixture
+def exact_simulator() -> RendezvousSimulator:
+    """Exact-timebase simulator for runs that cross huge waits."""
+    return RendezvousSimulator(max_time=1e45, max_segments=400_000, timebase="exact")

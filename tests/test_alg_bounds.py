@@ -1,0 +1,114 @@
+"""Tests for the analytical phase bounds (Lemmas 3.2-3.5) and cost estimates."""
+
+import math
+
+import pytest
+
+from repro.algorithms.bounds import (
+    PhaseCost,
+    cgkk_completion_bound,
+    estimate_simulation_cost,
+    latecomers_completion_bound,
+    phase_cost,
+    type1_phase_bound,
+    type2_phase_bound,
+    type3_phase_bound,
+    type4_phase_bound,
+    universal_phase_bound,
+)
+from repro.algorithms.cow_walk import planar_cow_walk_segment_count
+from repro.algorithms.schedules import CompactSchedule, PaperSchedule
+from repro.core.instance import Instance
+
+
+class TestCompletionBounds:
+    def test_latecomers_completion_positive_and_exceeds_delay_phase(self, type2_instance):
+        delta = latecomers_completion_bound(type2_instance)
+        assert delta > 0.0
+        # The bound must at least include one full probe of the phase where
+        # the delay fits (wait 2**k >= t).
+        assert delta >= type2_instance.t
+
+    def test_latecomers_completion_requires_contract(self, infeasible_instance):
+        with pytest.raises(ValueError):
+            latecomers_completion_bound(infeasible_instance)
+
+    def test_cgkk_completion_positive(self, type4_instance):
+        assert cgkk_completion_bound(type4_instance.halved_radius_no_delay()) > 0.0
+
+    def test_cgkk_completion_requires_contract(self):
+        with pytest.raises(ValueError):
+            cgkk_completion_bound(Instance(r=0.5, x=3.0, y=0.0))
+
+
+class TestPhaseBounds:
+    def test_type1(self, type1_instance):
+        bound = type1_phase_bound(type1_instance)
+        assert bound >= 1
+        # More slack (larger e) can only help: the bound must not grow when
+        # the delay increases by a little.
+        looser = type1_instance.with_delay(type1_instance.t + 0.5)
+        assert type1_phase_bound(looser) <= bound + 1
+
+    def test_type1_requires_positive_slack(self, infeasible_instance):
+        with pytest.raises(ValueError):
+            type1_phase_bound(Instance(r=0.5, x=4.0, y=0.0, chi=-1, t=1.0))
+
+    def test_type2(self, type2_instance):
+        assert type2_phase_bound(type2_instance) >= 1
+
+    def test_type3(self, type3_instance):
+        bound = type3_phase_bound(type3_instance)
+        assert bound >= 1
+        # Smaller radius -> finer sweeps -> larger (or equal) phase bound.
+        finer = type3_instance.with_visibility_radius(type3_instance.r / 8.0)
+        assert type3_phase_bound(finer) >= bound
+
+    def test_type3_requires_different_clocks(self, type4_instance):
+        with pytest.raises(ValueError):
+            type3_phase_bound(type4_instance)
+
+    def test_type4(self, type4_instance):
+        assert type4_phase_bound(type4_instance) >= 1
+
+    def test_universal_dispatch(self, trivial_instance, type1_instance, type2_instance,
+                                type3_instance, type4_instance, s1_instance,
+                                infeasible_instance):
+        assert universal_phase_bound(trivial_instance) == 0
+        assert universal_phase_bound(type1_instance) == type1_phase_bound(type1_instance)
+        assert universal_phase_bound(type2_instance) == type2_phase_bound(type2_instance)
+        assert universal_phase_bound(type3_instance) == type3_phase_bound(type3_instance)
+        assert universal_phase_bound(type4_instance) == type4_phase_bound(type4_instance)
+        assert universal_phase_bound(s1_instance) is None
+        assert universal_phase_bound(infeasible_instance) is None
+
+
+class TestPhaseCost:
+    def test_block1_dominates_and_counts_planar_walks(self):
+        cost = phase_cost(2)
+        assert isinstance(cost, PhaseCost)
+        assert cost.segments >= 8 * planar_cow_walk_segment_count(2)
+        assert cost.local_duration > 2.0**60  # the block-3 wait of phase 2
+
+    def test_compact_schedule_has_smaller_duration(self):
+        paper = phase_cost(3, PaperSchedule())
+        compact = phase_cost(3, CompactSchedule())
+        assert compact.local_duration < paper.local_duration
+        assert compact.segments == paper.segments
+
+    def test_cost_grows_with_phase(self):
+        costs = [phase_cost(i).segments for i in range(1, 5)]
+        assert costs == sorted(costs)
+        assert costs[-1] > 10 * costs[0]
+
+    def test_estimate_simulation_cost(self, type4_instance, s2_instance):
+        estimate = estimate_simulation_cost(type4_instance)
+        assert estimate is not None
+        assert estimate.phase == universal_phase_bound(type4_instance)
+        assert estimate.segments > 0
+        assert estimate_simulation_cost(s2_instance) is None
+
+    def test_estimate_is_cumulative(self, type4_instance):
+        estimate = estimate_simulation_cost(type4_instance)
+        total = sum(phase_cost(i).segments for i in range(1, estimate.phase + 1))
+        assert estimate.segments == total

@@ -1,0 +1,205 @@
+"""Tests for the CGKK and Latecomers substitute procedures and their contracts."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.cgkk import (
+    CGKK,
+    cgkk_meeting_phase_bound,
+    cgkk_probe_schedule,
+    cgkk_program,
+    cgkk_relative_map,
+    cgkk_supported,
+    cgkk_target_displacement,
+)
+from repro.algorithms.latecomers import (
+    Latecomers,
+    latecomers_meeting_phase_bound,
+    latecomers_probe_schedule,
+    latecomers_program,
+    latecomers_supported,
+    latecomers_target_displacement,
+)
+from repro.core.instance import Instance
+from repro.motion.instructions import Move, Wait
+from repro.sim.engine import simulate
+
+
+class TestCGKKStructure:
+    def test_probes_come_in_out_and_back_pairs(self):
+        instructions = list(itertools.islice(cgkk_program(), 20))
+        for out_leg, back_leg in zip(instructions[0::2], instructions[1::2]):
+            assert isinstance(out_leg, Move) and isinstance(back_leg, Move)
+            assert back_leg.dx == -out_leg.dx and back_leg.dy == -out_leg.dy
+
+    def test_probe_schedule_orders_by_norm_within_phase(self):
+        phase1 = [p for k, p in itertools.takewhile(lambda kp: kp[0] == 1, cgkk_probe_schedule())]
+        norms = [math.hypot(*p) for p in phase1]
+        assert norms == sorted(norms)
+        assert (0.0, 0.0) not in phase1
+
+    def test_probe_schedule_phases_grow(self):
+        probes = list(itertools.islice(cgkk_probe_schedule(max_phase=2), 1000))
+        assert {k for k, _ in probes} == {1, 2}
+        extents = [max(abs(p[0]), abs(p[1])) for k, p in probes if k == 2]
+        assert max(extents) == pytest.approx(2.0)
+
+
+class TestCGKKAnalysis:
+    def test_relative_map_identity_minus_for_aligned(self):
+        inst = Instance(r=0.5, x=1.0, y=0.0, phi=0.0, v=1.0)
+        assert abs(cgkk_relative_map(inst).determinant()) < 1e-12
+        assert not cgkk_supported(inst)
+
+    def test_supported_rotated(self):
+        inst = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1)
+        assert cgkk_supported(inst)
+
+    def test_supported_speed_difference(self):
+        inst = Instance(r=0.5, x=1.0, y=0.0, v=2.0)
+        assert cgkk_supported(inst)
+
+    def test_not_supported_different_clock(self):
+        inst = Instance(r=0.5, x=1.0, y=0.0, tau=2.0, v=2.0)
+        assert not cgkk_supported(inst)
+
+    def test_reflection_with_unit_speed_not_supported(self):
+        inst = Instance(r=0.5, x=1.0, y=0.0, chi=-1, v=1.0)
+        assert not cgkk_supported(inst)
+
+    def test_target_displacement_right_angle(self):
+        inst = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1)
+        target = cgkk_target_displacement(inst)
+        assert target == pytest.approx((0.0, 1.0), abs=1e-12)
+
+    def test_target_displacement_closes_gap(self):
+        """Executing Move(u*) simultaneously must put both agents on the same point."""
+        inst = Instance(r=0.5, x=1.5, y=-0.5, phi=2.1, chi=1, v=1.0)
+        ux, uy = cgkk_target_displacement(inst)
+        spec_b = inst.agent_b()
+        end_a = (ux, uy)
+        disp_b = spec_b.frame.local_vector_to_absolute((ux, uy))
+        end_b = (inst.x + disp_b[0] * spec_b.units.length_unit,
+                 inst.y + disp_b[1] * spec_b.units.length_unit)
+        assert end_a == pytest.approx(end_b, abs=1e-9)
+
+    def test_phase_bound_is_positive(self):
+        inst = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1)
+        assert cgkk_meeting_phase_bound(inst) >= 1
+
+
+class TestCGKKContract:
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1, t=0.0),
+            Instance(r=0.4, x=-1.0, y=0.5, phi=math.pi, chi=1, t=0.0),
+            Instance(r=0.3, x=1.0, y=0.0, phi=0.0, chi=1, v=2.0, t=0.0),
+            Instance(r=0.3, x=0.5, y=1.0, phi=1.0, chi=-1, v=0.5, t=0.0),
+            Instance(r=0.25, x=2.0, y=1.0, phi=math.pi / 4.0, chi=1, t=0.0),
+        ],
+    )
+    def test_rendezvous_on_contract_instances(self, instance):
+        assert cgkk_supported(instance)
+        result = simulate(instance, CGKK(), max_time=1e6, max_segments=300_000)
+        assert result.met
+
+    def test_no_rendezvous_for_identical_attributes(self):
+        # Identical frames, clocks, speeds and simultaneous start: the relative
+        # position can never change, whatever the algorithm does.
+        instance = Instance(r=0.5, x=3.0, y=0.0, t=0.0)
+        result = simulate(instance, CGKK(), max_time=1e3, max_segments=50_000)
+        assert not result.met
+        assert result.min_distance == pytest.approx(3.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(0.3, 1.0),
+        st.floats(0.5, 2.0),
+        st.floats(0.3, 2.0 * math.pi - 0.3),
+        st.floats(-2.0, 2.0),
+        st.floats(-2.0, 2.0),
+    )
+    def test_rendezvous_random_rotated_instances(self, r, v, phi, x, y):
+        if math.hypot(x, y) <= r or math.hypot(x, y) < 0.2:
+            return
+        instance = Instance(r=r, x=x, y=y, phi=phi, chi=1, v=v, t=0.0)
+        if not cgkk_supported(instance):
+            return
+        result = simulate(instance, CGKK(), max_time=1e7, max_segments=400_000)
+        assert result.met
+
+
+class TestLatecomersStructure:
+    def test_probe_structure(self):
+        instructions = list(itertools.islice(latecomers_program(), 30))
+        # Pattern: Wait, Move(w), Move(-w), Wait, ...
+        for index in range(0, 30, 3):
+            assert isinstance(instructions[index], Wait)
+            assert isinstance(instructions[index + 1], Move)
+            assert isinstance(instructions[index + 2], Move)
+            assert instructions[index + 2].dx == -instructions[index + 1].dx
+
+    def test_wait_grows_with_phase(self):
+        probes = list(itertools.islice(latecomers_probe_schedule(max_phase=3), 10_000))
+        phases = {k for k, _ in probes}
+        assert phases == {1, 2, 3}
+
+
+class TestLatecomersAnalysis:
+    def test_supported_predicate(self):
+        assert latecomers_supported(Instance(r=0.6, x=1.0, y=0.0, t=1.5))
+        assert not latecomers_supported(Instance(r=0.6, x=1.0, y=0.0, t=0.2))
+        assert not latecomers_supported(Instance(r=0.6, x=1.0, y=0.0, t=1.5, phi=1.0))
+        assert not latecomers_supported(Instance(r=0.6, x=1.0, y=0.0, t=1.5, chi=-1))
+        assert not latecomers_supported(Instance(r=0.6, x=1.0, y=0.0, t=1.5, tau=2.0))
+
+    def test_target_displacement_clipped_by_delay(self):
+        # When t < dist the best window displacement has length exactly t.
+        inst = Instance(r=0.9, x=2.0, y=0.0, t=1.5)
+        assert latecomers_target_displacement(inst) == pytest.approx((1.5, 0.0))
+        # When t >= dist the target is (x, y) itself.
+        inst2 = Instance(r=0.5, x=2.0, y=0.0, t=3.0)
+        assert latecomers_target_displacement(inst2) == pytest.approx((2.0, 0.0))
+
+    def test_phase_bound_requires_contract(self):
+        with pytest.raises(ValueError):
+            latecomers_meeting_phase_bound(Instance(r=0.5, x=3.0, y=0.0, t=0.1))
+        assert latecomers_meeting_phase_bound(Instance(r=0.6, x=1.0, y=0.0, t=1.5)) >= 1
+
+
+class TestLatecomersContract:
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            Instance(r=0.6, x=1.0, y=0.0, t=1.5),
+            Instance(r=0.5, x=0.0, y=2.0, t=2.25),
+            Instance(r=0.5, x=1.0, y=1.0, t=2.0),
+            Instance(r=0.75, x=-2.0, y=0.0, t=1.5),
+        ],
+    )
+    def test_rendezvous_on_contract_instances(self, instance):
+        assert latecomers_supported(instance)
+        result = simulate(instance, Latecomers(), max_time=1e6, max_segments=400_000)
+        assert result.met
+
+    def test_no_rendezvous_below_threshold(self):
+        # t < dist - r: infeasible, so in particular Latecomers cannot meet.
+        instance = Instance(r=0.5, x=3.0, y=0.0, t=1.0)
+        result = simulate(instance, Latecomers(), max_time=2e3, max_segments=100_000)
+        assert not result.met
+        # The closest approach can never beat dist - t.
+        assert result.min_distance >= instance.initial_distance - instance.t - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.4, 1.0), st.floats(-2.0, 2.0), st.floats(-2.0, 2.0), st.floats(0.1, 2.0))
+    def test_rendezvous_random_instances(self, r, x, y, slack):
+        distance = math.hypot(x, y)
+        if distance <= r or distance < 0.3:
+            return
+        instance = Instance(r=r, x=x, y=y, t=distance - r + slack)
+        result = simulate(instance, Latecomers(), max_time=1e7, max_segments=400_000)
+        assert result.met

@@ -1,0 +1,104 @@
+"""Tests for LinearCowWalk / PlanarCowWalk (Algorithms 2 and 3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.cow_walk import (
+    LinearCowWalk,
+    PlanarCowWalk,
+    linear_cow_walk,
+    linear_cow_walk_duration,
+    linear_cow_walk_segment_count,
+    planar_cow_walk,
+    planar_cow_walk_duration,
+    planar_cow_walk_segment_count,
+)
+from repro.motion.instructions import Move
+from repro.motion.localpath import LocalPath
+
+
+class TestLinearCowWalk:
+    def test_zero_steps_is_empty(self):
+        assert list(linear_cow_walk(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(linear_cow_walk(-1))
+
+    def test_structure_of_first_step(self):
+        moves = list(linear_cow_walk(1))
+        assert moves == [Move(2.0, 0.0), Move(-4.0, 0.0), Move(2.0, 0.0)]
+
+    def test_stays_on_x_axis(self):
+        assert all(move.dy == 0.0 for move in linear_cow_walk(5))
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 4, 6])
+    def test_returns_to_start(self, i):
+        path = LocalPath.from_instructions(linear_cow_walk(i))
+        assert path.is_closed(tol=1e-9)
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 4, 6])
+    def test_duration_and_segment_formulas(self, i):
+        path = LocalPath.from_instructions(linear_cow_walk(i))
+        assert path.total_duration() == pytest.approx(linear_cow_walk_duration(i))
+        assert len(path) == linear_cow_walk_segment_count(i)
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 4])
+    def test_reaches_both_extremes(self, i):
+        """Step j visits every point of the line within 2**j of the start."""
+        path = LocalPath.from_instructions(linear_cow_walk(i))
+        xs = [p[0] for p in path.vertices()]
+        assert max(xs) == pytest.approx(2.0**i)
+        assert min(xs) == pytest.approx(-(2.0**i))
+
+    def test_algorithm_wrapper(self):
+        alg = LinearCowWalk(3)
+        assert alg.name == "linear-cow-walk(3)"
+        assert len(list(alg.program())) == 9
+
+
+class TestPlanarCowWalk:
+    @pytest.mark.parametrize("i", [0, 1, 2])
+    def test_returns_to_start(self, i):
+        path = LocalPath.from_instructions(planar_cow_walk(i))
+        assert path.is_closed(tol=1e-9)
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_duration_and_segment_formulas(self, i):
+        path = LocalPath.from_instructions(planar_cow_walk(i))
+        assert path.total_duration() == pytest.approx(planar_cow_walk_duration(i))
+        assert len([s for s in path]) == planar_cow_walk_segment_count(i)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(planar_cow_walk(-2))
+
+    @pytest.mark.parametrize("i", [1, 2])
+    def test_visits_all_dyadic_rows(self, i):
+        """The walk performs a LinearCowWalk from every row k/2**i, |k| <= 2**(2i)."""
+        path = LocalPath.from_instructions(planar_cow_walk(i))
+        ys = {round(p[1], 9) for p in path.vertices()}
+        expected_rows = {round(k / 2.0**i, 9) for k in range(-(2 ** (2 * i)), 2 ** (2 * i) + 1)}
+        assert expected_rows.issubset(ys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 2),
+        st.floats(-2.0, 2.0),
+        st.floats(-2.0, 2.0),
+    )
+    def test_claim_3_7_coverage(self, i, px, py):
+        """Claim 3.7: the walk passes within 2**-i (locally) of every point
+        at distance at most 2**i from the start."""
+        if math.hypot(px, py) > 2.0**i:
+            return
+        path = LocalPath.from_instructions(planar_cow_walk(i))
+        polyline = path.as_polyline()
+        assert polyline.distance_to_point((px, py)) <= 2.0**-i + 1e-9
+
+    def test_algorithm_wrapper(self):
+        alg = PlanarCowWalk(2)
+        assert alg.name == "planar-cow-walk(2)"
+        assert LocalPath.from_instructions(alg.program()).is_closed()

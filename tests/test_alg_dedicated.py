@@ -1,0 +1,272 @@
+"""Tests for the dedicated (per-instance) algorithms — the Theorem 3.1 witnesses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.base import AgentKnowledge
+from repro.algorithms.dedicated import (
+    AlignedDelayWalk,
+    AsynchronousWaitAndSweep,
+    DedicatedRendezvous,
+    Lemma39Boundary,
+    LinearProbe,
+    OppositeChiralityLineSearch,
+    StayPut,
+    dedicated_witness,
+    linear_probe_displacement,
+    relative_displacement_map,
+)
+from repro.analysis.exceptions import make_s1_instance, make_s2_instance
+from repro.core.canonical import projection_distance
+from repro.core.classification import InstanceClass, classify
+from repro.core.feasibility import is_feasible
+from repro.core.instance import Instance
+from repro.sim.engine import simulate
+from repro.util.errors import KnowledgeError
+
+
+class TestAgentKnowledge:
+    def test_knowledge_for_reference_agent(self):
+        instance = Instance(r=0.5, x=4.0, y=2.0, phi=0.0, chi=-1, t=1.0)
+        knowledge = AgentKnowledge.for_agent(instance, instance.agent_a(), "A")
+        assert knowledge.r_local == 0.5
+        assert knowledge.canonical_distance_local == pytest.approx(1.0)
+        assert knowledge.to_canonical_projection_local == pytest.approx((0.0, 1.0))
+        assert knowledge.proj_distance == pytest.approx(4.0)
+        assert knowledge.initial_distance == pytest.approx(math.hypot(4.0, 2.0))
+
+    def test_knowledge_scales_with_length_unit(self):
+        instance = Instance(r=1.0, x=4.0, y=2.0, tau=2.0, v=1.0)
+        knowledge = AgentKnowledge.for_agent(instance, instance.agent_b(), "B")
+        assert knowledge.r_local == pytest.approx(0.5)  # r divided by B's unit (2)
+
+    def test_both_agents_equidistant_from_canonical_line(self):
+        instance = Instance(r=0.5, x=3.0, y=2.0, phi=1.2, chi=-1)
+        ka = AgentKnowledge.for_agent(instance, instance.agent_a(), "A")
+        kb = AgentKnowledge.for_agent(instance, instance.agent_b(), "B")
+        assert ka.canonical_distance_local == pytest.approx(kb.canonical_distance_local)
+
+
+class TestStayPut:
+    def test_meets_trivial(self, trivial_instance):
+        assert simulate(trivial_instance, StayPut()).met
+
+    def test_program_is_empty(self):
+        assert list(StayPut().program()) == []
+
+
+class TestLinearProbe:
+    def test_supports_matches_map_singularity(self):
+        probe = LinearProbe()
+        assert probe.supports(Instance(r=0.5, x=1.0, y=1.0, phi=1.0, chi=1))
+        assert probe.supports(Instance(r=0.5, x=1.0, y=1.0, v=2.0))
+        assert not probe.supports(Instance(r=0.5, x=1.0, y=1.0, phi=0.0, chi=1))
+        assert not probe.supports(Instance(r=0.5, x=1.0, y=1.0, chi=-1))  # reflection, v=1
+        # tau * v = 1 keeps the length unit 1: singular again for aligned frames.
+        assert not probe.supports(Instance(r=0.5, x=1.0, y=1.0, tau=2.0, v=0.5))
+
+    def test_unsupported_instance_raises(self):
+        with pytest.raises(KnowledgeError):
+            simulate(Instance(r=0.5, x=2.0, y=0.0), LinearProbe())
+
+    def test_displacement_solves_relative_equation(self):
+        instance = Instance(r=0.5, x=1.0, y=-2.0, phi=2.5, chi=-1, tau=1.0, v=1.5, t=0.7)
+        u = linear_probe_displacement(instance)
+        image = relative_displacement_map(instance)(u)
+        assert image == pytest.approx((-instance.x, -instance.y), abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1),          # clause 2a
+            Instance(r=0.5, x=2.0, y=-1.0, phi=1.0, chi=1, t=3.0),            # clause 2a, delayed
+            Instance(r=0.5, x=1.0, y=0.0, v=2.0, t=1.0),                      # different speed
+            Instance(r=0.3, x=-1.0, y=2.0, phi=2.0, chi=-1, v=0.5, t=2.0),    # mirrored, slow
+            Instance(r=0.3, x=1.0, y=2.0, tau=0.5, v=1.0, t=0.5),             # different clock
+        ],
+    )
+    def test_rendezvous(self, instance):
+        result = simulate(instance, LinearProbe(), max_time=1e5)
+        assert result.met
+        assert result.segments_total <= 4
+
+
+class TestAsynchronousWaitAndSweep:
+    def test_supports_only_different_clocks(self):
+        sweep = AsynchronousWaitAndSweep()
+        assert sweep.supports(Instance(r=0.5, x=1.0, y=0.0, tau=2.0))
+        assert not sweep.supports(Instance(r=0.5, x=1.0, y=0.0, v=2.0))
+
+    def test_parameters_cover_distance(self):
+        instance = Instance(r=0.5, x=3.0, y=0.0, tau=2.0)
+        resolution, delta = AsynchronousWaitAndSweep.parameters(instance)
+        fast_unit = 1.0  # A has the faster clock here
+        assert 2.0**resolution * fast_unit >= instance.initial_distance
+        assert delta > 0.0
+
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            Instance(r=0.5, x=2.0, y=0.0, tau=2.0, v=1.0, t=1.0),
+            Instance(r=0.5, x=1.0, y=1.0, tau=0.5, v=1.0, t=0.0),
+            Instance(r=0.4, x=-2.0, y=1.0, tau=3.0, v=0.5, t=2.0, chi=-1, phi=1.0),
+            Instance(r=0.5, x=1.0, y=-1.0, tau=0.25, v=2.0, t=0.5, phi=3.0),
+        ],
+    )
+    def test_rendezvous(self, instance):
+        result = simulate(instance, AsynchronousWaitAndSweep(), max_time=1e9)
+        assert result.met
+
+
+class TestAlignedDelayWalk:
+    def test_supports(self):
+        walk = AlignedDelayWalk()
+        assert walk.supports(Instance(r=0.5, x=3.0, y=0.0, t=4.0))
+        assert walk.supports(make_s1_instance(3.0, 4.0, 1.0))
+        assert not walk.supports(Instance(r=0.5, x=3.0, y=0.0, t=1.0))
+        assert not walk.supports(Instance(r=0.5, x=3.0, y=0.0, t=4.0, phi=1.0))
+
+    def test_rendezvous_interior(self, type2_instance):
+        result = simulate(type2_instance, AlignedDelayWalk())
+        assert result.met
+
+    def test_rendezvous_large_delay_catches_resting_agent(self):
+        # t > dist + r: the later agent walks through the earlier agent's rest point.
+        instance = Instance(r=0.5, x=2.0, y=0.0, t=10.0)
+        result = simulate(instance, AlignedDelayWalk())
+        assert result.met
+
+    def test_boundary_meets_at_exactly_r(self, s1_instance):
+        result = simulate(s1_instance, AlignedDelayWalk())
+        assert result.met
+        assert result.meeting_distance == pytest.approx(s1_instance.r, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.3, 1.0), st.floats(-3.0, 3.0), st.floats(-3.0, 3.0), st.floats(0.0, 3.0))
+    def test_rendezvous_random(self, r, x, y, slack):
+        distance = math.hypot(x, y)
+        if distance <= r + 0.05:
+            return
+        instance = Instance(r=r, x=x, y=y, t=distance - r + slack)
+        assert simulate(instance, AlignedDelayWalk(), radius_slack=1e-9).met
+
+
+class TestOppositeChiralityLineSearch:
+    def test_supports(self):
+        search = OppositeChiralityLineSearch()
+        assert search.supports(Instance(r=0.5, x=2.0, y=1.0, chi=-1, t=2.0))
+        assert search.supports(make_s2_instance(2.0, 1.0, 0.0, 0.5))
+        assert not search.supports(Instance(r=0.5, x=2.0, y=1.0, chi=1, t=2.0))
+        assert not search.supports(Instance(r=0.5, x=4.0, y=1.0, chi=-1, t=0.5))
+
+    def test_rendezvous_interior(self, type1_instance):
+        assert simulate(type1_instance, OppositeChiralityLineSearch(), max_time=1e6).met
+
+    def test_rendezvous_rotated_mirrored(self):
+        instance = Instance(r=0.5, x=2.0, y=1.0, phi=math.pi / 2.0, chi=-1, t=3.0)
+        assert simulate(instance, OppositeChiralityLineSearch(), max_time=1e6).met
+
+    def test_boundary_instance(self, s2_instance):
+        result = simulate(s2_instance, OppositeChiralityLineSearch(), max_time=1e6, radius_slack=1e-9)
+        assert result.met
+
+    def test_zero_projection_distance(self):
+        # Agents symmetric about the canonical line: the projections coincide,
+        # every delay is feasible.
+        instance = Instance(r=0.5, x=0.0, y=3.0, phi=0.0, chi=-1, t=0.5)
+        assert projection_distance(instance) == pytest.approx(0.0)
+        assert simulate(instance, OppositeChiralityLineSearch(), max_time=1e6).met
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(0.3, 1.0),
+        st.floats(-3.0, 3.0),
+        st.floats(-3.0, 3.0),
+        st.floats(0.0, 2.0 * math.pi - 1e-6),
+        st.floats(0.05, 3.0),
+    )
+    def test_rendezvous_random(self, r, x, y, phi, slack):
+        if math.hypot(x, y) <= r + 0.05:
+            return
+        base = Instance(r=r, x=x, y=y, phi=phi, chi=-1, t=0.0)
+        t = max(projection_distance(base) - r, 0.0) + slack
+        instance = base.with_delay(t)
+        assert simulate(instance, OppositeChiralityLineSearch(), max_time=1e7,
+                        max_segments=300_000, radius_slack=1e-9).met
+
+
+class TestLemma39Boundary:
+    def test_supports_only_boundary(self, s2_instance, type1_instance):
+        boundary = Lemma39Boundary()
+        assert boundary.supports(s2_instance)
+        assert not boundary.supports(type1_instance)
+        assert not boundary.supports(Instance(r=0.5, x=2.0, y=1.0, chi=1, t=1.5))
+
+    def test_meets_at_exactly_r(self, s2_instance):
+        result = simulate(s2_instance, Lemma39Boundary(), radius_slack=1e-12)
+        assert result.met
+        assert result.meeting_distance == pytest.approx(s2_instance.r, abs=1e-9)
+
+    def test_projB_south_case(self):
+        instance = make_s2_instance(-2.0, -1.0, 0.0, 0.5)
+        assert simulate(instance, Lemma39Boundary(), radius_slack=1e-12).met
+
+    def test_rotated_boundary_case(self):
+        instance = make_s2_instance(2.0, 1.0, math.pi / 2.0, 0.5)
+        assert simulate(instance, Lemma39Boundary(), radius_slack=1e-9).met
+
+    def test_agents_stop_after_meeting(self, s2_instance):
+        # The program is finite: after going North t and South t the agent stops.
+        program = list(
+            Lemma39Boundary().program_for(s2_instance, s2_instance.agent_a(), "A")
+        )
+        assert len(program) <= 3
+
+
+class TestDedicatedDispatcher:
+    def test_witness_selection(self, trivial_instance, type1_instance, type2_instance,
+                               type3_instance, type4_instance, s1_instance, s2_instance):
+        assert isinstance(dedicated_witness(trivial_instance), StayPut)
+        assert isinstance(dedicated_witness(type1_instance), OppositeChiralityLineSearch)
+        assert isinstance(dedicated_witness(type2_instance), AlignedDelayWalk)
+        assert isinstance(dedicated_witness(type3_instance), LinearProbe) or isinstance(
+            dedicated_witness(type3_instance), AsynchronousWaitAndSweep
+        )
+        assert isinstance(dedicated_witness(type4_instance), LinearProbe)
+        assert isinstance(dedicated_witness(s1_instance), AlignedDelayWalk)
+        assert isinstance(dedicated_witness(s2_instance), OppositeChiralityLineSearch)
+
+    def test_witness_none_for_infeasible(self, infeasible_instance):
+        assert dedicated_witness(infeasible_instance) is None
+
+    def test_dispatcher_algorithm_rejects_infeasible(self, infeasible_instance):
+        with pytest.raises(KnowledgeError):
+            simulate(infeasible_instance, DedicatedRendezvous())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(0.3, 1.0),
+        st.floats(-3.0, 3.0),
+        st.floats(-3.0, 3.0),
+        st.floats(0.0, 2.0 * math.pi - 1e-9),
+        st.floats(0.25, 3.0),
+        st.floats(0.25, 3.0),
+        st.floats(0.0, 4.0),
+        st.sampled_from([1, -1]),
+    )
+    def test_every_feasible_instance_has_a_working_witness(
+        self, r, x, y, phi, tau, v, t, chi
+    ):
+        """Executable 'if' direction of Theorem 3.1 on random feasible instances."""
+        if math.hypot(x, y) < 0.2:
+            return
+        instance = Instance(r=r, x=x, y=y, phi=phi, tau=tau, v=v, t=t, chi=chi)
+        if not is_feasible(instance):
+            return
+        witness = dedicated_witness(instance)
+        result = simulate(
+            instance, witness, max_time=1e15, max_segments=400_000, radius_slack=1e-9
+        )
+        assert result.met, f"witness {witness} failed on {instance.describe()}"

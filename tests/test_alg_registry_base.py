@@ -1,0 +1,92 @@
+"""Tests for the algorithm registry and the base protocol classes."""
+
+import pytest
+
+from repro.algorithms.base import Algorithm, FunctionAlgorithm, UniversalAlgorithm
+from repro.algorithms.registry import available_algorithms, get_algorithm, register_algorithm
+from repro.core.instance import Instance
+from repro.motion.instructions import Move
+from repro.sim.engine import simulate
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_algorithms()
+        for expected in (
+            "almost-universal",
+            "almost-universal-compact",
+            "cgkk",
+            "latecomers",
+            "dedicated",
+            "stay-put",
+            "linear-probe",
+            "wait-and-sweep",
+            "aligned-delay-walk",
+            "line-search",
+            "lemma-3.9",
+        ):
+            assert expected in names
+
+    def test_get_algorithm_instantiates(self):
+        algorithm = get_algorithm("cgkk")
+        assert algorithm.name == "cgkk"
+        # A fresh object every time (no shared mutable state between runs).
+        assert get_algorithm("cgkk") is not algorithm
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_register_and_overwrite_semantics(self):
+        register_algorithm("test-only-alg", lambda: FunctionAlgorithm(lambda *_: iter(()), "x"))
+        try:
+            with pytest.raises(ValueError):
+                register_algorithm("test-only-alg", lambda: None)
+            register_algorithm(
+                "test-only-alg", lambda: FunctionAlgorithm(lambda *_: iter(()), "y"), overwrite=True
+            )
+            assert get_algorithm("test-only-alg").name == "y"
+        finally:
+            # Clean up the registry for other tests.
+            from repro.algorithms import registry
+
+            registry._REGISTRY.pop("test-only-alg", None)
+
+    def test_registered_universal_algorithms_are_usable(self):
+        instance = Instance(r=5.0, x=1.0, y=1.0)
+        for name in ("stay-put", "cgkk", "latecomers", "almost-universal"):
+            result = simulate(instance, get_algorithm(name), max_time=10.0, max_segments=1000)
+            assert result.met  # trivial instance: everything meets at time 0
+
+
+class TestBaseClasses:
+    def test_algorithm_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Algorithm().program_for(Instance(r=1.0, x=2.0, y=0.0), None, "A")
+
+    def test_universal_ignores_arguments(self):
+        class East(UniversalAlgorithm):
+            name = "east"
+
+            def program(self):
+                yield Move(1.0, 0.0)
+
+        east = East()
+        instance = Instance(r=1.0, x=2.0, y=0.0)
+        a = list(east.program_for(instance, instance.agent_a(), "A"))
+        b = list(east.program_for(instance, instance.agent_b(), "B"))
+        assert a == b == [Move(1.0, 0.0)]
+
+    def test_universal_program_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(UniversalAlgorithm().program())
+
+    def test_function_algorithm_name_defaults(self):
+        def my_program(instance, spec, role):
+            return iter(())
+
+        assert FunctionAlgorithm(my_program).name == "my_program"
+        assert FunctionAlgorithm(my_program, "custom").name == "custom"
+
+    def test_repr_contains_name(self):
+        assert "cgkk" in repr(get_algorithm("cgkk"))

@@ -1,0 +1,161 @@
+"""Tests for the vectorized measure estimates and the result metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.measure import (
+    ParameterBox,
+    classify_array,
+    dimension_summary,
+    estimate_boundary_thickness,
+    estimate_class_fractions,
+    feasible_fraction,
+    projection_distance_array,
+)
+from repro.analysis.metrics import (
+    group_results,
+    meeting_time_stats,
+    success_rate,
+    summarize_grouped,
+    summarize_results,
+)
+from repro.core.canonical import projection_distance
+from repro.core.classification import InstanceClass, classify
+from repro.core.instance import Instance
+from repro.sim.results import SimulationResult, TerminationReason
+
+
+class TestVectorizedClassifier:
+    def test_projection_distance_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(-5, 5, 50)
+        ys = rng.uniform(-5, 5, 50)
+        phis = rng.uniform(0, 2 * math.pi, 50)
+        vectorized = projection_distance_array(xs, ys, phis)
+        for k in range(50):
+            scalar = projection_distance(Instance(r=0.5, x=xs[k], y=ys[k], phi=phis[k]))
+            assert vectorized[k] == pytest.approx(scalar, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(0.2, 1.0),
+        st.floats(-5.0, 5.0),
+        st.floats(-5.0, 5.0),
+        st.floats(0.0, 2.0 * math.pi - 1e-9),
+        st.sampled_from([0.5, 1.0, 2.0]),
+        st.sampled_from([0.5, 1.0, 2.0]),
+        st.floats(0.0, 5.0),
+        st.sampled_from([1, -1]),
+    )
+    def test_agrees_with_scalar_classifier(self, r, x, y, phi, tau, v, t, chi):
+        params = {
+            "x": np.array([x]),
+            "y": np.array([y]),
+            "phi": np.array([phi]),
+            "tau": np.array([tau]),
+            "v": np.array([v]),
+            "t": np.array([t]),
+            "r": np.array([r]),
+            "chi": np.array([chi]),
+        }
+        vectorized = classify_array(params)[0]
+        scalar = classify(Instance(r=r, x=x, y=y, phi=phi, tau=tau, v=v, t=t, chi=chi))
+        assert vectorized is scalar
+
+
+class TestMeasureEstimates:
+    def test_fractions_sum_to_one(self):
+        fractions = estimate_class_fractions(20_000, seed=1)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_general_position_has_no_exceptions_and_no_infeasible(self):
+        fractions = estimate_class_fractions(50_000, seed=2)
+        assert fractions[InstanceClass.S1_BOUNDARY.value] == 0.0
+        assert fractions[InstanceClass.S2_BOUNDARY.value] == 0.0
+        # With tau and v drawn continuously the synchronous subspace is never
+        # hit, so clause 1 makes everything feasible.
+        assert fractions[InstanceClass.INFEASIBLE.value] == 0.0
+        assert feasible_fraction(50_000, seed=2) == pytest.approx(1.0)
+
+    def test_synchronous_slice_shows_infeasible_region(self):
+        box = ParameterBox(synchronous_fraction=1.0)
+        fractions = estimate_class_fractions(50_000, box, seed=3)
+        assert fractions[InstanceClass.INFEASIBLE.value] > 0.05
+        assert fractions[InstanceClass.TYPE_1.value] > 0.05
+        assert fractions[InstanceClass.TYPE_4.value] > 0.05
+
+    def test_boundary_thickness_decays_linearly(self):
+        thickness = estimate_boundary_thickness(80_000, (0.2, 0.1, 0.05), seed=4)
+        assert thickness[0.2] > thickness[0.1] > thickness[0.05] > 0.0
+        ratio = thickness[0.1] / thickness[0.2]
+        assert 0.3 < ratio < 0.7  # halving eps halves the hit fraction
+
+    def test_dimension_summary(self):
+        summary = dimension_summary()
+        assert summary["ambient_dimension"] == 7
+        assert summary["s1_codimension"] == 4
+        assert summary["s2_codimension"] == 3
+
+    def test_parameter_box_forced_synchronous(self):
+        box = ParameterBox(synchronous_fraction=1.0)
+        params = box.sample(100, np.random.default_rng(0))
+        assert np.all(params["tau"] == 1.0)
+        assert np.all(params["v"] == 1.0)
+
+
+def make_result(met, meeting_time=None, min_distance=1.0, segments=10, wall=0.01):
+    instance = Instance(r=0.5, x=2.0, y=0.0)
+    return SimulationResult(
+        instance=instance,
+        algorithm_name="alg",
+        met=met,
+        termination=TerminationReason.RENDEZVOUS if met else TerminationReason.MAX_TIME,
+        meeting_time=meeting_time,
+        min_distance=min_distance,
+        segments_a=segments,
+        segments_b=segments,
+        elapsed_wall_seconds=wall,
+    )
+
+
+class TestMetrics:
+    def test_success_rate(self):
+        results = [make_result(True, 1.0), make_result(False), make_result(True, 3.0)]
+        assert success_rate(results) == pytest.approx(2.0 / 3.0)
+        assert math.isnan(success_rate([]))
+
+    def test_meeting_time_stats(self):
+        results = [make_result(True, 1.0), make_result(True, 3.0), make_result(False)]
+        stats = meeting_time_stats(results)
+        assert stats["mean"] == 2.0
+        assert stats["median"] == 2.0
+        assert stats["max"] == 3.0
+        assert meeting_time_stats([make_result(False)]) == {"mean": None, "median": None, "max": None}
+
+    def test_summarize_results(self):
+        results = [make_result(True, 2.0, 0.2), make_result(False, None, 0.9)]
+        summary = summarize_results(results, label="demo")
+        assert summary.count == 2
+        assert summary.successes == 1
+        assert summary.success_rate == 0.5
+        assert summary.meeting_time_mean == 2.0
+        assert summary.min_distance_mean == pytest.approx(0.55)
+        assert summary.segments_mean == 20.0
+        assert summary.label == "demo"
+        row = summary.as_row()
+        assert row["label"] == "demo" and row["successes"] == 1
+
+    def test_summarize_empty(self):
+        summary = summarize_results([])
+        assert summary.count == 0
+        assert math.isnan(summary.success_rate)
+
+    def test_group_results_and_grouped_summaries(self):
+        results = [make_result(True, 1.0), make_result(False), make_result(True, 2.0)]
+        grouped = group_results(results, key=lambda r: r.met)
+        assert set(grouped) == {True, False}
+        summaries = summarize_grouped(results, key=lambda r: r.met)
+        assert {s.label for s in summaries} == {"True", "False"}

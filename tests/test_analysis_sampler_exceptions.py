@@ -1,0 +1,149 @@
+"""Tests for the stratified instance samplers and the S1/S2 constructors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.exceptions import (
+    FEASIBLE_DIMENSIONS,
+    S1_FREE_DIMENSIONS,
+    S2_FREE_DIMENSIONS,
+    boundary_margin,
+    in_s1,
+    in_s2,
+    make_s1_instance,
+    make_s2_instance,
+    perturb_off_boundary,
+)
+from repro.analysis.sampler import (
+    InstanceSampler,
+    SamplerConfig,
+    sample_instance,
+    sample_instance_of_class,
+    sample_instances,
+)
+from repro.core.classification import InstanceClass, classify
+from repro.core.feasibility import is_feasible
+
+
+class TestSamplerConfig:
+    def test_defaults_valid(self):
+        SamplerConfig()
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(min_radius=0.0)
+        with pytest.raises(ValueError):
+            SamplerConfig(min_distance=5.0, max_distance=1.0)
+        with pytest.raises(ValueError):
+            SamplerConfig(min_radius=2.0, max_radius=3.0, min_distance=1.0)
+
+
+class TestStratifiedSampling:
+    @pytest.mark.parametrize("cls", list(InstanceClass))
+    def test_every_class_is_reachable(self, cls):
+        sampler = InstanceSampler(seed=42)
+        for _ in range(5):
+            instance = sampler.of_class(cls)
+            assert classify(instance) is cls
+
+    def test_batch_of_class(self):
+        batch = InstanceSampler(seed=1).batch_of_class(InstanceClass.TYPE_3, 7)
+        assert len(batch) == 7
+        assert all(classify(inst) is InstanceClass.TYPE_3 for inst in batch)
+
+    def test_reproducibility(self):
+        a = InstanceSampler(seed=5).batch_of_class(InstanceClass.TYPE_1, 3)
+        b = InstanceSampler(seed=5).batch_of_class(InstanceClass.TYPE_1, 3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = InstanceSampler(seed=5).uniform()
+        b = InstanceSampler(seed=6).uniform()
+        assert a != b
+
+    def test_uniform_respects_config_ranges(self):
+        config = SamplerConfig(min_distance=2.0, max_distance=3.0, min_radius=0.3, max_radius=0.4)
+        sampler = InstanceSampler(config, seed=0)
+        for _ in range(20):
+            instance = sampler.uniform()
+            assert 2.0 <= instance.initial_distance <= 3.0 + 1e-9
+            assert 0.3 <= instance.r <= 0.4
+
+    def test_module_level_helpers(self):
+        assert sample_instance(seed=3) == sample_instance(seed=3)
+        batch = sample_instances(4, seed=3)
+        assert len(batch) == 4
+        inst = sample_instance_of_class(InstanceClass.TYPE_2, seed=3)
+        assert classify(inst) is InstanceClass.TYPE_2
+
+    def test_accepts_numpy_generator(self):
+        rng = np.random.default_rng(0)
+        sampler = InstanceSampler(seed=rng)
+        assert sampler.rng is rng
+
+    def test_infeasible_samples_are_truly_infeasible(self):
+        sampler = InstanceSampler(seed=9)
+        for _ in range(10):
+            assert not is_feasible(sampler.infeasible())
+
+
+class TestExceptionSets:
+    def test_make_s1(self):
+        instance = make_s1_instance(3.0, 4.0, 1.0)
+        assert instance.t == pytest.approx(4.0)
+        assert in_s1(instance)
+        assert not in_s2(instance)
+        assert classify(instance) is InstanceClass.S1_BOUNDARY
+
+    def test_make_s1_validation(self):
+        with pytest.raises(ValueError):
+            make_s1_instance(1.0, 0.0, 2.0)  # r >= dist
+        with pytest.raises(ValueError):
+            make_s1_instance(1.0, 0.0, 0.0)
+
+    def test_make_s2(self):
+        instance = make_s2_instance(2.0, 1.0, 0.0, 0.5)
+        assert instance.chi == -1
+        assert instance.t == pytest.approx(1.5)
+        assert in_s2(instance)
+        assert classify(instance) is InstanceClass.S2_BOUNDARY
+
+    def test_make_s2_rotated(self):
+        instance = make_s2_instance(2.0, 1.0, math.pi / 2.0, 0.5)
+        assert in_s2(instance)
+
+    def test_make_s2_validation(self):
+        # Projection distance 0 (agents symmetric about L) with positive r
+        # would need a negative delay.
+        with pytest.raises(ValueError):
+            make_s2_instance(0.0, 3.0, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            make_s2_instance(2.0, 1.0, 0.0, -0.1)
+
+    def test_s1_instances_feasible_but_not_covered(self):
+        instance = make_s1_instance(3.0, 4.0, 1.0)
+        assert is_feasible(instance)
+        assert not classify(instance).is_covered_by_universal
+
+    def test_perturbation_moves_off_boundary(self):
+        boundary = make_s1_instance(3.0, 4.0, 1.0)
+        assert classify(perturb_off_boundary(boundary, 0.5)) is InstanceClass.TYPE_2
+        assert classify(perturb_off_boundary(boundary, -0.5)) is InstanceClass.INFEASIBLE
+        s2 = make_s2_instance(2.0, 1.0, 0.0, 0.5)
+        assert classify(perturb_off_boundary(s2, 0.5)) is InstanceClass.TYPE_1
+
+    def test_perturbation_validation(self):
+        with pytest.raises(ValueError):
+            perturb_off_boundary(make_s1_instance(3.0, 4.0, 1.0), -100.0)
+
+    def test_boundary_margin(self):
+        assert boundary_margin(make_s1_instance(3.0, 4.0, 1.0)) == pytest.approx(0.0)
+        assert boundary_margin(make_s2_instance(2.0, 1.0, 0.0, 0.5)) == pytest.approx(0.0)
+        assert boundary_margin(sample_instance_of_class(InstanceClass.TYPE_3, seed=0)) is None
+
+    def test_dimension_constants(self):
+        assert FEASIBLE_DIMENSIONS == 7
+        assert S1_FREE_DIMENSIONS == 3
+        assert S2_FREE_DIMENSIONS == 4

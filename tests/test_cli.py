@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_classify_arguments(self):
+        args = build_parser().parse_args(
+            ["classify", "--r", "0.5", "--x", "1", "--y", "1", "--phi", "1.5707", "--chi", "1"]
+        )
+        assert args.command == "classify"
+        assert args.r == 0.5
+
+
+class TestClassifyCommand:
+    def test_type4(self, capsys):
+        code = main(["classify", "--r", "0.5", "--x", "1", "--y", "1", "--phi", "1.5707963"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "type-4" in out
+        assert "feasible          : True" in out
+        assert "phase bound" in out
+
+    def test_infeasible(self, capsys):
+        code = main(["classify", "--r", "0.5", "--x", "3", "--y", "0", "--t", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "infeasible" in out
+        assert "covered by AURV   : False" in out
+
+    def test_invalid_instance_reports_error(self, capsys):
+        code = main(["classify", "--r", "-1", "--x", "3", "--y", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_dedicated_simulation(self, capsys):
+        code = main(
+            ["simulate", "--r", "0.5", "--x", "1", "--y", "1", "--phi", "1.5707963",
+             "--algorithm", "dedicated"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rendezvous at" in out
+
+    def test_render_flag(self, capsys):
+        code = main(
+            ["simulate", "--r", "0.5", "--x", "2", "--y", "1", "--chi", "-1", "--t", "2",
+             "--algorithm", "line-search", "--render"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "+--" in out  # the ASCII canvas border
+
+    def test_miss_exit_code(self, capsys):
+        argv = ["simulate", "--r", "0.5", "--x", "3", "--y", "0", "--t", "0.5",
+                "--algorithm", "stay-put", "--max-time", "10"]
+        assert main(argv) == 1
+        assert main(argv + ["--allow-miss"]) == 0
+
+    def test_asymmetric_radii(self, capsys):
+        code = main(
+            ["simulate", "--r", "0.6", "--x", "1", "--y", "1", "--phi", "1.5707963",
+             "--t", "0.5", "--radius-a", "0.6", "--radius-b", "0.2",
+             "--algorithm", "almost-universal"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "froze at" in out
+        assert "rendezvous at" in out
+
+
+class TestOtherCommands:
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "almost-universal" in out and "lemma-3.9" in out
+
+    def test_experiment_figures_no_save(self, capsys):
+        assert main(["experiment", "figures", "--no-save"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5-lemma39-cases" in out
+        assert "[saved]" not in out
+
+    def test_experiment_saves_results(self, tmp_path, capsys):
+        code = main(["experiment", "thm41", "--samples", "2", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[saved]" in out
+        assert any(path.suffix == ".csv" for path in tmp_path.iterdir())

@@ -1,0 +1,117 @@
+"""Tests for the canonical line (Definition 2.1) and its projections."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.canonical import (
+    canonical_geometry,
+    canonical_inclination,
+    canonical_line,
+    projection_distance,
+)
+from repro.core.instance import Instance
+
+coords = st.floats(-20.0, 20.0, allow_nan=False, allow_infinity=False)
+angles = st.floats(0.0, 2.0 * math.pi - 1e-9)
+chiralities = st.sampled_from([1, -1])
+
+
+def make_instance(x, y, phi, chi=1):
+    return Instance(r=0.5, x=x, y=y, phi=phi, chi=chi)
+
+
+class TestCanonicalInclination:
+    def test_phi_zero_parallel_to_x_axis(self):
+        assert canonical_inclination(make_instance(2.0, 3.0, 0.0)) == 0.0
+
+    def test_phi_half_pi(self):
+        assert canonical_inclination(make_instance(2.0, 3.0, math.pi / 2)) == pytest.approx(
+            math.pi / 4
+        )
+
+    def test_phi_pi_gives_perpendicular(self):
+        assert canonical_inclination(make_instance(2.0, 3.0, math.pi)) == pytest.approx(math.pi / 2)
+
+    def test_phi_three_half_pi_mod_pi(self):
+        # phi/2 = 3*pi/4, already in [0, pi).
+        assert canonical_inclination(make_instance(2.0, 3.0, 3 * math.pi / 2)) == pytest.approx(
+            3 * math.pi / 4
+        )
+
+    @given(coords, coords, angles)
+    def test_inclination_in_range(self, x, y, phi):
+        inclination = canonical_inclination(make_instance(x, y, phi))
+        assert 0.0 <= inclination < math.pi
+
+
+class TestCanonicalLine:
+    def test_phi_zero_line_is_horizontal_between_agents(self):
+        line = canonical_line(make_instance(4.0, 2.0, 0.0))
+        assert line.inclination() == pytest.approx(0.0)
+        # Equidistant from both origins.
+        assert line.distance_to((0.0, 0.0)) == pytest.approx(1.0)
+        assert line.distance_to((4.0, 2.0)) == pytest.approx(1.0)
+
+    def test_line_passes_through_midpoint(self):
+        inst = make_instance(4.0, 2.0, 1.3)
+        assert canonical_line(inst).contains((2.0, 1.0))
+
+    @given(coords, coords, angles, chiralities)
+    def test_equidistance_from_both_origins(self, x, y, phi, chi):
+        inst = make_instance(x, y, phi, chi)
+        line = canonical_line(inst)
+        assert line.distance_to((0.0, 0.0)) == pytest.approx(line.distance_to((x, y)), abs=1e-7)
+
+    @given(coords, coords, angles)
+    def test_parallel_to_bisectrix(self, x, y, phi):
+        inst = make_instance(x, y, phi)
+        line = canonical_line(inst)
+        expected = (phi / 2.0) % math.pi
+        got = line.inclination()
+        delta = abs(got - expected) % math.pi
+        assert min(delta, math.pi - delta) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCanonicalGeometry:
+    def test_offsets_are_opposite(self):
+        geometry = canonical_geometry(make_instance(4.0, 2.0, 0.7, -1))
+        assert geometry.offset_a == pytest.approx(-geometry.offset_b, abs=1e-9)
+
+    def test_agents_on_line(self):
+        # With phi = 0 and y = 0 both agents sit on the canonical line.
+        geometry = canonical_geometry(make_instance(4.0, 0.0, 0.0, -1))
+        assert geometry.agents_on_line
+        assert geometry.proj_distance == pytest.approx(4.0)
+
+    def test_projection_distance_formula(self):
+        # proj distance = |component of (x, y) along direction phi/2|.
+        inst = make_instance(2.0, 2.0, math.pi)  # canonical direction pi/2 (vertical)
+        assert projection_distance(inst) == pytest.approx(2.0)
+
+    def test_projection_distance_phi_zero(self):
+        assert projection_distance(make_instance(3.0, 4.0, 0.0)) == pytest.approx(3.0)
+
+    def test_project_helper(self):
+        geometry = canonical_geometry(make_instance(4.0, 2.0, 0.0))
+        assert geometry.project((1.0, 5.0)) == pytest.approx((1.0, 1.0))
+        assert geometry.distance_to_line((1.0, 5.0)) == pytest.approx(4.0)
+
+    @given(coords, coords, angles, chiralities)
+    def test_proj_distance_never_exceeds_distance(self, x, y, phi, chi):
+        inst = make_instance(x, y, phi, chi)
+        assert projection_distance(inst) <= inst.initial_distance + 1e-9
+
+    @given(coords, coords, angles, chiralities)
+    def test_proj_distance_matches_component_formula(self, x, y, phi, chi):
+        inst = make_instance(x, y, phi, chi)
+        half = phi / 2.0
+        expected = abs(x * math.cos(half) + y * math.sin(half))
+        assert projection_distance(inst) == pytest.approx(expected, abs=1e-7)
+
+    @given(coords, coords, angles)
+    def test_projections_lie_on_line(self, x, y, phi):
+        geometry = canonical_geometry(make_instance(x, y, phi))
+        assert geometry.line.contains(geometry.proj_a, tol=1e-6)
+        assert geometry.line.contains(geometry.proj_b, tol=1e-6)

@@ -1,0 +1,170 @@
+"""Tests for the type classification and the Theorem 3.1 feasibility predicate."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.canonical import projection_distance
+from repro.core.classification import InstanceClass, classify, instance_type
+from repro.core.feasibility import (
+    FeasibilityClause,
+    exception_set,
+    feasibility_clause,
+    feasibility_margin,
+    is_covered_by_universal,
+    is_exception,
+    is_feasible,
+)
+from repro.core.instance import Instance
+
+
+class TestClassify:
+    def test_trivial(self, trivial_instance):
+        assert classify(trivial_instance) is InstanceClass.TRIVIAL
+
+    def test_type1(self, type1_instance):
+        assert classify(type1_instance) is InstanceClass.TYPE_1
+        assert instance_type(type1_instance) == 1
+
+    def test_type2(self, type2_instance):
+        assert classify(type2_instance) is InstanceClass.TYPE_2
+        assert instance_type(type2_instance) == 2
+
+    def test_type3(self, type3_instance):
+        assert classify(type3_instance) is InstanceClass.TYPE_3
+        assert instance_type(type3_instance) == 3
+
+    def test_type4_rotated(self, type4_instance):
+        assert classify(type4_instance) is InstanceClass.TYPE_4
+        assert instance_type(type4_instance) == 4
+
+    def test_type4_different_speed(self):
+        inst = Instance(r=0.5, x=2.0, y=0.0, tau=1.0, v=2.0, t=1.0)
+        assert classify(inst) is InstanceClass.TYPE_4
+
+    def test_s1_boundary(self, s1_instance):
+        assert classify(s1_instance) is InstanceClass.S1_BOUNDARY
+        assert instance_type(s1_instance) is None
+
+    def test_s2_boundary(self, s2_instance):
+        assert classify(s2_instance) is InstanceClass.S2_BOUNDARY
+
+    def test_infeasible(self, infeasible_instance):
+        assert classify(infeasible_instance) is InstanceClass.INFEASIBLE
+
+    def test_infeasible_opposite_chirality(self):
+        inst = Instance(r=0.5, x=4.0, y=0.0, phi=0.0, chi=-1, t=1.0)
+        assert projection_distance(inst) == pytest.approx(4.0)
+        assert classify(inst) is InstanceClass.INFEASIBLE
+
+    def test_boundary_tolerance_parameter(self, s1_instance):
+        # With a huge tolerance nearby type-2 instances collapse onto the boundary...
+        near = s1_instance.with_delay(s1_instance.t + 0.5)
+        assert classify(near) is InstanceClass.TYPE_2
+        assert classify(near, boundary_tol=1.0) is InstanceClass.S1_BOUNDARY
+        # ...and with zero tolerance the exact boundary is still recognized.
+        assert classify(s1_instance, boundary_tol=0.0) is InstanceClass.S1_BOUNDARY
+
+    def test_tau_and_speed_cancel_is_type4_not_type3(self):
+        # tau != 1 so it is non-synchronous and classified by clock rate first.
+        inst = Instance(r=0.5, x=2.0, y=0.0, tau=2.0, v=0.5)
+        assert classify(inst) is InstanceClass.TYPE_3
+
+
+class TestClassPredicates:
+    def test_feasible_flags(self):
+        assert InstanceClass.TYPE_1.is_feasible
+        assert InstanceClass.S1_BOUNDARY.is_feasible
+        assert not InstanceClass.INFEASIBLE.is_feasible
+
+    def test_covered_flags(self):
+        assert InstanceClass.TYPE_3.is_covered_by_universal
+        assert InstanceClass.TRIVIAL.is_covered_by_universal
+        assert not InstanceClass.S1_BOUNDARY.is_covered_by_universal
+        assert not InstanceClass.INFEASIBLE.is_covered_by_universal
+
+    def test_exception_flags(self):
+        assert InstanceClass.S2_BOUNDARY.is_exception
+        assert not InstanceClass.TYPE_1.is_exception
+
+
+class TestFeasibility:
+    def test_clauses(self, type1_instance, type2_instance, type3_instance, type4_instance):
+        assert feasibility_clause(type3_instance) is FeasibilityClause.NON_SYNCHRONOUS
+        assert feasibility_clause(type4_instance) is FeasibilityClause.SAME_CHIRALITY_ROTATED
+        assert (
+            feasibility_clause(type2_instance) is FeasibilityClause.SAME_CHIRALITY_ALIGNED_DELAY
+        )
+        assert feasibility_clause(type1_instance) is FeasibilityClause.OPPOSITE_CHIRALITY_DELAY
+
+    def test_infeasible_clause(self, infeasible_instance):
+        assert feasibility_clause(infeasible_instance) is FeasibilityClause.INFEASIBLE
+        assert not is_feasible(infeasible_instance)
+
+    def test_boundaries_are_feasible_but_not_covered(self, s1_instance, s2_instance):
+        for inst in (s1_instance, s2_instance):
+            assert is_feasible(inst)
+            assert not is_covered_by_universal(inst)
+            assert is_exception(inst)
+
+    def test_exception_set_names(self, s1_instance, s2_instance, type1_instance):
+        assert exception_set(s1_instance) == "S1"
+        assert exception_set(s2_instance) == "S2"
+        assert exception_set(type1_instance) is None
+
+    def test_margin_values(self, s1_instance, type2_instance, type4_instance):
+        assert feasibility_margin(s1_instance) == pytest.approx(0.0, abs=1e-12)
+        assert feasibility_margin(type2_instance) > 0.0
+        assert feasibility_margin(type4_instance) == math.inf
+
+    def test_margin_infeasible_is_negative(self, infeasible_instance):
+        assert feasibility_margin(infeasible_instance) < 0.0
+
+    @given(
+        st.floats(0.2, 1.0),
+        st.floats(-5.0, 5.0),
+        st.floats(-5.0, 5.0),
+        st.floats(0.0, 2.0 * math.pi - 1e-9),
+        st.floats(0.25, 4.0),
+        st.floats(0.25, 4.0),
+        st.floats(0.0, 5.0),
+        st.sampled_from([1, -1]),
+    )
+    def test_classification_consistent_with_theorem(self, r, x, y, phi, tau, v, t, chi):
+        """The classify() partition must agree with the Theorem 3.1 predicate."""
+        if math.hypot(x, y) <= r:
+            return
+        inst = Instance(r=r, x=x, y=y, phi=phi, tau=tau, v=v, t=t, chi=chi)
+        cls = classify(inst)
+        assert cls.is_feasible == is_feasible(inst)
+        if cls.is_covered_by_universal:
+            assert is_feasible(inst)
+        # Theorem 3.2 coverage = Theorem 3.1 feasibility minus the boundaries.
+        assert is_covered_by_universal(inst) == (is_feasible(inst) and not is_exception(inst))
+
+    @given(
+        st.floats(0.2, 1.0),
+        st.floats(-5.0, 5.0),
+        st.floats(-5.0, 5.0),
+        st.floats(0.0, 2.0 * math.pi - 1e-9),
+        st.sampled_from([1, -1]),
+    )
+    def test_synchronous_delay_monotonicity(self, r, x, y, phi, chi):
+        """Feasibility of synchronous instances is monotone in the delay."""
+        if math.hypot(x, y) <= r:
+            return
+        base = Instance(r=r, x=x, y=y, phi=phi, chi=chi, t=0.0)
+        threshold = (
+            projection_distance(base) if chi == -1 else base.initial_distance
+        ) - r
+        if threshold <= 0.0:
+            assert is_feasible(base)
+            return
+        below = base.with_delay(threshold * 0.5)
+        above = base.with_delay(threshold + 0.5)
+        if chi == 1 and phi != 0.0:
+            assert is_feasible(below) and is_feasible(above)
+        else:
+            assert not is_feasible(below)
+            assert is_feasible(above)

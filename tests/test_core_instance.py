@@ -1,0 +1,132 @@
+"""Tests for the Instance model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.instance import Instance
+from repro.util.errors import InvalidInstanceError
+
+
+class TestValidation:
+    def test_minimal_construction(self):
+        inst = Instance(r=1.0, x=2.0, y=3.0)
+        assert inst.tau == 1.0 and inst.v == 1.0 and inst.t == 0.0 and inst.chi == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"r": 0.0},
+            {"r": -1.0},
+            {"tau": 0.0},
+            {"v": -0.5},
+            {"t": -1.0},
+            {"phi": -0.1},
+            {"phi": 2.0 * math.pi},
+            {"chi": 0},
+            {"chi": 2},
+            {"x": float("nan")},
+            {"y": float("inf")},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        params = {"r": 1.0, "x": 2.0, "y": 3.0}
+        params.update(kwargs)
+        with pytest.raises(InvalidInstanceError):
+            Instance(**params)
+
+    def test_invalid_instance_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            Instance(r=-1.0, x=1.0, y=1.0)
+
+
+class TestDerivedProperties:
+    def test_initial_distance(self):
+        assert Instance(r=1.0, x=3.0, y=4.0).initial_distance == 5.0
+
+    def test_trivial(self):
+        assert Instance(r=5.0, x=3.0, y=4.0).is_trivial
+        assert Instance(r=5.0, x=3.0, y=4.0).is_trivial  # boundary r = dist
+        assert not Instance(r=4.9, x=3.0, y=4.0).is_trivial
+
+    def test_synchronous(self):
+        assert Instance(r=1.0, x=2.0, y=0.0).is_synchronous
+        assert not Instance(r=1.0, x=2.0, y=0.0, tau=2.0).is_synchronous
+        assert not Instance(r=1.0, x=2.0, y=0.0, v=0.5).is_synchronous
+
+    def test_orientation_and_chirality_flags(self):
+        assert Instance(r=1.0, x=2.0, y=0.0).same_orientation
+        assert not Instance(r=1.0, x=2.0, y=0.0, phi=1.0).same_orientation
+        assert Instance(r=1.0, x=2.0, y=0.0).same_chirality
+        assert not Instance(r=1.0, x=2.0, y=0.0, chi=-1).same_chirality
+
+
+class TestAgents:
+    def test_agent_a_is_absolute_reference(self):
+        agent = Instance(r=1.0, x=2.0, y=3.0, phi=1.0, tau=2.0, v=3.0, t=4.0, chi=-1).agent_a()
+        assert agent.start == (0.0, 0.0)
+        assert agent.frame.phi == 0.0 and agent.frame.chi == 1
+        assert agent.units.clock_rate == 1.0 and agent.units.speed == 1.0
+        assert agent.units.wake_time == 0.0
+        assert agent.name == "A"
+
+    def test_agent_b_carries_instance_attributes(self):
+        inst = Instance(r=1.0, x=2.0, y=3.0, phi=1.0, tau=2.0, v=3.0, t=4.0, chi=-1)
+        agent = inst.agent_b()
+        assert agent.start == (2.0, 3.0)
+        assert agent.frame.phi == pytest.approx(1.0)
+        assert agent.frame.chi == -1
+        assert agent.units.clock_rate == 2.0
+        assert agent.units.speed == 3.0
+        assert agent.units.wake_time == 4.0
+        assert agent.units.length_unit == 6.0
+
+    def test_agents_ordering(self):
+        a, b = Instance(r=1.0, x=2.0, y=3.0).agents()
+        assert a.name == "A" and b.name == "B"
+
+
+class TestTransformsAndSerialization:
+    def test_with_visibility_radius_and_delay(self):
+        inst = Instance(r=1.0, x=2.0, y=3.0, t=1.0)
+        assert inst.with_visibility_radius(0.5).r == 0.5
+        assert inst.with_delay(2.0).t == 2.0
+        # original untouched (frozen dataclass semantics)
+        assert inst.r == 1.0 and inst.t == 1.0
+
+    def test_halved_radius_no_delay(self):
+        image = Instance(r=1.0, x=2.0, y=3.0, t=5.0).halved_radius_no_delay()
+        assert image.r == 0.5 and image.t == 0.0
+        assert image.x == 2.0 and image.y == 3.0
+
+    def test_tuple_roundtrip(self):
+        inst = Instance(r=1.0, x=2.0, y=3.0, phi=0.5, tau=2.0, v=0.5, t=1.5, chi=-1)
+        assert Instance.from_tuple(inst.as_tuple()) == inst
+
+    def test_dict_roundtrip(self):
+        inst = Instance(r=1.0, x=2.0, y=3.0, phi=0.5, tau=2.0, v=0.5, t=1.5, chi=-1)
+        assert Instance.from_dict(inst.as_dict()) == inst
+
+    def test_from_dict_defaults(self):
+        inst = Instance.from_dict({"r": 1.0, "x": 2.0, "y": 3.0})
+        assert inst.tau == 1.0 and inst.chi == 1
+
+    def test_describe_mentions_parameters(self):
+        text = Instance(r=1.0, x=2.0, y=3.0, chi=-1).describe()
+        assert "r=1" in text and "chi=-1" in text
+
+    @given(
+        st.floats(0.1, 10.0),
+        st.floats(-10.0, 10.0),
+        st.floats(-10.0, 10.0),
+        st.floats(0.0, 2.0 * math.pi - 1e-9),
+        st.floats(0.1, 5.0),
+        st.floats(0.1, 5.0),
+        st.floats(0.0, 5.0),
+        st.sampled_from([1, -1]),
+    )
+    def test_roundtrip_property(self, r, x, y, phi, tau, v, t, chi):
+        inst = Instance(r=r, x=x, y=y, phi=phi, tau=tau, v=v, t=t, chi=chi)
+        assert Instance.from_dict(inst.as_dict()) == inst
+        assert Instance.from_tuple(inst.as_tuple()) == inst

@@ -1,0 +1,146 @@
+"""Tests for agent units and private coordinate frames."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.frames import Frame
+from repro.core.units import AgentUnits
+
+angles = st.floats(0.0, 2.0 * math.pi - 1e-9)
+coords = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+chiralities = st.sampled_from([1, -1])
+
+
+class TestAgentUnits:
+    def test_defaults_are_absolute(self):
+        units = AgentUnits()
+        assert units.length_unit == 1.0
+        assert units.local_time_to_absolute(5.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgentUnits(clock_rate=0.0)
+        with pytest.raises(ValueError):
+            AgentUnits(speed=-1.0)
+        with pytest.raises(ValueError):
+            AgentUnits(wake_time=-0.1)
+
+    def test_length_unit_is_tau_times_v(self):
+        assert AgentUnits(clock_rate=2.0, speed=3.0).length_unit == 6.0
+
+    def test_length_conversions_roundtrip(self):
+        units = AgentUnits(clock_rate=0.5, speed=4.0)
+        assert units.absolute_length_to_local(units.local_length_to_absolute(3.0)) == pytest.approx(3.0)
+
+    def test_move_duration_matches_model(self):
+        # A move of d local units lasts d local time units, i.e. d * tau absolute.
+        units = AgentUnits(clock_rate=3.0, speed=0.5)
+        assert units.move_duration_local(4.0) == 4.0
+        assert units.move_duration_absolute(4.0) == 12.0
+        # Consistency: absolute length / absolute speed == absolute duration.
+        assert units.local_length_to_absolute(4.0) / units.speed == pytest.approx(
+            units.move_duration_absolute(4.0)
+        )
+
+    def test_clock_conversions(self):
+        units = AgentUnits(clock_rate=2.0, wake_time=3.0)
+        assert units.local_time_to_absolute(1.0) == 5.0
+        assert units.absolute_time_to_local(7.0) == 2.0
+        assert units.absolute_time_to_local(1.0) == -1.0
+
+    def test_is_awake(self):
+        units = AgentUnits(wake_time=2.0)
+        assert not units.is_awake_at(1.9)
+        assert units.is_awake_at(2.0)
+
+    @given(st.floats(0.1, 10.0), st.floats(0.1, 10.0), st.floats(0.0, 10.0), st.floats(0.0, 100.0))
+    def test_time_roundtrip(self, tau, v, wake, local):
+        units = AgentUnits(tau, v, wake)
+        assert units.absolute_time_to_local(units.local_time_to_absolute(local)) == pytest.approx(local)
+
+
+class TestFrame:
+    def test_absolute_frame_is_identity(self):
+        frame = Frame.absolute()
+        assert frame.local_point_to_absolute((2.0, 3.0)) == (2.0, 3.0)
+        assert frame.x_axis_angle() == 0.0
+
+    def test_invalid_chirality(self):
+        with pytest.raises(ValueError):
+            Frame((0.0, 0.0), 0.0, 0)
+
+    def test_phi_normalized(self):
+        assert Frame((0.0, 0.0), 2.0 * math.pi + 1.0, 1).phi == pytest.approx(1.0)
+
+    def test_rotated_frame_axes(self):
+        frame = Frame((0.0, 0.0), math.pi / 2.0, 1)
+        assert frame.x_axis_direction() == pytest.approx((0.0, 1.0), abs=1e-12)
+        assert frame.y_axis_direction() == pytest.approx((-1.0, 0.0), abs=1e-12)
+
+    def test_mirror_frame_axes(self):
+        frame = Frame((0.0, 0.0), 0.0, -1)
+        assert frame.x_axis_direction() == pytest.approx((1.0, 0.0))
+        assert frame.y_axis_direction() == pytest.approx((0.0, -1.0))
+
+    def test_point_conversion_with_origin(self):
+        frame = Frame((1.0, 2.0), 0.0, 1)
+        assert frame.local_point_to_absolute((1.0, 1.0)) == (2.0, 3.0)
+        assert frame.absolute_point_to_local((2.0, 3.0)) == pytest.approx((1.0, 1.0))
+
+    def test_rot_alpha_chirality_sign(self):
+        """Rot(alpha) is counterclockwise *in the agent's own system*.
+
+        For a chirality -1 frame a locally-ccw rotation is clockwise in
+        absolute terms; the paper's Lemma 3.9 construction depends on this.
+        """
+        plus = Frame((0.0, 0.0), 0.0, 1).rotated(math.pi / 2.0)
+        minus = Frame((0.0, 0.0), 0.0, -1).rotated(math.pi / 2.0)
+        assert plus.x_axis_direction() == pytest.approx((0.0, 1.0), abs=1e-12)
+        assert minus.x_axis_direction() == pytest.approx((0.0, -1.0), abs=1e-12)
+
+    def test_rotated_preserves_chirality_and_origin(self):
+        frame = Frame((3.0, -1.0), 1.0, -1).rotated(0.5)
+        assert frame.chi == -1
+        assert frame.origin == (3.0, -1.0)
+
+    def test_with_origin_and_translated(self):
+        frame = Frame((0.0, 0.0), 1.0, 1)
+        assert frame.with_origin((5.0, 5.0)).origin == (5.0, 5.0)
+        assert frame.translated((1.0, -1.0)).origin == (1.0, -1.0)
+
+    def test_orientation_relative_to(self):
+        a = Frame((0.0, 0.0), 0.5, 1)
+        b = Frame((0.0, 0.0), 0.2, 1)
+        assert a.orientation_relative_to(b) == pytest.approx(0.3)
+
+    def test_same_chirality(self):
+        assert Frame((0.0, 0.0), 0.0, 1).same_chirality_as(Frame((1.0, 1.0), 2.0, 1))
+        assert not Frame((0.0, 0.0), 0.0, 1).same_chirality_as(Frame((0.0, 0.0), 0.0, -1))
+
+    @given(points, angles, chiralities, points)
+    def test_local_absolute_roundtrip(self, origin, phi, chi, point):
+        frame = Frame(origin, phi, chi)
+        absolute = frame.local_point_to_absolute(point)
+        assert frame.absolute_point_to_local(absolute) == pytest.approx(point, abs=1e-6)
+
+    @given(points, angles, chiralities, points, points)
+    def test_frame_maps_are_isometries(self, origin, phi, chi, p, q):
+        frame = Frame(origin, phi, chi)
+        pa = frame.local_point_to_absolute(p)
+        qa = frame.local_point_to_absolute(q)
+        assert math.hypot(pa[0] - qa[0], pa[1] - qa[1]) == pytest.approx(
+            math.hypot(p[0] - q[0], p[1] - q[1]), rel=1e-9, abs=1e-9
+        )
+
+    @given(angles, chiralities, st.floats(0.0, 6.0), points)
+    def test_rotated_composition(self, phi, chi, alpha, point):
+        """Rot(a) then Rot(b) equals Rot(a + b) (within one frame)."""
+        frame = Frame((0.0, 0.0), phi, chi)
+        once = frame.rotated(alpha).rotated(alpha / 2.0)
+        direct = frame.rotated(1.5 * alpha)
+        assert once.local_vector_to_absolute(point) == pytest.approx(
+            direct.local_vector_to_absolute(point), abs=1e-6
+        )

@@ -1,0 +1,85 @@
+"""Tests for angle normalization and line-angle helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_between,
+    angles_close,
+    bisector_direction,
+    normalize_angle,
+    normalize_signed_angle,
+    unoriented_angle_between_lines,
+)
+
+angles = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "angle, expected",
+        [(0.0, 0.0), (TWO_PI, 0.0), (-math.pi / 2, 3 * math.pi / 2), (5 * math.pi, math.pi)],
+    )
+    def test_normalize_angle_examples(self, angle, expected):
+        assert normalize_angle(angle) == pytest.approx(expected, abs=1e-12)
+
+    @given(angles)
+    def test_normalize_angle_range(self, angle):
+        result = normalize_angle(angle)
+        assert 0.0 <= result < TWO_PI
+
+    @given(angles)
+    def test_normalize_preserves_direction(self, angle):
+        result = normalize_angle(angle)
+        assert math.cos(result) == pytest.approx(math.cos(angle), abs=1e-9)
+        assert math.sin(result) == pytest.approx(math.sin(angle), abs=1e-9)
+
+    @given(angles)
+    def test_signed_range(self, angle):
+        result = normalize_signed_angle(angle)
+        assert -math.pi < result <= math.pi
+
+
+class TestAngleBetween:
+    def test_symmetric(self):
+        assert angle_between(0.1, 1.3) == pytest.approx(angle_between(1.3, 0.1))
+
+    def test_wraps_around(self):
+        assert angle_between(0.05, TWO_PI - 0.05) == pytest.approx(0.1, abs=1e-12)
+
+    @given(angles, angles)
+    def test_bounded_by_pi(self, a, b):
+        assert 0.0 <= angle_between(a, b) <= math.pi + 1e-12
+
+    def test_angles_close(self):
+        assert angles_close(0.0, TWO_PI)
+        assert not angles_close(0.0, 0.1)
+
+
+class TestLineAngles:
+    def test_perpendicular_lines(self):
+        assert unoriented_angle_between_lines(0.0, math.pi / 2) == pytest.approx(math.pi / 2)
+
+    def test_same_line_opposite_directions(self):
+        assert unoriented_angle_between_lines(0.2, 0.2 + math.pi) == pytest.approx(0.0, abs=1e-12)
+
+    @given(angles, angles)
+    def test_bounded_by_half_pi(self, a, b):
+        assert 0.0 <= unoriented_angle_between_lines(a, b) <= math.pi / 2 + 1e-9
+
+
+class TestBisector:
+    def test_simple_bisector(self):
+        assert bisector_direction(0.0, math.pi / 2) == pytest.approx(math.pi / 4)
+
+    def test_bisector_takes_short_arc(self):
+        result = bisector_direction(0.1, TWO_PI - 0.1)
+        assert result == pytest.approx(0.0, abs=1e-9) or result == pytest.approx(TWO_PI, abs=1e-9)
+
+    @given(angles, angles)
+    def test_bisector_equidistant_from_both(self, a, b):
+        mid = bisector_direction(a, b)
+        assert angle_between(mid, a) == pytest.approx(angle_between(mid, b), abs=1e-6)

@@ -1,0 +1,156 @@
+"""Tests for the closest-approach / first-hit kernel (the heart of the simulator)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.closest_approach import (
+    closest_approach_moving_points,
+    first_time_within,
+    first_time_within_segment_pair,
+    min_distance_over_window,
+)
+
+coords = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+speeds = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+velocities = st.tuples(speeds, speeds)
+
+
+def brute_force_min_distance(pos_a, vel_a, pos_b, vel_b, duration, samples=2001):
+    """Dense sampling reference for the analytic kernel."""
+    ts = np.linspace(0.0, duration, samples)
+    ax = pos_a[0] + ts * vel_a[0]
+    ay = pos_a[1] + ts * vel_a[1]
+    bx = pos_b[0] + ts * vel_b[0]
+    by = pos_b[1] + ts * vel_b[1]
+    return float(np.min(np.hypot(ax - bx, ay - by)))
+
+
+class TestClosestApproach:
+    def test_static_points(self):
+        res = closest_approach_moving_points((0.0, 0.0), (0.0, 0.0), (3.0, 4.0), (0.0, 0.0), 10.0)
+        assert res.min_distance == 5.0
+        assert res.time_offset == 0.0
+
+    def test_head_on_pass(self):
+        # B moves straight through A's position.
+        res = closest_approach_moving_points((0.0, 0.0), (0.0, 0.0), (-5.0, 0.0), (1.0, 0.0), 10.0)
+        assert res.min_distance == pytest.approx(0.0)
+        assert res.time_offset == pytest.approx(5.0)
+
+    def test_minimum_clamped_to_window(self):
+        # Closest approach would be at t=5 but the window ends at t=2.
+        res = closest_approach_moving_points((0.0, 0.0), (0.0, 0.0), (-5.0, 1.0), (1.0, 0.0), 2.0)
+        assert res.time_offset == 2.0
+        assert res.min_distance == pytest.approx(math.hypot(3.0, 1.0))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            closest_approach_moving_points((0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 0.0), -1.0)
+
+    @settings(max_examples=200)
+    @given(points, velocities, points, velocities, st.floats(0.0, 20.0))
+    def test_matches_brute_force(self, pos_a, vel_a, pos_b, vel_b, duration):
+        analytic = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, duration)
+        sampled = brute_force_min_distance(pos_a, vel_a, pos_b, vel_b, duration)
+        # Sampling can only overestimate the true minimum, and by at most one
+        # grid step of relative motion.
+        relative_speed = math.hypot(vel_b[0] - vel_a[0], vel_b[1] - vel_a[1])
+        grid_error = relative_speed * duration / 2000.0 + 1e-6
+        assert analytic.min_distance <= sampled + 1e-6
+        assert sampled <= analytic.min_distance + grid_error
+
+    @given(points, velocities, points, velocities, st.floats(0.0, 20.0))
+    def test_min_distance_over_window_wrapper(self, pos_a, vel_a, pos_b, vel_b, duration):
+        assert min_distance_over_window(pos_a, vel_a, pos_b, vel_b, duration) == pytest.approx(
+            closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, duration).min_distance
+        )
+
+
+class TestFirstTimeWithin:
+    def test_already_within(self):
+        assert first_time_within((0.0, 0.0), (0.0, 0.0), (0.5, 0.0), (0.0, 0.0), 1.0, 5.0) == 0.0
+
+    def test_never_within(self):
+        assert (
+            first_time_within((0.0, 0.0), (0.0, 0.0), (10.0, 0.0), (0.0, 1.0), 1.0, 100.0) is None
+        )
+
+    def test_receding_points_never_hit(self):
+        assert (
+            first_time_within((0.0, 0.0), (0.0, 0.0), (2.0, 0.0), (1.0, 0.0), 1.0, 100.0) is None
+        )
+
+    def test_exact_crossing_time(self):
+        # B approaches A along the x-axis at speed 1 from distance 10; radius 1
+        # is first reached at t = 9.
+        hit = first_time_within((0.0, 0.0), (0.0, 0.0), (10.0, 0.0), (-1.0, 0.0), 1.0, 100.0)
+        assert hit == pytest.approx(9.0)
+
+    def test_hit_outside_window_returns_none(self):
+        assert first_time_within((0.0, 0.0), (0.0, 0.0), (10.0, 0.0), (-1.0, 0.0), 1.0, 5.0) is None
+
+    def test_tangential_graze_detected(self):
+        # B passes at distance exactly 1 (the radius) above A.
+        hit = first_time_within((0.0, 0.0), (0.0, 0.0), (-5.0, 1.0), (1.0, 0.0), 1.0, 20.0)
+        assert hit == pytest.approx(5.0, abs=1e-6)
+
+    def test_zero_radius(self):
+        hit = first_time_within((0.0, 0.0), (0.0, 0.0), (-5.0, 0.0), (1.0, 0.0), 0.0, 20.0)
+        assert hit == pytest.approx(5.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            first_time_within((0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 0.0), -1.0, 1.0)
+        with pytest.raises(ValueError):
+            first_time_within((0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 0.0), 1.0, -1.0)
+
+    @settings(max_examples=200)
+    @given(points, velocities, points, velocities, st.floats(0.01, 5.0), st.floats(0.0, 20.0))
+    def test_hit_time_is_consistent(self, pos_a, vel_a, pos_b, vel_b, radius, duration):
+        hit = first_time_within(pos_a, vel_a, pos_b, vel_b, radius, duration)
+        if hit is None:
+            # The distance must stay above the radius over the whole window
+            # (up to the sampling error of the brute-force check).
+            sampled = brute_force_min_distance(pos_a, vel_a, pos_b, vel_b, duration)
+            assert sampled >= radius - 1e-6
+        else:
+            assert 0.0 <= hit <= duration
+            ax = pos_a[0] + hit * vel_a[0]
+            ay = pos_a[1] + hit * vel_a[1]
+            bx = pos_b[0] + hit * vel_b[0]
+            by = pos_b[1] + hit * vel_b[1]
+            assert math.hypot(ax - bx, ay - by) <= radius + 1e-6
+            # Minimality: no earlier sample is inside the radius (strictly).
+            if hit > 1e-9:
+                ts = np.linspace(0.0, hit * (1.0 - 1e-9), 500)
+                dists = np.hypot(
+                    (pos_a[0] + ts * vel_a[0]) - (pos_b[0] + ts * vel_b[0]),
+                    (pos_a[1] + ts * vel_a[1]) - (pos_b[1] + ts * vel_b[1]),
+                )
+                assert np.all(dists >= radius - 1e-6)
+
+
+class TestSegmentPair:
+    def test_zero_duration_snapshot(self):
+        assert (
+            first_time_within_segment_pair((0.0, 0.0), (0.0, 0.0), (0.5, 0.0), (0.5, 0.0), 1.0, 0.0)
+            == 0.0
+        )
+        assert (
+            first_time_within_segment_pair((0.0, 0.0), (0.0, 0.0), (5.0, 0.0), (5.0, 0.0), 1.0, 0.0)
+            is None
+        )
+
+    def test_crossing_segments(self):
+        hit = first_time_within_segment_pair(
+            (0.0, 0.0), (10.0, 0.0), (10.0, 0.0), (0.0, 0.0), 2.0, 10.0
+        )
+        assert hit == pytest.approx(4.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            first_time_within_segment_pair((0.0, 0.0), (1.0, 0.0), (0.0, 0.0), (1.0, 0.0), 1.0, -1.0)

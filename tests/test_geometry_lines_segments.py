@@ -1,0 +1,202 @@
+"""Tests for lines, segments and polylines."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.lines import Line
+from repro.geometry.polyline import Polyline
+from repro.geometry.segments import Segment
+
+coords = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestLine:
+    def test_direction_normalized(self):
+        line = Line((0.0, 0.0), (3.0, 4.0))
+        assert math.hypot(*line.direction) == pytest.approx(1.0)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Line((0.0, 0.0), (0.0, 0.0))
+
+    def test_through_two_points(self):
+        line = Line.through((1.0, 1.0), (3.0, 1.0))
+        assert line.inclination() == pytest.approx(0.0)
+
+    def test_projection_on_horizontal_line(self):
+        line = Line.from_point_and_angle((0.0, 2.0), 0.0)
+        assert line.project((5.0, 7.0)) == pytest.approx((5.0, 2.0))
+
+    def test_distance_and_signed_offset(self):
+        line = Line.from_point_and_angle((0.0, 0.0), 0.0)
+        assert line.distance_to((3.0, -2.0)) == pytest.approx(2.0)
+        assert line.signed_offset((3.0, 2.0)) == pytest.approx(2.0)
+        assert line.signed_offset((3.0, -2.0)) == pytest.approx(-2.0)
+
+    def test_coordinate_along_and_point_at(self):
+        line = Line.from_point_and_angle((1.0, 1.0), 0.0)
+        assert line.coordinate_along((4.0, 5.0)) == pytest.approx(3.0)
+        assert line.point_at(3.0) == pytest.approx((4.0, 1.0))
+
+    def test_contains(self):
+        line = Line.from_point_and_angle((0.0, 1.0), 0.0)
+        assert line.contains((10.0, 1.0))
+        assert not line.contains((10.0, 1.1))
+
+    def test_parallel_and_same_line(self):
+        a = Line.from_point_and_angle((0.0, 0.0), 0.3)
+        b = Line.from_point_and_angle((1.0, 1.0), 0.3 + math.pi)
+        assert a.is_parallel_to(b)
+        assert not a.same_line_as(b)
+        c = Line.from_point_and_angle(a.point_at(2.0), 0.3)
+        assert a.same_line_as(c)
+
+    def test_angle_with(self):
+        a = Line.from_point_and_angle((0.0, 0.0), 0.0)
+        b = Line.from_point_and_angle((0.0, 0.0), math.pi / 3)
+        assert a.angle_with(b) == pytest.approx(math.pi / 3)
+
+    def test_reflect(self):
+        line = Line.from_point_and_angle((0.0, 0.0), 0.0)
+        assert line.reflect((2.0, 3.0)) == pytest.approx((2.0, -3.0))
+
+    def test_translate(self):
+        line = Line.from_point_and_angle((0.0, 0.0), 0.0).translate((0.0, 5.0))
+        assert line.distance_to((0.0, 0.0)) == pytest.approx(5.0)
+
+    @given(points, st.floats(0.0, math.pi - 1e-6))
+    def test_projection_is_idempotent_and_closest(self, point, inclination):
+        line = Line.from_point_and_angle((0.5, -0.25), inclination)
+        projection = line.project(point)
+        assert line.project(projection) == pytest.approx(projection, abs=1e-6)
+        assert line.distance_to(point) == pytest.approx(
+            math.hypot(point[0] - projection[0], point[1] - projection[1]), abs=1e-6
+        )
+
+
+class TestSegment:
+    def test_length_and_direction(self):
+        seg = Segment((0.0, 0.0), (3.0, 4.0))
+        assert seg.length() == 5.0
+        assert seg.direction() == pytest.approx((0.6, 0.8))
+
+    def test_degenerate(self):
+        seg = Segment((1.0, 1.0), (1.0, 1.0))
+        assert seg.is_degenerate()
+        with pytest.raises(ZeroDivisionError):
+            seg.direction()
+
+    def test_point_at_and_midpoint(self):
+        seg = Segment((0.0, 0.0), (2.0, 2.0))
+        assert seg.point_at(0.25) == (0.5, 0.5)
+        assert seg.midpoint() == (1.0, 1.0)
+
+    def test_reversed_and_translate(self):
+        seg = Segment((0.0, 0.0), (1.0, 0.0))
+        assert seg.reversed().start == (1.0, 0.0)
+        assert seg.translate((0.0, 2.0)).end == (1.0, 2.0)
+
+    def test_distance_to_point_regions(self):
+        seg = Segment((0.0, 0.0), (10.0, 0.0))
+        assert seg.distance_to_point((5.0, 3.0)) == pytest.approx(3.0)
+        assert seg.distance_to_point((-4.0, 3.0)) == pytest.approx(5.0)
+        assert seg.distance_to_point((13.0, 4.0)) == pytest.approx(5.0)
+
+    def test_closest_point(self):
+        seg = Segment((0.0, 0.0), (10.0, 0.0))
+        assert seg.closest_point_to((5.0, 3.0)) == pytest.approx((5.0, 0.0))
+        assert seg.closest_point_to((-5.0, 3.0)) == pytest.approx((0.0, 0.0))
+
+    def test_parallel_and_max_distance_to_line(self):
+        line = Line.from_point_and_angle((0.0, 0.0), 0.0)
+        seg = Segment((0.0, 1.0), (5.0, 3.0))
+        assert not seg.is_parallel_to_line(line)
+        assert seg.max_distance_to_line(line) == pytest.approx(3.0)
+
+    def test_sample(self):
+        seg = Segment((0.0, 0.0), (1.0, 0.0))
+        assert len(seg.sample(5)) == 5
+        with pytest.raises(ValueError):
+            seg.sample(1)
+
+    def test_time_parametrized(self):
+        position = Segment((0.0, 0.0), (4.0, 0.0)).time_parametrized(2.0)
+        assert position(1.0) == pytest.approx((2.0, 0.0))
+        assert position(100.0) == pytest.approx((4.0, 0.0))
+        with pytest.raises(ValueError):
+            Segment((0.0, 0.0), (1.0, 0.0)).time_parametrized(0.0)
+
+
+class TestPolyline:
+    def test_requires_vertices(self):
+        with pytest.raises(ValueError):
+            Polyline([])
+
+    def test_length_and_closure(self):
+        square = Polyline([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)])
+        assert square.length() == pytest.approx(4.0)
+        assert square.is_closed()
+
+    def test_segments_count(self):
+        poly = Polyline([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+        assert len(poly.segments()) == 2
+
+    def test_reversed(self):
+        poly = Polyline([(0.0, 0.0), (1.0, 0.0)])
+        assert poly.reversed().start == (1.0, 0.0)
+
+    def test_translate(self):
+        poly = Polyline([(0.0, 0.0), (1.0, 0.0)]).translate((0.0, 1.0))
+        assert poly.vertices == ((0.0, 1.0), (1.0, 1.0))
+
+    def test_concatenate_contiguous(self):
+        a = Polyline([(0.0, 0.0), (1.0, 0.0)])
+        b = Polyline([(1.0, 0.0), (1.0, 1.0)])
+        assert a.concatenate(b).end == (1.0, 1.0)
+        with pytest.raises(ValueError):
+            a.concatenate(Polyline([(5.0, 5.0), (6.0, 6.0)]))
+
+    def test_simplified_drops_duplicates(self):
+        poly = Polyline([(0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (1.0, 0.0)])
+        assert len(poly.simplified()) == 2
+
+    def test_point_at_arclength(self):
+        poly = Polyline([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+        assert poly.point_at_arclength(0.0) == (0.0, 0.0)
+        assert poly.point_at_arclength(1.5) == pytest.approx((1.0, 0.5))
+        assert poly.point_at_arclength(10.0) == (1.0, 1.0)
+
+    def test_distance_to_point(self):
+        poly = Polyline([(0.0, 0.0), (2.0, 0.0)])
+        assert poly.distance_to_point((1.0, 1.0)) == pytest.approx(1.0)
+
+    def test_bounding_box(self):
+        poly = Polyline([(0.0, 1.0), (2.0, -1.0)])
+        assert poly.bounding_box() == ((0.0, -1.0), (2.0, 1.0))
+
+    def test_array_roundtrip(self):
+        poly = Polyline([(0.0, 0.0), (1.0, 2.0)])
+        again = Polyline.from_array(poly.as_array())
+        assert again.vertices == poly.vertices
+        with pytest.raises(ValueError):
+            Polyline.from_array(np.zeros((3, 3)))
+
+    def test_resample_shape(self):
+        poly = Polyline([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+        resampled = poly.resample(9)
+        assert resampled.shape == (9, 2)
+        with pytest.raises(ValueError):
+            poly.resample(1)
+
+    def test_resample_degenerate(self):
+        point = Polyline([(1.0, 1.0)])
+        assert point.resample(4).shape == (4, 2)
+
+    @given(st.lists(points, min_size=2, max_size=12))
+    def test_reverse_preserves_length(self, vertices):
+        poly = Polyline(vertices)
+        assert poly.reversed().length() == pytest.approx(poly.length(), rel=1e-9, abs=1e-9)

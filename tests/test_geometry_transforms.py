@@ -1,0 +1,143 @@
+"""Tests for rotations, reflections, frames matrices and isometries."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.transforms import (
+    Isometry,
+    LinearMap2,
+    Reflection,
+    Rotation,
+    apply_matrix,
+    frame_matrix,
+    invert_2x2,
+    matrix_multiply,
+    reflection_matrix,
+    rotation_matrix,
+    solve_2x2,
+)
+from repro.geometry.vec import dist, norm, sub
+
+angles = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+coords = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestMatrices:
+    def test_rotation_quarter_turn(self):
+        m = rotation_matrix(math.pi / 2)
+        x, y = apply_matrix(m, (1.0, 0.0))
+        assert x == pytest.approx(0.0, abs=1e-12)
+        assert y == pytest.approx(1.0)
+
+    def test_reflection_across_x_axis(self):
+        m = reflection_matrix(0.0)
+        assert apply_matrix(m, (2.0, 3.0)) == pytest.approx((2.0, -3.0))
+
+    def test_frame_matrix_identity(self):
+        assert frame_matrix(0.0, 1) == pytest.approx((1.0, 0.0, 0.0, 1.0))
+
+    def test_frame_matrix_mirror(self):
+        m = frame_matrix(0.0, -1)
+        assert apply_matrix(m, (0.0, 1.0)) == pytest.approx((0.0, -1.0))
+
+    def test_frame_matrix_invalid_chirality(self):
+        with pytest.raises(ValueError):
+            frame_matrix(0.0, 0)
+
+    def test_invert_singular_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            invert_2x2((1.0, 2.0, 2.0, 4.0))
+
+    @given(angles, points)
+    def test_rotation_preserves_norm(self, angle, point):
+        assert norm(apply_matrix(rotation_matrix(angle), point)) == pytest.approx(
+            norm(point), rel=1e-9, abs=1e-9
+        )
+
+    @given(angles, points)
+    def test_reflection_is_involution(self, axis, point):
+        m = reflection_matrix(axis)
+        twice = apply_matrix(m, apply_matrix(m, point))
+        assert twice == pytest.approx(point, abs=1e-7)
+
+    @given(angles, angles, points)
+    def test_matrix_multiply_composes(self, a, b, point):
+        composed = matrix_multiply(rotation_matrix(a), rotation_matrix(b))
+        direct = rotation_matrix(a + b)
+        assert apply_matrix(composed, point) == pytest.approx(
+            apply_matrix(direct, point), abs=1e-6
+        )
+
+    @given(points)
+    def test_solve_2x2(self, rhs):
+        m = (2.0, 1.0, 1.0, 3.0)
+        x = solve_2x2(m, rhs)
+        assert apply_matrix(m, x) == pytest.approx(rhs, abs=1e-9)
+
+
+class TestLinearMap2:
+    def test_determinant_and_singularity(self):
+        assert LinearMap2((2.0, 0.0, 0.0, 3.0)).determinant() == 6.0
+        assert LinearMap2((1.0, 1.0, 1.0, 1.0)).is_singular()
+
+    def test_inverse_roundtrip(self):
+        m = LinearMap2((1.0, 2.0, 3.0, 5.0))
+        v = (0.7, -1.3)
+        assert m.inverse()(m(v)) == pytest.approx(v)
+
+    def test_compose_order(self):
+        rotate = LinearMap2(rotation_matrix(math.pi / 2))
+        stretch = LinearMap2((2.0, 0.0, 0.0, 1.0))
+        # compose applies the *other* map first.
+        composed = stretch.compose(rotate)
+        assert composed((1.0, 0.0)) == pytest.approx((0.0, 1.0), abs=1e-12)
+
+    def test_operator_norm_rotation_is_one(self):
+        assert LinearMap2(rotation_matrix(1.0)).operator_norm() == pytest.approx(1.0)
+
+    def test_operator_norm_diagonal(self):
+        assert LinearMap2((3.0, 0.0, 0.0, 2.0)).operator_norm() == pytest.approx(3.0)
+
+    @given(points)
+    def test_operator_norm_bounds_image(self, v):
+        m = LinearMap2((1.0, 2.0, -0.5, 0.75))
+        assert norm(m(v)) <= m.operator_norm() * norm(v) + 1e-6
+
+
+class TestRotationReflectionObjects:
+    def test_rotation_inverse(self):
+        r = Rotation(0.7)
+        v = (1.0, 2.0)
+        assert r.inverse()(r(v)) == pytest.approx(v)
+
+    def test_reflection_inverse_is_itself(self):
+        refl = Reflection(0.3)
+        assert refl.inverse().axis_angle == refl.axis_angle
+
+
+class TestIsometry:
+    def test_identity(self):
+        assert Isometry.identity()((3.0, -2.0)) == (3.0, -2.0)
+
+    def test_translation(self):
+        assert Isometry.translation_by((1.0, 2.0))((3.0, 4.0)) == (4.0, 6.0)
+
+    def test_rotation_about_center_fixes_center(self):
+        iso = Isometry.rotation_about((2.0, 1.0), 1.234)
+        assert iso((2.0, 1.0)) == pytest.approx((2.0, 1.0))
+
+    def test_reflection_across_line_fixes_points_on_line(self):
+        iso = Isometry.reflection_across_line((1.0, 1.0), math.pi / 4)
+        assert iso((2.0, 2.0)) == pytest.approx((2.0, 2.0))
+        # A point off the line maps to its mirror image.
+        assert iso((2.0, 0.0)) == pytest.approx((0.0, 2.0), abs=1e-12)
+
+    @given(points, points, angles)
+    def test_isometries_preserve_distances(self, a, b, angle):
+        iso = Isometry.rotation_about((0.5, -0.5), angle).compose(
+            Isometry.translation_by((1.0, 2.0))
+        )
+        assert dist(iso(a), iso(b)) == pytest.approx(dist(a, b), rel=1e-9, abs=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for the plain-float vector kernel."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec import (
+    add,
+    angle_of,
+    cross,
+    dist,
+    dist_sq,
+    dot,
+    from_polar,
+    is_close,
+    lerp,
+    midpoint,
+    norm,
+    norm_sq,
+    normalize,
+    perp,
+    scale,
+    sub,
+    vec,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+vectors = st.tuples(finite, finite)
+
+
+class TestBasicOps:
+    def test_vec_coerces_to_float(self):
+        assert vec(1, 2) == (1.0, 2.0)
+        assert isinstance(vec(1, 2)[0], float)
+
+    def test_add_sub_roundtrip(self):
+        a, b = (1.5, -2.0), (0.5, 3.0)
+        assert sub(add(a, b), b) == a
+
+    def test_scale(self):
+        assert scale((2.0, -3.0), 0.5) == (1.0, -1.5)
+
+    def test_dot_orthogonal(self):
+        assert dot((1.0, 0.0), (0.0, 5.0)) == 0.0
+
+    def test_cross_sign(self):
+        assert cross((1.0, 0.0), (0.0, 1.0)) == 1.0
+        assert cross((0.0, 1.0), (1.0, 0.0)) == -1.0
+
+    def test_norm_345(self):
+        assert norm((3.0, 4.0)) == 5.0
+        assert norm_sq((3.0, 4.0)) == 25.0
+
+    def test_dist(self):
+        assert dist((1.0, 1.0), (4.0, 5.0)) == 5.0
+        assert dist_sq((1.0, 1.0), (4.0, 5.0)) == 25.0
+
+    def test_normalize_unit_length(self):
+        assert math.isclose(norm(normalize((3.0, 4.0))), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize((0.0, 0.0))
+
+    def test_perp_is_rotation_by_90(self):
+        assert perp((1.0, 0.0)) == (0.0, 1.0)
+        assert perp((0.0, 1.0)) == (-1.0, 0.0)
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = (0.0, 0.0), (2.0, 4.0)
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+        assert lerp(a, b, 0.5) == midpoint(a, b) == (1.0, 2.0)
+
+    def test_is_close_tolerance(self):
+        assert is_close((1.0, 1.0), (1.0 + 1e-12, 1.0))
+        assert not is_close((1.0, 1.0), (1.1, 1.0))
+
+    def test_angle_of_cardinals(self):
+        assert angle_of((1.0, 0.0)) == 0.0
+        assert math.isclose(angle_of((0.0, 1.0)), math.pi / 2.0)
+        assert math.isclose(angle_of((-1.0, 0.0)), math.pi)
+
+    def test_from_polar(self):
+        x, y = from_polar(2.0, math.pi / 2.0)
+        assert math.isclose(x, 0.0, abs_tol=1e-12)
+        assert math.isclose(y, 2.0)
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_add_commutative(self, a, b):
+        assert add(a, b) == add(b, a)
+
+    @given(vectors, vectors)
+    def test_dot_symmetric(self, a, b):
+        assert dot(a, b) == dot(b, a)
+
+    @given(vectors)
+    def test_perp_orthogonal_and_same_norm(self, a):
+        assert dot(a, perp(a)) == pytest.approx(0.0, abs=1e-3)
+        assert norm(perp(a)) == pytest.approx(norm(a), rel=1e-12, abs=1e-12)
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert norm(add(a, b)) <= norm(a) + norm(b) + 1e-6
+
+    @given(vectors, vectors)
+    def test_dist_symmetric(self, a, b):
+        assert dist(a, b) == dist(b, a)
+
+    @given(st.floats(0.1, 1e3), st.floats(-math.pi, math.pi))
+    def test_from_polar_roundtrip(self, radius, angle):
+        point = from_polar(radius, angle)
+        assert norm(point) == pytest.approx(radius, rel=1e-9)
+        assert angle_of(point) == pytest.approx(angle, abs=1e-9)

@@ -1,0 +1,102 @@
+"""Tests for the Move/Wait instruction IR."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.motion.instructions import (
+    Move,
+    Wait,
+    go,
+    go_east,
+    go_north,
+    go_south,
+    go_west,
+    move_by,
+    wait,
+)
+from repro.util.errors import AlgorithmContractError
+
+finite = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestMove:
+    def test_length_and_duration(self):
+        move = Move(3.0, 4.0)
+        assert move.length == 5.0
+        assert move.duration == 5.0  # local speed is one length unit per time unit
+
+    def test_null(self):
+        assert Move(0.0, 0.0).is_null()
+        assert not Move(0.1, 0.0).is_null()
+
+    def test_reversed(self):
+        assert Move(1.0, -2.0).reversed() == Move(-1.0, 2.0)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Move(1.0, 0.0).rotated(math.pi / 2.0)
+        assert rotated.dx == pytest.approx(0.0, abs=1e-12)
+        assert rotated.dy == pytest.approx(1.0)
+
+    def test_scaled(self):
+        assert Move(1.0, 2.0).scaled(2.0) == Move(2.0, 4.0)
+        with pytest.raises(AlgorithmContractError):
+            Move(1.0, 2.0).scaled(-1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(AlgorithmContractError):
+            Move(float("nan"), 0.0)
+        with pytest.raises(AlgorithmContractError):
+            Move(0.0, float("inf"))
+
+    @given(finite, finite, st.floats(-10.0, 10.0))
+    def test_rotation_preserves_length(self, dx, dy, alpha):
+        assert Move(dx, dy).rotated(alpha).length == pytest.approx(
+            Move(dx, dy).length, rel=1e-9, abs=1e-9
+        )
+
+
+class TestWait:
+    def test_duration(self):
+        assert Wait(2.5).duration == 2.5
+
+    def test_null(self):
+        assert Wait(0.0).is_null()
+
+    def test_negative_rejected(self):
+        with pytest.raises(AlgorithmContractError):
+            Wait(-1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(AlgorithmContractError):
+            Wait(float("inf"))
+
+
+class TestShorthands:
+    def test_cardinals(self):
+        assert go("E", 2.0) == Move(2.0, 0.0)
+        assert go("W", 2.0) == Move(-2.0, 0.0)
+        assert go("N", 2.0) == Move(0.0, 2.0)
+        assert go("S", 2.0) == Move(0.0, -2.0)
+
+    def test_lowercase_accepted(self):
+        assert go("e", 1.0) == go_east(1.0)
+
+    def test_helpers_match_go(self):
+        assert go_east(3.0) == go("E", 3.0)
+        assert go_west(3.0) == go("W", 3.0)
+        assert go_north(3.0) == go("N", 3.0)
+        assert go_south(3.0) == go("S", 3.0)
+
+    def test_unknown_direction(self):
+        with pytest.raises(AlgorithmContractError):
+            go("NE", 1.0)
+
+    def test_negative_distance(self):
+        with pytest.raises(AlgorithmContractError):
+            go("E", -1.0)
+
+    def test_move_by_and_wait(self):
+        assert move_by(1.0, 2.0) == Move(1.0, 2.0)
+        assert wait(3.0) == Wait(3.0)

@@ -1,0 +1,165 @@
+"""Tests for LocalPath: truncation, chunking, backtracking, rotation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.motion.instructions import Move, Wait
+from repro.motion.localpath import LocalPath, LocalStep
+from repro.util.errors import AlgorithmContractError
+
+steps_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.floats(-5.0, 5.0), st.floats(-5.0, 5.0)).map(lambda d: Move(*d)),
+        st.floats(0.0, 5.0).map(Wait),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def sample_path() -> LocalPath:
+    return LocalPath.from_instructions(
+        [Move(2.0, 0.0), Wait(1.0), Move(0.0, 3.0), Move(-1.0, 0.0)]
+    )
+
+
+class TestLocalStep:
+    def test_wait_detection(self):
+        assert LocalStep(0.0, 0.0, 2.0).is_wait
+        assert not LocalStep(1.0, 0.0, 1.0).is_wait
+
+    def test_invalid_step(self):
+        with pytest.raises(AlgorithmContractError):
+            LocalStep(1.0, 0.0, -1.0)
+        with pytest.raises(AlgorithmContractError):
+            LocalStep(float("nan"), 0.0, 1.0)
+
+    def test_split(self):
+        head, tail = LocalStep(4.0, 0.0, 4.0).split_at(1.0)
+        assert head.dx == pytest.approx(1.0) and head.duration == pytest.approx(1.0)
+        assert tail.dx == pytest.approx(3.0) and tail.duration == pytest.approx(3.0)
+
+    def test_split_out_of_range(self):
+        with pytest.raises(ValueError):
+            LocalStep(1.0, 0.0, 1.0).split_at(2.0)
+
+    def test_to_instruction(self):
+        assert LocalStep(0.0, 0.0, 2.0).to_instruction() == Wait(2.0)
+        assert LocalStep(1.0, 2.0, math.hypot(1, 2)).to_instruction() == Move(1.0, 2.0)
+
+
+class TestConstruction:
+    def test_from_instructions_drops_nulls(self):
+        path = LocalPath.from_instructions([Move(0.0, 0.0), Wait(0.0), Move(1.0, 0.0)])
+        assert len(path) == 1
+
+    def test_measures(self):
+        path = sample_path()
+        assert path.total_duration() == pytest.approx(2.0 + 1.0 + 3.0 + 1.0)
+        assert path.total_length() == pytest.approx(6.0)
+        assert path.end_displacement() == pytest.approx((1.0, 3.0))
+        assert not path.is_closed()
+
+    def test_position_at(self):
+        path = sample_path()
+        assert path.position_at(-1.0) == (0.0, 0.0)
+        assert path.position_at(1.0) == pytest.approx((1.0, 0.0))
+        assert path.position_at(2.5) == pytest.approx((2.0, 0.0))  # inside the wait
+        assert path.position_at(4.0) == pytest.approx((2.0, 1.0))
+        assert path.position_at(100.0) == pytest.approx((1.0, 3.0))
+
+    def test_vertices_skip_waits(self):
+        assert sample_path().vertices() == [(0.0, 0.0), (2.0, 0.0), (2.0, 3.0), (1.0, 3.0)]
+
+    def test_as_polyline(self):
+        assert sample_path().as_polyline().length() == pytest.approx(6.0)
+
+    def test_equality_and_repr(self):
+        assert sample_path() == sample_path()
+        assert "LocalPath" in repr(sample_path())
+
+
+class TestTruncate:
+    def test_truncate_shorter(self):
+        path = sample_path().truncate(2.5)
+        assert path.total_duration() == pytest.approx(2.5)
+        assert path.end_displacement() == pytest.approx((2.0, 0.0))
+
+    def test_truncate_splits_moves(self):
+        path = sample_path().truncate(1.0)
+        assert path.end_displacement() == pytest.approx((1.0, 0.0))
+
+    def test_truncate_pads_with_wait(self):
+        path = sample_path().truncate(100.0)
+        assert path.total_duration() == pytest.approx(100.0)
+        assert path.end_displacement() == pytest.approx((1.0, 3.0))
+
+    def test_truncate_negative(self):
+        with pytest.raises(ValueError):
+            sample_path().truncate(-1.0)
+
+    @given(steps_strategy, st.floats(0.0, 30.0))
+    def test_truncate_duration_property(self, instructions, duration):
+        path = LocalPath.from_instructions(instructions)
+        truncated = path.truncate(duration)
+        assert truncated.total_duration() == pytest.approx(duration, abs=1e-7)
+
+
+class TestChunks:
+    def test_chunks_cover_whole_path(self):
+        path = sample_path()
+        chunks = path.chunks(1.0)
+        assert len(chunks) == 7
+        assert sum(chunk.total_duration() for chunk in chunks) == pytest.approx(7.0)
+        # Re-assembling the chunks reproduces the net displacement.
+        dx = sum(chunk.end_displacement()[0] for chunk in chunks)
+        dy = sum(chunk.end_displacement()[1] for chunk in chunks)
+        assert (dx, dy) == pytest.approx(path.end_displacement())
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            sample_path().chunks(0.0)
+
+    @given(steps_strategy, st.floats(0.1, 4.0))
+    def test_every_chunk_has_requested_duration(self, instructions, chunk_duration):
+        path = LocalPath.from_instructions(instructions)
+        for chunk in path.chunks(chunk_duration):
+            assert chunk.total_duration() == pytest.approx(chunk_duration, abs=1e-6)
+
+
+class TestBacktrackAndRotate:
+    def test_backtrack_returns_to_start(self):
+        path = sample_path()
+        roundtrip = path.concatenate(path.backtrack())
+        assert roundtrip.is_closed()
+
+    def test_backtrack_drops_waits(self):
+        assert all(not step.is_wait for step in sample_path().backtrack())
+
+    def test_backtrack_duration_bounded(self):
+        path = sample_path()
+        assert path.backtrack().total_duration() <= path.total_duration()
+
+    def test_rotated_lengths_preserved(self):
+        path = sample_path()
+        rotated = path.rotated(1.1)
+        assert rotated.total_length() == pytest.approx(path.total_length())
+        assert rotated.total_duration() == pytest.approx(path.total_duration())
+
+    def test_rotated_quarter_turn_displacement(self):
+        path = LocalPath.from_instructions([Move(1.0, 0.0)]).rotated(math.pi / 2.0)
+        assert path.end_displacement() == pytest.approx((0.0, 1.0), abs=1e-12)
+
+    def test_to_instructions_roundtrip(self):
+        path = sample_path()
+        again = LocalPath.from_instructions(path.to_instructions())
+        assert again.end_displacement() == pytest.approx(path.end_displacement())
+        assert again.total_duration() == pytest.approx(path.total_duration())
+
+    @given(steps_strategy)
+    def test_backtrack_property(self, instructions):
+        path = LocalPath.from_instructions(instructions)
+        combined = path.concatenate(path.backtrack())
+        assert combined.is_closed(tol=1e-6)

@@ -1,0 +1,140 @@
+"""Tests for the program combinators (rotation, truncation, chunk/wait interleaving)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.motion.instructions import Move, Wait
+from repro.motion.localpath import LocalPath
+from repro.motion.program import (
+    chunked_with_waits,
+    concat_programs,
+    limit_instructions,
+    program_from_callable,
+    replay_path,
+    rotate_instructions,
+    scale_instructions,
+    take_local_time,
+)
+
+
+def square_program():
+    yield Move(1.0, 0.0)
+    yield Move(0.0, 1.0)
+    yield Move(-1.0, 0.0)
+    yield Move(0.0, -1.0)
+
+
+def endless_east():
+    while True:
+        yield Move(1.0, 0.0)
+        yield Wait(1.0)
+
+
+class TestRotateScale:
+    def test_rotate_affects_moves_only(self):
+        rotated = list(rotate_instructions([Move(1.0, 0.0), Wait(2.0)], math.pi / 2.0))
+        assert rotated[0].dx == pytest.approx(0.0, abs=1e-12)
+        assert rotated[0].dy == pytest.approx(1.0)
+        assert rotated[1] == Wait(2.0)
+
+    def test_rotate_preserves_closure(self):
+        path = LocalPath.from_instructions(rotate_instructions(square_program(), 0.7))
+        assert path.is_closed(tol=1e-9)
+
+    def test_scale(self):
+        scaled = list(scale_instructions([Move(1.0, -2.0), Wait(1.0)], 3.0))
+        assert scaled[0] == Move(3.0, -6.0)
+        assert scaled[1] == Wait(1.0)
+
+
+class TestConcatLimit:
+    def test_concat(self):
+        combined = list(concat_programs(square_program(), [Wait(1.0)]))
+        assert len(combined) == 5
+        assert combined[-1] == Wait(1.0)
+
+    def test_limit_finite(self):
+        assert len(list(limit_instructions(square_program(), 2))) == 2
+
+    def test_limit_infinite_program(self):
+        assert len(list(limit_instructions(endless_east(), 10))) == 10
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            list(limit_instructions(square_program(), -1))
+
+
+class TestTakeLocalTime:
+    def test_exact_duration(self):
+        path = take_local_time(square_program(), 2.5)
+        assert path.total_duration() == pytest.approx(2.5)
+        # Two full sides plus half of the third (which runs West).
+        assert path.end_displacement() == pytest.approx((0.5, 1.0))
+
+    def test_pads_when_program_ends(self):
+        path = take_local_time(square_program(), 10.0)
+        assert path.total_duration() == pytest.approx(10.0)
+        assert path.is_closed()
+
+    def test_infinite_program_is_consumed_lazily(self):
+        path = take_local_time(endless_east(), 5.0)
+        assert path.total_duration() == pytest.approx(5.0)
+
+    def test_zero_duration(self):
+        assert len(take_local_time(square_program(), 0.0)) == 0
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            take_local_time(square_program(), -1.0)
+
+    def test_consumes_only_what_it_needs(self):
+        program = endless_east()
+        take_local_time(program, 3.0)
+        # The generator must not have been drained far beyond the 3 time units
+        # (2 instructions = 2 time units per loop iteration).
+        consumed_next = next(program)
+        assert isinstance(consumed_next, (Move, Wait))
+
+
+class TestReplayAndChunks:
+    def test_replay_reproduces_path(self):
+        original = take_local_time(square_program(), 4.0)
+        replayed = LocalPath.from_instructions(replay_path(original))
+        assert replayed.end_displacement() == pytest.approx(original.end_displacement())
+        assert replayed.total_duration() == pytest.approx(original.total_duration())
+
+    def test_chunked_with_waits_structure(self):
+        path = take_local_time(square_program(), 4.0)
+        instructions = list(chunked_with_waits(path, chunk_duration=1.0, wait_duration=2.0))
+        waits = [i for i in instructions if isinstance(i, Wait) and i.duration == 2.0]
+        assert len(waits) == 4  # one wait after each of the four chunks
+        # Net displacement is unchanged by the interleaved waits.
+        combined = LocalPath.from_instructions(instructions)
+        assert combined.end_displacement() == pytest.approx(path.end_displacement())
+        assert combined.total_duration() == pytest.approx(path.total_duration() + 4 * 2.0)
+
+    def test_chunked_with_waits_validation(self):
+        path = take_local_time(square_program(), 4.0)
+        with pytest.raises(ValueError):
+            list(chunked_with_waits(path, 1.0, -1.0))
+
+    def test_chunked_zero_wait(self):
+        path = take_local_time(square_program(), 4.0)
+        instructions = list(chunked_with_waits(path, 1.0, 0.0))
+        assert not any(isinstance(i, Wait) and i.duration == 0.0 for i in instructions)
+
+
+class TestProgramFromCallable:
+    def test_lazy_construction(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return square_program()
+
+        program = program_from_callable(factory)
+        assert calls == []  # nothing happened yet
+        list(itertools.islice(program, 1))
+        assert calls == [1]

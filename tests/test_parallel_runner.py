@@ -1,0 +1,66 @@
+"""Tests for the process-pool batch runner."""
+
+import math
+
+import pytest
+
+from repro.analysis.sampler import InstanceSampler
+from repro.core.classification import InstanceClass
+from repro.core.instance import Instance
+from repro.parallel.runner import BatchRunner, BatchTask, run_batch
+
+
+class TestBatchTask:
+    def test_make_serializes_instance(self):
+        instance = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0)
+        task = BatchTask.make(instance, "linear-probe", tag="demo", max_time=100.0)
+        assert task.instance["x"] == 1.0
+        assert task.algorithm == "linear-probe"
+        assert task.simulator_options == {"max_time": 100.0}
+        assert task.tag == "demo"
+
+
+class TestInlineExecution:
+    def test_run_batch_inline(self):
+        instances = [
+            Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0),
+            Instance(r=0.5, x=-1.0, y=0.5, phi=1.0),
+        ]
+        records = run_batch(instances, "linear-probe", processes=1, max_time=1e4, tag="t")
+        assert len(records) == 2
+        assert all(record["met"] for record in records)
+        assert all(record["algorithm"] == "dedicated-linear-probe" for record in records)
+        assert all(record["tag"] == "t" for record in records)
+        assert records[0]["instance_x"] == 1.0
+
+    def test_small_batches_stay_inline_even_with_many_processes(self):
+        runner = BatchRunner(processes=8, min_parallel=100)
+        tasks = [
+            BatchTask.make(Instance(r=2.0, x=1.0, y=0.0), "stay-put", max_time=10.0)
+            for _ in range(3)
+        ]
+        records = runner.run(tasks)
+        assert len(records) == 3 and all(r["met"] for r in records)
+
+    def test_resolved_processes(self):
+        assert BatchRunner(processes=3).resolved_processes() == 3
+        assert BatchRunner(processes=0).resolved_processes() == 1
+        assert BatchRunner(processes=None).resolved_processes() >= 1
+
+
+class TestParallelExecution:
+    def test_pool_execution_matches_inline(self):
+        sampler = InstanceSampler(seed=3)
+        instances = sampler.batch_of_class(InstanceClass.TYPE_4, 10)
+        inline = run_batch(instances, "dedicated", processes=1, max_time=1e6, max_segments=50_000)
+        pooled = run_batch(instances, "dedicated", processes=2, max_time=1e6, max_segments=50_000)
+        assert len(pooled) == len(inline) == 10
+        for a, b in zip(inline, pooled):
+            assert a["met"] == b["met"]
+            assert a["meeting_time"] == pytest.approx(b["meeting_time"])
+            assert a["instance_x"] == b["instance_x"]
+
+    def test_order_is_preserved(self):
+        instances = [Instance(r=2.0, x=float(k % 3 + 1) * 0.1, y=0.0) for k in range(12)]
+        records = run_batch(instances, "stay-put", processes=2, max_time=10.0)
+        assert [rec["instance_x"] for rec in records] == [inst.x for inst in instances]

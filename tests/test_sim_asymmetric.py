@@ -1,0 +1,110 @@
+"""Tests for the Section 5 extension: different visibility radii."""
+
+import math
+
+import pytest
+
+from repro.algorithms.almost_universal import AlmostUniversalRV
+from repro.algorithms.base import UniversalAlgorithm
+from repro.algorithms.dedicated import LinearProbe
+from repro.core.instance import Instance
+from repro.motion.instructions import Move
+from repro.sim.asymmetric import AsymmetricOutcome, simulate_asymmetric
+from repro.sim.engine import simulate
+from repro.sim.results import TerminationReason
+
+
+class WalkEast(UniversalAlgorithm):
+    name = "walk-east"
+
+    def __init__(self, distance=20.0):
+        self.distance = distance
+
+    def program(self):
+        yield Move(self.distance, 0.0)
+
+
+class TestBasicSemantics:
+    def test_equal_radii_match_symmetric_engine(self):
+        instance = Instance(r=0.5, x=3.0, y=0.0, t=2.75)
+        symmetric = simulate(instance, WalkEast())
+        outcome = simulate_asymmetric(instance, WalkEast())
+        assert outcome.met == symmetric.met
+        assert outcome.meeting_time == pytest.approx(symmetric.meeting_time)
+        assert outcome.frozen_agent is None  # meeting happens at the shared radius
+
+    def test_invalid_radii(self):
+        instance = Instance(r=0.5, x=3.0, y=0.0)
+        with pytest.raises(ValueError):
+            simulate_asymmetric(instance, WalkEast(), radius_a=0.0)
+        with pytest.raises(ValueError):
+            simulate_asymmetric(instance, WalkEast(), max_time=math.inf)
+
+    def test_larger_radius_agent_freezes_first(self):
+        # B sleeps 10 time units; A walks east towards B.  A (radius 2) sees B
+        # at distance 2 and freezes; it never gets within B's radius 0.5, and
+        # the walk-east program gives B no chance to close the gap afterwards.
+        instance = Instance(r=0.5, x=5.0, y=0.0, t=10.0)
+        outcome = simulate_asymmetric(
+            instance, WalkEast(4.0), radius_a=2.0, radius_b=0.5, max_time=100.0
+        )
+        assert outcome.frozen_agent == "A"
+        assert outcome.freeze_time == pytest.approx(3.0)
+        assert outcome.freeze_distance == pytest.approx(2.0)
+        assert not outcome.met
+        assert outcome.result.termination is TerminationReason.PROGRAMS_FINISHED
+
+    def test_rendezvous_at_smaller_radius(self):
+        # Same setup but B's later walk passes through A's frozen position.
+        instance = Instance(r=0.5, x=5.0, y=0.0, t=10.0, phi=math.pi)
+        outcome = simulate_asymmetric(
+            instance, WalkEast(6.0), radius_a=2.0, radius_b=0.5, max_time=100.0
+        )
+        # A freezes at distance 2 (time 3); B wakes at 10 and walks (its east is
+        # absolute west) towards A's frozen position at x=3.
+        assert outcome.frozen_agent == "A"
+        assert outcome.met
+        assert outcome.result.meeting_distance == pytest.approx(0.5)
+        assert outcome.meeting_time == pytest.approx(10.0 + (5.0 - 3.0) - 0.5)
+
+    def test_reports_radii_in_algorithm_name(self):
+        instance = Instance(r=0.5, x=2.0, y=0.0, t=3.0)
+        outcome = simulate_asymmetric(instance, WalkEast(), radius_a=0.5, radius_b=0.25)
+        assert "r_a=0.5" in outcome.result.algorithm_name
+
+
+class TestSection5Claims:
+    def test_universal_algorithm_survives_asymmetric_radii(self):
+        """Section 5: AlmostUniversalRV keeps working because every phase
+        contains a planar search that the still-moving agent eventually runs."""
+        instance = Instance(r=0.6, x=1.0, y=1.0, phi=math.pi / 2.0, chi=1, t=0.5)
+        outcome = simulate_asymmetric(
+            instance,
+            AlmostUniversalRV(),
+            radius_a=0.6,
+            radius_b=0.2,
+            max_time=1e12,
+            max_segments=600_000,
+        )
+        assert outcome.met
+        assert outcome.result.meeting_distance <= 0.2 + 1e-9
+        # The meeting at the smaller radius can only happen later than (or at)
+        # the symmetric meeting at the larger radius.
+        symmetric = simulate(instance, AlmostUniversalRV(), max_time=1e12, max_segments=600_000)
+        assert outcome.meeting_time >= symmetric.meeting_time - 1e-9
+
+    def test_dedicated_probe_without_search_step_can_fail(self):
+        """The paper's caveat: algorithms without a trailing search procedure
+        are *not* automatically correct under asymmetric radii — the frozen
+        agent may stop before the mover gets within the smaller radius."""
+        instance = Instance(r=1.0, x=2.0, y=2.0, phi=math.pi / 2.0, chi=1, t=0.0)
+        symmetric = simulate(instance, LinearProbe())
+        assert symmetric.met
+        outcome = simulate_asymmetric(
+            instance, LinearProbe(), radius_a=1.0, radius_b=0.05, max_time=1e6
+        )
+        # The larger-radius agent freezes mid-probe; the other finishes its own
+        # probe but no longer ends at the same point, so with a tiny radius the
+        # meeting is not guaranteed (and indeed does not happen here).
+        assert outcome.frozen_agent is not None
+        assert not outcome.met

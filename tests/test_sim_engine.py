@@ -1,0 +1,244 @@
+"""Tests for the event-driven rendezvous engine."""
+
+import math
+
+import pytest
+
+from repro.algorithms.base import FunctionAlgorithm, UniversalAlgorithm
+from repro.core.instance import Instance
+from repro.motion.instructions import Move, Wait
+from repro.sim.engine import RendezvousSimulator, simulate
+from repro.sim.results import TerminationReason
+from repro.util.errors import SimulationBudgetExceeded
+
+
+class Still(UniversalAlgorithm):
+    """Both agents stay put forever (empty program)."""
+
+    name = "still"
+
+    def program(self):
+        return iter(())
+
+
+class WalkEast(UniversalAlgorithm):
+    """Both agents walk East a fixed local distance, then stop."""
+
+    name = "walk-east"
+
+    def __init__(self, distance=10.0):
+        self.distance = distance
+
+    def program(self):
+        yield Move(self.distance, 0.0)
+
+
+def head_on_algorithm(instance, spec, role):
+    """Role-dependent callable: A walks East, B walks West (toward each other)."""
+    if role == "A":
+        yield Move(10.0, 0.0)
+    else:
+        yield Move(-10.0, 0.0)
+
+
+class TestBasicRuns:
+    def test_trivial_instance_meets_immediately(self, trivial_instance):
+        result = simulate(trivial_instance, Still())
+        assert result.met
+        assert result.meeting_time == 0.0
+        assert result.termination is TerminationReason.RENDEZVOUS
+
+    def test_static_agents_never_meet(self):
+        instance = Instance(r=0.5, x=3.0, y=0.0)
+        result = simulate(instance, Still(), max_time=100.0)
+        assert not result.met
+        assert result.termination is TerminationReason.PROGRAMS_FINISHED
+        assert result.min_distance == pytest.approx(3.0)
+
+    def test_head_on_meeting_time(self):
+        # Agents 4 apart, approaching at relative speed 2, radius 0.5:
+        # they see each other after (4 - 0.5) / 2 = 1.75 time units.
+        instance = Instance(r=0.5, x=4.0, y=0.0)
+        result = simulate(instance, FunctionAlgorithm(head_on_algorithm, "head-on"))
+        assert result.met
+        assert result.meeting_time == pytest.approx(1.75)
+        assert result.meeting_distance == pytest.approx(0.5)
+
+    def test_same_direction_walk_never_meets(self):
+        # Identical frames, same program, simultaneous start: distance never changes.
+        instance = Instance(r=0.5, x=3.0, y=0.0)
+        result = simulate(instance, WalkEast(), max_time=1e3)
+        assert not result.met
+        assert result.min_distance == pytest.approx(3.0)
+
+    def test_delayed_agent_is_caught(self):
+        # Same walk but B wakes 2.75 later: A closes the gap while B sleeps.
+        instance = Instance(r=0.5, x=3.0, y=0.0, t=2.75)
+        result = simulate(instance, WalkEast())
+        assert result.met
+        assert result.meeting_time == pytest.approx(2.5)
+
+    def test_meeting_point_positions_consistent(self):
+        instance = Instance(r=0.5, x=4.0, y=0.0)
+        result = simulate(instance, FunctionAlgorithm(head_on_algorithm, "head-on"))
+        ax, ay = result.meeting_point_a
+        bx, by = result.meeting_point_b
+        assert math.hypot(ax - bx, ay - by) == pytest.approx(0.5)
+        assert ay == 0.0 and by == 0.0
+
+    def test_algorithm_name_from_callable(self):
+        instance = Instance(r=5.0, x=1.0, y=0.0)
+
+        def my_alg(instance, spec, role):
+            return iter(())
+
+        result = simulate(instance, my_alg)
+        assert result.algorithm_name == "my_alg"
+
+    def test_invalid_algorithm_object(self):
+        with pytest.raises(TypeError):
+            simulate(Instance(r=1.0, x=2.0, y=0.0), object())
+
+
+class TestBudgets:
+    def test_max_time_termination(self):
+        instance = Instance(r=0.5, x=100.0, y=0.0)
+        result = simulate(instance, WalkEast(1000.0), max_time=10.0)
+        assert not result.met
+        assert result.termination is TerminationReason.MAX_TIME
+        assert result.simulated_time == pytest.approx(10.0)
+
+    def test_max_segments_termination(self):
+        def forever(instance, spec, role):
+            while True:
+                yield Move(1.0, 0.0)
+                yield Move(-1.0, 0.0)
+
+        instance = Instance(r=0.5, x=100.0, y=0.0)
+        result = simulate(instance, forever, max_time=1e12, max_segments=50)
+        assert not result.met
+        assert result.termination is TerminationReason.MAX_SEGMENTS
+        assert result.segments_total >= 50
+
+    def test_raise_on_budget(self):
+        instance = Instance(r=0.5, x=100.0, y=0.0)
+        with pytest.raises(SimulationBudgetExceeded):
+            simulate(instance, WalkEast(1000.0), max_time=10.0, raise_on_budget=True)
+
+    def test_invalid_budgets(self):
+        instance = Instance(r=0.5, x=1.0, y=0.0)
+        with pytest.raises(ValueError):
+            RendezvousSimulator(max_time=math.inf).run(instance, Still())
+        with pytest.raises(ValueError):
+            RendezvousSimulator(max_segments=0).run(instance, Still())
+        with pytest.raises(ValueError):
+            RendezvousSimulator(radius_slack=-1.0).run(instance, Still())
+
+
+class TestAttributesHandling:
+    def test_speed_difference_breaks_symmetry(self):
+        # Same program, same start time, but B is twice as fast (tau=1, v=2):
+        # B catches up with A along the shared direction.
+        instance = Instance(r=0.5, x=-4.0, y=0.0, v=2.0)
+        result = simulate(instance, WalkEast(20.0))
+        # Gap shrinks at rate 1: from 4 to 0.5 takes 3.5 time units.
+        assert result.met
+        assert result.meeting_time == pytest.approx(3.5)
+
+    def test_clock_difference_changes_wait_lengths(self):
+        class WaitThenWalk(UniversalAlgorithm):
+            name = "wait-then-walk"
+
+            def program(self):
+                yield Wait(4.0)
+                yield Move(10.0, 0.0)
+
+        # B's clock is twice as slow (tau=2), so B waits 8 absolute time units
+        # while A waits only 4: A starts moving 4 units earlier and closes the
+        # 3.5-unit gap (to radius) during that head start.
+        instance = Instance(r=0.5, x=4.0, y=0.0, tau=2.0)
+        result = simulate(instance, WaitThenWalk())
+        assert result.met
+        assert result.meeting_time == pytest.approx(4.0 + 3.5)
+
+    def test_opposite_chirality_mirror(self):
+        class WalkNorth(UniversalAlgorithm):
+            name = "walk-north"
+
+            def program(self):
+                yield Move(0.0, 10.0)
+
+        # With chi=-1 B's "north" is absolute south: the agents, vertically
+        # aligned, walk toward each other.
+        instance = Instance(r=0.5, x=0.0, y=4.0, chi=-1)
+        result = simulate(instance, WalkNorth())
+        assert result.met
+        assert result.meeting_time == pytest.approx(1.75)
+
+    def test_rotation_changes_direction(self):
+        # B's east is absolute west (phi = pi): walking "east" makes them approach.
+        instance = Instance(r=0.5, x=4.0, y=0.0, phi=math.pi)
+        result = simulate(instance, WalkEast(10.0))
+        assert result.met
+        assert result.meeting_time == pytest.approx(1.75)
+
+
+class TestRadiusSlackAndRecording:
+    def test_radius_slack_allows_near_miss(self):
+        instance = Instance(r=1.0, x=2.000000001, y=0.0)
+        assert not simulate(instance, Still(), max_time=10.0).met
+        # The pair passes within 2 - (r + slack) once B walks ... use head-on walkers.
+        result = simulate(instance, Still(), max_time=10.0, radius_slack=1.1)
+        assert result.met
+
+    def test_recording_traces(self):
+        instance = Instance(r=0.5, x=4.0, y=0.0)
+        result = simulate(
+            instance,
+            FunctionAlgorithm(head_on_algorithm, "head-on"),
+            record_trajectories=True,
+        )
+        assert result.trace_a is not None and result.trace_b is not None
+        assert result.trace_a.start == (0.0, 0.0)
+        assert result.trace_b.start == (4.0, 0.0)
+        # The last recorded vertex is the meeting position.
+        assert result.trace_a.end == pytest.approx(result.meeting_point_a)
+
+    def test_exact_timebase_reported(self):
+        instance = Instance(r=0.5, x=4.0, y=0.0)
+        result = simulate(instance, FunctionAlgorithm(head_on_algorithm, "head-on"), timebase="exact")
+        assert result.timebase_name == "exact"
+        assert result.meeting_time == pytest.approx(1.75)
+        assert result.meeting_time_exact is not None
+
+
+class TestEngineAgainstHugeWaits:
+    def test_event_driven_cost_independent_of_wait_length(self):
+        class LongWaitThenWalk(UniversalAlgorithm):
+            name = "long-wait"
+
+            def program(self):
+                yield Wait(2.0**40)
+                yield Move(10.0, 0.0)
+
+        instance = Instance(r=0.5, x=4.0, y=0.0, t=3.75)
+        result = simulate(instance, LongWaitThenWalk(), max_time=2.0**41, timebase="exact")
+        assert result.met
+        # Only a handful of segments were needed despite the astronomic wait.
+        assert result.segments_total < 10
+
+    def test_exact_timebase_detects_meeting_after_huge_wait(self):
+        class HugeWaitApproach(UniversalAlgorithm):
+            name = "huge-wait-approach"
+
+            def program(self):
+                yield Wait(2.0**60)
+                yield Move(10.0, 0.0)
+
+        # B's east is absolute west, so after the huge wait they approach and
+        # meet 1.75 units of time later — the exact timebase must resolve that
+        # sub-ulp offset (ulp at 2**60 is 256).
+        instance = Instance(r=0.5, x=4.0, y=0.0, phi=math.pi)
+        result = simulate(instance, HugeWaitApproach(), max_time=2.0**61, timebase="exact")
+        assert result.met
+        assert float(result.meeting_time_exact - 2**60) == pytest.approx(1.75)

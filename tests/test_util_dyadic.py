@@ -1,0 +1,121 @@
+"""Tests for dyadic rationals and dyadic grids."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.dyadic import (
+    Dyadic,
+    dyadic_angles,
+    dyadic_ball_grid,
+    dyadic_grid_1d,
+    dyadic_grid_2d,
+    dyadic_range,
+)
+
+
+class TestDyadic:
+    def test_float_value(self):
+        assert float(Dyadic(3, 2)) == 0.75
+
+    def test_fraction_value(self):
+        assert Dyadic(5, 3).as_fraction() == Fraction(5, 8)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Dyadic(1, -1)
+
+    def test_normalized_reduces_even_numerators(self):
+        assert Dyadic(4, 3).normalized() == Dyadic(1, 1)
+
+    def test_normalized_keeps_exponent_zero(self):
+        assert Dyadic(6, 0).normalized() == Dyadic(6, 0)
+
+    def test_addition_aligns_exponents(self):
+        assert (Dyadic(1, 1) + Dyadic(1, 2)).as_fraction() == Fraction(3, 4)
+
+    def test_subtraction(self):
+        assert (Dyadic(3, 1) - Dyadic(1, 2)).as_fraction() == Fraction(5, 4)
+
+    def test_multiplication(self):
+        assert (Dyadic(3, 1) * Dyadic(5, 2)).as_fraction() == Fraction(15, 8)
+
+    def test_negation_and_abs(self):
+        assert (-Dyadic(3, 1)).as_fraction() == Fraction(-3, 2)
+        assert abs(Dyadic(-3, 1)).as_fraction() == Fraction(3, 2)
+
+    def test_scaled_by_pow2(self):
+        assert Dyadic(3, 2).scaled_by_pow2(3).as_fraction() == Fraction(6)
+        assert Dyadic(3, 0).scaled_by_pow2(-2).as_fraction() == Fraction(3, 4)
+
+    def test_ordering_matches_value(self):
+        assert Dyadic(1, 1) < Dyadic(3, 2)
+
+    def test_is_zero(self):
+        assert Dyadic(0, 5).is_zero()
+        assert not Dyadic(1, 5).is_zero()
+
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(0, 20),
+        st.integers(-1000, 1000),
+        st.integers(0, 20),
+    )
+    def test_arithmetic_matches_fractions(self, n1, e1, n2, e2):
+        a, b = Dyadic(n1, e1), Dyadic(n2, e2)
+        assert (a + b).as_fraction() == a.as_fraction() + b.as_fraction()
+        assert (a - b).as_fraction() == a.as_fraction() - b.as_fraction()
+        assert (a * b).as_fraction() == a.as_fraction() * b.as_fraction()
+
+    @given(st.integers(-10_000, 10_000), st.integers(0, 30))
+    def test_float_conversion_exact_for_moderate_values(self, numerator, exponent):
+        value = Dyadic(numerator, exponent)
+        assert float(value) == float(value.as_fraction())
+
+
+class TestGrids:
+    def test_dyadic_range(self):
+        values = [float(d) for d in dyadic_range(2, -2, 3)]
+        assert values == [-0.5, -0.25, 0.0, 0.25, 0.5]
+
+    def test_grid_1d_contents(self):
+        grid = dyadic_grid_1d(1, 1)
+        assert grid == [-1.0, -0.5, 0.0, 0.5, 1.0]
+
+    def test_grid_1d_validation(self):
+        with pytest.raises(ValueError):
+            dyadic_grid_1d(-1, 1)
+
+    def test_grid_2d_size(self):
+        grid = dyadic_grid_2d(1, 1)
+        assert len(grid) == 25
+        assert (0.0, 0.0) in grid
+
+    def test_angles_full_turn(self):
+        angles = dyadic_angles(1)
+        assert len(angles) == 4
+        assert angles[0] == 0.0
+        assert math.isclose(angles[-1], 3.0 * math.pi / 2.0)
+
+    def test_angles_half_turn(self):
+        angles = dyadic_angles(2, full_turn=False)
+        assert len(angles) == 4
+        assert all(angle < math.pi for angle in angles)
+
+    def test_angles_validation(self):
+        with pytest.raises(ValueError):
+            dyadic_angles(-1)
+
+    def test_ball_grid_inside_disc(self):
+        points = dyadic_ball_grid(2, 2)
+        assert all(math.hypot(x, y) <= 2.0 + 1e-9 for x, y in points)
+        assert (0.0, 0.0) in points
+        assert (2.0, 0.0) in points
+
+    @given(st.integers(0, 4), st.integers(0, 4))
+    def test_ball_grid_subset_of_square_grid(self, resolution, extent):
+        ball = set(dyadic_ball_grid(resolution, extent))
+        square = set(dyadic_grid_2d(resolution, extent))
+        assert ball.issubset(square)

@@ -1,0 +1,120 @@
+"""Tests for validation helpers, timers, logging and the exception hierarchy."""
+
+import logging
+import time
+
+import pytest
+
+from repro.util.errors import (
+    AlgorithmContractError,
+    InvalidInstanceError,
+    KnowledgeError,
+    ReproError,
+    SimulationBudgetExceeded,
+)
+from repro.util.logging import get_logger
+from repro.util.timers import WallTimer, format_duration
+from repro.util.validation import (
+    require,
+    require_finite,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_custom_exception(self):
+        with pytest.raises(InvalidInstanceError):
+            require(False, "bad", InvalidInstanceError)
+
+    @pytest.mark.parametrize("value", [1, 0.5, 1e-9])
+    def test_require_positive_accepts(self, value):
+        require_positive(value, "value")
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_require_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            require_positive(value, "value")
+
+    @pytest.mark.parametrize("value", [0, 2.5])
+    def test_require_non_negative_accepts(self, value):
+        require_non_negative(value, "value")
+
+    @pytest.mark.parametrize("value", [-0.1, float("nan")])
+    def test_require_non_negative_rejects(self, value):
+        with pytest.raises(ValueError):
+            require_non_negative(value, "value")
+
+    def test_require_in_range_bounds(self):
+        require_in_range(0.0, 0.0, 1.0, "value")
+        with pytest.raises(ValueError):
+            require_in_range(1.0, 0.0, 1.0, "value")
+        require_in_range(1.0, 0.0, 1.0, "value", include_high=True)
+        with pytest.raises(ValueError):
+            require_in_range(0.0, 0.0, 1.0, "value", include_low=False)
+
+    def test_require_finite(self):
+        require_finite(3, "value")
+        with pytest.raises(ValueError):
+            require_finite(float("inf"), "value")
+        with pytest.raises(ValueError):
+            require_finite("not a number", "value")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [InvalidInstanceError, SimulationBudgetExceeded, AlgorithmContractError, KnowledgeError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_invalid_instance_is_value_error(self):
+        assert issubclass(InvalidInstanceError, ValueError)
+
+
+class TestTimers:
+    def test_elapsed_grows(self):
+        with WallTimer() as timer:
+            time.sleep(0.001)
+        assert timer.elapsed > 0.0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_laps_recorded(self):
+        timer = WallTimer()
+        timer.start()
+        timer.lap("first")
+        timer.lap("second")
+        assert [label for label, _ in timer.laps] == ["first", "second"]
+
+    @pytest.mark.parametrize(
+        "seconds, expected_unit",
+        [(1e-6, "us"), (0.01, "ms"), (2.0, "s"), (600.0, "min")],
+    )
+    def test_format_duration_units(self, seconds, expected_unit):
+        assert expected_unit in format_duration(seconds)
+
+    def test_format_duration_negative(self):
+        assert format_duration(-2.0).startswith("-")
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger("sim.engine").name == "repro.sim.engine"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_null_handler_attached(self):
+        get_logger("anything")
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)

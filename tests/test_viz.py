@@ -1,0 +1,96 @@
+"""Tests for the ASCII renderer and the figure exporter."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.algorithms.dedicated import OppositeChiralityLineSearch
+from repro.core.instance import Instance
+from repro.sim.engine import simulate
+from repro.viz.ascii_canvas import AsciiCanvas, render_scene, render_simulation
+from repro.viz.export import export_all_figures, export_figure
+from repro.experiments.figures import figure1_canonical_line
+
+
+class TestAsciiCanvas:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(4, 2)
+
+    def test_fit_required_before_drawing(self):
+        canvas = AsciiCanvas()
+        with pytest.raises(RuntimeError):
+            canvas.plot_point((0.0, 0.0))
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas().fit([])
+
+    def test_point_rendering(self):
+        canvas = AsciiCanvas(20, 10)
+        canvas.fit([(0.0, 0.0), (4.0, 4.0)])
+        canvas.plot_point((0.0, 0.0), "A")
+        canvas.plot_point((4.0, 4.0), "B")
+        picture = canvas.render()
+        assert "A" in picture and "B" in picture
+        # A is below-left of B, so it must appear on a later (lower) line.
+        assert picture.index("B") < picture.index("A")
+
+    def test_segment_rendering_covers_interior(self):
+        canvas = AsciiCanvas(40, 12)
+        canvas.fit([(0.0, 0.0), (10.0, 0.0)])
+        canvas.plot_segment((0.0, 0.0), (10.0, 0.0), "#")
+        picture = canvas.render()
+        assert picture.count("#") >= 20
+
+    def test_render_dimensions(self):
+        canvas = AsciiCanvas(30, 8)
+        canvas.fit([(0.0, 0.0), (1.0, 1.0)])
+        lines = canvas.render().splitlines()
+        assert len(lines) == 10  # 8 rows + 2 borders
+        assert all(len(line) == 32 for line in lines)
+
+    def test_degenerate_extent_handled(self):
+        canvas = AsciiCanvas(20, 6)
+        canvas.fit([(2.0, 3.0)])  # a single point: zero-width window
+        canvas.plot_point((2.0, 3.0), "X")
+        assert "X" in canvas.render()
+
+
+class TestSceneRendering:
+    def test_render_scene_marks_both_agents(self):
+        instance = Instance(r=0.5, x=3.0, y=2.0, phi=1.0, chi=-1, t=1.0)
+        picture = render_scene(instance)
+        assert "A" in picture and "B" in picture
+        assert "-" in picture  # the canonical line
+
+    def test_render_scene_without_canonical_line(self):
+        instance = Instance(r=0.5, x=3.0, y=2.0)
+        picture = render_scene(instance, show_canonical_line=False)
+        assert "A" in picture and "B" in picture
+
+    def test_render_simulation_with_traces(self):
+        instance = Instance(r=0.5, x=2.0, y=1.0, phi=0.0, chi=-1, t=2.0)
+        result = simulate(
+            instance, OppositeChiralityLineSearch(), max_time=1e5, record_trajectories=True
+        )
+        picture = render_simulation(result)
+        assert "rendezvous at" in picture
+        assert "meeting near" in picture
+        assert picture.count(".") > 5  # the recorded trajectory appears
+
+
+class TestExport:
+    def test_export_single_figure(self, tmp_path):
+        paths = export_figure(figure1_canonical_line(), str(tmp_path))
+        assert os.path.exists(paths["json"])
+        with open(paths["json"]) as handle:
+            payload = json.load(handle)
+        assert "series" in payload
+
+    def test_export_all_figures(self, tmp_path):
+        exported = export_all_figures(str(tmp_path))
+        assert len(exported) == 5
+        assert all(os.path.exists(item["json"]) for item in exported)
