@@ -1,0 +1,117 @@
+"""PERF-BATCH: vectorized batch engine vs the per-instance event-engine loop.
+
+The workload is the standard Monte-Carlo campaign shape: 1,000 stratified
+float-timebase instances (250 per algorithmic type) under the compact-schedule
+universal algorithm.  Three benchmarks measure the event-engine loop, the
+batch engine with full closest-approach tracking, and the batch engine in
+verdict-only mode; a fourth asserts the PR's acceptance criterion — the batch
+engine at least 10x faster than the loop it replaces — and records the exact
+ratio in the benchmark JSON.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.sampler import InstanceSampler
+from repro.core.classification import InstanceClass
+from repro.sim.batch import simulate_batch
+from repro.sim.engine import RendezvousSimulator
+
+ALGORITHM = "almost-universal-compact"
+MAX_TIME = 1e6
+MAX_SEGMENTS = 100_000
+INSTANCES_PER_TYPE = 250
+
+TYPE_CLASSES = (
+    InstanceClass.TYPE_1,
+    InstanceClass.TYPE_2,
+    InstanceClass.TYPE_3,
+    InstanceClass.TYPE_4,
+)
+
+
+@pytest.fixture(scope="module")
+def stratified_instances():
+    sampler = InstanceSampler(seed=7)
+    instances = []
+    for cls in TYPE_CLASSES:
+        instances.extend(sampler.batch_of_class(cls, INSTANCES_PER_TYPE))
+    return instances
+
+
+def _run_event_loop(instances):
+    simulator = RendezvousSimulator(max_time=MAX_TIME, max_segments=MAX_SEGMENTS)
+    algorithm = get_algorithm(ALGORITHM)
+    return [simulator.run(instance, algorithm) for instance in instances]
+
+
+def _run_batch(instances, **kwargs):
+    return simulate_batch(
+        instances, get_algorithm(ALGORITHM),
+        max_time=MAX_TIME, max_segments=MAX_SEGMENTS, **kwargs,
+    )
+
+
+def test_event_engine_loop(benchmark, stratified_instances):
+    """The per-instance loop every campaign ran before this PR."""
+    results = benchmark.pedantic(
+        _run_event_loop, args=(stratified_instances,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["instances"] = len(results)
+    benchmark.extra_info["met"] = sum(r.met for r in results)
+
+
+def test_batch_engine(benchmark, stratified_instances):
+    """The vectorized engine, full closest-approach tracking."""
+    _run_batch(stratified_instances[:50])  # warm program/phase caches
+    results = benchmark.pedantic(
+        _run_batch, args=(stratified_instances,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["instances"] = len(results)
+    benchmark.extra_info["met"] = sum(r.met for r in results)
+
+
+def test_batch_engine_verdict_only(benchmark, stratified_instances):
+    """The vectorized engine with ``track_min_distance=False`` (fastest mode)."""
+    _run_batch(stratified_instances[:50])
+    results = benchmark.pedantic(
+        _run_batch, args=(stratified_instances,),
+        kwargs={"track_min_distance": False}, rounds=3, iterations=1,
+    )
+    benchmark.extra_info["met"] = sum(r.met for r in results)
+
+
+def test_speedup_at_least_10x(benchmark, stratified_instances):
+    """Acceptance criterion: simulate_batch >= 10x the event-engine loop."""
+    _run_batch(stratified_instances)  # warm caches; also first adaptive rounds
+
+    batch_seconds = min(
+        _timed(_run_batch, stratified_instances) for _ in range(3)
+    )
+    event_seconds = _timed(_run_event_loop, stratified_instances)
+
+    speedup = event_seconds / batch_seconds
+    benchmark.extra_info["event_seconds"] = round(event_seconds, 3)
+    benchmark.extra_info["batch_seconds"] = round(batch_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["event_instances_per_second"] = round(
+        len(stratified_instances) / event_seconds, 1
+    )
+    benchmark.extra_info["batch_instances_per_second"] = round(
+        len(stratified_instances) / batch_seconds, 1
+    )
+    # Give the benchmark harness something cheap to time; the measurement of
+    # record is the ratio above.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert speedup >= 10.0, (
+        f"vectorized engine is only {speedup:.1f}x faster "
+        f"({event_seconds:.2f}s event vs {batch_seconds:.2f}s batch)"
+    )
+
+
+def _timed(func, *args, **kwargs):
+    start = time.perf_counter()
+    func(*args, **kwargs)
+    return time.perf_counter() - start

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Write a machine-readable engine-performance baseline (``BENCH_engine.json``).
+
+Runs the standard campaign workload (1,000 stratified float-timebase
+instances under the compact-schedule universal algorithm) through the
+per-instance event-engine loop and the vectorized batch engine, and records
+wall times, instances/sec and the speedup.  Re-run after performance work and
+diff the JSON: this file is the start of the repo's perf trajectory.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_snapshot.py [--output BENCH_engine.json]
+        [--instances-per-type 250] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.sampler import InstanceSampler
+from repro.core.classification import InstanceClass
+from repro.sim.batch import simulate_batch
+from repro.sim.engine import RendezvousSimulator
+
+ALGORITHM = "almost-universal-compact"
+MAX_TIME = 1e6
+MAX_SEGMENTS = 100_000
+TYPE_CLASSES = (
+    InstanceClass.TYPE_1,
+    InstanceClass.TYPE_2,
+    InstanceClass.TYPE_3,
+    InstanceClass.TYPE_4,
+)
+
+
+def stratified_instances(per_type: int):
+    sampler = InstanceSampler(seed=7)
+    instances = []
+    for cls in TYPE_CLASSES:
+        instances.extend(sampler.batch_of_class(cls, per_type))
+    return instances
+
+
+def timed(func, *args, **kwargs):
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--instances-per-type", type=int, default=250)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="25 instances per type (smoke-test the script itself)",
+    )
+    parser.add_argument(
+        "--skip-event", action="store_true",
+        help="only measure the batch engine (no speedup field)",
+    )
+    args = parser.parse_args()
+    per_type = 25 if args.quick else args.instances_per_type
+
+    instances = stratified_instances(per_type)
+    print(f"workload: {len(instances)} stratified instances, algorithm={ALGORITHM}, "
+          f"max_time={MAX_TIME:g}, max_segments={MAX_SEGMENTS}")
+
+    def run_batch(**kwargs):
+        return simulate_batch(
+            instances, get_algorithm(ALGORITHM),
+            max_time=MAX_TIME, max_segments=MAX_SEGMENTS, **kwargs,
+        )
+
+    run_batch()  # warm program/phase caches
+    batch_seconds = min(timed(run_batch)[0] for _ in range(3))
+    _, batch_results = timed(run_batch)
+    verdict_seconds = min(
+        timed(run_batch, track_min_distance=False)[0] for _ in range(3)
+    )
+    print(f"batch engine           : {batch_seconds:.3f}s "
+          f"({len(instances) / batch_seconds:,.0f} instances/s)")
+    print(f"batch engine (verdict) : {verdict_seconds:.3f}s "
+          f"({len(instances) / verdict_seconds:,.0f} instances/s)")
+
+    snapshot = {
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workload": {
+            "instances": len(instances),
+            "stratification": [cls.value for cls in TYPE_CLASSES],
+            "algorithm": ALGORITHM,
+            "max_time": MAX_TIME,
+            "max_segments": MAX_SEGMENTS,
+            "seed": 7,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "batch_engine": {
+            "seconds": round(batch_seconds, 4),
+            "instances_per_second": round(len(instances) / batch_seconds, 1),
+            "met": sum(r.met for r in batch_results),
+        },
+        "batch_engine_verdict_only": {
+            "seconds": round(verdict_seconds, 4),
+            "instances_per_second": round(len(instances) / verdict_seconds, 1),
+        },
+    }
+
+    if not args.skip_event:
+        simulator = RendezvousSimulator(max_time=MAX_TIME, max_segments=MAX_SEGMENTS)
+        algorithm = get_algorithm(ALGORITHM)
+
+        def run_event():
+            return [simulator.run(instance, algorithm) for instance in instances]
+
+        event_seconds, event_results = timed(run_event)
+        print(f"event engine loop      : {event_seconds:.3f}s "
+              f"({len(instances) / event_seconds:,.0f} instances/s)")
+        agreement = sum(
+            e.met == b.met for e, b in zip(event_results, batch_results)
+        )
+        snapshot["event_engine"] = {
+            "seconds": round(event_seconds, 4),
+            "instances_per_second": round(len(instances) / event_seconds, 1),
+            "met": sum(r.met for r in event_results),
+        }
+        snapshot["speedup"] = round(event_seconds / batch_seconds, 2)
+        snapshot["speedup_verdict_only"] = round(event_seconds / verdict_seconds, 2)
+        snapshot["met_agreement"] = f"{agreement}/{len(instances)}"
+        print(f"speedup                : {snapshot['speedup']}x "
+              f"(verdict-only {snapshot['speedup_verdict_only']}x), "
+              f"met agreement {snapshot['met_agreement']}")
+
+    with open(args.output, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    print(f"[saved] {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,27 @@ Quickstart
 'type-4'
 >>> simulate(inst, LinearProbe()).met
 True
+
+The two simulation engines
+--------------------------
+Two backends answer the rendezvous question:
+
+* the **event engine** (``simulate(...)`` / ``RendezvousSimulator`` with the
+  default ``engine="event"``) advances window by window in Python.  Use it
+  for exact ``Fraction`` timestamps (S1/S2 boundary runs, the paper's
+  ``2**(15 i^2)`` waits), trajectory recording, and anything that needs the
+  authoritative timebase.
+* the **vectorized batch engine** (``simulate_batch(instances, algorithm)``,
+  or ``engine="vectorized"``) compiles trajectories into columnar numpy
+  tables and solves all window quadratics of a whole campaign in bulk, with
+  adaptive horizons to keep the event engine's early-exit economics.  Float
+  timebase only; outcomes match the event engine to 1e-9 relative tolerance
+  (pinned by ``tests/test_sim_batch_parity.py``) at one to two orders of
+  magnitude higher throughput (see ``BENCH_engine.json``).
+
+Monte-Carlo campaigns (``parallel.runner.BatchRunner``, the Theorem 3.1/3.2
+experiments, ``repro experiment --engine ...``) use the batch engine by
+default and fall back to the event engine where it is not applicable.
 """
 
 from repro.core import (
@@ -46,6 +67,7 @@ from repro.sim import (
     TerminationReason,
     simulate,
     simulate_asymmetric,
+    simulate_batch,
 )
 from repro.algorithms import (
     AlignedDelayWalk,
@@ -91,6 +113,7 @@ __all__ = [
     "is_exception",
     # simulation
     "simulate",
+    "simulate_batch",
     "simulate_asymmetric",
     "AsymmetricOutcome",
     "RendezvousSimulator",

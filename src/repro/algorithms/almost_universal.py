@@ -23,11 +23,12 @@ The block sizes come from a :class:`~repro.algorithms.schedules.Schedule`
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from functools import lru_cache
+from typing import Iterator, Optional, Tuple
 
 from repro.algorithms.base import UniversalAlgorithm
 from repro.algorithms.cgkk import cgkk_program
-from repro.algorithms.cow_walk import planar_cow_walk
+from repro.algorithms.cow_walk import planar_cow_walk, planar_cow_walk_segment_count
 from repro.algorithms.latecomers import latecomers_program
 from repro.algorithms.schedules import PaperSchedule, Schedule
 from repro.motion.instructions import Instruction, Wait
@@ -37,6 +38,14 @@ from repro.motion.program import (
     rotate_instructions,
     take_local_time,
 )
+
+#: Phases whose estimated instruction count stays below this are memoized as
+#: tuples, keyed by (schedule, phase index).  The program is instance-
+#: independent — every agent of every batched simulation replays the same
+#: stream — so regenerating the rotated cow walks per run is pure overhead.
+#: Deeper phases stay on the lazy generators: they are astronomically long,
+#: always truncated by simulation budgets, and would blow up memory.
+PHASE_MEMO_INSTRUCTION_LIMIT = 250_000
 
 
 class AlmostUniversalRV(UniversalAlgorithm):
@@ -57,6 +66,17 @@ class AlmostUniversalRV(UniversalAlgorithm):
         self.schedule = schedule if schedule is not None else PaperSchedule()
         self.max_phase = max_phase
         self.name = f"almost-universal-rv[{self.schedule.name}]"
+
+    @property
+    def program_cache_key(self):
+        """The program stream is fully determined by (schedule, max_phase)."""
+        if type(self) is not AlmostUniversalRV:
+            return None
+        try:
+            hash(self.schedule)
+        except TypeError:
+            return None
+        return ("almost-universal-rv", self.schedule, self.max_phase)
 
     # -- the four blocks --------------------------------------------------------------
     def _block1_type1(self, i: int) -> Iterator[Instruction]:
@@ -94,8 +114,36 @@ class AlmostUniversalRV(UniversalAlgorithm):
         yield from self._block4_type4(i)
 
     # -- the algorithm ---------------------------------------------------------------------
+    def _phase_steps(self, i: int):
+        """Phase ``i``, memoized when small (and the subclass did not override it)."""
+        if type(self) is AlmostUniversalRV and _phase_is_cacheable(self.schedule, i):
+            return phase_instruction_list(self.schedule, i)
+        return self.phase(i)
+
     def program(self) -> Iterator[Instruction]:
         i = 1
         while self.max_phase is None or i <= self.max_phase:
-            yield from self.phase(i)
+            yield from self._phase_steps(i)
             i += 1
+
+
+def _phase_is_cacheable(schedule: Schedule, i: int) -> bool:
+    """Whether phase ``i`` of ``schedule`` is small enough to memoize.
+
+    The estimate counts the dominant contributions — one planar cow walk per
+    rotation of block 1 plus the one of block 3; blocks 2 and 4 are bounded by
+    ``2**i`` local time and stay negligible next to them.
+    """
+    try:
+        hash(schedule)
+    except TypeError:  # unhashable custom schedule: fall back to generators
+        return False
+    walk = planar_cow_walk_segment_count(schedule.planar_resolution(i))
+    estimate = walk * (schedule.rotations(i) + 1)
+    return estimate <= PHASE_MEMO_INSTRUCTION_LIMIT
+
+
+@lru_cache(maxsize=8)
+def phase_instruction_list(schedule: Schedule, i: int) -> Tuple[Instruction, ...]:
+    """The full instruction list of phase ``i``, shared across all consumers."""
+    return tuple(AlmostUniversalRV(schedule).phase(i))

@@ -98,6 +98,12 @@ class Algorithm:
     #: Human-readable identifier used in results and experiment tables.
     name: str = "algorithm"
 
+    #: Opt-in declaration that two algorithm objects with equal (hashable)
+    #: keys emit *identical* instruction streams.  The vectorized batch
+    #: engine uses it to share consumed program prefixes across calls;
+    #: ``None`` (the default) disables any cross-call sharing.
+    program_cache_key: Optional[tuple] = None
+
     def program_for(
         self, instance: Instance, spec: AgentSpec, role: str
     ) -> Iterable[Instruction]:

@@ -80,6 +80,10 @@ class CGKK(UniversalAlgorithm):
 
     name = "cgkk"
 
+    @property
+    def program_cache_key(self):
+        return ("cgkk",) if type(self) is CGKK else None
+
     def program(self) -> Iterator[Instruction]:
         return cgkk_program()
 

@@ -15,16 +15,22 @@ lets an agent pass within ``2**-i`` local units of every point of the square
 
 from __future__ import annotations
 
-from typing import Iterator
+from functools import lru_cache
+from typing import Iterator, Tuple
 
 from repro.algorithms.base import UniversalAlgorithm
 from repro.motion.instructions import Instruction, go_east, go_north, go_south, go_west
 
+#: Walks whose analytic segment count stays below this are memoized as tuples
+#: (instance-independent instruction streams: every agent of every batched
+#: simulation replays the identical list, so regenerating it is pure waste).
+#: Above the limit the lazy generators are used — deep walks are consumed
+#: under a budget and rarely to the end, so materializing them would trade
+#: unbounded memory for nothing.
+MEMO_SEGMENT_LIMIT = 100_000
 
-def linear_cow_walk(i: int) -> Iterator[Instruction]:
-    """Algorithm 3: the first ``i`` steps of the linear cow-path search."""
-    if i < 0:
-        raise ValueError("LinearCowWalk parameter must be non-negative")
+
+def _linear_cow_walk_gen(i: int) -> Iterator[Instruction]:
     for j in range(1, i + 1):
         step = float(2**j)
         yield go_east(step)
@@ -32,10 +38,21 @@ def linear_cow_walk(i: int) -> Iterator[Instruction]:
         yield go_east(step)
 
 
-def planar_cow_walk(i: int) -> Iterator[Instruction]:
-    """Algorithm 2: parallel linear searches on a dyadic grid of rows."""
+@lru_cache(maxsize=64)
+def _linear_cow_walk_steps(i: int) -> Tuple[Instruction, ...]:
+    return tuple(_linear_cow_walk_gen(i))
+
+
+def linear_cow_walk(i: int) -> Iterator[Instruction]:
+    """Algorithm 3: the first ``i`` steps of the linear cow-path search."""
     if i < 0:
-        raise ValueError("PlanarCowWalk parameter must be non-negative")
+        raise ValueError("LinearCowWalk parameter must be non-negative")
+    if linear_cow_walk_segment_count(i) <= MEMO_SEGMENT_LIMIT:
+        return iter(_linear_cow_walk_steps(i))
+    return _linear_cow_walk_gen(i)
+
+
+def _planar_cow_walk_gen(i: int) -> Iterator[Instruction]:
     row_step = 1.0 / float(2**i)
     rows = 2 ** (2 * i)
     half_height = float(2**i)
@@ -52,6 +69,20 @@ def planar_cow_walk(i: int) -> Iterator[Instruction]:
             yield go_south(half_height)
         else:
             yield go_north(half_height)
+
+
+@lru_cache(maxsize=16)
+def _planar_cow_walk_steps(i: int) -> Tuple[Instruction, ...]:
+    return tuple(_planar_cow_walk_gen(i))
+
+
+def planar_cow_walk(i: int) -> Iterator[Instruction]:
+    """Algorithm 2: parallel linear searches on a dyadic grid of rows."""
+    if i < 0:
+        raise ValueError("PlanarCowWalk parameter must be non-negative")
+    if planar_cow_walk_segment_count(i) <= MEMO_SEGMENT_LIMIT:
+        return iter(_planar_cow_walk_steps(i))
+    return _planar_cow_walk_gen(i)
 
 
 # -- analytic helpers used by schedules, tests and benchmarks -----------------------
@@ -94,6 +125,10 @@ class LinearCowWalk(UniversalAlgorithm):
         self.i = int(i)
         self.name = f"linear-cow-walk({self.i})"
 
+    @property
+    def program_cache_key(self):
+        return ("linear-cow-walk", self.i) if type(self) is LinearCowWalk else None
+
     def program(self) -> Iterator[Instruction]:
         return linear_cow_walk(self.i)
 
@@ -104,6 +139,10 @@ class PlanarCowWalk(UniversalAlgorithm):
     def __init__(self, i: int) -> None:
         self.i = int(i)
         self.name = f"planar-cow-walk({self.i})"
+
+    @property
+    def program_cache_key(self):
+        return ("planar-cow-walk", self.i) if type(self) is PlanarCowWalk else None
 
     def program(self) -> Iterator[Instruction]:
         return planar_cow_walk(self.i)

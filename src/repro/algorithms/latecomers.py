@@ -73,6 +73,10 @@ class Latecomers(UniversalAlgorithm):
 
     name = "latecomers"
 
+    @property
+    def program_cache_key(self):
+        return ("latecomers",) if type(self) is Latecomers else None
+
     def program(self) -> Iterator[Instruction]:
         return latecomers_program()
 

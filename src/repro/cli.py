@@ -65,6 +65,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     algorithm = get_algorithm(args.algorithm)
     if args.radius_a is not None or args.radius_b is not None:
+        if args.engine == "vectorized":
+            print(
+                "error: --engine vectorized does not support asymmetric radii; "
+                "drop --radius-a/--radius-b or use --engine event",
+                file=sys.stderr,
+            )
+            return 2
         outcome = simulate_asymmetric(
             instance,
             algorithm,
@@ -81,6 +88,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"(distance {outcome.freeze_distance:.6g})"
             )
     else:
+        if args.engine == "vectorized" and (args.timebase != "float" or args.render):
+            print(
+                "error: --engine vectorized requires --timebase float and no --render "
+                "(the event engine stays authoritative for exact runs and recordings)",
+                file=sys.stderr,
+            )
+            return 2
         result = simulate(
             instance,
             algorithm,
@@ -88,6 +102,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             max_segments=args.max_segments,
             timebase=args.timebase,
             record_trajectories=args.render,
+            engine=args.engine,
         )
     print(result.summary())
     if args.render:
@@ -109,10 +124,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         run_universal_coverage_experiment,
     )
 
+    thm31_engine = "vectorized" if args.engine in ("auto", "vectorized") else "event"
     registry = {
         "figures": lambda: all_figures(),
-        "thm31": lambda: run_characterization_experiment(samples_per_class=args.samples),
-        "thm32": lambda: run_universal_coverage_experiment(samples_per_type=args.samples),
+        "thm31": lambda: run_characterization_experiment(
+            samples_per_class=args.samples, engine=thm31_engine
+        ),
+        "thm32": lambda: run_universal_coverage_experiment(
+            samples_per_type=args.samples,
+            engine=args.engine,
+            # The vectorized engine is float-only; give it a float-safe horizon.
+            **({"timebase": "float", "max_time": 1e9} if args.engine == "vectorized" else {}),
+        ),
         "thm41": lambda: run_exception_boundary_experiment(samples_per_set=args.samples),
         "measure": lambda: run_measure_experiment(samples=args.samples * 20_000),
         "scaling": lambda: run_scaling_experiment(),
@@ -156,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--max-time", type=float, default=1e12)
     simulate_parser.add_argument("--max-segments", type=int, default=600_000)
     simulate_parser.add_argument("--timebase", default="exact", choices=("float", "exact"))
+    simulate_parser.add_argument(
+        "--engine", default="event", choices=("event", "vectorized"),
+        help="simulation backend (vectorized requires --timebase float)",
+    )
     simulate_parser.add_argument("--radius-a", type=float, default=None,
                                  help="agent A's visibility radius (Section 5 extension)")
     simulate_parser.add_argument("--radius-b", type=float, default=None,
@@ -173,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("figures", "thm31", "thm32", "thm41", "measure", "scaling", "ablation", "all"),
     )
     experiment_parser.add_argument("--samples", type=int, default=6, help="samples per class/type/set")
+    experiment_parser.add_argument(
+        "--engine", default="auto", choices=("auto", "event", "vectorized"),
+        help="backend for the Monte-Carlo campaigns (thm31/thm32)",
+    )
     experiment_parser.add_argument("--results-dir", default=None)
     experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")
     experiment_parser.set_defaults(handler=_cmd_experiment)

@@ -54,9 +54,13 @@ from repro.geometry.segments import Segment
 from repro.geometry.polyline import Polyline
 from repro.geometry.closest_approach import (
     ClosestApproach,
+    closest_approach_batch,
     closest_approach_moving_points,
+    first_hit_and_closest_approach,
     first_time_within,
+    first_time_within_batch,
     first_time_within_segment_pair,
+    fused_window_batch,
     min_distance_over_window,
 )
 
@@ -100,8 +104,12 @@ __all__ = [
     "Segment",
     "Polyline",
     "ClosestApproach",
+    "closest_approach_batch",
     "closest_approach_moving_points",
+    "first_hit_and_closest_approach",
     "first_time_within",
+    "first_time_within_batch",
     "first_time_within_segment_pair",
+    "fused_window_batch",
     "min_distance_over_window",
 ]

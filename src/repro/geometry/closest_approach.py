@@ -12,13 +12,25 @@ All computations are on plain floats; the durations handed in by the engine
 are *offsets from the start of the overlap window*, which stay small even when
 absolute simulation times are astronomically large (the exact timebase keeps
 the absolute times as ``Fraction``).
+
+Two flavours of the kernel exist:
+
+* the scalar functions used by the event engine, including the fused
+  :func:`first_hit_and_closest_approach` which answers both questions of one
+  window (first hit? closest approach?) from a single set of dot products;
+* the numpy batch kernels (:func:`first_time_within_batch`,
+  :func:`closest_approach_batch`, :func:`fused_window_batch`) used by the
+  vectorized batch engine, which solve the quadratics of *all* windows of a
+  simulation — or of many stacked simulations — in single array operations.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.geometry.vec import Vec2, dot, norm, sub
 
@@ -146,3 +158,169 @@ def min_distance_over_window(
 ) -> float:
     """Convenience wrapper returning only the minimum distance of the window."""
     return closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, duration).min_distance
+
+
+def first_hit_and_closest_approach(
+    pos_a: Vec2,
+    vel_a: Vec2,
+    pos_b: Vec2,
+    vel_b: Vec2,
+    radius: float,
+    duration: float,
+    *,
+    track_closest: bool = True,
+) -> Tuple[Optional[float], Optional[ClosestApproach]]:
+    """Fused window kernel: first hit offset and closest approach in one pass.
+
+    Equivalent to calling :func:`first_time_within` and
+    :func:`closest_approach_moving_points` with the same arguments, but the
+    relative position/velocity and the shared dot products are computed once.
+    With ``track_closest=False`` the closest-approach half is skipped entirely
+    (the second element is ``None``) — for campaigns that only need the
+    verdict the bookkeeping is pure overhead.
+    """
+    if radius < 0.0:
+        raise ValueError("radius must be non-negative")
+    if duration < 0.0:
+        raise ValueError("duration must be non-negative")
+    rel_pos, rel_vel = _relative_motion(pos_a, vel_a, pos_b, vel_b)
+    speed_sq = dot(rel_vel, rel_vel)
+    dot_pv = dot(rel_pos, rel_vel)
+    c = dot(rel_pos, rel_pos) - radius * radius
+
+    # -- first hit (same branch structure as first_time_within) ------------------
+    hit: Optional[float]
+    if c <= 0.0:
+        hit = 0.0
+    elif speed_sq == 0.0:
+        hit = None
+    else:
+        b = 2.0 * dot_pv
+        disc = b * b - 4.0 * speed_sq * c
+        if disc < 0.0 or b >= 0.0:
+            hit = None
+        else:
+            t_hit = (2.0 * c) / (-b + math.sqrt(disc))
+            hit = None if t_hit > duration else max(0.0, t_hit)
+
+    if not track_closest:
+        return hit, None
+
+    # -- closest approach (same arithmetic as closest_approach_moving_points) ----
+    if speed_sq == 0.0:
+        return hit, ClosestApproach(norm(rel_pos), 0.0)
+    t_star = -dot_pv / speed_sq
+    t_star = min(duration, max(0.0, t_star))
+    at_star = (rel_pos[0] + t_star * rel_vel[0], rel_pos[1] + t_star * rel_vel[1])
+    return hit, ClosestApproach(norm(at_star), t_star)
+
+
+# -- numpy batch kernels -----------------------------------------------------------
+
+
+def _relative_arrays(pos_a, vel_a, pos_b, vel_b):
+    """Split ``(n, 2)`` position/velocity arrays into relative components."""
+    pos_a = np.asarray(pos_a, dtype=float)
+    vel_a = np.asarray(vel_a, dtype=float)
+    pos_b = np.asarray(pos_b, dtype=float)
+    vel_b = np.asarray(vel_b, dtype=float)
+    rel = pos_b - pos_a
+    rel_vel = vel_b - vel_a
+    return rel[..., 0], rel[..., 1], rel_vel[..., 0], rel_vel[..., 1]
+
+
+def fused_window_batch(
+    rel_x: np.ndarray,
+    rel_y: np.ndarray,
+    rvel_x: np.ndarray,
+    rvel_y: np.ndarray,
+    radius,
+    durations: np.ndarray,
+    *,
+    track_closest: bool = True,
+):
+    """Solve the quadratics of many windows at once, on relative coordinates.
+
+    Parameters are parallel arrays over windows: the relative position
+    ``(b - a)`` at the window start, the relative velocity, the visibility
+    radius (scalar or per-window array — windows of different instances can
+    carry different radii), and the window durations.
+
+    Returns ``(hit, min_distance, time_offset)``: ``hit`` holds the first
+    offset at which the distance is ``<= radius`` and ``NaN`` where the window
+    never comes within the radius (the vectorized analogue of ``None``);
+    ``min_distance``/``time_offset`` mirror :class:`ClosestApproach` per
+    window, or are ``None`` when ``track_closest`` is false.
+    """
+    rel_x = np.asarray(rel_x, dtype=float)
+    rel_y = np.asarray(rel_y, dtype=float)
+    rvel_x = np.asarray(rvel_x, dtype=float)
+    rvel_y = np.asarray(rvel_y, dtype=float)
+    durations = np.asarray(durations, dtype=float)
+    radius = np.asarray(radius, dtype=float)
+    # Same contract as the scalar kernels: surface sign bugs instead of
+    # silently squaring them away.
+    if np.any(radius < 0.0):
+        raise ValueError("radius must be non-negative")
+    if np.any(durations < 0.0):
+        raise ValueError("durations must be non-negative")
+
+    speed_sq = rvel_x * rvel_x + rvel_y * rvel_y
+    dot_pv = rel_x * rvel_x + rel_y * rvel_y
+    c = rel_x * rel_x + rel_y * rel_y - radius * radius
+
+    inside = c <= 0.0
+    b = 2.0 * dot_pv
+    disc = b * b - 4.0 * speed_sq * c
+    approaching = (~inside) & (speed_sq > 0.0) & (b < 0.0) & (disc >= 0.0)
+    # Guard the sqrt/division on non-candidate windows; the formula matches the
+    # numerically stable smaller root of the scalar kernel.
+    safe_disc = np.where(approaching, disc, 0.0)
+    denominator = np.where(approaching, -b + np.sqrt(safe_disc), 1.0)
+    t_hit = (2.0 * c) / denominator
+    hit = np.where(
+        approaching & (t_hit <= durations), np.maximum(t_hit, 0.0), np.nan
+    )
+    hit = np.where(inside, 0.0, hit)
+
+    if not track_closest:
+        return hit, None, None
+
+    safe_speed_sq = np.where(speed_sq > 0.0, speed_sq, 1.0)
+    t_star = np.where(speed_sq > 0.0, -dot_pv / safe_speed_sq, 0.0)
+    t_star = np.clip(t_star, 0.0, durations)
+    at_x = rel_x + t_star * rvel_x
+    at_y = rel_y + t_star * rvel_y
+    min_distance = np.hypot(at_x, at_y)
+    return hit, min_distance, t_star
+
+
+def first_time_within_batch(
+    pos_a, vel_a, pos_b, vel_b, radius, durations
+) -> np.ndarray:
+    """Vectorized :func:`first_time_within` over ``(n, 2)`` stacked inputs.
+
+    ``pos_*``/``vel_*`` are arrays of shape ``(n, 2)``; ``radius`` is a scalar
+    or an ``(n,)`` array; ``durations`` an ``(n,)`` array.  Returns an ``(n,)``
+    float array of first-hit offsets with ``NaN`` where the points never come
+    within the radius during their window.
+    """
+    rel_x, rel_y, rvel_x, rvel_y = _relative_arrays(pos_a, vel_a, pos_b, vel_b)
+    hit, _, _ = fused_window_batch(
+        rel_x, rel_y, rvel_x, rvel_y, radius, durations, track_closest=False
+    )
+    return hit
+
+
+def closest_approach_batch(
+    pos_a, vel_a, pos_b, vel_b, durations
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`closest_approach_moving_points` over stacked inputs.
+
+    Returns ``(min_distance, time_offset)`` arrays of shape ``(n,)``.
+    """
+    rel_x, rel_y, rvel_x, rvel_y = _relative_arrays(pos_a, vel_a, pos_b, vel_b)
+    _, min_distance, t_star = fused_window_batch(
+        rel_x, rel_y, rvel_x, rvel_y, 0.0, durations, track_closest=True
+    )
+    return min_distance, t_star

@@ -35,7 +35,17 @@ from repro.motion.program import (
     limit_instructions,
     program_from_callable,
 )
-from repro.motion.compiler import TrajectorySegment, compile_trajectory, sleep_segment
+from repro.motion.compiler import (
+    LocalProgramBuilder,
+    LocalProgramTable,
+    TrajectorySegment,
+    TrajectoryTable,
+    compile_table,
+    compile_trajectory,
+    compile_trajectory_table,
+    local_program_table,
+    sleep_segment,
+)
 
 __all__ = [
     "Instruction",
@@ -59,6 +69,12 @@ __all__ = [
     "limit_instructions",
     "program_from_callable",
     "TrajectorySegment",
+    "TrajectoryTable",
+    "LocalProgramBuilder",
+    "LocalProgramTable",
     "compile_trajectory",
+    "compile_trajectory_table",
+    "compile_table",
+    "local_program_table",
     "sleep_segment",
 ]

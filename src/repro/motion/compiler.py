@@ -18,15 +18,28 @@ Timestamps are handled through an optional *timebase* object (see
 with an exact timebase they are ``Fraction`` values, which keeps event times
 exact even when the paper's algorithms schedule waits of ``2**(15 i^2)`` time
 units next to sub-unit moves.
+
+Besides the lazy segment-by-segment mode, the compiler has a *bulk* mode for
+the vectorized batch engine: :class:`LocalProgramBuilder` accumulates a local
+instruction stream into columnar numpy arrays (consumed once, reusable across
+every instance running the same universal program), and
+:func:`compile_trajectory_table` turns such a columnar program into a
+:class:`TrajectoryTable` — the absolute-time trajectory of one agent as plain
+float arrays — with a handful of array operations instead of per-segment
+Python.  The bulk mode is float-timebase only; the exact timebase stays on the
+lazy path.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.core.instance import AgentSpec
+from repro.geometry.transforms import frame_matrix
 from repro.geometry.vec import Vec2, add, scale
 from repro.motion.instructions import Instruction, Move, Wait
 from repro.util.errors import AlgorithmContractError
@@ -148,7 +161,10 @@ def compile_trajectory(
                 frame.local_vector_to_absolute((instruction.dx, instruction.dy)),
                 units.length_unit,
             )
-            velocity = scale(absolute_disp, 1.0 / duration)
+            # Divide directly instead of multiplying by the reciprocal: for
+            # subnormal durations 1.0/duration overflows to inf even though
+            # the component-wise quotients are perfectly representable.
+            velocity = (absolute_disp[0] / duration, absolute_disp[1] / duration)
             yield TrajectorySegment(
                 start_time=current_time,
                 duration=duration,
@@ -160,3 +176,343 @@ def compile_trajectory(
             current_pos = add(current_pos, absolute_disp)
         else:  # pragma: no cover - defensive
             raise AlgorithmContractError(f"unknown instruction {instruction!r}")
+
+
+# -- bulk (columnar) mode ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalProgramTable:
+    """A finite prefix of a local program as columnar arrays.
+
+    One row per non-null instruction: ``(dx, dy)`` is the local displacement
+    (zero for waits) and ``duration`` the local duration (the move length for
+    moves, the wait time for waits).  ``cumulative`` is the running sum of
+    durations *after* each row.  ``complete`` records whether the source
+    program was fully consumed (finite program) or truncated by a budget.
+    """
+
+    dx: np.ndarray
+    dy: np.ndarray
+    duration: np.ndarray
+    cumulative: np.ndarray
+    complete: bool
+
+    def __len__(self) -> int:
+        return int(self.duration.shape[0])
+
+    @property
+    def total_duration(self) -> float:
+        """Total local time covered by the rows."""
+        return float(self.cumulative[-1]) if len(self) else 0.0
+
+
+class LocalProgramBuilder:
+    """Incrementally consumes an instruction stream into columnar arrays.
+
+    The builder pulls instructions only on demand (:meth:`ensure_time` /
+    :meth:`ensure_steps`), so infinite programs can be consumed under a
+    budget, and :meth:`snapshot` returns array *views* — one builder can serve
+    every instance of a batch that runs the same universal program, each with
+    its own local-time budget.
+    """
+
+    _CHUNK = 1024
+
+    def __init__(self, program: Iterable[Instruction]) -> None:
+        self._iter = iter(program)
+        self._size = 0
+        self._dx = np.empty(0, dtype=float)
+        self._dy = np.empty(0, dtype=float)
+        self._duration = np.empty(0, dtype=float)
+        self._cumulative = np.empty(0, dtype=float)
+        self.exhausted = False
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def consumed_local_time(self) -> float:
+        return float(self._cumulative[self._size - 1]) if self._size else 0.0
+
+    def _ensure_capacity(self, needed: int) -> None:
+        """Grow the column buffers geometrically (linear total copying).
+
+        Reallocation leaves the old arrays untouched, so views handed out by
+        earlier :meth:`snapshot` calls stay valid; appends only ever write at
+        indices beyond any previously snapshotted prefix.
+        """
+        capacity = self._duration.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(self._CHUNK, 2 * capacity, needed)
+        for name in ("_dx", "_dy", "_duration", "_cumulative"):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=float)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+
+    def _append(self, dx, dy, duration) -> None:
+        base = self.consumed_local_time
+        new_dur = np.asarray(duration, dtype=float)
+        count = new_dur.shape[0]
+        end = self._size + count
+        self._ensure_capacity(end)
+        self._dx[self._size:end] = dx
+        self._dy[self._size:end] = dy
+        self._duration[self._size:end] = new_dur
+        self._cumulative[self._size:end] = base + np.cumsum(new_dur)
+        self._size = end
+
+    def _pull_chunk(self) -> bool:
+        """Consume up to ``_CHUNK`` instructions; return False when exhausted."""
+        dx, dy, duration = [], [], []
+        for instruction in self._iter:
+            if isinstance(instruction, Wait):
+                if instruction.duration == 0.0:
+                    continue
+                dx.append(0.0)
+                dy.append(0.0)
+                duration.append(instruction.duration)
+            elif isinstance(instruction, Move):
+                if instruction.is_null():
+                    continue
+                dx.append(instruction.dx)
+                dy.append(instruction.dy)
+                duration.append(instruction.length)
+            else:  # pragma: no cover - defensive
+                raise AlgorithmContractError(f"unknown instruction {instruction!r}")
+            if len(duration) >= self._CHUNK:
+                self._append(dx, dy, duration)
+                return True
+        if duration:
+            self._append(dx, dy, duration)
+        self.exhausted = True
+        return False
+
+    def ensure_time(self, local_time: float, *, max_steps: Optional[int] = None) -> None:
+        """Consume until the covered local time reaches ``local_time``.
+
+        Stops early when the program ends or ``max_steps`` rows exist.
+        """
+        while not self.exhausted and self.consumed_local_time < local_time:
+            if max_steps is not None and len(self) >= max_steps:
+                return
+            self._pull_chunk()
+
+    def snapshot(
+        self, local_time: Optional[float] = None, *, max_steps: Optional[int] = None
+    ) -> LocalProgramTable:
+        """Columnar view of the prefix covering ``local_time`` local units.
+
+        ``None`` means "everything consumed so far".  The returned table is
+        ``complete`` when it contains the *whole* (finite) program.
+        """
+        count = len(self)
+        if local_time is not None:
+            self.ensure_time(local_time, max_steps=max_steps)
+            count = (
+                int(
+                    np.searchsorted(
+                        self._cumulative[: self._size], local_time, side="left"
+                    )
+                )
+                + 1
+            )
+            count = min(count, len(self))
+        if max_steps is not None:
+            count = min(count, max_steps)
+        complete = self.exhausted and count == len(self)
+        return LocalProgramTable(
+            dx=self._dx[:count],
+            dy=self._dy[:count],
+            duration=self._duration[:count],
+            cumulative=self._cumulative[:count],
+            complete=complete,
+        )
+
+
+def local_program_table(
+    program: Iterable[Instruction],
+    *,
+    max_local_time: Optional[float] = None,
+    max_steps: Optional[int] = None,
+) -> LocalProgramTable:
+    """One-shot convenience: accumulate ``program`` into a columnar table."""
+    builder = LocalProgramBuilder(program)
+    if max_local_time is None and max_steps is None:
+        while not builder.exhausted:
+            builder._pull_chunk()
+        return builder.snapshot()
+    if max_local_time is None:
+        builder.ensure_time(math.inf, max_steps=max_steps)
+        return builder.snapshot(max_steps=max_steps)
+    return builder.snapshot(max_local_time, max_steps=max_steps)
+
+
+@dataclass(frozen=True)
+class TrajectoryTable:
+    """The absolute-time trajectory of one agent, as columnar float arrays.
+
+    One row per constant-velocity stretch (the columnar analogue of a run of
+    :class:`TrajectorySegment`): absolute ``start_time``, ``duration`` (the
+    last row's duration is ``inf`` when the program is finite and fully
+    represented), absolute start position and velocity components.
+
+    Attributes
+    ----------
+    exhausted:
+        Whether the table represents the *entire* trajectory (finite program,
+        trailing infinite stationary row appended).  When false, the table
+        covers exactly ``[0, end_time]`` and says nothing beyond.
+    segments:
+        Number of rows that correspond to real compiled segments (excludes
+        the synthetic trailing row, includes the pre-wake sleep row).
+    """
+
+    start_time: np.ndarray
+    duration: np.ndarray
+    start_x: np.ndarray
+    start_y: np.ndarray
+    vel_x: np.ndarray
+    vel_y: np.ndarray
+    exhausted: bool
+    segments: int
+
+    def __len__(self) -> int:
+        return int(self.start_time.shape[0])
+
+    @property
+    def end_time(self) -> float:
+        """Absolute time up to which the table describes the motion."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.start_time[-1] + self.duration[-1])
+
+    @property
+    def finish_time(self) -> Optional[float]:
+        """Absolute time at which the (finite) program ends, if represented."""
+        if not self.exhausted or len(self) == 0:
+            return None
+        return float(self.start_time[-1])
+
+    def boundaries(self) -> np.ndarray:
+        """Internal event times (starts of every row but the first)."""
+        return self.start_time[1:]
+
+    def states_at(self, times: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(pos_x, pos_y, vel_x, vel_y)`` arrays at the given absolute times.
+
+        Times must lie within the table's coverage ``[0, end_time]``; each is
+        resolved against the row active at (just after) that time.
+        """
+        # No clamp needed: the first row always starts at 0 and ``times`` lie
+        # within the coverage, so the index is already in ``[0, len - 1]``.
+        index = np.searchsorted(self.start_time, times, side="right") - 1
+        offset = times - self.start_time[index]
+        pos_x = self.start_x[index] + self.vel_x[index] * offset
+        pos_y = self.start_y[index] + self.vel_y[index] * offset
+        return pos_x, pos_y, self.vel_x[index], self.vel_y[index]
+
+
+def compile_table(spec: AgentSpec, table: LocalProgramTable) -> TrajectoryTable:
+    """Vectorized local → absolute compilation of a columnar program.
+
+    The columnar equivalent of :func:`compile_trajectory` on the float
+    timebase: durations scale by the clock rate, displacements map through the
+    agent's frame and length unit, and cumulative sums produce the absolute
+    start times and positions.  A pre-wake sleep row is prepended when the
+    agent wakes late, and a trailing infinite stationary row is appended when
+    the program is complete (the agent stays at its final position forever).
+    """
+    units = spec.units
+    m00, m01, m10, m11 = frame_matrix(spec.frame.phi, spec.frame.chi)
+    unit = units.length_unit
+    wake = units.wake_time
+    start_x0, start_y0 = spec.start
+
+    durations = table.duration * units.clock_rate
+    disp_x = (m00 * table.dx + m01 * table.dy) * unit
+    disp_y = (m10 * table.dx + m11 * table.dy) * unit
+    # Zero-displacement rows are waits; durations are strictly positive.
+    vel_x = disp_x / durations
+    vel_y = disp_y / durations
+
+    n = len(table)
+    if n:
+        start_times = wake + np.concatenate(([0.0], np.cumsum(durations)[:-1]))
+        start_x = start_x0 + np.concatenate(([0.0], np.cumsum(disp_x)[:-1]))
+        start_y = start_y0 + np.concatenate(([0.0], np.cumsum(disp_y)[:-1]))
+    else:
+        start_times = np.empty(0, dtype=float)
+        start_x = np.empty(0, dtype=float)
+        start_y = np.empty(0, dtype=float)
+
+    rows_time = [start_times]
+    rows_duration = [durations]
+    rows_x = [start_x]
+    rows_y = [start_y]
+    rows_vx = [vel_x]
+    rows_vy = [vel_y]
+    segments = n
+
+    if wake > 0.0:
+        rows_time.insert(0, np.array([0.0]))
+        rows_duration.insert(0, np.array([wake]))
+        rows_x.insert(0, np.array([start_x0]))
+        rows_y.insert(0, np.array([start_y0]))
+        rows_vx.insert(0, np.array([0.0]))
+        rows_vy.insert(0, np.array([0.0]))
+        segments += 1
+
+    if table.complete:
+        if n:
+            final_time = wake + float(table.cumulative[-1] * units.clock_rate)
+            # Recompute the end position the same way the lazy compiler does
+            # (sequential accumulation is what cumsum performs as well).
+            final_x = start_x0 + float(np.sum(disp_x))
+            final_y = start_y0 + float(np.sum(disp_y))
+        else:
+            final_time = wake
+            final_x, final_y = start_x0, start_y0
+        rows_time.append(np.array([final_time]))
+        rows_duration.append(np.array([math.inf]))
+        rows_x.append(np.array([final_x]))
+        rows_y.append(np.array([final_y]))
+        rows_vx.append(np.array([0.0]))
+        rows_vy.append(np.array([0.0]))
+
+    return TrajectoryTable(
+        start_time=np.concatenate(rows_time),
+        duration=np.concatenate(rows_duration),
+        start_x=np.concatenate(rows_x),
+        start_y=np.concatenate(rows_y),
+        vel_x=np.concatenate(rows_vx),
+        vel_y=np.concatenate(rows_vy),
+        exhausted=table.complete,
+        segments=segments,
+    )
+
+
+def compile_trajectory_table(
+    spec: AgentSpec,
+    program: Iterable[Instruction],
+    *,
+    horizon: float,
+    max_segments: Optional[int] = None,
+) -> TrajectoryTable:
+    """Bulk-compile ``program`` into a :class:`TrajectoryTable` up to ``horizon``.
+
+    The program is consumed just far enough that the table covers absolute
+    time ``horizon`` (or the whole program, whichever comes first), bounded by
+    ``max_segments`` instructions.  Equivalent to materializing
+    :func:`compile_trajectory` on the float timebase and truncating.
+    """
+    if not (horizon > 0.0 and math.isfinite(horizon)):
+        raise ValueError("horizon must be positive and finite")
+    units = spec.units
+    local_budget = max((horizon - units.wake_time) / units.clock_rate, 0.0)
+    table = local_program_table(
+        program, max_local_time=local_budget, max_steps=max_segments
+    )
+    return compile_table(spec, table)

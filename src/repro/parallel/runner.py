@@ -1,9 +1,15 @@
-"""Process-pool batch runner for simulation campaigns.
+"""Batch runner for simulation campaigns: vectorized inline, pooled fallback.
 
 The Monte-Carlo experiments (Theorem 3.1 / 3.2 characterization sweeps,
-scaling studies) simulate hundreds of independent instances; each simulation
-is pure CPU work with small inputs and outputs, which is the textbook case for
-process-level parallelism in Python (the GIL rules out thread-level speedup).
+scaling studies) simulate hundreds of independent instances.  Since the
+vectorized batch engine (:mod:`repro.sim.batch`) solves whole campaigns as
+array code, the runner's default mode groups compatible tasks by (algorithm,
+options) and dispatches each group to :func:`repro.sim.batch.simulate_batch`
+*inline* — no worker processes, and therefore results that are bit-identical
+regardless of any worker count.  Tasks the vectorized engine cannot take
+(exact timebase — authoritative for the S1/S2 boundary runs — trajectory
+recording, ``raise_on_budget``) fall back to the per-task event engine,
+optionally across a process pool.
 
 Design notes, following the hpc-parallel guides:
 
@@ -22,10 +28,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.registry import get_algorithm
 from repro.core.instance import Instance
+from repro.sim.batch import simulate_batch
 from repro.sim.engine import RendezvousSimulator
 
 
@@ -66,23 +73,65 @@ def _execute_task(task: BatchTask) -> Dict[str, Any]:
     return record
 
 
+#: Simulator options ``simulate_batch`` understands.  A task carrying any
+#: other option (or a non-float timebase) is not vectorizable.
+_VECTORIZABLE_OPTIONS = frozenset(
+    {"max_time", "max_segments", "radius_slack", "track_min_distance", "timebase"}
+)
+
+
+def _vectorizable(task: BatchTask) -> bool:
+    """Whether the vectorized engine can take this task verbatim."""
+    options = task.simulator_options
+    if not _VECTORIZABLE_OPTIONS.issuperset(options):
+        return False
+    return options.get("timebase", "float") == "float"
+
+
+def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
+    """Run one (algorithm, options)-homogeneous group through ``simulate_batch``."""
+    options = {
+        key: value
+        for key, value in tasks[0].simulator_options.items()
+        if key != "timebase"
+    }
+    instances = [Instance.from_dict(task.instance) for task in tasks]
+    results = simulate_batch(instances, get_algorithm(tasks[0].algorithm), **options)
+    records = []
+    for task, result in zip(tasks, results):
+        record = result.as_record()
+        record["tag"] = task.tag
+        records.append(record)
+    return records
+
+
 @dataclass
 class BatchRunner:
-    """Runs batches of :class:`BatchTask`, optionally across processes.
+    """Runs batches of :class:`BatchTask`: vectorized inline, pooled fallback.
 
     Parameters
     ----------
+    engine:
+        ``"auto"`` (default) sends vectorizable tasks (float timebase, only
+        options the batch engine understands) through
+        :func:`repro.sim.batch.simulate_batch` inline and the rest through the
+        per-task event engine; ``"event"`` forces the per-task path for
+        everything; ``"vectorized"`` requires every task to be vectorizable
+        (raises ``ValueError`` otherwise).
     processes:
-        Number of worker processes.  ``None`` uses ``os.cpu_count() - 1``
-        (at least 1); ``1`` runs everything inline.
+        Worker processes for the per-task fallback.  ``None`` uses
+        ``os.cpu_count() - 1`` (at least 1); ``1`` runs everything inline.
+        The vectorized path never uses workers: results are identical for
+        every ``processes`` value.
     min_parallel:
-        Batches smaller than this run inline even when ``processes > 1`` —
-        the pool start-up cost would dominate.
+        Fallback batches smaller than this run inline even when
+        ``processes > 1`` — the pool start-up cost would dominate.
     chunksize:
         Tasks handed to a worker at a time (``None`` lets the runner pick
         roughly ``len(tasks) / (4 * processes)``).
     """
 
+    engine: str = "auto"
     processes: Optional[int] = None
     min_parallel: int = 8
     chunksize: Optional[int] = None
@@ -95,6 +144,43 @@ class BatchRunner:
     def run(self, tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
         """Execute all tasks and return their result records, input order preserved."""
         tasks = list(tasks)
+        if self.engine not in ("auto", "vectorized", "event"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected 'auto', 'vectorized' or 'event'"
+            )
+        if self.engine == "event":
+            return self._run_event(tasks)
+
+        vector_indices = [i for i, task in enumerate(tasks) if _vectorizable(task)]
+        if self.engine == "vectorized" and len(vector_indices) < len(tasks):
+            rejected = next(t for i, t in enumerate(tasks) if i not in set(vector_indices))
+            raise ValueError(
+                "engine='vectorized' requires float-timebase tasks with batch-"
+                f"compatible options; offending options: {rejected.simulator_options!r}"
+            )
+
+        records: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        # Group vectorizable tasks by (algorithm, options): each group is one
+        # inline simulate_batch call, deterministic and worker-free.
+        groups: Dict[Tuple, List[int]] = {}
+        for i in vector_indices:
+            task = tasks[i]
+            key = (task.algorithm, tuple(sorted(task.simulator_options.items())))
+            groups.setdefault(key, []).append(i)
+        for indices in groups.values():
+            group_records = _execute_vectorized_group([tasks[i] for i in indices])
+            for i, record in zip(indices, group_records):
+                records[i] = record
+
+        fallback = [i for i in range(len(tasks)) if records[i] is None]
+        if fallback:
+            fallback_records = self._run_event([tasks[i] for i in fallback])
+            for i, record in zip(fallback, fallback_records):
+                records[i] = record
+        return records  # type: ignore[return-value]
+
+    def _run_event(self, tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
+        """The per-task event-engine path, pooled when the batch warrants it."""
         workers = self.resolved_processes()
         if workers <= 1 or len(tasks) < self.min_parallel:
             return [_execute_task(task) for task in tasks]
@@ -103,7 +189,7 @@ class BatchRunner:
             chunksize = max(1, len(tasks) // (4 * workers))
         context = get_context("spawn")
         with context.Pool(processes=workers) as pool:
-            return list(pool.map(_execute_task, tasks, chunksize=chunksize))
+            return list(pool.map(_execute_task, list(tasks), chunksize=chunksize))
 
 
 def run_batch(
@@ -112,6 +198,7 @@ def run_batch(
     *,
     processes: Optional[int] = 1,
     tag: str = "",
+    engine: str = "auto",
     **simulator_options: Any,
 ) -> List[Dict[str, Any]]:
     """Convenience wrapper: same algorithm and options for every instance."""
@@ -119,4 +206,4 @@ def run_batch(
         BatchTask.make(instance, algorithm, tag=tag, **simulator_options)
         for instance in instances
     ]
-    return BatchRunner(processes=processes).run(tasks)
+    return BatchRunner(engine=engine, processes=processes).run(tasks)

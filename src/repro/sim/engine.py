@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.core.instance import AgentSpec, Instance
-from repro.geometry.closest_approach import closest_approach_moving_points, first_time_within
+from repro.geometry.closest_approach import first_hit_and_closest_approach
 from repro.geometry.vec import Vec2, add, scale
 from repro.motion.compiler import TrajectorySegment, compile_trajectory
 from repro.motion.instructions import Instruction
@@ -191,6 +191,15 @@ class RendezvousSimulator:
         boundary experiments (S1/S2, where the meeting happens at distance
         exactly ``r`` with zero slack) pass a tiny positive value so that a
         one-ulp rounding error in the trajectory does not flip the verdict.
+    track_min_distance:
+        Whether to track the closest approach over the whole run.  Campaigns
+        that only need the verdict (``met`` plus the meeting time) can switch
+        this off and skip one half of the window kernel entirely.
+    engine:
+        ``"event"`` (default) runs the exact event-driven window loop;
+        ``"vectorized"`` delegates to the columnar batch engine of
+        :mod:`repro.sim.batch` (float timebase only, no trajectory
+        recording — the event engine stays authoritative for those).
     """
 
     max_time: float = 1e9
@@ -200,9 +209,17 @@ class RendezvousSimulator:
     record_limit: int = 100_000
     raise_on_budget: bool = False
     radius_slack: float = 0.0
+    track_min_distance: bool = True
+    engine: str = "event"
 
     def run(self, instance: Instance, algorithm: Any) -> SimulationResult:
         """Simulate ``algorithm`` on ``instance`` and return the outcome."""
+        if self.engine not in ("event", "vectorized"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected 'event' or 'vectorized'"
+            )
+        if self.engine == "vectorized":
+            return self._run_vectorized(instance, algorithm)
         if not (math.isfinite(self.max_time) and self.max_time > 0.0):
             raise ValueError("max_time must be positive and finite")
         if self.max_segments <= 0:
@@ -261,9 +278,11 @@ class RendezvousSimulator:
             pos_a, vel_a = cursor_a.state_at(current)
             pos_b, vel_b = cursor_b.state_at(current)
 
-            hit = first_time_within(pos_a, vel_a, pos_b, vel_b, radius, window)
-            approach = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, window)
-            if approach.min_distance < min_distance:
+            hit, approach = first_hit_and_closest_approach(
+                pos_a, vel_a, pos_b, vel_b, radius, window,
+                track_closest=self.track_min_distance,
+            )
+            if approach is not None and approach.min_distance < min_distance:
                 min_distance = approach.min_distance
                 min_distance_time = timebase.to_float(current) + approach.time_offset
 
@@ -332,6 +351,37 @@ class RendezvousSimulator:
         logger.debug("%s", result.summary())
         return result
 
+    def _run_vectorized(self, instance: Instance, algorithm: Any) -> SimulationResult:
+        """Delegate one run to the columnar batch engine of :mod:`repro.sim.batch`."""
+        from repro.sim.batch import simulate_batch  # local import: avoids a cycle
+
+        if get_timebase(self.timebase).name != "float":
+            raise ValueError(
+                "engine='vectorized' supports only the float timebase; the event "
+                "engine stays authoritative for exact-timebase runs"
+            )
+        if self.record_trajectories:
+            raise ValueError(
+                "engine='vectorized' does not record trajectories; use engine='event'"
+            )
+        result = simulate_batch(
+            [instance],
+            algorithm,
+            max_time=self.max_time,
+            max_segments=self.max_segments,
+            radius_slack=self.radius_slack,
+            track_min_distance=self.track_min_distance,
+        )[0]
+        if not result.met and self.raise_on_budget and result.termination in (
+            TerminationReason.MAX_TIME,
+            TerminationReason.MAX_SEGMENTS,
+        ):
+            raise SimulationBudgetExceeded(
+                f"simulation budget exhausted ({result.termination.value}) after "
+                f"{result.segments_total} segments"
+            )
+        return result
+
 
 def simulate(
     instance: Instance,
@@ -344,6 +394,8 @@ def simulate(
     record_limit: int = 100_000,
     raise_on_budget: bool = False,
     radius_slack: float = 0.0,
+    track_min_distance: bool = True,
+    engine: str = "event",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`RendezvousSimulator` and run it once."""
     simulator = RendezvousSimulator(
@@ -354,5 +406,7 @@ def simulate(
         record_limit=record_limit,
         raise_on_budget=raise_on_budget,
         radius_slack=radius_slack,
+        track_min_distance=track_min_distance,
+        engine=engine,
     )
     return simulator.run(instance, algorithm)

@@ -1,0 +1,31 @@
+"""Standardized Hypothesis settings profiles for property tests.
+
+Import these instead of sprinkling inline ``@settings(max_examples=...)``:
+
+    from profiles import STANDARD_SETTINGS
+
+    @STANDARD_SETTINGS
+    @given(...)
+    def test_something(...):
+        ...
+
+Tiers (example budgets picked to keep the whole suite inside tier-1 time):
+
+- ``DETERMINISM_SETTINGS``: 500 examples — bit-exactness claims (batch kernel
+  vs scalar kernel, engine parity invariants) where a miss means silent wrong
+  science, not a flaky test;
+- ``STANDARD_SETTINGS``: 100 examples — regular property tests;
+- ``SLOW_SETTINGS``: 25 examples — tests that run a full simulation (or
+  another expensive subject) per example;
+- ``QUICK_SETTINGS``: 20 examples — fast validation tests (rejection paths,
+  trivial identities).
+"""
+
+from hypothesis import HealthCheck, settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500)
+STANDARD_SETTINGS = settings(max_examples=100)
+SLOW_SETTINGS = settings(
+    max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+QUICK_SETTINGS = settings(max_examples=20)

@@ -161,3 +161,38 @@ class TestTheorem32Coverage:
         result = simulate(s1_instance, AlmostUniversalRV(), max_time=1e6, max_segments=150_000)
         if not result.met:
             assert result.min_distance >= s1_instance.r - 1e-9
+
+
+class TestPhaseMemoization:
+    def test_cached_phase_equals_generated_phase(self):
+        from repro.algorithms.almost_universal import phase_instruction_list
+
+        algorithm = AlmostUniversalRV(CompactSchedule())
+        assert list(phase_instruction_list(algorithm.schedule, 1)) == list(algorithm.phase(1))
+
+    def test_program_uses_cache_for_small_phases(self):
+        from repro.algorithms.almost_universal import phase_instruction_list
+
+        schedule = PaperSchedule()
+        cached = phase_instruction_list(schedule, 1)
+        program = AlmostUniversalRV(schedule).program()
+        prefix = [next(program) for _ in range(len(cached))]
+        assert prefix == list(cached)
+
+    def test_deep_phases_not_materialized(self):
+        from repro.algorithms.almost_universal import _phase_is_cacheable
+
+        schedule = PaperSchedule()
+        assert _phase_is_cacheable(schedule, 1)
+        assert not _phase_is_cacheable(schedule, 8)
+
+    def test_subclasses_bypass_cache(self):
+        from repro.algorithms.almost_universal import _phase_is_cacheable
+
+        class Tweaked(AlmostUniversalRV):
+            def phase(self, i):
+                yield Wait(1.0)
+
+        tweaked = Tweaked(PaperSchedule())
+        assert list(tweaked._phase_steps(1)) == [Wait(1.0)]
+        assert tweaked.program_cache_key is None

@@ -102,3 +102,36 @@ class TestPlanarCowWalk:
         alg = PlanarCowWalk(2)
         assert alg.name == "planar-cow-walk(2)"
         assert LocalPath.from_instructions(alg.program()).is_closed()
+
+
+class TestMemoization:
+    def test_cached_walk_equals_generated_walk(self):
+        from repro.algorithms.cow_walk import _planar_cow_walk_gen
+
+        assert list(planar_cow_walk(2)) == list(_planar_cow_walk_gen(2))
+        # Two consumptions of the memoized walk yield the same objects.
+        assert list(planar_cow_walk(2)) == list(planar_cow_walk(2))
+
+    def test_memoized_instructions_are_shared(self):
+        from repro.algorithms.cow_walk import _planar_cow_walk_steps
+
+        first = _planar_cow_walk_steps(1)
+        second = _planar_cow_walk_steps(1)
+        assert first is second
+
+    def test_deep_walks_stay_lazy(self):
+        from repro.algorithms.cow_walk import MEMO_SEGMENT_LIMIT
+
+        deep = next(
+            i for i in range(1, 30)
+            if planar_cow_walk_segment_count(i) > MEMO_SEGMENT_LIMIT
+        )
+        stream = planar_cow_walk(deep)
+        # Generators raise nothing and allocate nothing until consumed.
+        assert next(stream) is not None
+
+    def test_validation_still_raises(self):
+        with pytest.raises(ValueError):
+            linear_cow_walk(-1)
+        with pytest.raises(ValueError):
+            planar_cow_walk(-1)

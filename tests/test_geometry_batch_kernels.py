@@ -1,0 +1,167 @@
+"""Property tests pinning the numpy batch kernels to the scalar kernels.
+
+The batch kernels are the arithmetic core of the vectorized engine; every
+element of a batched call must agree with the scalar function the event
+engine uses, or the two engines silently diverge.  Strategies stack several
+window problems per example so the segmented layout (not just n=1) is
+exercised.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from profiles import DETERMINISM_SETTINGS, QUICK_SETTINGS
+from repro.geometry.closest_approach import (
+    closest_approach_batch,
+    closest_approach_moving_points,
+    first_hit_and_closest_approach,
+    first_time_within,
+    first_time_within_batch,
+    fused_window_batch,
+)
+
+coords = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+speeds = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+window_problems = st.lists(
+    st.tuples(
+        st.tuples(coords, coords),  # pos_a
+        st.tuples(speeds, speeds),  # vel_a
+        st.tuples(coords, coords),  # pos_b
+        st.tuples(speeds, speeds),  # vel_b
+        st.floats(0.0, 5.0),        # radius
+        st.floats(0.0, 20.0),       # duration
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _stack(problems):
+    pos_a = np.array([p[0] for p in problems])
+    vel_a = np.array([p[1] for p in problems])
+    pos_b = np.array([p[2] for p in problems])
+    vel_b = np.array([p[3] for p in problems])
+    radius = np.array([p[4] for p in problems])
+    durations = np.array([p[5] for p in problems])
+    return pos_a, vel_a, pos_b, vel_b, radius, durations
+
+
+class TestFirstTimeWithinBatch:
+    @DETERMINISM_SETTINGS
+    @given(window_problems)
+    def test_matches_scalar_elementwise(self, problems):
+        pos_a, vel_a, pos_b, vel_b, radius, durations = _stack(problems)
+        hits = first_time_within_batch(pos_a, vel_a, pos_b, vel_b, radius, durations)
+        for k, problem in enumerate(problems):
+            scalar = first_time_within(*problem)
+            if scalar is None:
+                assert math.isnan(hits[k])
+            else:
+                assert hits[k] == scalar  # identical arithmetic, identical bits
+
+    def test_scalar_radius_broadcasts(self):
+        hits = first_time_within_batch(
+            [(0.0, 0.0), (0.0, 0.0)],
+            [(0.0, 0.0), (0.0, 0.0)],
+            [(10.0, 0.0), (3.0, 0.0)],
+            [(-1.0, 0.0), (0.0, 0.0)],
+            1.0,
+            [100.0, 100.0],
+        )
+        assert hits[0] == pytest.approx(9.0)
+        assert math.isnan(hits[1])
+
+
+class TestClosestApproachBatch:
+    @DETERMINISM_SETTINGS
+    @given(window_problems)
+    def test_matches_scalar_elementwise(self, problems):
+        pos_a, vel_a, pos_b, vel_b, _, durations = _stack(problems)
+        min_distance, t_star = closest_approach_batch(
+            pos_a, vel_a, pos_b, vel_b, durations
+        )
+        for k, (pa, va, pb, vb, _r, duration) in enumerate(problems):
+            scalar = closest_approach_moving_points(pa, va, pb, vb, duration)
+            # math.hypot (correctly rounded) and np.hypot (libm) may differ
+            # in the last ulp; everything else is identical arithmetic.
+            assert min_distance[k] == pytest.approx(scalar.min_distance, rel=1e-12, abs=1e-12)
+            assert t_star[k] == scalar.time_offset
+
+
+class TestFusedWindowBatch:
+    @DETERMINISM_SETTINGS
+    @given(window_problems)
+    def test_matches_fused_scalar_kernel(self, problems):
+        pos_a, vel_a, pos_b, vel_b, radius, durations = _stack(problems)
+        rel = pos_b - pos_a
+        rel_vel = vel_b - vel_a
+        hit, min_distance, t_star = fused_window_batch(
+            rel[:, 0], rel[:, 1], rel_vel[:, 0], rel_vel[:, 1], radius, durations
+        )
+        for k, (pa, va, pb, vb, r, duration) in enumerate(problems):
+            scalar_hit, scalar_approach = first_hit_and_closest_approach(
+                pa, va, pb, vb, r, duration
+            )
+            if scalar_hit is None:
+                assert math.isnan(hit[k])
+            else:
+                assert hit[k] == scalar_hit
+            assert min_distance[k] == pytest.approx(
+                scalar_approach.min_distance, rel=1e-12, abs=1e-12
+            )
+            assert t_star[k] == scalar_approach.time_offset
+
+    @QUICK_SETTINGS
+    @given(window_problems)
+    def test_track_closest_false_skips_bookkeeping(self, problems):
+        pos_a, vel_a, pos_b, vel_b, radius, durations = _stack(problems)
+        rel = pos_b - pos_a
+        rel_vel = vel_b - vel_a
+        hit, min_distance, t_star = fused_window_batch(
+            rel[:, 0], rel[:, 1], rel_vel[:, 0], rel_vel[:, 1], radius, durations,
+            track_closest=False,
+        )
+        assert min_distance is None and t_star is None
+        full_hit, _, _ = fused_window_batch(
+            rel[:, 0], rel[:, 1], rel_vel[:, 0], rel_vel[:, 1], radius, durations
+        )
+        assert np.array_equal(hit, full_hit, equal_nan=True)
+
+
+class TestFusedScalarKernel:
+    @DETERMINISM_SETTINGS
+    @given(
+        st.tuples(coords, coords), st.tuples(speeds, speeds),
+        st.tuples(coords, coords), st.tuples(speeds, speeds),
+        st.floats(0.0, 5.0), st.floats(0.0, 20.0),
+    )
+    def test_equals_unfused_pair(self, pos_a, vel_a, pos_b, vel_b, radius, duration):
+        hit, approach = first_hit_and_closest_approach(
+            pos_a, vel_a, pos_b, vel_b, radius, duration
+        )
+        assert hit == first_time_within(pos_a, vel_a, pos_b, vel_b, radius, duration)
+        unfused = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, duration)
+        assert approach.min_distance == unfused.min_distance
+        assert approach.time_offset == unfused.time_offset
+
+    def test_track_closest_false(self):
+        hit, approach = first_hit_and_closest_approach(
+            (0.0, 0.0), (0.0, 0.0), (10.0, 0.0), (-1.0, 0.0), 1.0, 100.0,
+            track_closest=False,
+        )
+        assert hit == pytest.approx(9.0)
+        assert approach is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            first_hit_and_closest_approach(
+                (0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 0.0), -1.0, 1.0
+            )
+        with pytest.raises(ValueError):
+            first_hit_and_closest_approach(
+                (0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 0.0), 1.0, -1.0
+            )

@@ -119,7 +119,20 @@ class TestUnitsAndFrames:
         )
         assert sum(s.duration for s in segments) == pytest.approx(local_duration * tau, rel=1e-9)
 
-    @given(st.lists(st.tuples(st.floats(-3.0, 3.0), st.floats(-3.0, 3.0)), min_size=1, max_size=8))
+    @given(
+        st.lists(
+            st.tuples(
+                # Subnormal displacements carry only a handful of mantissa
+                # bits, so the 1e-9 relative tolerance below is not
+                # meaningful for them (and such moves are physically
+                # meaningless anyway).
+                st.floats(-3.0, 3.0, allow_subnormal=False),
+                st.floats(-3.0, 3.0, allow_subnormal=False),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
     def test_path_length_scales_with_length_unit(self, displacements):
         moves = [Move(dx, dy) for dx, dy in displacements]
         base = list(compile_trajectory(make_spec(), moves))
@@ -144,3 +157,15 @@ class TestExactTimebase:
         segments = list(compile_trajectory(spec, instructions, timebase=ExactTimebase()))
         # Each duration is Fraction(0.1) exactly; the sum is exact, not 0.9999...
         assert segments[-1].start_time == 9 * Fraction(0.1)
+
+
+class TestDegenerateMoves:
+    def test_subnormal_move_velocity_stays_finite(self):
+        """Velocity is disp/duration, not disp * (1/duration): the reciprocal
+        of a subnormal duration overflows to inf even though the quotient is
+        perfectly representable."""
+        d = 2.225073858507203e-309
+        [segment] = list(compile_trajectory(make_spec(), [Move(d, d)]))
+        assert math.isfinite(segment.velocity[0])
+        assert segment.velocity[0] == pytest.approx(math.sqrt(0.5))
+        assert segment.velocity[1] == pytest.approx(math.sqrt(0.5))

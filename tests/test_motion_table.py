@@ -1,0 +1,171 @@
+"""Tests for the bulk (columnar) mode of the motion compiler.
+
+The contract under test: a :class:`TrajectoryTable` is exactly the
+materialization of the lazy :func:`compile_trajectory` stream — same segment
+boundaries, same positions, same velocities — plus a synthetic trailing
+stationary row for finite programs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from profiles import SLOW_SETTINGS, STANDARD_SETTINGS
+from repro.algorithms.cow_walk import planar_cow_walk
+from repro.core.instance import Instance
+from repro.motion.compiler import (
+    LocalProgramBuilder,
+    compile_table,
+    compile_trajectory,
+    compile_trajectory_table,
+    local_program_table,
+)
+from repro.motion.instructions import Move, Wait
+
+# Subnormal components carry only a handful of mantissa bits, so the tight
+# tolerances below are not meaningful for them (and such moves are physically
+# meaningless anyway); keep the strategies to normal floats.
+_coord = st.floats(-4.0, 4.0, allow_nan=False, allow_infinity=False, allow_subnormal=False)
+
+instructions = st.lists(
+    st.one_of(
+        st.builds(
+            Wait,
+            st.floats(0.0, 8.0, allow_nan=False, allow_infinity=False, allow_subnormal=False),
+        ),
+        st.builds(Move, _coord, _coord),
+    ),
+    max_size=30,
+)
+
+instance_specs = st.builds(
+    Instance,
+    r=st.just(0.5),
+    x=st.floats(-3.0, 3.0),
+    y=st.floats(-3.0, 3.0),
+    phi=st.floats(0.0, 6.28),
+    tau=st.floats(0.25, 4.0),
+    v=st.floats(0.25, 4.0),
+    t=st.floats(0.0, 3.0),
+    chi=st.sampled_from([-1, 1]),
+)
+
+
+class TestLocalProgramBuilder:
+    def test_empty_program(self):
+        table = local_program_table([])
+        assert len(table) == 0 and table.complete
+        assert table.total_duration == 0.0
+
+    def test_null_instructions_dropped(self):
+        table = local_program_table([Wait(0.0), Move(0.0, 0.0), Wait(1.0), Move(3.0, 4.0)])
+        assert len(table) == 2
+        assert table.duration[0] == 1.0
+        assert table.duration[1] == 5.0  # move length
+
+    def test_budgeted_snapshot_covers_requested_time(self):
+        program = [Wait(1.0)] * 20
+        builder = LocalProgramBuilder(program)
+        snap = builder.snapshot(4.5)
+        assert snap.total_duration >= 4.5
+        assert not snap.complete
+        full = builder.snapshot(1e9)
+        assert full.complete and len(full) == 20
+
+    def test_snapshot_views_are_stable_across_growth(self):
+        def stream():
+            k = 0.0
+            while True:
+                k += 1.0
+                yield Wait(k)
+
+        builder = LocalProgramBuilder(stream())
+        early = builder.snapshot(1.0)
+        early_durations = early.duration.copy()
+        builder.ensure_time(1e7)
+        assert np.array_equal(early.duration, early_durations)
+
+    def test_max_steps_bound(self):
+        builder = LocalProgramBuilder(Wait(1.0) for _ in range(10**6))
+        snap = builder.snapshot(1e18, max_steps=100)
+        assert len(snap) == 100 and not snap.complete
+
+
+class TestCompileTableParity:
+    @SLOW_SETTINGS
+    @given(instance_specs, instructions)
+    def test_matches_lazy_compiler(self, instance, program):
+        spec = instance.agent_b()
+        lazy = list(compile_trajectory(spec, iter(program)))
+        table = compile_table(spec, local_program_table(program))
+
+        # Lazy segments map 1:1 onto table rows (both drop null instructions
+        # and both prepend a sleep segment when the agent wakes late).
+        assert table.segments == len(lazy)
+        for k, segment in enumerate(lazy):
+            assert table.start_time[k] == pytest.approx(segment.start_time, rel=1e-12, abs=1e-12)
+            assert table.duration[k] == pytest.approx(segment.duration, rel=1e-12, abs=1e-12)
+            assert table.start_x[k] == pytest.approx(segment.start_pos[0], rel=1e-12, abs=1e-12)
+            assert table.start_y[k] == pytest.approx(segment.start_pos[1], rel=1e-12, abs=1e-12)
+            assert table.vel_x[k] == pytest.approx(segment.velocity[0], rel=1e-12, abs=1e-9)
+            assert table.vel_y[k] == pytest.approx(segment.velocity[1], rel=1e-12, abs=1e-9)
+
+        # Finite program: one trailing infinite stationary row at the final
+        # position, so the table covers all of time.
+        assert table.exhausted
+        assert len(table) == len(lazy) + 1
+        assert math.isinf(table.duration[-1])
+        assert table.vel_x[-1] == 0.0 and table.vel_y[-1] == 0.0
+        if lazy:
+            end = lazy[-1]
+            assert table.finish_time == pytest.approx(
+                end.start_time + end.duration, rel=1e-12, abs=1e-12
+            )
+
+    @STANDARD_SETTINGS
+    @given(instance_specs, st.floats(0.1, 50.0))
+    def test_states_at_matches_segment_states(self, instance, when):
+        spec = instance.agent_b()
+        table = compile_table(spec, local_program_table(planar_cow_walk(1)))
+        times = np.array([0.0, when, table.boundaries()[0] if len(table) > 1 else when])
+        xs, ys, vxs, vys = table.states_at(times)
+        for time, x, y in zip(times, xs, ys):
+            segment = None
+            for k in range(len(table)):
+                start = table.start_time[k]
+                end = start + table.duration[k]
+                if start <= time and (time < end or math.isinf(end)):
+                    segment = k
+            assert segment is not None
+            offset = time - table.start_time[segment]
+            assert x == pytest.approx(
+                table.start_x[segment] + offset * table.vel_x[segment], abs=1e-9
+            )
+            assert y == pytest.approx(
+                table.start_y[segment] + offset * table.vel_y[segment], abs=1e-9
+            )
+
+
+class TestCompileTrajectoryTable:
+    def test_horizon_coverage(self):
+        instance = Instance(r=0.5, x=1.0, y=0.0, t=2.0, tau=2.0)
+        spec = instance.agent_b()
+        table = compile_trajectory_table(spec, planar_cow_walk(2), horizon=50.0)
+        assert table.end_time >= 50.0
+
+    def test_invalid_horizon(self):
+        spec = Instance(r=0.5, x=1.0, y=0.0).agent_b()
+        with pytest.raises(ValueError):
+            compile_trajectory_table(spec, planar_cow_walk(1), horizon=0.0)
+        with pytest.raises(ValueError):
+            compile_trajectory_table(spec, planar_cow_walk(1), horizon=math.inf)
+
+    def test_max_segments_truncates(self):
+        spec = Instance(r=0.5, x=1.0, y=0.0).agent_b()
+        table = compile_trajectory_table(
+            spec, planar_cow_walk(3), horizon=1e9, max_segments=10
+        )
+        assert not table.exhausted
+        assert table.segments == 10
