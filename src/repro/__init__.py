@@ -68,6 +68,7 @@ from repro.sim import (
     simulate,
     simulate_asymmetric,
     simulate_batch,
+    simulate_batch_asymmetric,
 )
 from repro.algorithms import (
     AlignedDelayWalk,
@@ -115,6 +116,7 @@ __all__ = [
     "simulate",
     "simulate_batch",
     "simulate_asymmetric",
+    "simulate_batch_asymmetric",
     "AsymmetricOutcome",
     "RendezvousSimulator",
     "SimulationResult",

@@ -104,6 +104,18 @@ class Algorithm:
     #: ``None`` (the default) disables any cross-call sharing.
     program_cache_key: Optional[tuple] = None
 
+    #: Opt-in declaration that any two objects of this class are
+    #: *interchangeable* for batch grouping: ``program_for`` is a pure
+    #: function of ``(instance, spec, role)`` and never depends on per-object
+    #: state, so one object can stand in for another of the same class in a
+    #: grouped ``simulate_batch`` call (see
+    #: :func:`repro.sim.batch.batch_group_key`).  The default ``False`` is
+    #: always safe: an undeclared algorithm — stateless or not — simply
+    #: groups only with itself (correct, just smaller batches).  Classes
+    #: whose constructor takes behaviour-changing parameters (schedules,
+    #: distances, ...) must *not* set this.
+    batch_interchangeable: bool = False
+
     def program_for(
         self, instance: Instance, spec: AgentSpec, role: str
     ) -> Iterable[Instruction]:

@@ -61,6 +61,7 @@ class StayPut(UniversalAlgorithm):
     """Do nothing: correct whenever the agents already see each other."""
 
     name = "stay-put"
+    batch_interchangeable = True
 
     def program(self) -> Iterator[Instruction]:
         return iter(())
@@ -102,6 +103,7 @@ class LinearProbe(DedicatedAlgorithm):
     """
 
     name = "dedicated-linear-probe"
+    batch_interchangeable = True
 
     #: Determinant threshold below which the map is treated as singular.
     SINGULARITY_TOL = 1e-9
@@ -131,6 +133,7 @@ class AsynchronousWaitAndSweep(DedicatedAlgorithm):
     """
 
     name = "dedicated-wait-and-sweep"
+    batch_interchangeable = True
 
     def supports(self, instance: Instance) -> bool:
         return abs(instance.tau - 1.0) > 1e-12
@@ -175,6 +178,7 @@ class AlignedDelayWalk(DedicatedAlgorithm):
     """
 
     name = "dedicated-aligned-delay-walk"
+    batch_interchangeable = True
 
     def supports(self, instance: Instance) -> bool:
         return (
@@ -216,6 +220,7 @@ class OppositeChiralityLineSearch(DedicatedAlgorithm):
     """
 
     name = "dedicated-line-search"
+    batch_interchangeable = True
 
     def supports(self, instance: Instance) -> bool:
         if not (instance.is_synchronous and instance.chi == -1):
@@ -251,6 +256,7 @@ class Lemma39Boundary(DedicatedAlgorithm):
     """
 
     name = "dedicated-lemma-3.9"
+    batch_interchangeable = True
 
     #: Tolerance on the boundary equation ``t = dist(projA, projB) - r``.
     BOUNDARY_TOL = 1e-9
@@ -307,6 +313,7 @@ class DedicatedRendezvous(DedicatedAlgorithm):
     """Meta-algorithm: delegate to the witness chosen by :func:`dedicated_witness`."""
 
     name = "dedicated-rendezvous"
+    batch_interchangeable = True
 
     def supports(self, instance: Instance) -> bool:
         return is_feasible(instance)

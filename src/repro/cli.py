@@ -65,10 +65,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     algorithm = get_algorithm(args.algorithm)
     if args.radius_a is not None or args.radius_b is not None:
-        if args.engine == "vectorized":
+        if args.engine == "vectorized" and args.timebase != "float":
             print(
-                "error: --engine vectorized does not support asymmetric radii; "
-                "drop --radius-a/--radius-b or use --engine event",
+                "error: --engine vectorized requires --timebase float "
+                "(the event engine stays authoritative for exact runs)",
                 file=sys.stderr,
             )
             return 2
@@ -80,6 +80,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             max_time=args.max_time,
             max_segments=args.max_segments,
             timebase=args.timebase,
+            engine=args.engine,
         )
         result = outcome.result
         if outcome.frozen_agent is not None:
@@ -115,6 +116,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         all_figures,
+        run_asymmetric_radius_experiment,
         run_characterization_experiment,
         run_exception_boundary_experiment,
         run_measure_experiment,
@@ -137,6 +139,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             **({"timebase": "float", "max_time": 1e9} if args.engine == "vectorized" else {}),
         ),
         "thm41": lambda: run_exception_boundary_experiment(samples_per_set=args.samples),
+        "section5": lambda: run_asymmetric_radius_experiment(
+            samples_per_type=args.samples,
+            engine="event" if args.engine == "event" else "vectorized",
+        ),
         "measure": lambda: run_measure_experiment(samples=args.samples * 20_000),
         "scaling": lambda: run_scaling_experiment(),
         "ablation": lambda: [run_timebase_ablation(), run_schedule_ablation()],
@@ -197,12 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser = subparsers.add_parser("experiment", help="run a DESIGN.md experiment")
     experiment_parser.add_argument(
         "name",
-        choices=("figures", "thm31", "thm32", "thm41", "measure", "scaling", "ablation", "all"),
+        choices=(
+            "figures", "thm31", "thm32", "thm41", "section5",
+            "measure", "scaling", "ablation", "all",
+        ),
     )
     experiment_parser.add_argument("--samples", type=int, default=6, help="samples per class/type/set")
     experiment_parser.add_argument(
         "--engine", default="auto", choices=("auto", "event", "vectorized"),
-        help="backend for the Monte-Carlo campaigns (thm31/thm32)",
+        help="backend for the Monte-Carlo campaigns (thm31/thm32/section5)",
     )
     experiment_parser.add_argument("--results-dir", default=None)
     experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")

@@ -29,7 +29,7 @@ from repro.core.canonical import projection_distance
 from repro.core.classification import InstanceClass
 from repro.core.feasibility import feasibility_clause, is_feasible
 from repro.experiments.report import ExperimentResult
-from repro.sim.batch import simulate_batch
+from repro.sim.batch import batch_group_key, simulate_batch
 from repro.sim.engine import RendezvousSimulator
 
 #: Classes exercised by the "if" direction, with the witness expected to work.
@@ -105,15 +105,12 @@ def run_characterization_experiment(
         outcomes: List[Optional[object]] = [None] * len(instances)
         groups: Dict[object, List[int]] = {}
         for i, algorithm in enumerate(algorithms):
-            # Stateless witnesses (no instance attributes: everything derives
-            # from the instance inside program_for) are interchangeable per
-            # class; anything carrying constructor state only groups with
-            # itself, so two same-named objects with different parameters can
-            # never share a batch.
-            stateless = not getattr(algorithm, "__dict__", True)
-            groups.setdefault(
-                type(algorithm) if stateless else id(algorithm), []
-            ).append(i)
+            # Witnesses declaring ``batch_interchangeable`` group per class
+            # (their programs derive everything from the instance inside
+            # program_for); everything else only groups with itself, so an
+            # undeclared object carrying constructor state can never be
+            # silently substituted by a lookalike.
+            groups.setdefault(batch_group_key(algorithm), []).append(i)
         for indices in groups.values():
             batch = simulate_batch(
                 [instances[i] for i in indices],

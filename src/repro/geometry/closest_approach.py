@@ -218,6 +218,36 @@ def first_hit_and_closest_approach(
 # -- numpy batch kernels -----------------------------------------------------------
 
 
+def _batch_first_hit(
+    speed_sq: np.ndarray,
+    dot_pv: np.ndarray,
+    rel_x: np.ndarray,
+    rel_y: np.ndarray,
+    radius: np.ndarray,
+    durations: np.ndarray,
+) -> np.ndarray:
+    """First-hit offsets from precomputed dot products, one radius column.
+
+    The arithmetic mirrors the scalar :func:`first_time_within` expression
+    operation for operation, so batch verdicts agree with the event engine
+    bit-for-bit on identical window inputs.
+    """
+    c = rel_x * rel_x + rel_y * rel_y - radius * radius
+    inside = c <= 0.0
+    b = 2.0 * dot_pv
+    disc = b * b - 4.0 * speed_sq * c
+    approaching = (~inside) & (speed_sq > 0.0) & (b < 0.0) & (disc >= 0.0)
+    # Guard the sqrt/division on non-candidate windows; the formula matches the
+    # numerically stable smaller root of the scalar kernel.
+    safe_disc = np.where(approaching, disc, 0.0)
+    denominator = np.where(approaching, -b + np.sqrt(safe_disc), 1.0)
+    t_hit = (2.0 * c) / denominator
+    hit = np.where(
+        approaching & (t_hit <= durations), np.maximum(t_hit, 0.0), np.nan
+    )
+    return np.where(inside, 0.0, hit)
+
+
 def _relative_arrays(pos_a, vel_a, pos_b, vel_b):
     """Split ``(n, 2)`` position/velocity arrays into relative components."""
     pos_a = np.asarray(pos_a, dtype=float)
@@ -242,15 +272,22 @@ def fused_window_batch(
     """Solve the quadratics of many windows at once, on relative coordinates.
 
     Parameters are parallel arrays over windows: the relative position
-    ``(b - a)`` at the window start, the relative velocity, the visibility
-    radius (scalar or per-window array — windows of different instances can
-    carry different radii), and the window durations.
+    ``(b - a)`` at the window start (absolute length units), the relative
+    velocity (length per absolute time unit), the visibility radius (scalar
+    or per-window array — windows of different instances can carry different
+    radii), and the window durations (absolute time units; all times here are
+    *offsets from the window start*, which stay small even when absolute
+    simulation times are astronomically large).
 
     Returns ``(hit, min_distance, time_offset)``: ``hit`` holds the first
     offset at which the distance is ``<= radius`` and ``NaN`` where the window
     never comes within the radius (the vectorized analogue of ``None``);
     ``min_distance``/``time_offset`` mirror :class:`ClosestApproach` per
-    window, or are ``None`` when ``track_closest`` is false.
+    window, or are ``None`` when ``track_closest`` is false.  The arithmetic
+    matches the scalar kernels operation for operation, so verdicts agree
+    with the event engine exactly on identical window inputs — the batch
+    engines' 1e-9 parity tolerance absorbs only the accumulation differences
+    upstream of the kernel.
     """
     rel_x = np.asarray(rel_x, dtype=float)
     rel_y = np.asarray(rel_y, dtype=float)
@@ -267,32 +304,89 @@ def fused_window_batch(
 
     speed_sq = rvel_x * rvel_x + rvel_y * rvel_y
     dot_pv = rel_x * rvel_x + rel_y * rvel_y
-    c = rel_x * rel_x + rel_y * rel_y - radius * radius
-
-    inside = c <= 0.0
-    b = 2.0 * dot_pv
-    disc = b * b - 4.0 * speed_sq * c
-    approaching = (~inside) & (speed_sq > 0.0) & (b < 0.0) & (disc >= 0.0)
-    # Guard the sqrt/division on non-candidate windows; the formula matches the
-    # numerically stable smaller root of the scalar kernel.
-    safe_disc = np.where(approaching, disc, 0.0)
-    denominator = np.where(approaching, -b + np.sqrt(safe_disc), 1.0)
-    t_hit = (2.0 * c) / denominator
-    hit = np.where(
-        approaching & (t_hit <= durations), np.maximum(t_hit, 0.0), np.nan
-    )
-    hit = np.where(inside, 0.0, hit)
+    hit = _batch_first_hit(speed_sq, dot_pv, rel_x, rel_y, radius, durations)
 
     if not track_closest:
         return hit, None, None
 
+    min_distance, t_star = _batch_closest(
+        speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations
+    )
+    return hit, min_distance, t_star
+
+
+def _batch_closest(speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations):
+    """Closest-approach half of the fused kernel, from precomputed dots."""
     safe_speed_sq = np.where(speed_sq > 0.0, speed_sq, 1.0)
     t_star = np.where(speed_sq > 0.0, -dot_pv / safe_speed_sq, 0.0)
     t_star = np.clip(t_star, 0.0, durations)
     at_x = rel_x + t_star * rvel_x
     at_y = rel_y + t_star * rvel_y
     min_distance = np.hypot(at_x, at_y)
-    return hit, min_distance, t_star
+    return min_distance, t_star
+
+
+def fused_window_batch_dual(
+    rel_x: np.ndarray,
+    rel_y: np.ndarray,
+    rvel_x: np.ndarray,
+    rvel_y: np.ndarray,
+    radius: np.ndarray,
+    second_radius: np.ndarray,
+    durations: np.ndarray,
+    *,
+    track_closest: bool = True,
+):
+    """Solve every window against *two* per-window radius columns in one pass.
+
+    The asymmetric-radius engine asks two questions of each window: the first
+    offset at which the distance reaches the smaller (meeting) radius and the
+    first offset at which it reaches the larger (freeze) radius.  Both
+    quadratics share every dot product — only the constant term differs — so
+    this kernel computes the shared terms once and runs the root extraction
+    twice, with the same operation-for-operation arithmetic as the scalar
+    kernel (verdict parity with the event engine is exact on identical window
+    inputs; the engines' 1e-9 tolerance only absorbs upstream accumulation).
+
+    ``radius`` and ``second_radius`` are scalars or per-window arrays in
+    absolute length units; there is no ordering requirement between them.
+    Returns ``(hit, second_hit, min_distance, time_offset)`` where ``hit``
+    and ``second_hit`` are the first-hit offsets (``NaN`` where the window
+    never reaches that radius) and the trailing pair mirrors
+    :func:`fused_window_batch` (``None`` when ``track_closest`` is false).
+    """
+    rel_x = np.asarray(rel_x, dtype=float)
+    rel_y = np.asarray(rel_y, dtype=float)
+    rvel_x = np.asarray(rvel_x, dtype=float)
+    rvel_y = np.asarray(rvel_y, dtype=float)
+    durations = np.asarray(durations, dtype=float)
+    radius = np.asarray(radius, dtype=float)
+    second_radius = np.asarray(second_radius, dtype=float)
+    if np.any(radius < 0.0) or np.any(second_radius < 0.0):
+        raise ValueError("radius must be non-negative")
+    if np.any(durations < 0.0):
+        raise ValueError("durations must be non-negative")
+
+    speed_sq = rvel_x * rvel_x + rvel_y * rvel_y
+    dot_pv = rel_x * rvel_x + rel_y * rvel_y
+    hit = _batch_first_hit(speed_sq, dot_pv, rel_x, rel_y, radius, durations)
+    if second_radius is radius or np.array_equal(radius, second_radius):
+        # Equal columns (degenerate equal-radius sweeps, post-freeze rounds
+        # of the asymmetric engine) answer both questions with one root
+        # extraction; the equality check is a single cheap pass.
+        second_hit = hit
+    else:
+        second_hit = _batch_first_hit(
+            speed_sq, dot_pv, rel_x, rel_y, second_radius, durations
+        )
+
+    if not track_closest:
+        return hit, second_hit, None, None
+
+    min_distance, t_star = _batch_closest(
+        speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations
+    )
+    return hit, second_hit, min_distance, t_star
 
 
 def first_time_within_batch(

@@ -161,6 +161,22 @@ def compile_trajectory(
                 frame.local_vector_to_absolute((instruction.dx, instruction.dy)),
                 units.length_unit,
             )
+            if duration == 0.0:
+                # A subnormal move length times a clock rate below 1 can
+                # underflow to an absolute duration of exactly zero.  No time
+                # passes: emit a stationary zero-duration segment (so segment
+                # counts match the columnar path row for row) and apply the
+                # (at most subnormal-sized) displacement instantaneously
+                # instead of dividing by zero.
+                yield TrajectorySegment(
+                    start_time=current_time,
+                    duration=0.0,
+                    start_pos=current_pos,
+                    velocity=(0.0, 0.0),
+                    kind="move",
+                )
+                current_pos = add(current_pos, absolute_disp)
+                continue
             # Divide directly instead of multiplying by the reciprocal: for
             # subnormal durations 1.0/duration overflows to inf even though
             # the component-wise quotients are perfectly representable.
@@ -434,9 +450,15 @@ def compile_table(spec: AgentSpec, table: LocalProgramTable) -> TrajectoryTable:
     durations = table.duration * units.clock_rate
     disp_x = (m00 * table.dx + m01 * table.dy) * unit
     disp_y = (m10 * table.dx + m11 * table.dy) * unit
-    # Zero-displacement rows are waits; durations are strictly positive.
-    vel_x = disp_x / durations
-    vel_y = disp_y / durations
+    # Zero-displacement rows are waits.  Local durations are strictly
+    # positive, but a subnormal duration times a clock rate below 1 can
+    # underflow to exactly zero; such rows pass no time and apply their (at
+    # most subnormal-sized) displacement instantaneously — velocity 0 keeps
+    # the division well-defined, matching the lazy compiler.
+    positive = durations > 0.0
+    safe_durations = np.where(positive, durations, 1.0)
+    vel_x = np.where(positive, disp_x / safe_durations, 0.0)
+    vel_y = np.where(positive, disp_y / safe_durations, 0.0)
 
     n = len(table)
     if n:
@@ -491,6 +513,28 @@ def compile_table(spec: AgentSpec, table: LocalProgramTable) -> TrajectoryTable:
         vel_y=np.concatenate(rows_vy),
         exhausted=table.complete,
         segments=segments,
+    )
+
+
+def constant_table(position: Vec2) -> TrajectoryTable:
+    """A one-row :class:`TrajectoryTable` pinned at ``position`` forever.
+
+    The columnar analogue of an agent that never moves: a single stationary
+    row covering all of time (``exhausted`` — there is nothing beyond it, and
+    ``segments == 0`` — no compiled program segment backs it).  The
+    asymmetric-radius batch engine substitutes this for the frozen agent's
+    table: the freeze discards the agent's remaining program, so from the
+    freeze time on its trajectory is exactly "stand at the freeze position".
+    """
+    return TrajectoryTable(
+        start_time=np.array([0.0]),
+        duration=np.array([math.inf]),
+        start_x=np.array([float(position[0])]),
+        start_y=np.array([float(position[1])]),
+        vel_x=np.array([0.0]),
+        vel_y=np.array([0.0]),
+        exhausted=True,
+        segments=0,
     )
 
 

@@ -2,11 +2,13 @@
 
 The Monte-Carlo experiments (Theorem 3.1 / 3.2 characterization sweeps,
 scaling studies) simulate hundreds of independent instances.  Since the
-vectorized batch engine (:mod:`repro.sim.batch`) solves whole campaigns as
-array code, the runner's default mode groups compatible tasks by (algorithm,
-options) and dispatches each group to :func:`repro.sim.batch.simulate_batch`
-*inline* — no worker processes, and therefore results that are bit-identical
-regardless of any worker count.  Tasks the vectorized engine cannot take
+vectorized batch engines (:mod:`repro.sim.batch`,
+:mod:`repro.sim.batch_asymmetric`) solve whole campaigns as array code, the
+runner's default mode groups compatible tasks by (algorithm, options) and
+dispatches each group to :func:`repro.sim.batch.simulate_batch` (or its
+asymmetric-radius counterpart for tasks with per-agent radii) *inline* — no
+worker processes, and therefore results that are bit-identical regardless of
+any worker count.  Tasks the vectorized engines cannot take
 (exact timebase — authoritative for the S1/S2 boundary runs — trajectory
 recording, ``raise_on_budget``) fall back to the per-task event engine,
 optionally across a process pool.
@@ -33,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.algorithms.registry import get_algorithm
 from repro.core.instance import Instance
 from repro.sim.batch import simulate_batch
+from repro.sim.batch_asymmetric import simulate_batch_asymmetric
 from repro.sim.engine import RendezvousSimulator
 
 
@@ -73,15 +76,24 @@ def _execute_task(task: BatchTask) -> Dict[str, Any]:
     return record
 
 
-#: Simulator options ``simulate_batch`` understands.  A task carrying any
-#: other option (or a non-float timebase) is not vectorizable.
+#: Simulator options the vectorized engines understand.  A task carrying any
+#: other option (or a non-float timebase) is not vectorizable.  Tasks with
+#: ``radius_a``/``radius_b`` route to the asymmetric-radius batch engine.
 _VECTORIZABLE_OPTIONS = frozenset(
-    {"max_time", "max_segments", "radius_slack", "track_min_distance", "timebase"}
+    {
+        "max_time",
+        "max_segments",
+        "radius_slack",
+        "track_min_distance",
+        "timebase",
+        "radius_a",
+        "radius_b",
+    }
 )
 
 
 def _vectorizable(task: BatchTask) -> bool:
-    """Whether the vectorized engine can take this task verbatim."""
+    """Whether a vectorized engine can take this task verbatim."""
     options = task.simulator_options
     if not _VECTORIZABLE_OPTIONS.issuperset(options):
         return False
@@ -89,14 +101,26 @@ def _vectorizable(task: BatchTask) -> bool:
 
 
 def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
-    """Run one (algorithm, options)-homogeneous group through ``simulate_batch``."""
+    """Run one (algorithm, options)-homogeneous group through a batch engine.
+
+    Symmetric groups go to :func:`repro.sim.batch.simulate_batch`; groups
+    carrying per-agent radii to
+    :func:`repro.sim.batch_asymmetric.simulate_batch_asymmetric` (records are
+    the embedded :class:`SimulationResult`, so both paths produce the same
+    schema as the event-engine fallback).
+    """
     options = {
         key: value
         for key, value in tasks[0].simulator_options.items()
         if key != "timebase"
     }
     instances = [Instance.from_dict(task.instance) for task in tasks]
-    results = simulate_batch(instances, get_algorithm(tasks[0].algorithm), **options)
+    algorithm = get_algorithm(tasks[0].algorithm)
+    if "radius_a" in options or "radius_b" in options:
+        outcomes = simulate_batch_asymmetric(instances, algorithm, **options)
+        results = [outcome.result for outcome in outcomes]
+    else:
+        results = simulate_batch(instances, algorithm, **options)
     records = []
     for task, result in zip(tasks, results):
         record = result.as_record()
@@ -113,11 +137,13 @@ class BatchRunner:
     ----------
     engine:
         ``"auto"`` (default) sends vectorizable tasks (float timebase, only
-        options the batch engine understands) through
-        :func:`repro.sim.batch.simulate_batch` inline and the rest through the
-        per-task event engine; ``"event"`` forces the per-task path for
-        everything; ``"vectorized"`` requires every task to be vectorizable
-        (raises ``ValueError`` otherwise).
+        options the batch engines understand) through
+        :func:`repro.sim.batch.simulate_batch` — or, for tasks carrying
+        per-agent ``radius_a``/``radius_b``, through
+        :func:`repro.sim.batch_asymmetric.simulate_batch_asymmetric` —
+        inline, and the rest through the per-task event engine; ``"event"``
+        forces the per-task path for everything; ``"vectorized"`` requires
+        every task to be vectorizable (raises ``ValueError`` otherwise).
     processes:
         Worker processes for the per-task fallback.  ``None`` uses
         ``os.cpu_count() - 1`` (at least 1); ``1`` runs everything inline.

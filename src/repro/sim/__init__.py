@@ -24,6 +24,7 @@ from repro.sim.recorder import TrajectoryRecorder
 from repro.sim.engine import RendezvousSimulator, simulate
 from repro.sim.batch import simulate_batch
 from repro.sim.asymmetric import AsymmetricOutcome, simulate_asymmetric
+from repro.sim.batch_asymmetric import simulate_batch_asymmetric
 
 __all__ = [
     "FloatTimebase",
@@ -38,4 +39,5 @@ __all__ = [
     "simulate_batch",
     "AsymmetricOutcome",
     "simulate_asymmetric",
+    "simulate_batch_asymmetric",
 ]

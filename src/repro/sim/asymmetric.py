@@ -19,6 +19,14 @@ This module adds that semantics to the simulator:
   radius.
 
 The symmetric case (``r_a == r_b``) degenerates to the ordinary engine.
+
+Two backends implement the semantics: the event-driven loop below
+(``engine="event"``, the default — timebase-generic and authoritative) and
+the vectorized batch engine of :mod:`repro.sim.batch_asymmetric`
+(``engine="vectorized"``, float timebase only, or call
+:func:`~repro.sim.batch_asymmetric.simulate_batch_asymmetric` directly for
+whole campaigns).  Outcomes match to the same 1e-9 relative tolerance as the
+symmetric engines; see ``tests/test_sim_asymmetric_batch_parity.py``.
 """
 
 from __future__ import annotations
@@ -87,19 +95,54 @@ def simulate_asymmetric(
     max_segments: int = 2_000_000,
     timebase: Union[str, Timebase, None] = "float",
     radius_slack: float = 0.0,
+    track_min_distance: bool = True,
+    engine: str = "event",
 ) -> AsymmetricOutcome:
     """Simulate ``algorithm`` on ``instance`` with per-agent visibility radii.
 
-    ``radius_a`` / ``radius_b`` default to ``instance.r``.  The instance's own
-    ``r`` is otherwise ignored for meeting detection (it still defines the
-    feasibility classification of the underlying symmetric instance).
+    ``radius_a`` / ``radius_b`` are absolute length units and default to
+    ``instance.r``.  The instance's own ``r`` is otherwise ignored for
+    meeting detection (it still defines the feasibility classification of the
+    underlying symmetric instance).  ``max_time`` (absolute time units) and
+    ``max_segments`` (combined across both agents) mirror the symmetric
+    engine's budgets; ``radius_slack`` is an additive meeting-detection
+    tolerance applied to *both* radii.  With ``track_min_distance=False``
+    the closest-approach bookkeeping is skipped (``min_distance = inf``).
+
+    ``engine="event"`` (default) runs the timebase-generic loop below;
+    ``engine="vectorized"`` delegates to the columnar batch engine
+    (float timebase only), whose outcomes — ``met``, meeting time at 1e-9
+    relative, termination reason, closest approach, freeze event — match
+    this engine per the asymmetric parity suite.
     """
+    if engine not in ("event", "vectorized"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
     r_a = instance.r if radius_a is None else float(radius_a)
     r_b = instance.r if radius_b is None else float(radius_b)
     if r_a <= 0.0 or r_b <= 0.0:
         raise ValueError("visibility radii must be positive")
     if not (math.isfinite(max_time) and max_time > 0.0):
         raise ValueError("max_time must be positive and finite")
+
+    if engine == "vectorized":
+        # Local import: the batch engine imports AsymmetricOutcome from here.
+        from repro.sim.batch_asymmetric import simulate_batch_asymmetric
+
+        if get_timebase(timebase).name != "float":
+            raise ValueError(
+                "engine='vectorized' supports only the float timebase; the event "
+                "engine stays authoritative for exact-timebase runs"
+            )
+        return simulate_batch_asymmetric(
+            [instance],
+            algorithm,
+            radius_a=[r_a],
+            radius_b=[r_b],
+            max_time=max_time,
+            max_segments=max_segments,
+            radius_slack=radius_slack,
+            track_min_distance=track_min_distance,
+        )[0]
 
     small = min(r_a, r_b) + radius_slack
     large = max(r_a, r_b) + radius_slack
@@ -139,10 +182,11 @@ def simulate_asymmetric(
         pos_a, vel_a = cursor_a.state_at(current)
         pos_b, vel_b = cursor_b.state_at(current)
 
-        approach = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, window)
-        if approach.min_distance < min_distance:
-            min_distance = approach.min_distance
-            min_distance_time = tb.to_float(current) + approach.time_offset
+        if track_min_distance:
+            approach = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, window)
+            if approach.min_distance < min_distance:
+                min_distance = approach.min_distance
+                min_distance_time = tb.to_float(current) + approach.time_offset
 
         hit_small = first_time_within(pos_a, vel_a, pos_b, vel_b, small, window)
         hit_large = (

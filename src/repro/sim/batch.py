@@ -5,10 +5,11 @@ window in Python — exact, timebase-generic, but paying interpreter overhead
 and two quadratic-kernel calls per window.  This module is the columnar
 counterpart for Monte-Carlo campaigns: it bulk-compiles both agents'
 trajectories into :class:`~repro.motion.compiler.TrajectoryTable` arrays,
-merges their event timelines with ``np.searchsorted``-style window
-construction, stacks the windows of *every instance of the batch* into flat
-arrays, and solves all window quadratics with one call of the fused batch
-kernel (:func:`repro.geometry.closest_approach.fused_window_batch`).
+stacks the merged event windows of *every instance of the batch* into flat
+arrays with one cross-instance ``lexsort`` pass
+(:func:`repro.sim.rounds.build_windows`), and solves all window quadratics
+with chunked calls of the fused batch kernel
+(:func:`repro.geometry.closest_approach.fused_window_batch`).
 
 The engine matches the event engine's early-exit economics through *adaptive
 horizons*: every instance is first simulated to a small horizon derived from
@@ -17,7 +18,9 @@ distance), and only the instances that neither met nor terminated are retried
 with a geometrically grown horizon.  A meeting found within a horizon is the
 global first meeting — windows are scanned in time order — so the horizon
 schedule never changes a result, it only bounds how much trajectory is
-compiled and how many windows are solved.
+compiled and how many windows are solved.  The round/horizon machinery lives
+in :mod:`repro.sim.rounds` and is shared with the asymmetric-radius engine
+(:mod:`repro.sim.batch_asymmetric`).
 
 Scope and guarantees:
 
@@ -50,395 +53,46 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.instance import AgentSpec, Instance
-from repro.geometry.closest_approach import (
-    closest_approach_moving_points,
-    fused_window_batch,
-)
-from repro.motion.compiler import (
-    LocalProgramBuilder,
-    TrajectoryTable,
-    compile_table,
-)
-from repro.sim.engine import _algorithm_name, _resolve_program
+from repro.core.instance import Instance
+from repro.sim.engine import _algorithm_name
 from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.rounds import (
+    GROWTH_FACTOR,
+    KERNEL_CHUNK_WINDOWS,
+    ProgramSource,
+    RoundEntry,
+    build_windows,
+    default_initial_horizon,
+    full_final_window_min,
+    solve_round,
+    trim_builder_cache,
+)
 from repro.util.logging import get_logger
 
 logger = get_logger("sim.batch")
 
-#: Horizon multiplier between rounds.  The total number of windows solved is a
-#: geometric series ``1 + 1/g + 1/g**2 + ...`` times the work of the resolving
-#: round, so 8 keeps the re-scan overhead under 15% while resolving most
-#: instances within a handful of rounds.
-GROWTH_FACTOR = 8.0
-
-#: Upper bound on the number of stacked windows handed to one kernel call.
-#: Chunks cap peak memory (each window carries ~10 float64 columns) without
-#: changing any result — segmented reductions never cross instances.
-KERNEL_CHUNK_WINDOWS = 1 << 21
+__all__ = [
+    "simulate_batch",
+    "batch_group_key",
+    "GROWTH_FACTOR",
+    "KERNEL_CHUNK_WINDOWS",
+]
 
 
-def _is_universal(algorithm: Any) -> bool:
-    """Whether the algorithm's program is independent of instance and role."""
-    return getattr(algorithm, "requires_knowledge", None) is False
+def batch_group_key(algorithm: Any) -> Any:
+    """Key under which algorithm objects may share one ``simulate_batch`` call.
 
-
-#: Builders of universal programs, shared across ``simulate_batch`` calls.
-#: Keyed by the algorithm's ``program_cache_key`` (an opt-in declaration that
-#: two algorithm objects with equal keys emit identical instruction streams),
-#: so repeated campaigns stop re-consuming the same stream from scratch.
-#: Bounded in entries and (approximately — builders keep growing after
-#: insertion) in retained rows; eviction is LRU, one entry at a time.
-_BUILDER_CACHE: Dict[Any, LocalProgramBuilder] = {}
-_BUILDER_CACHE_LIMIT = 8
-_BUILDER_CACHE_ROW_LIMIT = 4_000_000  # x 4 float64 columns ~= 128 MB
-
-
-def _trim_builder_cache() -> None:
-    """Evict least-recently-used builders until both bounds hold."""
-    while len(_BUILDER_CACHE) > 1 and (
-        len(_BUILDER_CACHE) > _BUILDER_CACHE_LIMIT
-        or sum(len(b) for b in _BUILDER_CACHE.values()) > _BUILDER_CACHE_ROW_LIMIT
-    ):
-        del _BUILDER_CACHE[next(iter(_BUILDER_CACHE))]
-
-
-class _ProgramSource:
-    """Serves trajectory tables, consuming each instruction stream only once.
-
-    Universal algorithms share a single :class:`LocalProgramBuilder` across
-    every agent of every instance; non-universal programs get one builder per
-    (instance, role), created on first use and *extended* (never re-created)
-    as the adaptive horizon grows.
+    Two tasks can run in the same batch when one algorithm object can stand
+    in for the other.  Algorithm classes declare that explicitly through the
+    :attr:`~repro.algorithms.base.Algorithm.batch_interchangeable` opt-in
+    ("``program_for`` is a pure function of its arguments"): opted-in objects
+    group by class, everything else only with itself.  An undeclared stateful
+    algorithm therefore degrades to size-1 groups — correct, just slower —
+    instead of being silently mixed with lookalikes.
     """
-
-    def __init__(self, algorithm: Any, max_segments: Optional[int]) -> None:
-        self.algorithm = algorithm
-        # ``max_segments`` is the combined budget across both agents (event
-        # engine semantics); each builder may overshoot it slightly so the
-        # exact combined cutoff time can be computed afterwards.
-        self.max_steps = None if max_segments is None else max_segments + 2
-        self._universal = _is_universal(algorithm)
-        self._shared: Optional[LocalProgramBuilder] = None
-        self._builders: Dict[Tuple[int, str], LocalProgramBuilder] = {}
-        # Universal programs compile to the same table for equal specs and
-        # equal prefix lengths; agent A's spec is the canonical reference and
-        # identical across *all* instances, so this cache collapses its
-        # per-instance compilations to one per distinct horizon.
-        self._tables: Dict[Tuple[AgentSpec, int, bool], TrajectoryTable] = {}
-
-    def table_for(
-        self, index: int, instance: Instance, spec: AgentSpec, role: str, horizon: float
-    ) -> TrajectoryTable:
-        units = spec.units
-        local_budget = max((horizon - units.wake_time) / units.clock_rate, 0.0)
-        if self._universal:
-            if self._shared is None:
-                cache_key = getattr(self.algorithm, "program_cache_key", None)
-                if cache_key is not None:
-                    self._shared = _BUILDER_CACHE.pop(cache_key, None)
-                if self._shared is None:
-                    self._shared = LocalProgramBuilder(
-                        _resolve_program(self.algorithm, instance, spec, role)
-                    )
-                if cache_key is not None:
-                    # (Re-)insert at the back: dict order is the LRU order.
-                    _BUILDER_CACHE[cache_key] = self._shared
-                    _trim_builder_cache()
-            builder = self._shared
-        else:
-            key = (index, role)
-            builder = self._builders.get(key)
-            if builder is None:
-                builder = LocalProgramBuilder(
-                    _resolve_program(self.algorithm, instance, spec, role)
-                )
-                self._builders[key] = builder
-        local = builder.snapshot(local_budget, max_steps=self.max_steps)
-        # Only agent A's spec (the canonical reference, identical across all
-        # instances) ever produces cache hits; caching B-side tables would
-        # retain one dead entry per (instance, round).
-        if not self._universal or role != "A":
-            return compile_table(spec, local)
-        cache_key = (spec, len(local), local.complete)
-        table = self._tables.get(cache_key)
-        if table is None:
-            table = compile_table(spec, local)
-            self._tables[cache_key] = table
-        return table
-
-
-def _initial_horizon(instance: Instance, max_time: float) -> float:
-    """A first simulated-time horizon with a real chance of containing the meeting.
-
-    The agents cannot meet before the later one wakes *and* before their
-    combined top speed could close the gap.  The universal algorithm pays an
-    enumeration overhead of well over an order of magnitude on top of that
-    lower bound, so start generously above it (a too-small first horizon costs
-    a whole extra round of compilation; a too-large one only some extra
-    windows).  Snapping to powers of the growth factor keeps the set of
-    distinct horizons per round small, which feeds the shared-table cache.
-    """
-    closing_speed = 1.0 + max(instance.v, 0.0)
-    lower_bound = max(instance.initial_distance - instance.r, 0.0) / closing_speed
-    raw = max(8.0, 8.0 * lower_bound, 8.0 * instance.t)
-    snapped = GROWTH_FACTOR ** math.ceil(math.log(raw, GROWTH_FACTOR))
-    return min(max(snapped, raw), max_time)
-
-
-def _build_windows(
-    table_a: TrajectoryTable,
-    table_b: TrajectoryTable,
-    horizon: float,
-    scan_from: float,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Window start/end arrays merging both agents' event timelines.
-
-    Only windows starting at or after ``scan_from`` are built: earlier rounds
-    of the adaptive loop have already scanned everything before it (window
-    starts are segment boundaries, so the partition below ``scan_from`` is
-    identical from round to round).
-    """
-    bounds_a = table_a.boundaries()
-    bounds_b = table_b.boundaries()
-    events = np.unique(
-        np.concatenate(
-            (
-                bounds_a[(bounds_a > scan_from) & (bounds_a < horizon)],
-                bounds_b[(bounds_b > scan_from) & (bounds_b < horizon)],
-            )
-        )
-    )
-    starts = np.concatenate(([scan_from], events))
-    ends = np.concatenate((events, [horizon]))
-    return starts, ends
-
-
-class _InstanceRound:
-    """One instance's window data for one adaptive-horizon round."""
-
-    __slots__ = (
-        "index",
-        "instance",
-        "table_a",
-        "table_b",
-        "horizon",
-        "budget_limited",
-        "starts",
-        "windows",
-        "states",
-    )
-
-    def __init__(
-        self,
-        index: int,
-        instance: Instance,
-        specs: Tuple[AgentSpec, AgentSpec],
-        source: _ProgramSource,
-        horizon: float,
-        scan_from: float,
-        max_segments: int,
-        max_time: float,
-    ) -> None:
-        self.index = index
-        self.instance = instance
-        spec_a, spec_b = specs
-        table_a = source.table_for(index, instance, spec_a, "A", horizon)
-        table_b = source.table_for(index, instance, spec_b, "B", horizon)
-        self.table_a = table_a
-        self.table_b = table_b
-
-        # The event engine stops when the *combined* number of segments pulled
-        # by both cursors exceeds ``max_segments``, which happens at the start
-        # time of the (max_segments + 1)-th segment in the merged timeline.
-        # Capping the horizon there reproduces its stopping rule exactly.
-        self.budget_limited = False
-        if table_a.segments + table_b.segments > max_segments:
-            merged_starts = np.sort(
-                np.concatenate(
-                    (
-                        table_a.start_time[: table_a.segments],
-                        table_b.start_time[: table_b.segments],
-                    )
-                )
-            )
-            cutoff = float(merged_starts[max_segments])
-            # A cutoff at exactly max_time still terminates as MAX_TIME: the
-            # event loop checks the time horizon before the segment budget.
-            if cutoff <= horizon and cutoff < max_time:
-                horizon = cutoff
-                self.budget_limited = True
-        # Safety net: coverage falling short of the horizon (a table truncated
-        # by its per-agent overshoot cap) is also a budget stop.
-        for table in (table_a, table_b):
-            if not table.exhausted and table.end_time < horizon:
-                horizon = table.end_time
-                self.budget_limited = True
-        self.horizon = max(horizon, 0.0)
-
-        if self.horizon <= scan_from:
-            starts = np.array([scan_from])
-            ends = np.array([max(self.horizon, scan_from)])
-        else:
-            starts, ends = _build_windows(table_a, table_b, self.horizon, scan_from)
-        self.starts = starts
-        self.windows = ends - starts
-        self.states = table_a.states_at(starts) + table_b.states_at(starts)
-
-    def __len__(self) -> int:
-        return int(self.starts.shape[0])
-
-    def true_window_end(self, start: float, max_time: float) -> float:
-        """Where the event engine's window beginning at ``start`` really ends.
-
-        The last window of a round is cut at the adaptive horizon, which is
-        not a segment boundary; the event engine's window runs to the next
-        boundary of either agent (capped at ``max_time``).
-        """
-        end = max_time
-        for table in (self.table_a, self.table_b):
-            idx = int(np.searchsorted(table.start_time, start, side="right")) - 1
-            idx = min(max(idx, 0), len(table) - 1)
-            row_end = float(table.start_time[idx] + table.duration[idx])
-            if row_end < end:
-                end = row_end
-        return end
-
-    def segments_in_play(self, until: float) -> Tuple[int, int]:
-        """Per-agent counts of segments starting by ``until`` (event-cursor analogue)."""
-        return (
-            int(
-                np.searchsorted(
-                    self.table_a.start_time[: self.table_a.segments],
-                    until,
-                    side="right",
-                )
-            ),
-            int(
-                np.searchsorted(
-                    self.table_b.start_time[: self.table_b.segments],
-                    until,
-                    side="right",
-                )
-            ),
-        )
-
-    def resolves_without_hit(self, max_time: float) -> Optional[TerminationReason]:
-        """Termination reason if no window of this round contains a hit.
-
-        ``None`` means the instance is unresolved at this horizon and must be
-        retried with a larger one.
-        """
-        if self.budget_limited:
-            return TerminationReason.MAX_SEGMENTS
-        finish_a = self.table_a.finish_time
-        finish_b = self.table_b.finish_time
-        if (
-            finish_a is not None
-            and finish_b is not None
-            and max(finish_a, finish_b) <= self.horizon
-        ):
-            # Both programs ended within the scanned range and the agents did
-            # not meet: they are stationary forever, nothing can change.
-            if max(finish_a, finish_b) < max_time:
-                return TerminationReason.PROGRAMS_FINISHED
-            return TerminationReason.MAX_TIME
-        if self.horizon >= max_time:
-            return TerminationReason.MAX_TIME
-        return None
-
-
-def _run_round(
-    rounds: List[_InstanceRound],
-    radius_slack: float,
-    track_min_distance: bool,
-) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray], np.ndarray]:
-    """Solve all windows of all round entries with the fused batch kernel.
-
-    Returns ``(first_hit, hit_offset, group_min, min_time, offsets)``:
-    ``first_hit`` is the global index (over the concatenated windows of the
-    round, where ``offsets[k]`` starts entry ``k``'s range) of the first
-    window with a hit — or ``offsets[k+1]``, one past the range, when entry
-    ``k`` has none — and ``hit_offset`` the offset of the hit inside that
-    window; ``group_min``/``min_time`` are the per-entry closest approach and
-    its absolute time (or ``None`` when untracked).
-    """
-    counts = np.array([len(entry) for entry in rounds])
-    offsets = np.concatenate(([0], np.cumsum(counts)))
-    total = int(offsets[-1])
-
-    first_hit = np.empty(len(rounds), dtype=np.int64)
-    hit_offset = np.empty(len(rounds), dtype=float)
-    group_min = np.full(len(rounds), math.inf) if track_min_distance else None
-    min_time_offset = np.empty(len(rounds), dtype=float) if track_min_distance else None
-
-    # Chunk the flat arrays so peak memory stays bounded on miss-heavy rounds.
-    chunk_start = 0
-    while chunk_start < len(rounds):
-        chunk_end = chunk_start
-        chunk_windows = 0
-        while chunk_end < len(rounds) and (
-            chunk_end == chunk_start
-            or chunk_windows + len(rounds[chunk_end]) <= KERNEL_CHUNK_WINDOWS
-        ):
-            chunk_windows += len(rounds[chunk_end])
-            chunk_end += 1
-        entries = rounds[chunk_start:chunk_end]
-
-        starts = np.concatenate([e.starts for e in entries])
-        durations = np.concatenate([e.windows for e in entries])
-        radius = np.concatenate(
-            [np.full(len(e), e.instance.r + radius_slack) for e in entries]
-        )
-        rel_x = np.concatenate([e.states[4] - e.states[0] for e in entries])
-        rel_y = np.concatenate([e.states[5] - e.states[1] for e in entries])
-        rvel_x = np.concatenate([e.states[6] - e.states[2] for e in entries])
-        rvel_y = np.concatenate([e.states[7] - e.states[3] for e in entries])
-
-        hit, window_min, window_t_star = fused_window_batch(
-            rel_x, rel_y, rvel_x, rvel_y, radius, durations,
-            track_closest=track_min_distance,
-        )
-
-        local_counts = counts[chunk_start:chunk_end]
-        local_offsets = offsets[chunk_start:chunk_end] - offsets[chunk_start]
-        local_total = int(local_offsets[-1] + local_counts[-1])
-        index = np.arange(local_total)
-
-        masked_index = np.where(~np.isnan(hit), index, local_total)
-        local_first = np.minimum.reduceat(masked_index, local_offsets)
-        has_hit = local_first < local_total
-        bounded_first = np.where(has_hit, local_first, 0)
-        first_hit[chunk_start:chunk_end] = np.where(
-            has_hit,
-            local_first + offsets[chunk_start],
-            offsets[chunk_start + 1 : chunk_end + 1],
-        )
-        hit_offset[chunk_start:chunk_end] = np.where(
-            has_hit, hit[bounded_first], np.nan
-        )
-
-        if track_min_distance:
-            # Only windows up to (and including) the hit window count,
-            # mirroring the event engine, which stops at the meeting window.
-            limit = np.where(has_hit, local_first, local_total)
-            in_prefix = index <= np.repeat(limit, local_counts)
-            masked_min = np.where(in_prefix, window_min, math.inf)
-            chunk_min = np.minimum.reduceat(masked_min, local_offsets)
-            is_chunk_min = masked_min == np.repeat(chunk_min, local_counts)
-            chunk_min_index = np.minimum.reduceat(
-                np.where(is_chunk_min, index, local_total), local_offsets
-            )
-            group_min[chunk_start:chunk_end] = chunk_min
-            has_min = chunk_min_index < local_total
-            bounded_min = np.where(has_min, chunk_min_index, 0)
-            min_time_offset[chunk_start:chunk_end] = np.where(
-                has_min, starts[bounded_min] + window_t_star[bounded_min], np.nan
-            )
-
-        chunk_start = chunk_end
-
-    return first_hit, hit_offset, group_min, min_time_offset, offsets
+    if getattr(algorithm, "batch_interchangeable", False):
+        return type(algorithm)
+    return id(algorithm)
 
 
 def simulate_batch(
@@ -453,17 +107,37 @@ def simulate_batch(
 ) -> List[SimulationResult]:
     """Simulate ``algorithm`` on every instance with the vectorized engine.
 
-    Parameters mirror :class:`~repro.sim.engine.RendezvousSimulator` where
-    they apply; ``max_segments`` is the combined per-run budget across both
-    agents, exactly as in the event engine.  With
-    ``track_min_distance=False`` the closest-approach bookkeeping is skipped
-    entirely (results carry ``min_distance = inf``), which is the fastest
-    mode for campaigns that only need the verdict.  ``initial_horizon``
-    overrides the per-instance starting horizon of the adaptive round loop
-    (results never depend on it — only performance does).
+    Parameters
+    ----------
+    instances:
+        The instances to simulate, all under the same ``algorithm`` object.
+    algorithm:
+        Anything the event engine accepts: an object with
+        ``program_for(instance, spec, role)`` or a bare callable with that
+        signature.
+    max_time:
+        Simulated-time budget in absolute time units (must be finite: the
+        float timebase caps how far a horizon can reach).  Mirrors
+        :class:`~repro.sim.engine.RendezvousSimulator`.
+    max_segments:
+        Combined per-run budget on trajectory segments across *both* agents —
+        exactly the event engine's stopping rule, reproduced by capping the
+        horizon at the start time of the first over-budget segment.
+    radius_slack:
+        Additive tolerance (absolute length units) on the visibility radius,
+        used only for meeting detection; see the event engine.
+    track_min_distance:
+        With ``False`` the closest-approach bookkeeping is skipped entirely
+        (results carry ``min_distance = inf``), the fastest mode for
+        campaigns that only need the verdict.
+    initial_horizon:
+        Overrides the per-instance starting horizon of the adaptive round
+        loop.  Results never depend on it — only performance does.
 
-    Returns one :class:`SimulationResult` per instance, in input order.  The
-    float timebase is used throughout; use the event engine for exact runs.
+    Returns one :class:`SimulationResult` per instance, in input order, with
+    ``met``, the meeting time (1e-9 relative parity with the event engine),
+    the termination reason and the closest approach.  The float timebase is
+    used throughout; use the event engine for exact runs.
     """
     instances = list(instances)
     if not (math.isfinite(max_time) and max_time > 0.0):
@@ -478,13 +152,15 @@ def simulate_batch(
         return []
 
     wall_start = _time.perf_counter()
-    source = _ProgramSource(algorithm, max_segments)
+    source = ProgramSource(algorithm, max_segments)
     name = _algorithm_name(algorithm)
     specs = [instance.agents() for instance in instances]
 
     results: List[Optional[SimulationResult]] = [None] * len(instances)
     if initial_horizon is None:
-        horizons = [_initial_horizon(instance, max_time) for instance in instances]
+        horizons = [
+            default_initial_horizon(instance, max_time) for instance in instances
+        ]
     else:
         horizons = [min(initial_horizon, max_time)] * len(instances)
     pending = list(range(len(instances)))
@@ -500,39 +176,49 @@ def simulate_batch(
 
     while pending:
         round_number += 1
-        rounds = [
-            _InstanceRound(
-                idx,
-                instances[idx],
-                specs[idx],
-                source,
-                horizons[idx],
-                scan_from.get(idx, 0.0),
-                max_segments,
-                max_time,
+        entries = []
+        for idx in pending:
+            spec_a, spec_b = specs[idx]
+            table_a = source.table_for(idx, instances[idx], spec_a, "A", horizons[idx])
+            table_b = source.table_for(idx, instances[idx], spec_b, "B", horizons[idx])
+            entries.append(
+                RoundEntry(
+                    idx,
+                    instances[idx],
+                    table_a,
+                    table_b,
+                    horizons[idx],
+                    scan_from.get(idx, 0.0),
+                    max_segments,
+                    max_time,
+                )
             )
-            for idx in pending
-        ]
-        first_hit, hit_offset, group_min, min_time, offsets = _run_round(
-            rounds, radius_slack, track_min_distance
+        windows = build_windows(entries)
+        radius = np.repeat(
+            np.array([entry.instance.r + radius_slack for entry in entries]),
+            windows.counts,
         )
-        total_windows += int(offsets[-1])
+        solution = solve_round(
+            windows, radius, track_min_distance=track_min_distance
+        )
+        offsets = windows.offsets
+        total_windows += len(windows)
 
         still_pending: List[int] = []
-        for k, entry in enumerate(rounds):
+        for k, entry in enumerate(entries):
             lo = int(offsets[k])
             hi = int(offsets[k + 1])
-            hit_index = int(first_hit[k])
+            hit_index = int(solution.first_hit[k])
             met = hit_index < hi
             prior_windows = windows_before.get(entry.index, 0)
             prior_min, prior_min_time = carried_min.get(entry.index, (math.inf, None))
 
             round_min = math.inf
             round_min_time = None
-            if track_min_distance and group_min is not None:
-                if math.isfinite(float(group_min[k])):
-                    round_min = float(group_min[k])
-                    round_min_time = float(min_time[k])
+            if track_min_distance and solution.group_min is not None:
+                if math.isfinite(float(solution.group_min[k])):
+                    round_min = float(solution.group_min[k])
+                    round_min_time = float(solution.min_time[k])
 
             if not met:
                 reason = entry.resolves_without_hit(max_time)
@@ -543,8 +229,8 @@ def simulate_batch(
                     still_pending.append(entry.index)
                     # The final window was cut at the horizon; the next round
                     # re-scans it from its start, at full length.
-                    scan_from[entry.index] = float(entry.starts[-1])
-                    windows_before[entry.index] = prior_windows + len(entry) - 1
+                    scan_from[entry.index] = float(windows.starts[hi - 1])
+                    windows_before[entry.index] = prior_windows + (hi - lo) - 1
                     if track_min_distance and round_min < prior_min:
                         carried_min[entry.index] = (round_min, round_min_time)
                     continue
@@ -558,18 +244,15 @@ def simulate_batch(
                 else:
                     simulated_time = max_time
             else:
-                offset = float(hit_offset[k])
-                local = hit_index - lo
-                start = float(entry.starts[local])
+                offset = float(solution.hit_offset[k])
+                start = float(windows.starts[hit_index])
                 meeting_time = start + offset
-                pax, pay, vax, vay, pbx, pby, vbx, vby = (
-                    float(column[local]) for column in entry.states
-                )
+                pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(hit_index)
                 meeting_pos_a = (pax + vax * offset, pay + vay * offset)
                 meeting_pos_b = (pbx + vbx * offset, pby + vby * offset)
                 termination = TerminationReason.RENDEZVOUS
                 simulated_time = meeting_time
-                windows_processed = prior_windows + local + 1
+                windows_processed = prior_windows + (hit_index - lo) + 1
 
             min_distance = math.inf
             min_distance_time = None
@@ -586,27 +269,18 @@ def simulate_batch(
                     # cut at the adaptive horizon rather than at a segment
                     # boundary; the event engine scans that window to its real
                     # end (even past the hit), so recompute it full-length.
-                    local = hit_index - lo
-                    start = float(entry.starts[local])
-                    true_end = entry.true_window_end(start, max_time)
-                    if true_end > entry.horizon:
-                        pax, pay, vax, vay, pbx, pby, vbx, vby = (
-                            float(column[local]) for column in entry.states
-                        )
-                        approach = closest_approach_moving_points(
-                            (pax, pay), (vax, vay), (pbx, pby), (vbx, vby),
-                            true_end - start,
-                        )
-                        if approach.min_distance < min_distance:
-                            min_distance = approach.min_distance
-                            min_distance_time = start + approach.time_offset
+                    full_window = full_final_window_min(
+                        entry, windows, hit_index, max_time
+                    )
+                    if full_window is not None and full_window[0] < min_distance:
+                        min_distance, min_distance_time = full_window
                 if min_distance_time is None:
                     min_distance = math.inf
 
             # The event cursors stop pulling at the meeting window; count
             # segments up to there (or up to the horizon on a miss).
             segments_until = (
-                float(entry.starts[hit_index - lo]) if met else entry.horizon
+                float(windows.starts[hit_index]) if met else entry.horizon
             )
             segments_a, segments_b = entry.segments_in_play(segments_until)
             results[entry.index] = SimulationResult(
@@ -629,6 +303,7 @@ def simulate_batch(
             )
         pending = still_pending
 
+    trim_builder_cache()
     elapsed = _time.perf_counter() - wall_start
     per_instance_elapsed = elapsed / max(len(instances), 1)
     for result in results:

@@ -1,0 +1,424 @@
+"""Vectorized batch engine for asymmetric visibility radii (Section 5).
+
+The event-driven :func:`repro.sim.asymmetric.simulate_asymmetric` generalizes
+the rendezvous semantics to per-agent radii ``r_a``/``r_b``: the first time
+the distance reaches the *larger* radius, that agent sees the other one and
+freezes forever at its current position; rendezvous is declared at the first
+time the distance reaches the *smaller* radius.  This module is its columnar
+counterpart for Section 5 sweep campaigns, built on the same shared
+round/horizon machinery (:mod:`repro.sim.rounds`) as the symmetric
+:func:`repro.sim.batch.simulate_batch`:
+
+* both agents' trajectories compile through the columnar
+  :class:`~repro.motion.compiler.LocalProgramBuilder` /
+  :class:`~repro.motion.compiler.TrajectoryTable` path;
+* merged event windows are stacked flat across instances, carrying *two*
+  per-window radius columns — the smaller (meeting) radius and the larger
+  (freeze) radius — into the dual fused kernel
+  (:func:`repro.geometry.closest_approach.fused_window_batch_dual`), which
+  shares every dot product between the two quadratics;
+* each run is a two-phase state machine over adaptive-horizon rounds.  Before
+  the freeze, the round's first hit at the larger radius (strictly before any
+  hit at the smaller one — the event engine's rule) freezes the larger-radius
+  agent: the engine records the freeze event, substitutes a one-row
+  :func:`~repro.motion.compiler.constant_table` for the frozen agent and
+  resumes scanning from the freeze time.  After the freeze only the smaller
+  radius is live, and the frozen agent's pre-freeze segment count keeps
+  feeding the combined ``max_segments`` budget (``RoundEntry``'s
+  ``extra_segments``), so the event loop's stopping rule is reproduced across
+  the phase change.
+
+Parity contract (pinned by ``tests/test_sim_asymmetric_batch_parity.py``):
+per instance, ``met``, the meeting time (1e-9 relative), the termination
+reason, the closest approach, the frozen agent and the freeze time/distance
+match :func:`~repro.sim.asymmetric.simulate_asymmetric` on every
+float-timebase run.  Equal radii degenerate to the symmetric semantics: the
+freeze never fires (a smaller-radius hit is never strictly later than the
+larger-radius hit of the same window) and outcomes match
+:func:`~repro.sim.batch.simulate_batch`.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.motion.compiler import constant_table
+from repro.sim.asymmetric import AsymmetricOutcome
+from repro.sim.engine import _algorithm_name
+from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.rounds import (
+    GROWTH_FACTOR,
+    ProgramSource,
+    RoundEntry,
+    build_windows,
+    default_initial_horizon,
+    full_final_window_min,
+    solve_round,
+    trim_builder_cache,
+)
+from repro.util.logging import get_logger
+
+logger = get_logger("sim.batch_asymmetric")
+
+__all__ = ["simulate_batch_asymmetric"]
+
+
+class _FreezeState:
+    """Where/when the larger-radius agent froze, for one instance."""
+
+    __slots__ = ("agent", "time", "position", "distance", "segments")
+
+    def __init__(
+        self,
+        agent: str,
+        time: float,
+        position: Tuple[float, float],
+        distance: float,
+        segments: int,
+    ) -> None:
+        self.agent = agent
+        self.time = time
+        self.position = position
+        self.distance = distance
+        self.segments = segments
+
+
+def _radius_array(value, instances: Sequence[Instance], label: str) -> np.ndarray:
+    """Per-instance radius column from ``None`` (instance ``r``), scalar or sequence."""
+    if value is None:
+        return np.array([instance.r for instance in instances], dtype=float)
+    array = np.asarray(value, dtype=float)
+    if array.ndim == 0:
+        array = np.full(len(instances), float(array))
+    if array.shape != (len(instances),):
+        raise ValueError(
+            f"{label} must be a scalar or a sequence of one radius per instance; "
+            f"got shape {array.shape} for {len(instances)} instances"
+        )
+    if not np.all(np.isfinite(array)) or np.any(array <= 0.0):
+        raise ValueError("visibility radii must be positive")
+    return array
+
+
+def simulate_batch_asymmetric(
+    instances: Sequence[Instance],
+    algorithm: Any,
+    *,
+    radius_a=None,
+    radius_b=None,
+    max_time: float = 1e9,
+    max_segments: int = 2_000_000,
+    radius_slack: float = 0.0,
+    track_min_distance: bool = True,
+    initial_horizon: Optional[float] = None,
+) -> List[AsymmetricOutcome]:
+    """Simulate ``algorithm`` under per-agent radii with the vectorized engine.
+
+    Parameters
+    ----------
+    instances:
+        The instances to simulate, all under the same ``algorithm`` object.
+    radius_a, radius_b:
+        Visibility radii of agents A and B in absolute length units:
+        ``None`` (default) uses each instance's own ``r``, a scalar applies
+        to every instance, a sequence supplies one radius per instance —
+        which is how a Section 5 sweep carries a whole radius-ratio grid in
+        one batch.  Radii must be positive; the instance's ``r`` is otherwise
+        ignored for meeting detection (it still defines the feasibility
+        classification of the underlying symmetric instance).
+    max_time, max_segments, radius_slack, track_min_distance, initial_horizon:
+        Exactly as in :func:`repro.sim.batch.simulate_batch` — including the
+        combined ``max_segments`` budget semantics across both agents (the
+        frozen agent stops drawing on the budget at its freeze time, like the
+        event engine's frozen cursor).
+
+    Returns one :class:`~repro.sim.asymmetric.AsymmetricOutcome` per instance,
+    in input order: an ordinary :class:`SimulationResult` (``met`` means the
+    distance reached the smaller radius; meeting time at 1e-9 relative parity
+    with the event engine) plus the freeze event of the larger-radius agent,
+    if any.  Float timebase only.
+    """
+    instances = list(instances)
+    if not (math.isfinite(max_time) and max_time > 0.0):
+        raise ValueError("max_time must be positive and finite")
+    if max_segments <= 0:
+        raise ValueError("max_segments must be positive")
+    if radius_slack < 0.0:
+        raise ValueError("radius_slack must be non-negative")
+    if initial_horizon is not None and initial_horizon <= 0.0:
+        raise ValueError("initial_horizon must be positive")
+    radii_a = _radius_array(radius_a, instances, "radius_a")
+    radii_b = _radius_array(radius_b, instances, "radius_b")
+    if not instances:
+        return []
+
+    wall_start = _time.perf_counter()
+    source = ProgramSource(algorithm, max_segments)
+    base_name = _algorithm_name(algorithm)
+    specs = [instance.agents() for instance in instances]
+
+    # The smaller radius declares the meeting, the larger one the freeze; the
+    # agent holding the larger radius freezes first (ties never freeze).
+    small = np.minimum(radii_a, radii_b) + radius_slack
+    large = np.maximum(radii_a, radii_b) + radius_slack
+    larger_agent = ["A" if a >= b else "B" for a, b in zip(radii_a, radii_b)]
+
+    outcomes: List[Optional[AsymmetricOutcome]] = [None] * len(instances)
+    if initial_horizon is None:
+        horizons = [
+            default_initial_horizon(instance, max_time) for instance in instances
+        ]
+    else:
+        horizons = [min(initial_horizon, max_time)] * len(instances)
+    pending = list(range(len(instances)))
+    frozen: Dict[int, _FreezeState] = {}
+    scan_from: Dict[int, float] = {}
+    windows_before: Dict[int, int] = {}
+    carried_min: Dict[int, Tuple[float, Optional[float]]] = {}
+    total_windows = 0
+    round_number = 0
+
+    while pending:
+        round_number += 1
+        entries = []
+        for idx in pending:
+            instance = instances[idx]
+            spec_a, spec_b = specs[idx]
+            freeze = frozen.get(idx)
+            if freeze is None:
+                table_a = source.table_for(idx, instance, spec_a, "A", horizons[idx])
+                table_b = source.table_for(idx, instance, spec_b, "B", horizons[idx])
+                extra = 0
+            else:
+                still = constant_table(freeze.position)
+                if freeze.agent == "A":
+                    table_a = still
+                    table_b = source.table_for(
+                        idx, instance, spec_b, "B", horizons[idx]
+                    )
+                else:
+                    table_a = source.table_for(
+                        idx, instance, spec_a, "A", horizons[idx]
+                    )
+                    table_b = still
+                extra = freeze.segments
+            entries.append(
+                RoundEntry(
+                    idx,
+                    instance,
+                    table_a,
+                    table_b,
+                    horizons[idx],
+                    scan_from.get(idx, 0.0),
+                    max_segments,
+                    max_time,
+                    extra_segments=extra,
+                )
+            )
+        windows = build_windows(entries)
+        entry_small = np.array([small[e.index] for e in entries])
+        # After the freeze only the meeting radius is live; feeding the small
+        # radius as the "freeze" column keeps the scan limit (and therefore
+        # the closest-approach prefix) at the meeting window.
+        entry_large = np.array(
+            [
+                small[e.index] if e.index in frozen else large[e.index]
+                for e in entries
+            ]
+        )
+        meet_radius = np.repeat(entry_small, windows.counts)
+        freeze_radius = np.repeat(entry_large, windows.counts)
+        solution = solve_round(
+            windows,
+            meet_radius,
+            track_min_distance=track_min_distance,
+            second_radius=freeze_radius,
+        )
+        offsets = windows.offsets
+        total_windows += len(windows)
+
+        still_pending: List[int] = []
+        for k, entry in enumerate(entries):
+            idx = entry.index
+            lo = int(offsets[k])
+            hi = int(offsets[k + 1])
+            meet_index = int(solution.first_hit[k])
+            freeze_index = int(solution.first_hit2[k])
+            prior_windows = windows_before.get(idx, 0)
+            prior_min, prior_min_time = carried_min.get(idx, (math.inf, None))
+
+            round_min = math.inf
+            round_min_time = None
+            if track_min_distance and solution.group_min is not None:
+                if math.isfinite(float(solution.group_min[k])):
+                    round_min = float(solution.group_min[k])
+                    round_min_time = float(solution.min_time[k])
+            if track_min_distance and round_min < prior_min:
+                carried_min[idx] = (round_min, round_min_time)
+
+            # The event engine's rule: the larger-radius agent freezes iff it
+            # sees the other one *strictly before* the distance reaches the
+            # smaller radius; on a tie (equal radii, or an instance already
+            # within both at a window start) the meeting wins.
+            freezes = (
+                idx not in frozen
+                and freeze_index < hi
+                and (
+                    meet_index > freeze_index
+                    or (
+                        meet_index == freeze_index
+                        and float(solution.hit_offset2[k])
+                        < float(solution.hit_offset[k])
+                    )
+                )
+            )
+            met = meet_index < hi and not freezes
+
+            if freezes:
+                offset = float(solution.hit_offset2[k])
+                start = float(windows.starts[freeze_index])
+                freeze_time = start + offset
+                pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(
+                    freeze_index
+                )
+                pos_a = (pax + vax * offset, pay + vay * offset)
+                pos_b = (pbx + vbx * offset, pby + vby * offset)
+                agent = larger_agent[idx]
+                frozen_pos = pos_a if agent == "A" else pos_b
+                other_pos = pos_b if agent == "A" else pos_a
+                segments_a, segments_b = entry.segments_in_play(freeze_time)
+                frozen[idx] = _FreezeState(
+                    agent=agent,
+                    time=freeze_time,
+                    position=frozen_pos,
+                    distance=math.hypot(
+                        frozen_pos[0] - other_pos[0], frozen_pos[1] - other_pos[1]
+                    ),
+                    segments=segments_a if agent == "A" else segments_b,
+                )
+                # The freeze window was scanned in full (the event engine
+                # computes its closest approach before handling the freeze);
+                # when it is the horizon-cut final window, extend to the true
+                # boundary exactly as for a meeting window.
+                if (
+                    track_min_distance
+                    and freeze_index == hi - 1
+                    and not entry.budget_limited
+                ):
+                    full_window = full_final_window_min(
+                        entry, windows, freeze_index, max_time
+                    )
+                    current_min, _ = carried_min.get(idx, (math.inf, None))
+                    if full_window is not None and full_window[0] < current_min:
+                        carried_min[idx] = full_window
+                # Resume scanning at the freeze time, with the frozen agent
+                # replaced by its stationary table; same horizon.
+                scan_from[idx] = freeze_time
+                windows_before[idx] = prior_windows + (freeze_index - lo) + 1
+                still_pending.append(idx)
+                continue
+
+            if not met:
+                reason = entry.resolves_without_hit(max_time)
+                if reason is None:
+                    horizons[idx] = min(horizons[idx] * GROWTH_FACTOR, max_time)
+                    still_pending.append(idx)
+                    # The final window was cut at the horizon; the next round
+                    # re-scans it from its start, at full length.
+                    scan_from[idx] = float(windows.starts[hi - 1])
+                    windows_before[idx] = prior_windows + (hi - lo) - 1
+                    continue
+                termination = reason
+                meeting_time = None
+                meeting_pos_a = None
+                meeting_pos_b = None
+                windows_processed = prior_windows + (hi - lo)
+                if termination is TerminationReason.MAX_SEGMENTS:
+                    simulated_time = entry.horizon
+                else:
+                    simulated_time = max_time
+            else:
+                offset = float(solution.hit_offset[k])
+                start = float(windows.starts[meet_index])
+                meeting_time = start + offset
+                pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(meet_index)
+                meeting_pos_a = (pax + vax * offset, pay + vay * offset)
+                meeting_pos_b = (pbx + vbx * offset, pby + vby * offset)
+                termination = TerminationReason.RENDEZVOUS
+                simulated_time = meeting_time
+                windows_processed = prior_windows + (meet_index - lo) + 1
+
+            min_distance = math.inf
+            min_distance_time = None
+            if track_min_distance:
+                min_distance, min_distance_time = carried_min.get(
+                    idx, (math.inf, None)
+                )
+                if met and meet_index == hi - 1 and not entry.budget_limited:
+                    full_window = full_final_window_min(
+                        entry, windows, meet_index, max_time
+                    )
+                    if full_window is not None and full_window[0] < min_distance:
+                        min_distance, min_distance_time = full_window
+                if min_distance_time is None:
+                    min_distance = math.inf
+
+            segments_until = (
+                float(windows.starts[meet_index]) if met else entry.horizon
+            )
+            segments_a, segments_b = entry.segments_in_play(segments_until)
+            freeze = frozen.get(idx)
+            if freeze is not None:
+                if freeze.agent == "A":
+                    segments_a = freeze.segments
+                else:
+                    segments_b = freeze.segments
+            r_a = float(radii_a[idx])
+            r_b = float(radii_b[idx])
+            result = SimulationResult(
+                instance=entry.instance,
+                algorithm_name=base_name + f"[r_a={r_a:g}, r_b={r_b:g}]",
+                met=met,
+                termination=termination,
+                meeting_time=meeting_time,
+                meeting_point_a=meeting_pos_a,
+                meeting_point_b=meeting_pos_b,
+                min_distance=min_distance,
+                min_distance_time=min_distance_time,
+                simulated_time=simulated_time,
+                segments_a=segments_a,
+                segments_b=segments_b,
+                windows_processed=windows_processed,
+                elapsed_wall_seconds=0.0,
+                timebase_name="float",
+                meeting_time_exact=meeting_time,
+            )
+            outcomes[idx] = AsymmetricOutcome(
+                result=result,
+                radius_a=r_a,
+                radius_b=r_b,
+                frozen_agent=freeze.agent if freeze is not None else None,
+                freeze_time=freeze.time if freeze is not None else None,
+                freeze_distance=freeze.distance if freeze is not None else None,
+            )
+        pending = still_pending
+
+    trim_builder_cache()
+    elapsed = _time.perf_counter() - wall_start
+    per_instance_elapsed = elapsed / max(len(instances), 1)
+    for outcome in outcomes:
+        outcome.result.elapsed_wall_seconds = per_instance_elapsed
+
+    logger.debug(
+        "simulate_batch_asymmetric: %d instances, %d windows over %d rounds, %.3fs",
+        len(instances),
+        total_windows,
+        round_number,
+        elapsed,
+    )
+    return outcomes

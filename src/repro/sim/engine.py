@@ -200,6 +200,14 @@ class RendezvousSimulator:
         ``"vectorized"`` delegates to the columnar batch engine of
         :mod:`repro.sim.batch` (float timebase only, no trajectory
         recording — the event engine stays authoritative for those).
+    radius_a, radius_b:
+        Per-agent visibility radii (Section 5 extension).  Leaving both
+        ``None`` (default) runs the symmetric semantics with the instance's
+        own ``r``; setting either routes the run through
+        :func:`repro.sim.asymmetric.simulate_asymmetric` (or its vectorized
+        counterpart under ``engine="vectorized"``), with the unset radius
+        defaulting to ``instance.r``.  Asymmetric runs do not record
+        trajectories.
     """
 
     max_time: float = 1e9
@@ -211,6 +219,8 @@ class RendezvousSimulator:
     radius_slack: float = 0.0
     track_min_distance: bool = True
     engine: str = "event"
+    radius_a: Optional[float] = None
+    radius_b: Optional[float] = None
 
     def run(self, instance: Instance, algorithm: Any) -> SimulationResult:
         """Simulate ``algorithm`` on ``instance`` and return the outcome."""
@@ -218,6 +228,8 @@ class RendezvousSimulator:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected 'event' or 'vectorized'"
             )
+        if self.radius_a is not None or self.radius_b is not None:
+            return self._run_asymmetric(instance, algorithm)
         if self.engine == "vectorized":
             return self._run_vectorized(instance, algorithm)
         if not (math.isfinite(self.max_time) and self.max_time > 0.0):
@@ -351,6 +363,38 @@ class RendezvousSimulator:
         logger.debug("%s", result.summary())
         return result
 
+    def _run_asymmetric(self, instance: Instance, algorithm: Any) -> SimulationResult:
+        """Route a run with per-agent radii through the Section 5 semantics."""
+        from repro.sim.asymmetric import simulate_asymmetric  # local: avoids a cycle
+
+        if self.record_trajectories:
+            raise ValueError(
+                "asymmetric-radius runs do not record trajectories; drop "
+                "radius_a/radius_b or record_trajectories"
+            )
+        outcome = simulate_asymmetric(
+            instance,
+            algorithm,
+            radius_a=self.radius_a,
+            radius_b=self.radius_b,
+            max_time=self.max_time,
+            max_segments=self.max_segments,
+            timebase=self.timebase,
+            radius_slack=self.radius_slack,
+            track_min_distance=self.track_min_distance,
+            engine=self.engine,
+        )
+        result = outcome.result
+        if not result.met and self.raise_on_budget and result.termination in (
+            TerminationReason.MAX_TIME,
+            TerminationReason.MAX_SEGMENTS,
+        ):
+            raise SimulationBudgetExceeded(
+                f"simulation budget exhausted ({result.termination.value}) after "
+                f"{result.segments_total} segments"
+            )
+        return result
+
     def _run_vectorized(self, instance: Instance, algorithm: Any) -> SimulationResult:
         """Delegate one run to the columnar batch engine of :mod:`repro.sim.batch`."""
         from repro.sim.batch import simulate_batch  # local import: avoids a cycle
@@ -396,8 +440,15 @@ def simulate(
     radius_slack: float = 0.0,
     track_min_distance: bool = True,
     engine: str = "event",
+    radius_a: Optional[float] = None,
+    radius_b: Optional[float] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`RendezvousSimulator` and run it once."""
+    """Convenience wrapper: build a :class:`RendezvousSimulator` and run it once.
+
+    All parameters mirror the simulator's fields (see
+    :class:`RendezvousSimulator` for semantics and units); ``radius_a`` /
+    ``radius_b`` opt a run into the Section 5 asymmetric-radius semantics.
+    """
     simulator = RendezvousSimulator(
         max_time=max_time,
         max_segments=max_segments,
@@ -408,5 +459,7 @@ def simulate(
         radius_slack=radius_slack,
         track_min_distance=track_min_distance,
         engine=engine,
+        radius_a=radius_a,
+        radius_b=radius_b,
     )
     return simulator.run(instance, algorithm)

@@ -1,0 +1,693 @@
+"""Shared round/horizon machinery of the vectorized batch engines.
+
+Both batch engines — the symmetric :func:`repro.sim.batch.simulate_batch` and
+the asymmetric-radius :func:`repro.sim.batch_asymmetric.simulate_batch_asymmetric`
+— run the same outer loop: compile trajectory prefixes up to an adaptive
+horizon, stack the merged event windows of every unresolved instance into flat
+arrays, solve all window quadratics with one chunked fused-kernel pass, and
+retry the instances that neither met nor terminated with a geometrically grown
+horizon.  This module holds that loop's building blocks so the two engines
+share one implementation:
+
+* :class:`ProgramSource` — serves trajectory tables while consuming each
+  instruction stream only once (shared builders for universal algorithms,
+  cross-call reuse through the bounded builder cache);
+* :class:`RoundEntry` — one instance's tables, horizon and budget state for
+  one round, including the exact reproduction of the event engine's
+  ``max_segments`` stopping rule;
+* :func:`build_windows` — the *flat* cross-instance window construction: one
+  ``lexsort`` + segmented-cumsum pass replaces the per-instance
+  ``np.unique``/``states_at`` calls of the first batch engine (the remaining
+  Python cost named in the ROADMAP), producing window starts, durations and
+  both agents' states as single flat arrays with per-instance offsets;
+* :func:`solve_round` — the chunked fused-kernel pass with segmented
+  first-hit/minimum reductions, optionally solving every window against a
+  *second* per-window radius column in the same pass (the asymmetric engine's
+  freeze radius).
+
+Nothing in here depends on the meeting semantics: the drivers interpret the
+per-entry first-hit indices (meeting for the symmetric engine; meeting *or*
+freeze for the asymmetric one) and assemble results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import AgentSpec, Instance
+from repro.geometry.closest_approach import (
+    closest_approach_moving_points,
+    fused_window_batch,
+    fused_window_batch_dual,
+)
+from repro.motion.compiler import LocalProgramBuilder, TrajectoryTable, compile_table
+from repro.sim.engine import _resolve_program
+from repro.sim.results import TerminationReason
+
+#: Horizon multiplier between rounds.  The total number of windows solved is a
+#: geometric series ``1 + 1/g + 1/g**2 + ...`` times the work of the resolving
+#: round, so 8 keeps the re-scan overhead under 15% while resolving most
+#: instances within a handful of rounds.
+GROWTH_FACTOR = 8.0
+
+#: Upper bound on the number of stacked windows handed to one kernel call.
+#: Chunks cap peak memory (each window carries ~10 float64 columns) without
+#: changing any result — segmented reductions never cross instances.
+KERNEL_CHUNK_WINDOWS = 1 << 21
+
+
+def _is_universal(algorithm: Any) -> bool:
+    """Whether the algorithm's program is independent of instance and role."""
+    return getattr(algorithm, "requires_knowledge", None) is False
+
+
+#: Builders of universal programs, shared across batch-engine calls.
+#: Keyed by the algorithm's ``program_cache_key`` (an opt-in declaration that
+#: two algorithm objects with equal keys emit identical instruction streams),
+#: so repeated campaigns stop re-consuming the same stream from scratch.
+#: Bounded in entries and (approximately — builders keep growing after
+#: insertion) in retained rows; eviction is LRU, one entry at a time, and a
+#: single entry whose rows alone exceed the budget is evicted as well.
+_BUILDER_CACHE: Dict[Any, LocalProgramBuilder] = {}
+_BUILDER_CACHE_LIMIT = 8
+_BUILDER_CACHE_ROW_LIMIT = 4_000_000  # x 4 float64 columns ~= 128 MB
+
+
+def _trim_builder_cache() -> None:
+    """Evict least-recently-used builders until both bounds hold.
+
+    Unlike a plain LRU trim, the *last* entry is not exempt: one huge builder
+    (user-supplied ``max_segments`` in the tens of millions) exceeding the row
+    budget on its own is dropped instead of pinning hundreds of MB for the
+    process lifetime.  The engine run that inserted it keeps its direct
+    reference; only the cross-call cache declines to retain it.
+    """
+    while _BUILDER_CACHE and (
+        len(_BUILDER_CACHE) > _BUILDER_CACHE_LIMIT
+        or sum(len(b) for b in _BUILDER_CACHE.values()) > _BUILDER_CACHE_ROW_LIMIT
+    ):
+        del _BUILDER_CACHE[next(iter(_BUILDER_CACHE))]
+
+
+def trim_builder_cache() -> None:
+    """Re-apply the builder-cache bounds after a batch run.
+
+    Builders keep growing *after* insertion (the cache stores them before the
+    adaptive rounds consume the program), so the insertion-time trim cannot
+    see their final size; the engines call this once per batch run to evict
+    entries that outgrew the budget meanwhile.
+    """
+    _trim_builder_cache()
+
+
+class ProgramSource:
+    """Serves trajectory tables, consuming each instruction stream only once.
+
+    Universal algorithms share a single :class:`LocalProgramBuilder` across
+    every agent of every instance; non-universal programs get one builder per
+    (instance, role), created on first use and *extended* (never re-created)
+    as the adaptive horizon grows.
+    """
+
+    def __init__(self, algorithm: Any, max_segments: Optional[int]) -> None:
+        self.algorithm = algorithm
+        # ``max_segments`` is the combined budget across both agents (event
+        # engine semantics); each builder may overshoot it slightly so the
+        # exact combined cutoff time can be computed afterwards.
+        self.max_steps = None if max_segments is None else max_segments + 2
+        self._universal = _is_universal(algorithm)
+        self._shared: Optional[LocalProgramBuilder] = None
+        self._builders: Dict[Tuple[int, str], LocalProgramBuilder] = {}
+        # Universal programs compile to the same table for equal specs and
+        # equal prefix lengths; agent A's spec is the canonical reference and
+        # identical across *all* instances, so this cache collapses its
+        # per-instance compilations to one per distinct horizon.
+        self._tables: Dict[Tuple[AgentSpec, int, bool], TrajectoryTable] = {}
+
+    def table_for(
+        self, index: int, instance: Instance, spec: AgentSpec, role: str, horizon: float
+    ) -> TrajectoryTable:
+        units = spec.units
+        local_budget = max((horizon - units.wake_time) / units.clock_rate, 0.0)
+        if self._universal:
+            if self._shared is None:
+                cache_key = getattr(self.algorithm, "program_cache_key", None)
+                if cache_key is not None:
+                    self._shared = _BUILDER_CACHE.pop(cache_key, None)
+                if self._shared is None:
+                    self._shared = LocalProgramBuilder(
+                        _resolve_program(self.algorithm, instance, spec, role)
+                    )
+                if cache_key is not None:
+                    # (Re-)insert at the back: dict order is the LRU order.
+                    _BUILDER_CACHE[cache_key] = self._shared
+                    _trim_builder_cache()
+            builder = self._shared
+        else:
+            key = (index, role)
+            builder = self._builders.get(key)
+            if builder is None:
+                builder = LocalProgramBuilder(
+                    _resolve_program(self.algorithm, instance, spec, role)
+                )
+                self._builders[key] = builder
+        local = builder.snapshot(local_budget, max_steps=self.max_steps)
+        # Only agent A's spec (the canonical reference, identical across all
+        # instances) ever produces cache hits; caching B-side tables would
+        # retain one dead entry per (instance, round).
+        if not self._universal or role != "A":
+            return compile_table(spec, local)
+        cache_key = (spec, len(local), local.complete)
+        table = self._tables.get(cache_key)
+        if table is None:
+            table = compile_table(spec, local)
+            self._tables[cache_key] = table
+        return table
+
+
+def default_initial_horizon(instance: Instance, max_time: float) -> float:
+    """A first simulated-time horizon with a real chance of containing the meeting.
+
+    The agents cannot meet before the later one wakes *and* before their
+    combined top speed could close the gap.  The universal algorithm pays an
+    enumeration overhead of well over an order of magnitude on top of that
+    lower bound, so start generously above it (a too-small first horizon costs
+    a whole extra round of compilation; a too-large one only some extra
+    windows).  Snapping to powers of the growth factor keeps the set of
+    distinct horizons per round small, which feeds the shared-table cache.
+    """
+    closing_speed = 1.0 + max(instance.v, 0.0)
+    lower_bound = max(instance.initial_distance - instance.r, 0.0) / closing_speed
+    raw = max(8.0, 8.0 * lower_bound, 8.0 * instance.t)
+    snapped = GROWTH_FACTOR ** math.ceil(math.log(raw, GROWTH_FACTOR))
+    return min(max(snapped, raw), max_time)
+
+
+class RoundEntry:
+    """One instance's tables, horizon and budget state for one round.
+
+    ``extra_segments`` counts trajectory segments that the event engine's
+    cursors have already pulled but that are *not* rows of the tables handed
+    in — the asymmetric engine passes the frozen agent's pre-freeze segment
+    count here (its synthetic table has ``segments == 0``), so the combined
+    ``max_segments`` stopping rule keeps matching the event loop exactly.
+    """
+
+    __slots__ = (
+        "index",
+        "instance",
+        "table_a",
+        "table_b",
+        "horizon",
+        "budget_limited",
+        "scan_from",
+        "extra_segments",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        instance: Instance,
+        table_a: TrajectoryTable,
+        table_b: TrajectoryTable,
+        horizon: float,
+        scan_from: float,
+        max_segments: int,
+        max_time: float,
+        *,
+        extra_segments: int = 0,
+    ) -> None:
+        self.index = index
+        self.instance = instance
+        self.table_a = table_a
+        self.table_b = table_b
+        self.scan_from = scan_from
+        self.extra_segments = extra_segments
+
+        # The event engine stops when the *combined* number of segments pulled
+        # by both cursors exceeds ``max_segments``, which happens at the start
+        # time of the (max_segments + 1)-th segment in the merged timeline.
+        # Capping the horizon there reproduces its stopping rule exactly.
+        self.budget_limited = False
+        if table_a.segments + table_b.segments + extra_segments > max_segments:
+            merged_starts = np.sort(
+                np.concatenate(
+                    (
+                        table_a.start_time[: table_a.segments],
+                        table_b.start_time[: table_b.segments],
+                    )
+                )
+            )
+            cutoff = float(merged_starts[max(max_segments - extra_segments, 0)])
+            # A cutoff at exactly max_time still terminates as MAX_TIME: the
+            # event loop checks the time horizon before the segment budget.
+            if cutoff <= horizon and cutoff < max_time:
+                horizon = cutoff
+                self.budget_limited = True
+        # Safety net: coverage falling short of the horizon (a table truncated
+        # by its per-agent overshoot cap) is also a budget stop.
+        for table in (table_a, table_b):
+            if not table.exhausted and table.end_time < horizon:
+                horizon = table.end_time
+                self.budget_limited = True
+        self.horizon = max(horizon, 0.0)
+
+    def true_window_end(self, start: float, max_time: float) -> float:
+        """Where the event engine's window beginning at ``start`` really ends.
+
+        The last window of a round is cut at the adaptive horizon, which is
+        not a segment boundary; the event engine's window runs to the next
+        boundary of either agent (capped at ``max_time``).
+        """
+        end = max_time
+        for table in (self.table_a, self.table_b):
+            idx = int(np.searchsorted(table.start_time, start, side="right")) - 1
+            idx = min(max(idx, 0), len(table) - 1)
+            row_end = float(table.start_time[idx] + table.duration[idx])
+            if row_end < end:
+                end = row_end
+        return end
+
+    def segments_in_play(self, until: float) -> Tuple[int, int]:
+        """Per-agent counts of segments starting by ``until`` (event-cursor analogue)."""
+        return (
+            int(
+                np.searchsorted(
+                    self.table_a.start_time[: self.table_a.segments],
+                    until,
+                    side="right",
+                )
+            ),
+            int(
+                np.searchsorted(
+                    self.table_b.start_time[: self.table_b.segments],
+                    until,
+                    side="right",
+                )
+            ),
+        )
+
+    def resolves_without_hit(self, max_time: float) -> Optional[TerminationReason]:
+        """Termination reason if no window of this round contains a hit.
+
+        ``None`` means the instance is unresolved at this horizon and must be
+        retried with a larger one.
+        """
+        if self.budget_limited:
+            return TerminationReason.MAX_SEGMENTS
+        finish_a = self.table_a.finish_time
+        finish_b = self.table_b.finish_time
+        if (
+            finish_a is not None
+            and finish_b is not None
+            and max(finish_a, finish_b) <= self.horizon
+        ):
+            # Both programs ended within the scanned range and the agents did
+            # not meet: they are stationary forever, nothing can change.
+            if max(finish_a, finish_b) < max_time:
+                return TerminationReason.PROGRAMS_FINISHED
+            return TerminationReason.MAX_TIME
+        if self.horizon >= max_time:
+            return TerminationReason.MAX_TIME
+        return None
+
+
+class RoundWindows:
+    """The stacked windows of one round, as flat arrays with per-entry offsets.
+
+    ``starts``/``durations`` are parallel over the concatenated windows of all
+    entries; entry ``k`` owns the range ``[offsets[k], offsets[k + 1])`` of
+    ``counts[k]`` windows.  ``states`` holds the eight per-window state
+    columns ``(pax, pay, vax, vay, pbx, pby, vbx, vby)``: both agents'
+    positions and velocities at each window start.
+    """
+
+    __slots__ = ("starts", "durations", "states", "offsets", "counts")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        durations: np.ndarray,
+        states: Tuple[np.ndarray, ...],
+        offsets: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        self.starts = starts
+        self.durations = durations
+        self.states = states
+        self.offsets = offsets
+        self.counts = counts
+
+    def __len__(self) -> int:
+        return int(self.starts.shape[0])
+
+    def state_at(self, window: int) -> Tuple[float, ...]:
+        """The eight state scalars of one (global) window index."""
+        return tuple(float(column[window]) for column in self.states)
+
+
+def _flat_table_columns(tables: Sequence[TrajectoryTable]):
+    """Concatenated state columns of the distinct tables, plus per-entry bases.
+
+    Tables are deduplicated by identity: universal campaigns share one A-side
+    table across every instance of a round, so concatenating per-entry would
+    copy it once per instance.
+    """
+    order: Dict[int, int] = {}
+    distinct: List[TrajectoryTable] = []
+    table_of_entry = np.empty(len(tables), dtype=np.int64)
+    for k, table in enumerate(tables):
+        key = id(table)
+        slot = order.get(key)
+        if slot is None:
+            slot = len(distinct)
+            order[key] = slot
+            distinct.append(table)
+        table_of_entry[k] = slot
+    lengths = np.array([len(table) for table in distinct], dtype=np.int64)
+    row_offsets = np.concatenate(([0], np.cumsum(lengths)))
+    columns = tuple(
+        np.concatenate([getattr(table, name) for table in distinct])
+        for name in ("start_time", "start_x", "start_y", "vel_x", "vel_y")
+    )
+    return columns, row_offsets[table_of_entry]
+
+
+def build_windows(entries: Sequence[RoundEntry]) -> RoundWindows:
+    """Stack the merged event windows of every entry into flat arrays.
+
+    The flat formulation of the per-instance window construction: all entries'
+    segment boundaries are filtered, sorted and deduplicated in one
+    ``lexsort`` pass (grouped by entry, then time), per-entry window layouts
+    are derived from segmented counts, and both agents' states at every window
+    start come from two fancy-indexing gathers instead of per-instance
+    ``states_at`` calls.  Produces bit-identical windows and states to the
+    per-instance formulation (same comparisons, same float arithmetic).
+    """
+    n_entries = len(entries)
+    entry_ids = np.arange(n_entries)
+    horizons = np.array([entry.horizon for entry in entries])
+    scan_froms = np.array([entry.scan_from for entry in entries])
+
+    # In-range boundary slices per entry and table — boundaries are sorted, so
+    # the ``(scan_from, horizon)`` range is a pair of searchsorted cuts, and
+    # the lower cut doubles as the base row count at the entry's scan_from.
+    slices_a: List[np.ndarray] = []
+    slices_b: List[np.ndarray] = []
+    base_a = np.zeros(n_entries, dtype=np.int64)
+    base_b = np.zeros(n_entries, dtype=np.int64)
+    for k, entry in enumerate(entries):
+        for bounds, slices, base in (
+            (entry.table_a.boundaries(), slices_a, base_a),
+            (entry.table_b.boundaries(), slices_b, base_b),
+        ):
+            low = (
+                int(np.searchsorted(bounds, entry.scan_from, side="right"))
+                if entry.scan_from > 0.0
+                else 0
+            )
+            high = int(np.searchsorted(bounds, entry.horizon, side="left"))
+            base[k] = low
+            slices.append(bounds[low:high])
+
+    # Merge each entry's two sorted boundary runs into one flat, entry-grouped
+    # event array by rank arithmetic (no sort): an A-side event's merged
+    # position is its own index plus the number of strictly smaller B-side
+    # events, and symmetrically with ties broken A-before-B so that the
+    # keep-last deduplication below sees equal times adjacent.
+    events_per_entry = np.array(
+        [a.shape[0] + b.shape[0] for a, b in zip(slices_a, slices_b)],
+        dtype=np.int64,
+    )
+    segment_offsets = np.concatenate(([0], np.cumsum(events_per_entry)))
+    total_events = int(segment_offsets[-1])
+    event_value = np.empty(total_events)
+    event_is_a = np.zeros(total_events, dtype=bool)
+    for k in range(n_entries):
+        a = slices_a[k]
+        b = slices_b[k]
+        offset = int(segment_offsets[k])
+        if a.shape[0]:
+            position = offset + np.arange(a.shape[0]) + np.searchsorted(
+                b, a, side="left"
+            )
+            event_value[position] = a
+            event_is_a[position] = True
+        if b.shape[0]:
+            position = offset + np.arange(b.shape[0]) + np.searchsorted(
+                a, b, side="right"
+            )
+            event_value[position] = b
+    event_entry = np.repeat(entry_ids, events_per_entry)
+
+    # Inclusive per-entry running counts of A-/B-side events: the number of
+    # boundaries of that agent at or before each event time (within range).
+    a_cumulative = np.cumsum(event_is_a)
+    b_cumulative = np.cumsum(~event_is_a)
+    prefix = np.concatenate(([0], a_cumulative))[segment_offsets[:-1]]
+    a_count = a_cumulative - np.repeat(prefix, events_per_entry)
+    prefix = np.concatenate(([0], b_cumulative))[segment_offsets[:-1]]
+    b_count = b_cumulative - np.repeat(prefix, events_per_entry)
+
+    # Deduplicate equal times within an entry, keeping the *last* occurrence:
+    # its counts already include every boundary at that time.
+    duplicate_of_next = np.zeros(event_value.shape[0], dtype=bool)
+    if event_value.shape[0] > 1:
+        duplicate_of_next[:-1] = (event_entry[:-1] == event_entry[1:]) & (
+            event_value[:-1] == event_value[1:]
+        )
+    keep = ~duplicate_of_next
+    kept_value = event_value[keep]
+    kept_a = a_count[keep]
+    kept_b = b_count[keep]
+    kept_per_entry = np.bincount(event_entry[keep], minlength=n_entries)
+
+    # Window layout: entry k has kept_per_entry[k] interior events and
+    # therefore kept_per_entry[k] + 1 windows, the first starting at its
+    # scan_from and the last ending at its horizon.
+    counts = kept_per_entry + 1
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    total = int(offsets[-1])
+    first_mask = np.zeros(total, dtype=bool)
+    first_mask[offsets[:-1]] = True
+    last_mask = np.zeros(total, dtype=bool)
+    last_mask[offsets[1:] - 1] = True
+
+    starts = np.empty(total)
+    starts[first_mask] = scan_froms
+    starts[~first_mask] = kept_value
+    ends = np.empty(total)
+    ends[~last_mask] = kept_value
+    # A budget-capped horizon can fall at or before scan_from (everything up
+    # to it was already scanned); such an entry degenerates to one clamped,
+    # zero-length window, exactly like the per-instance formulation.
+    ends[last_mask] = np.maximum(horizons, scan_froms)
+    durations = np.maximum(ends - starts, 0.0)
+
+    # Active row of each agent's table at each window start: the number of
+    # boundaries at or before that time.  Interior windows get the base count
+    # (boundaries at or before scan_from) plus the running in-range count;
+    # first windows get the base count alone.
+    row_a = np.empty(total, dtype=np.int64)
+    row_a[first_mask] = base_a
+    row_a[~first_mask] = np.repeat(base_a, kept_per_entry) + kept_a
+    row_b = np.empty(total, dtype=np.int64)
+    row_b[first_mask] = base_b
+    row_b[~first_mask] = np.repeat(base_b, kept_per_entry) + kept_b
+
+    entry_of_window = np.repeat(entry_ids, counts)
+    columns_a, table_base_a = _flat_table_columns([e.table_a for e in entries])
+    columns_b, table_base_b = _flat_table_columns([e.table_b for e in entries])
+    gather_a = row_a + table_base_a[entry_of_window]
+    gather_b = row_b + table_base_b[entry_of_window]
+
+    time_a, sx_a, sy_a, vx_a, vy_a = (column[gather_a] for column in columns_a)
+    time_b, sx_b, sy_b, vx_b, vy_b = (column[gather_b] for column in columns_b)
+    offset_a = starts - time_a
+    offset_b = starts - time_b
+    states = (
+        sx_a + vx_a * offset_a,
+        sy_a + vy_a * offset_a,
+        vx_a,
+        vy_a,
+        sx_b + vx_b * offset_b,
+        sy_b + vy_b * offset_b,
+        vx_b,
+        vy_b,
+    )
+    return RoundWindows(starts, durations, states, offsets, counts)
+
+
+class RoundSolution:
+    """Per-entry reductions of one solved round.
+
+    ``first_hit[k]`` is the global window index (into the round's flat
+    arrays) of the first window whose quadratic has a hit at the primary
+    radius — or ``offsets[k + 1]``, one past entry ``k``'s range, when it has
+    none — and ``hit_offset[k]`` the hit's offset inside that window.  With a
+    second radius column, ``first_hit2``/``hit_offset2`` answer the same
+    question for it.  ``group_min``/``min_time`` are the per-entry closest
+    approach over the scanned prefix (up to and including the window where
+    the earliest hit of either radius occurred) and its absolute time, or
+    ``None`` when untracked.
+    """
+
+    __slots__ = (
+        "first_hit",
+        "hit_offset",
+        "first_hit2",
+        "hit_offset2",
+        "group_min",
+        "min_time",
+    )
+
+    def __init__(self, size: int, dual: bool, track: bool) -> None:
+        self.first_hit = np.empty(size, dtype=np.int64)
+        self.hit_offset = np.empty(size, dtype=float)
+        self.first_hit2 = np.empty(size, dtype=np.int64) if dual else None
+        self.hit_offset2 = np.empty(size, dtype=float) if dual else None
+        self.group_min = np.full(size, math.inf) if track else None
+        self.min_time = np.empty(size, dtype=float) if track else None
+
+
+def _first_hits(hit, index, local_offsets, local_total):
+    """Segmented first-hit reduction: per-group first window index with a hit."""
+    masked = np.where(~np.isnan(hit), index, local_total)
+    return np.minimum.reduceat(masked, local_offsets)
+
+
+def solve_round(
+    windows: RoundWindows,
+    radius: np.ndarray,
+    *,
+    track_min_distance: bool,
+    second_radius: Optional[np.ndarray] = None,
+) -> RoundSolution:
+    """Solve all windows of a round with the fused batch kernel, chunked.
+
+    ``radius`` (and the optional ``second_radius``) are per-window columns —
+    windows of different instances carry different radii, which is how the
+    asymmetric engine feeds per-agent visibility radii through the shared
+    pipeline.  Chunking caps peak kernel memory without changing any result:
+    segmented reductions never cross instances.
+    """
+    counts = windows.counts
+    offsets = windows.offsets
+    n_entries = int(counts.shape[0])
+    dual = second_radius is not None
+    solution = RoundSolution(n_entries, dual, track_min_distance)
+
+    chunk_start = 0
+    while chunk_start < n_entries:
+        chunk_end = chunk_start
+        chunk_windows = 0
+        while chunk_end < n_entries and (
+            chunk_end == chunk_start
+            or chunk_windows + int(counts[chunk_end]) <= KERNEL_CHUNK_WINDOWS
+        ):
+            chunk_windows += int(counts[chunk_end])
+            chunk_end += 1
+
+        lo = int(offsets[chunk_start])
+        hi = int(offsets[chunk_end])
+        starts = windows.starts[lo:hi]
+        durations = windows.durations[lo:hi]
+        pax, pay, vax, vay, pbx, pby, vbx, vby = (
+            column[lo:hi] for column in windows.states
+        )
+        rel_x = pbx - pax
+        rel_y = pby - pay
+        rvel_x = vbx - vax
+        rvel_y = vby - vay
+
+        if dual:
+            hit, hit2, window_min, window_t_star = fused_window_batch_dual(
+                rel_x, rel_y, rvel_x, rvel_y,
+                radius[lo:hi], second_radius[lo:hi], durations,
+                track_closest=track_min_distance,
+            )
+        else:
+            hit, window_min, window_t_star = fused_window_batch(
+                rel_x, rel_y, rvel_x, rvel_y, radius[lo:hi], durations,
+                track_closest=track_min_distance,
+            )
+            hit2 = None
+
+        local_counts = counts[chunk_start:chunk_end]
+        local_offsets = offsets[chunk_start:chunk_end] - lo
+        local_total = hi - lo
+        index = np.arange(local_total)
+
+        local_first = _first_hits(hit, index, local_offsets, local_total)
+        has_hit = local_first < local_total
+        bounded_first = np.where(has_hit, local_first, 0)
+        solution.first_hit[chunk_start:chunk_end] = np.where(
+            has_hit, local_first + lo, offsets[chunk_start + 1 : chunk_end + 1]
+        )
+        solution.hit_offset[chunk_start:chunk_end] = np.where(
+            has_hit, hit[bounded_first], np.nan
+        )
+        scan_limit = local_first
+        if dual:
+            local_first2 = _first_hits(hit2, index, local_offsets, local_total)
+            has_hit2 = local_first2 < local_total
+            bounded2 = np.where(has_hit2, local_first2, 0)
+            solution.first_hit2[chunk_start:chunk_end] = np.where(
+                has_hit2, local_first2 + lo, offsets[chunk_start + 1 : chunk_end + 1]
+            )
+            solution.hit_offset2[chunk_start:chunk_end] = np.where(
+                has_hit2, hit2[bounded2], np.nan
+            )
+            # The scan stops at the earliest event of either radius.
+            scan_limit = np.minimum(scan_limit, local_first2)
+
+        if track_min_distance:
+            # Only windows up to (and including) the stopping window count,
+            # mirroring the event engine, which stops at the meeting (or
+            # freeze) window.
+            in_prefix = index <= np.repeat(scan_limit, local_counts)
+            masked_min = np.where(in_prefix, window_min, math.inf)
+            chunk_min = np.minimum.reduceat(masked_min, local_offsets)
+            is_chunk_min = masked_min == np.repeat(chunk_min, local_counts)
+            chunk_min_index = np.minimum.reduceat(
+                np.where(is_chunk_min, index, local_total), local_offsets
+            )
+            solution.group_min[chunk_start:chunk_end] = chunk_min
+            has_min = chunk_min_index < local_total
+            bounded_min = np.where(has_min, chunk_min_index, 0)
+            solution.min_time[chunk_start:chunk_end] = np.where(
+                has_min, starts[bounded_min] + window_t_star[bounded_min], np.nan
+            )
+
+        chunk_start = chunk_end
+
+    return solution
+
+
+def full_final_window_min(
+    entry: RoundEntry,
+    windows: RoundWindows,
+    hit_index: int,
+    max_time: float,
+) -> Optional[Tuple[float, float]]:
+    """Closest approach of a horizon-cut stopping window, re-scanned full-length.
+
+    When the meeting (or freeze) falls into a round's final window — which is
+    cut at the adaptive horizon rather than at a segment boundary — the event
+    engine scans that window to its real end (even past the hit).  Returns
+    ``(min_distance, absolute_time)`` of the full-length closest approach
+    when the true end extends past the horizon, ``None`` when the cut was
+    already a real boundary.
+    """
+    start = float(windows.starts[hit_index])
+    true_end = entry.true_window_end(start, max_time)
+    if true_end <= entry.horizon:
+        return None
+    pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(hit_index)
+    approach = closest_approach_moving_points(
+        (pax, pay), (vax, vay), (pbx, pby), (vbx, vby), true_end - start
+    )
+    return approach.min_distance, start + approach.time_offset
