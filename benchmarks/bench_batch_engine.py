@@ -4,9 +4,11 @@ The workload is the standard Monte-Carlo campaign shape: 1,000 stratified
 float-timebase instances (250 per algorithmic type) under the compact-schedule
 universal algorithm.  Three benchmarks measure the event-engine loop, the
 batch engine with full closest-approach tracking, and the batch engine in
-verdict-only mode; a fourth asserts the PR's acceptance criterion — the batch
-engine at least 10x faster than the loop it replaces — and records the exact
-ratio in the benchmark JSON.
+verdict-only mode; a fourth asserts the acceptance criterion — the batch
+engine at least 15x faster than the loop it replaces (raised from the 10x of
+the engine's first generation after flat result assembly, incremental
+trajectory compilation and the retuned horizon schedule) — and records the
+exact ratio in the benchmark JSON.
 """
 
 import time
@@ -83,14 +85,21 @@ def test_batch_engine_verdict_only(benchmark, stratified_instances):
     benchmark.extra_info["met"] = sum(r.met for r in results)
 
 
-def test_speedup_at_least_10x(benchmark, stratified_instances):
-    """Acceptance criterion: simulate_batch >= 10x the event-engine loop."""
+def test_speedup_at_least_15x(benchmark, stratified_instances):
+    """Acceptance criterion: simulate_batch >= 15x the event-engine loop."""
     _run_batch(stratified_instances)  # warm caches; also first adaptive rounds
 
-    batch_seconds = min(
-        _timed(_run_batch, stratified_instances) for _ in range(3)
-    )
-    event_seconds = _timed(_run_event_loop, stratified_instances)
+    # Interleave the two engines' measurements: on busy hosts the machine's
+    # effective speed drifts over a run this long, and adjacent samples keep
+    # the drift out of the ratio (a trailing one-sided measurement can swing
+    # it by tens of percent in either direction).
+    batch_samples = [_timed(_run_batch, stratified_instances)]
+    event_samples = []
+    for _ in range(2):
+        event_samples.append(_timed(_run_event_loop, stratified_instances))
+        batch_samples.append(_timed(_run_batch, stratified_instances))
+    batch_seconds = min(batch_samples)
+    event_seconds = min(event_samples)
 
     speedup = event_seconds / batch_seconds
     benchmark.extra_info["event_seconds"] = round(event_seconds, 3)
@@ -105,7 +114,7 @@ def test_speedup_at_least_10x(benchmark, stratified_instances):
     # Give the benchmark harness something cheap to time; the measurement of
     # record is the ratio above.
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    assert speedup >= 10.0, (
+    assert speedup >= 15.0, (
         f"vectorized engine is only {speedup:.1f}x faster "
         f"({event_seconds:.2f}s event vs {batch_seconds:.2f}s batch)"
     )

@@ -10,6 +10,16 @@ diff the JSON: this file is the start of the repo's perf trajectory.
 Usage:
     PYTHONPATH=src python scripts/bench_snapshot.py [--output BENCH_engine.json]
         [--instances-per-type 250] [--quick]
+        [--check BENCH_engine.json [--check-min-ratio 0.7]]
+
+``--check`` turns the script into a regression gate: after measuring, the
+fresh speedup is compared against the committed baseline snapshot and the
+process exits non-zero when it falls below ``check-min-ratio`` times the
+baseline's — or when the engines disagree on any verdict.  The *ratio* of the
+two engines is what gates (not absolute seconds), so the check is meaningful
+on hardware slower or faster than the machine that wrote the baseline; the
+tolerance absorbs machine-to-machine spread of the ratio itself (CI runners
+vs the baseline box, ``--quick``'s smaller amortization).
 """
 
 from __future__ import annotations
@@ -63,8 +73,28 @@ def main() -> int:
         "--skip-event", action="store_true",
         help="only measure the batch engine (no speedup field)",
     )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare the fresh speedup against this committed snapshot and "
+             "exit non-zero on regression (requires the event measurement)",
+    )
+    parser.add_argument(
+        "--check-min-ratio", type=float, default=0.7,
+        help="fresh speedup must reach this fraction of the baseline's "
+             "(default 0.7; use a smaller value for --quick/CI runners)",
+    )
     args = parser.parse_args()
     per_type = 25 if args.quick else args.instances_per_type
+    baseline_speedup = None
+    if args.check:
+        # Validate the baseline up front: a typo'd path or a speedup-less
+        # snapshot should fail before the multi-minute measurement, not after.
+        if args.skip_event:
+            parser.error("--check needs the event measurement; drop --skip-event")
+        with open(args.check) as handle:
+            baseline_speedup = json.load(handle).get("speedup")
+        if baseline_speedup is None:
+            parser.error(f"--check baseline {args.check} carries no speedup field")
 
     instances = stratified_instances(per_type)
     print(f"workload: {len(instances)} stratified instances, algorithm={ALGORITHM}, "
@@ -142,6 +172,21 @@ def main() -> int:
         json.dump(snapshot, handle, indent=2)
         handle.write("\n")
     print(f"[saved] {args.output}")
+
+    if args.check:
+        floor = baseline_speedup * args.check_min_ratio
+        fresh = snapshot["speedup"]
+        print(
+            f"[check] fresh {fresh:.2f}x vs baseline {baseline_speedup:.2f}x "
+            f"(floor {floor:.2f}x = {args.check_min_ratio:g} * baseline)"
+        )
+        if agreement != len(instances):
+            print(f"[check] FAIL: engines disagree ({agreement}/{len(instances)} met)")
+            return 1
+        if fresh < floor:
+            print("[check] FAIL: speedup regression")
+            return 1
+        print("[check] OK")
     return 0
 
 

@@ -61,9 +61,26 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_kernel_backend(name: Optional[str]) -> Optional[str]:
+    """Resolve a --kernel-backend name early; returns an error string if unknown."""
+    if name is None:
+        return None
+    from repro.geometry.backends import get_backend
+
+    try:
+        get_backend(name)
+    except ValueError as error:
+        return str(error)
+    return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     algorithm = get_algorithm(args.algorithm)
+    backend_error = _check_kernel_backend(args.kernel_backend)
+    if backend_error is not None:
+        print(f"error: {backend_error}", file=sys.stderr)
+        return 2
     if args.radius_a is not None or args.radius_b is not None:
         if args.engine == "vectorized" and args.timebase != "float":
             print(
@@ -81,6 +98,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             max_segments=args.max_segments,
             timebase=args.timebase,
             engine=args.engine,
+            kernel_backend=args.kernel_backend,
         )
         result = outcome.result
         if outcome.frozen_agent is not None:
@@ -104,6 +122,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             timebase=args.timebase,
             record_trajectories=args.render,
             engine=args.engine,
+            kernel_backend=args.kernel_backend,
         )
     print(result.summary())
     if args.render:
@@ -114,6 +133,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    backend_error = _check_kernel_backend(args.kernel_backend)
+    if backend_error is not None:
+        print(f"error: {backend_error}", file=sys.stderr)
+        return 2
+    if args.kernel_backend is not None:
+        # The experiment drivers build their own batch tasks; the environment
+        # variable is the documented process-wide opt-in they all honour.
+        import os
+
+        from repro.geometry.backends import ENV_VAR
+
+        os.environ[ENV_VAR] = args.kernel_backend
+
     from repro.experiments import (
         all_figures,
         run_asymmetric_radius_experiment,
@@ -189,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="event", choices=("event", "vectorized"),
         help="simulation backend (vectorized requires --timebase float)",
     )
+    simulate_parser.add_argument(
+        "--kernel-backend", default=None, metavar="NAME",
+        help="element-wise kernel backend of the vectorized engine "
+             "(registry name, e.g. numpy or numexpr; default: "
+             "$REPRO_KERNEL_BACKEND, then numpy — an unavailable backend "
+             "silently degrades to numpy)",
+    )
     simulate_parser.add_argument("--radius-a", type=float, default=None,
                                  help="agent A's visibility radius (Section 5 extension)")
     simulate_parser.add_argument("--radius-b", type=float, default=None,
@@ -212,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "--engine", default="auto", choices=("auto", "event", "vectorized"),
         help="backend for the Monte-Carlo campaigns (thm31/thm32/section5)",
+    )
+    experiment_parser.add_argument(
+        "--kernel-backend", default=None, metavar="NAME",
+        help="element-wise kernel backend for the vectorized campaigns "
+             "(sets REPRO_KERNEL_BACKEND for the run; unavailable backends "
+             "silently degrade to numpy)",
     )
     experiment_parser.add_argument("--results-dir", default=None)
     experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")

@@ -1,0 +1,360 @@
+"""Pluggable element-wise backends for the fused window kernel.
+
+The fused window kernel (:func:`repro.geometry.closest_approach.fused_window_batch`
+and its dual-radius variant) is pure element-wise array math over ~10 float64
+columns — exactly the shape of computation that accelerator libraries
+(numexpr, CuPy, numba) evaluate faster than numpy's one-temporary-per-operator
+model.  This module makes the kernel implementation a *plugin*: backends
+register under a name, the public kernel entry points dispatch to the selected
+backend per call, and the batch engines hand the selection through untouched —
+chunk-granular, because the engines already cap kernel calls at
+``KERNEL_CHUNK_WINDOWS`` windows (the natural transfer granularity for any
+device backend).
+
+Selection, in priority order:
+
+1. an explicit ``backend=`` argument (a name or a :class:`KernelBackend`
+   instance) on the kernel entry points / batch engines / CLI
+   ``--kernel-backend``;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. the ``"numpy"`` default.
+
+A *registered but unavailable* backend (numexpr not importable in this
+environment) degrades silently to numpy — campaigns keep running, just on the
+default implementation; an *unknown* name raises ``ValueError``.  The parity
+contract is part of the interface: every backend must reproduce the numpy
+backend's verdicts exactly and its hit/closest-approach offsets to 1e-9
+relative (pinned by ``tests/test_geometry_backends.py`` for every backend
+available in the environment).
+
+Writing a new backend is ~50 lines: subclass :class:`KernelBackend`, implement
+:meth:`~KernelBackend.solve` over the relative-coordinate columns, declare
+availability, and :func:`register_backend` it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from repro.util.logging import get_logger
+
+logger = get_logger("geometry.backends")
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackend",
+    "NumpyBackend",
+    "NumexprBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+]
+
+#: Environment variable naming the process-wide default backend.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+class KernelBackend:
+    """One implementation of the fused window kernel's array math.
+
+    Subclasses implement :meth:`solve` — the whole fused computation on
+    relative coordinates — and may override :meth:`is_available` when the
+    implementation depends on an optional library.  Inputs are validated by
+    the public entry points in :mod:`repro.geometry.closest_approach`; ``solve``
+    may assume non-negative radii and durations and same-length columns.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def solve(
+        self,
+        rel_x: np.ndarray,
+        rel_y: np.ndarray,
+        rvel_x: np.ndarray,
+        rvel_y: np.ndarray,
+        radius: np.ndarray,
+        second_radius: Optional[np.ndarray],
+        durations: np.ndarray,
+        track_closest: bool,
+    ) -> Tuple[
+        np.ndarray, Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]
+    ]:
+        """Solve all window quadratics; returns ``(hit, second_hit, min_distance, t_star)``.
+
+        ``hit`` holds first-hit offsets at ``radius`` with ``NaN`` where the
+        window never reaches it; ``second_hit`` answers the same for
+        ``second_radius`` (``None`` when no second column was given);
+        ``min_distance``/``t_star`` are the per-window closest approach
+        (``None`` when untracked).
+        """
+        raise NotImplementedError
+
+
+class NumpyBackend(KernelBackend):
+    """The reference implementation: plain numpy, one ufunc at a time.
+
+    The arithmetic mirrors the scalar kernels of
+    :mod:`repro.geometry.closest_approach` operation for operation, so batch
+    verdicts agree with the event engine bit-for-bit on identical window
+    inputs.  Every other backend is measured against this one.
+    """
+
+    name = "numpy"
+
+    @staticmethod
+    def _first_hit(speed_sq, dot_pv, rel_x, rel_y, radius, durations):
+        """First-hit offsets from precomputed dot products, one radius column.
+
+        In-place ufuncs reuse temporaries where the value is no longer needed;
+        every element still goes through exactly the scalar kernel's float
+        operations, so verdicts stay bit-identical to the event engine.
+        """
+        c = rel_x * rel_x
+        c += rel_y * rel_y
+        c -= radius * radius
+        inside = c <= 0.0
+        b = 2.0 * dot_pv
+        disc = b * b
+        disc -= 4.0 * speed_sq * c
+        approaching = ~inside
+        approaching &= speed_sq > 0.0
+        approaching &= b < 0.0
+        approaching &= disc >= 0.0
+        # Guard the sqrt/division on non-candidate windows; the formula matches
+        # the numerically stable smaller root of the scalar kernel.
+        safe_disc = np.where(approaching, disc, 0.0)
+        np.sqrt(safe_disc, out=safe_disc)
+        safe_disc -= b
+        denominator = np.where(approaching, safe_disc, 1.0)
+        t_hit = 2.0 * c
+        t_hit /= denominator
+        hit = np.where(
+            approaching & (t_hit <= durations), np.maximum(t_hit, 0.0), np.nan
+        )
+        return np.where(inside, 0.0, hit)
+
+    @staticmethod
+    def _closest(speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations):
+        """Closest-approach half of the fused kernel, from precomputed dots.
+
+        ``sqrt(x*x + y*y)`` stands in for ``hypot`` — a couple of ulps apart
+        at these (overflow-safe) magnitudes, far inside both the kernel
+        suite's 1e-12 and the engines' 1e-9 parity tolerances, and several
+        times faster than libm's hypot.
+        """
+        safe_speed_sq = np.where(speed_sq > 0.0, speed_sq, 1.0)
+        t_star = np.where(speed_sq > 0.0, -dot_pv / safe_speed_sq, 0.0)
+        t_star = np.clip(t_star, 0.0, durations)
+        at_x = t_star * rvel_x
+        at_x += rel_x
+        at_y = t_star * rvel_y
+        at_y += rel_y
+        at_x *= at_x
+        at_y *= at_y
+        at_x += at_y
+        min_distance = np.sqrt(at_x, out=at_x)
+        return min_distance, t_star
+
+    def solve(
+        self, rel_x, rel_y, rvel_x, rvel_y, radius, second_radius, durations,
+        track_closest,
+    ):
+        speed_sq = rvel_x * rvel_x + rvel_y * rvel_y
+        dot_pv = rel_x * rvel_x + rel_y * rvel_y
+        hit = self._first_hit(speed_sq, dot_pv, rel_x, rel_y, radius, durations)
+        second_hit = None
+        if second_radius is not None:
+            if second_radius is radius or np.array_equal(radius, second_radius):
+                # Equal columns (degenerate equal-radius sweeps, post-freeze
+                # rounds of the asymmetric engine) answer both questions with
+                # one root extraction; the equality check is a cheap pass.
+                second_hit = hit
+            else:
+                second_hit = self._first_hit(
+                    speed_sq, dot_pv, rel_x, rel_y, second_radius, durations
+                )
+        if not track_closest:
+            return hit, second_hit, None, None
+        min_distance, t_star = self._closest(
+            speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations
+        )
+        return hit, second_hit, min_distance, t_star
+
+
+class NumexprBackend(KernelBackend):
+    """Fused evaluation through numexpr's blocked, multi-threaded VM.
+
+    numexpr evaluates a whole expression tree per memory block, so the ~15
+    float64 temporaries of the numpy backend collapse into a handful of
+    cache-sized passes.  The expressions restate the numpy backend's formulas
+    exactly — same smaller-root extraction, same guards — and the parity suite
+    holds every registered backend to identical verdicts and 1e-9-relative
+    offsets.  Auto-detected: registered always, available only when
+    ``import numexpr`` succeeds, silently replaced by numpy otherwise.
+    """
+
+    name = "numexpr"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        try:  # pragma: no cover - depends on the environment
+            import numexpr  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    @staticmethod
+    def _first_hit(ne, speed_sq, dot_pv, c, durations):  # pragma: no cover - needs numexpr
+        local = {
+            "speed_sq": speed_sq,
+            "dot_pv": dot_pv,
+            "c": c,
+            "durations": durations,
+            "nan": math.nan,
+        }
+        t_hit = ne.evaluate(
+            "(2.0 * c) / where("
+            "  (c > 0.0) & (speed_sq > 0.0) & (dot_pv < 0.0)"
+            "  & (4.0 * dot_pv * dot_pv - 4.0 * speed_sq * c >= 0.0),"
+            "  -2.0 * dot_pv + sqrt(abs(4.0 * dot_pv * dot_pv - 4.0 * speed_sq * c)),"
+            "  1.0)",
+            local_dict=local,
+        )
+        local["t_hit"] = t_hit
+        return ne.evaluate(
+            "where(c <= 0.0, 0.0, where("
+            "  (c > 0.0) & (speed_sq > 0.0) & (dot_pv < 0.0)"
+            "  & (4.0 * dot_pv * dot_pv - 4.0 * speed_sq * c >= 0.0)"
+            "  & (t_hit <= durations),"
+            "  where(t_hit > 0.0, t_hit, 0.0), nan))",
+            local_dict=local,
+        )
+
+    def solve(
+        self, rel_x, rel_y, rvel_x, rvel_y, radius, second_radius, durations,
+        track_closest,
+    ):  # pragma: no cover - needs numexpr
+        import numexpr as ne
+
+        columns = {
+            "rel_x": rel_x, "rel_y": rel_y,
+            "rvel_x": rvel_x, "rvel_y": rvel_y,
+        }
+        speed_sq = ne.evaluate("rvel_x * rvel_x + rvel_y * rvel_y", local_dict=columns)
+        dot_pv = ne.evaluate("rel_x * rvel_x + rel_y * rvel_y", local_dict=columns)
+        c = ne.evaluate(
+            "rel_x * rel_x + rel_y * rel_y - radius * radius",
+            local_dict={**columns, "radius": radius},
+        )
+        hit = self._first_hit(ne, speed_sq, dot_pv, c, durations)
+        second_hit = None
+        if second_radius is not None:
+            if second_radius is radius or np.array_equal(radius, second_radius):
+                second_hit = hit
+            else:
+                c2 = ne.evaluate(
+                    "rel_x * rel_x + rel_y * rel_y - radius * radius",
+                    local_dict={**columns, "radius": second_radius},
+                )
+                second_hit = self._first_hit(ne, speed_sq, dot_pv, c2, durations)
+        if not track_closest:
+            return hit, second_hit, None, None
+        local = {
+            **columns,
+            "speed_sq": speed_sq,
+            "dot_pv": dot_pv,
+            "durations": durations,
+        }
+        t_star = ne.evaluate(
+            "where(where(speed_sq > 0.0, -dot_pv / where(speed_sq > 0.0, speed_sq, 1.0), 0.0)"
+            " < 0.0, 0.0, where("
+            "  where(speed_sq > 0.0, -dot_pv / where(speed_sq > 0.0, speed_sq, 1.0), 0.0)"
+            "  > durations, durations,"
+            "  where(speed_sq > 0.0, -dot_pv / where(speed_sq > 0.0, speed_sq, 1.0), 0.0)))",
+            local_dict=local,
+        )
+        local["t_star"] = t_star
+        min_distance = ne.evaluate(
+            "sqrt((rel_x + t_star * rvel_x) ** 2 + (rel_y + t_star * rvel_y) ** 2)",
+            local_dict=local,
+        )
+        return hit, second_hit, min_distance, t_star
+
+
+_REGISTRY: Dict[str, Type[KernelBackend]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+_FALLBACK_WARNED: set = set()
+
+
+def register_backend(backend: Type[KernelBackend]) -> Type[KernelBackend]:
+    """Register a :class:`KernelBackend` subclass under its ``name``.
+
+    Usable as a decorator.  Registration is unconditional — availability is
+    probed at selection time, so a backend whose library appears later in the
+    process lifetime (or test monkeypatching) needs no re-registration.
+    """
+    if not backend.name:
+        raise ValueError("kernel backends must declare a non-empty name")
+    _REGISTRY[backend.name] = backend
+    _INSTANCES.pop(backend.name, None)
+    return backend
+
+
+register_backend(NumpyBackend)
+register_backend(NumexprBackend)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, available or not."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered backends that can run in this environment."""
+    return tuple(name for name, cls in _REGISTRY.items() if cls.is_available())
+
+
+def get_backend(
+    backend: Union[str, KernelBackend, None] = None,
+) -> KernelBackend:
+    """Resolve a backend selection to a live :class:`KernelBackend` instance.
+
+    ``None`` consults ``REPRO_KERNEL_BACKEND`` and falls back to ``"numpy"``;
+    a :class:`KernelBackend` instance passes through untouched (which is how
+    the batch engines resolve once per round and stay chunk-granular without
+    re-resolving per kernel call).  An unknown name raises ``ValueError``; a
+    known-but-unavailable name degrades silently to numpy (logged once), so a
+    campaign configured for numexpr still runs on a machine without it.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    name = backend if backend is not None else os.environ.get(ENV_VAR) or "numpy"
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered: "
+            + ", ".join(sorted(_REGISTRY))
+        )
+    if not cls.is_available():
+        if name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(name)
+            logger.debug(
+                "kernel backend %r is not available in this environment; "
+                "falling back to numpy", name,
+            )
+        cls = _REGISTRY["numpy"]
+    instance = _INSTANCES.get(cls.name)
+    if instance is None:
+        instance = _INSTANCES[cls.name] = cls()
+    return instance

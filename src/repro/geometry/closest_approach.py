@@ -18,10 +18,14 @@ Two flavours of the kernel exist:
 * the scalar functions used by the event engine, including the fused
   :func:`first_hit_and_closest_approach` which answers both questions of one
   window (first hit? closest approach?) from a single set of dot products;
-* the numpy batch kernels (:func:`first_time_within_batch`,
+* the batch kernels (:func:`first_time_within_batch`,
   :func:`closest_approach_batch`, :func:`fused_window_batch`) used by the
   vectorized batch engine, which solve the quadratics of *all* windows of a
   simulation — or of many stacked simulations — in single array operations.
+  Their element-wise implementation is pluggable: the entry points validate
+  inputs and dispatch to a backend from :mod:`repro.geometry.backends`
+  (numpy reference by default; numexpr auto-detected; selection via the
+  ``backend=`` argument or ``REPRO_KERNEL_BACKEND``).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.geometry.backends import get_backend
 from repro.geometry.vec import Vec2, dot, norm, sub
 
 
@@ -218,36 +223,6 @@ def first_hit_and_closest_approach(
 # -- numpy batch kernels -----------------------------------------------------------
 
 
-def _batch_first_hit(
-    speed_sq: np.ndarray,
-    dot_pv: np.ndarray,
-    rel_x: np.ndarray,
-    rel_y: np.ndarray,
-    radius: np.ndarray,
-    durations: np.ndarray,
-) -> np.ndarray:
-    """First-hit offsets from precomputed dot products, one radius column.
-
-    The arithmetic mirrors the scalar :func:`first_time_within` expression
-    operation for operation, so batch verdicts agree with the event engine
-    bit-for-bit on identical window inputs.
-    """
-    c = rel_x * rel_x + rel_y * rel_y - radius * radius
-    inside = c <= 0.0
-    b = 2.0 * dot_pv
-    disc = b * b - 4.0 * speed_sq * c
-    approaching = (~inside) & (speed_sq > 0.0) & (b < 0.0) & (disc >= 0.0)
-    # Guard the sqrt/division on non-candidate windows; the formula matches the
-    # numerically stable smaller root of the scalar kernel.
-    safe_disc = np.where(approaching, disc, 0.0)
-    denominator = np.where(approaching, -b + np.sqrt(safe_disc), 1.0)
-    t_hit = (2.0 * c) / denominator
-    hit = np.where(
-        approaching & (t_hit <= durations), np.maximum(t_hit, 0.0), np.nan
-    )
-    return np.where(inside, 0.0, hit)
-
-
 def _relative_arrays(pos_a, vel_a, pos_b, vel_b):
     """Split ``(n, 2)`` position/velocity arrays into relative components."""
     pos_a = np.asarray(pos_a, dtype=float)
@@ -268,6 +243,7 @@ def fused_window_batch(
     durations: np.ndarray,
     *,
     track_closest: bool = True,
+    backend=None,
 ):
     """Solve the quadratics of many windows at once, on relative coordinates.
 
@@ -279,15 +255,22 @@ def fused_window_batch(
     *offsets from the window start*, which stay small even when absolute
     simulation times are astronomically large).
 
+    ``backend`` selects the element-wise implementation: a name or
+    :class:`~repro.geometry.backends.KernelBackend` instance from the backend
+    registry; ``None`` honours ``REPRO_KERNEL_BACKEND`` and defaults to the
+    numpy reference backend (see :mod:`repro.geometry.backends`).
+
     Returns ``(hit, min_distance, time_offset)``: ``hit`` holds the first
     offset at which the distance is ``<= radius`` and ``NaN`` where the window
     never comes within the radius (the vectorized analogue of ``None``);
     ``min_distance``/``time_offset`` mirror :class:`ClosestApproach` per
-    window, or are ``None`` when ``track_closest`` is false.  The arithmetic
-    matches the scalar kernels operation for operation, so verdicts agree
-    with the event engine exactly on identical window inputs — the batch
-    engines' 1e-9 parity tolerance absorbs only the accumulation differences
-    upstream of the kernel.
+    window, or are ``None`` when ``track_closest`` is false.  The numpy
+    backend's arithmetic matches the scalar kernels operation for operation,
+    so verdicts agree with the event engine exactly on identical window
+    inputs — the batch engines' 1e-9 parity tolerance absorbs only the
+    accumulation differences upstream of the kernel; alternate backends are
+    held to identical verdicts and 1e-9-relative offsets by the backend
+    parity suite.
     """
     rel_x = np.asarray(rel_x, dtype=float)
     rel_y = np.asarray(rel_y, dtype=float)
@@ -302,28 +285,10 @@ def fused_window_batch(
     if np.any(durations < 0.0):
         raise ValueError("durations must be non-negative")
 
-    speed_sq = rvel_x * rvel_x + rvel_y * rvel_y
-    dot_pv = rel_x * rvel_x + rel_y * rvel_y
-    hit = _batch_first_hit(speed_sq, dot_pv, rel_x, rel_y, radius, durations)
-
-    if not track_closest:
-        return hit, None, None
-
-    min_distance, t_star = _batch_closest(
-        speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations
+    hit, _, min_distance, t_star = get_backend(backend).solve(
+        rel_x, rel_y, rvel_x, rvel_y, radius, None, durations, track_closest
     )
     return hit, min_distance, t_star
-
-
-def _batch_closest(speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations):
-    """Closest-approach half of the fused kernel, from precomputed dots."""
-    safe_speed_sq = np.where(speed_sq > 0.0, speed_sq, 1.0)
-    t_star = np.where(speed_sq > 0.0, -dot_pv / safe_speed_sq, 0.0)
-    t_star = np.clip(t_star, 0.0, durations)
-    at_x = rel_x + t_star * rvel_x
-    at_y = rel_y + t_star * rvel_y
-    min_distance = np.hypot(at_x, at_y)
-    return min_distance, t_star
 
 
 def fused_window_batch_dual(
@@ -336,6 +301,7 @@ def fused_window_batch_dual(
     durations: np.ndarray,
     *,
     track_closest: bool = True,
+    backend=None,
 ):
     """Solve every window against *two* per-window radius columns in one pass.
 
@@ -343,17 +309,19 @@ def fused_window_batch_dual(
     offset at which the distance reaches the smaller (meeting) radius and the
     first offset at which it reaches the larger (freeze) radius.  Both
     quadratics share every dot product — only the constant term differs — so
-    this kernel computes the shared terms once and runs the root extraction
+    the backends compute the shared terms once and run the root extraction
     twice, with the same operation-for-operation arithmetic as the scalar
     kernel (verdict parity with the event engine is exact on identical window
     inputs; the engines' 1e-9 tolerance only absorbs upstream accumulation).
 
     ``radius`` and ``second_radius`` are scalars or per-window arrays in
     absolute length units; there is no ordering requirement between them.
-    Returns ``(hit, second_hit, min_distance, time_offset)`` where ``hit``
-    and ``second_hit`` are the first-hit offsets (``NaN`` where the window
-    never reaches that radius) and the trailing pair mirrors
-    :func:`fused_window_batch` (``None`` when ``track_closest`` is false).
+    ``backend`` selects the registry implementation exactly as in
+    :func:`fused_window_batch`.  Returns ``(hit, second_hit, min_distance,
+    time_offset)`` where ``hit`` and ``second_hit`` are the first-hit offsets
+    (``NaN`` where the window never reaches that radius) and the trailing
+    pair mirrors :func:`fused_window_batch` (``None`` when ``track_closest``
+    is false).
     """
     rel_x = np.asarray(rel_x, dtype=float)
     rel_y = np.asarray(rel_y, dtype=float)
@@ -367,26 +335,10 @@ def fused_window_batch_dual(
     if np.any(durations < 0.0):
         raise ValueError("durations must be non-negative")
 
-    speed_sq = rvel_x * rvel_x + rvel_y * rvel_y
-    dot_pv = rel_x * rvel_x + rel_y * rvel_y
-    hit = _batch_first_hit(speed_sq, dot_pv, rel_x, rel_y, radius, durations)
-    if second_radius is radius or np.array_equal(radius, second_radius):
-        # Equal columns (degenerate equal-radius sweeps, post-freeze rounds
-        # of the asymmetric engine) answer both questions with one root
-        # extraction; the equality check is a single cheap pass.
-        second_hit = hit
-    else:
-        second_hit = _batch_first_hit(
-            speed_sq, dot_pv, rel_x, rel_y, second_radius, durations
-        )
-
-    if not track_closest:
-        return hit, second_hit, None, None
-
-    min_distance, t_star = _batch_closest(
-        speed_sq, dot_pv, rel_x, rel_y, rvel_x, rvel_y, durations
+    return get_backend(backend).solve(
+        rel_x, rel_y, rvel_x, rvel_y, radius, second_radius, durations,
+        track_closest,
     )
-    return hit, second_hit, min_distance, t_star
 
 
 def first_time_within_batch(

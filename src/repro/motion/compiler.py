@@ -329,8 +329,8 @@ class LocalProgramBuilder:
             self.ensure_time(local_time, max_steps=max_steps)
             count = (
                 int(
-                    np.searchsorted(
-                        self._cumulative[: self._size], local_time, side="left"
+                    self._cumulative[: self._size].searchsorted(
+                        local_time, side="left"
                     )
                 )
                 + 1
@@ -460,34 +460,42 @@ def compile_table(spec: AgentSpec, table: LocalProgramTable) -> TrajectoryTable:
     vel_x = np.where(positive, disp_x / safe_durations, 0.0)
     vel_y = np.where(positive, disp_y / safe_durations, 0.0)
 
+    # Rows are written into preallocated output columns (program rows framed
+    # by the optional pre-wake sleep row and trailing infinite row) instead
+    # of concatenating per-section arrays; the arithmetic is unchanged, so
+    # rows stay bit-identical to the lazy compiler's accumulation.
     n = len(table)
+    pre = 1 if wake > 0.0 else 0
+    post = 1 if table.complete else 0
+    total = pre + n + post
+    out_time = np.empty(total)
+    out_duration = np.empty(total)
+    out_x = np.empty(total)
+    out_y = np.empty(total)
+    out_vx = np.empty(total)
+    out_vy = np.empty(total)
+
+    if pre:
+        out_time[0] = 0.0
+        out_duration[0] = wake
+        out_x[0] = start_x0
+        out_y[0] = start_y0
+        out_vx[0] = 0.0
+        out_vy[0] = 0.0
+
     if n:
-        start_times = wake + np.concatenate(([0.0], np.cumsum(durations)[:-1]))
-        start_x = start_x0 + np.concatenate(([0.0], np.cumsum(disp_x)[:-1]))
-        start_y = start_y0 + np.concatenate(([0.0], np.cumsum(disp_y)[:-1]))
-    else:
-        start_times = np.empty(0, dtype=float)
-        start_x = np.empty(0, dtype=float)
-        start_y = np.empty(0, dtype=float)
+        body = slice(pre, pre + n)
+        out_time[pre] = wake
+        np.add(wake, np.cumsum(durations)[:-1], out=out_time[pre + 1 : pre + n])
+        out_duration[body] = durations
+        out_x[pre] = start_x0
+        np.add(start_x0, np.cumsum(disp_x)[:-1], out=out_x[pre + 1 : pre + n])
+        out_y[pre] = start_y0
+        np.add(start_y0, np.cumsum(disp_y)[:-1], out=out_y[pre + 1 : pre + n])
+        out_vx[body] = vel_x
+        out_vy[body] = vel_y
 
-    rows_time = [start_times]
-    rows_duration = [durations]
-    rows_x = [start_x]
-    rows_y = [start_y]
-    rows_vx = [vel_x]
-    rows_vy = [vel_y]
-    segments = n
-
-    if wake > 0.0:
-        rows_time.insert(0, np.array([0.0]))
-        rows_duration.insert(0, np.array([wake]))
-        rows_x.insert(0, np.array([start_x0]))
-        rows_y.insert(0, np.array([start_y0]))
-        rows_vx.insert(0, np.array([0.0]))
-        rows_vy.insert(0, np.array([0.0]))
-        segments += 1
-
-    if table.complete:
+    if post:
         if n:
             final_time = wake + float(table.cumulative[-1] * units.clock_rate)
             # Recompute the end position the same way the lazy compiler does
@@ -497,23 +505,183 @@ def compile_table(spec: AgentSpec, table: LocalProgramTable) -> TrajectoryTable:
         else:
             final_time = wake
             final_x, final_y = start_x0, start_y0
-        rows_time.append(np.array([final_time]))
-        rows_duration.append(np.array([math.inf]))
-        rows_x.append(np.array([final_x]))
-        rows_y.append(np.array([final_y]))
-        rows_vx.append(np.array([0.0]))
-        rows_vy.append(np.array([0.0]))
+        out_time[-1] = final_time
+        out_duration[-1] = math.inf
+        out_x[-1] = final_x
+        out_y[-1] = final_y
+        out_vx[-1] = 0.0
+        out_vy[-1] = 0.0
 
     return TrajectoryTable(
-        start_time=np.concatenate(rows_time),
-        duration=np.concatenate(rows_duration),
-        start_x=np.concatenate(rows_x),
-        start_y=np.concatenate(rows_y),
-        vel_x=np.concatenate(rows_vx),
-        vel_y=np.concatenate(rows_vy),
+        start_time=out_time,
+        duration=out_duration,
+        start_x=out_x,
+        start_y=out_y,
+        vel_x=out_vx,
+        vel_y=out_vy,
         exhausted=table.complete,
-        segments=segments,
+        segments=n + pre,
     )
+
+
+class IncrementalTableCompiler:
+    """Compiles growing prefixes of one agent's local program, incrementally.
+
+    The adaptive-horizon batch engines re-request the same agent's trajectory
+    with ever longer prefixes (one per round).  A fresh :func:`compile_table`
+    call scales, rotates and accumulates the *whole* prefix each time; this
+    compiler does each row exactly once, extending shared output buffers as
+    the prefix grows.  Bit-parity with from-scratch compilation holds because
+    ``cumsum`` is a sequential left fold: seeding the extension's cumsum with
+    the carried fold value reproduces the exact same additions in the exact
+    same order (``c_j = c_{j-1} + d_j``), so every row of every snapshot is
+    bit-identical to :func:`compile_table`'s output.
+
+    Returned tables are views into the shared buffers.  Extensions only write
+    rows beyond any previously returned view (buffer growth reallocates but
+    leaves old arrays untouched), and the trailing infinite row only exists
+    once the program is complete — at which point the prefix can no longer
+    grow — so earlier tables stay valid for as long as the engines hold them.
+    Tables are memoized per ``(rows, complete)``, which also preserves the
+    identity-sharing that the flat window construction dedupes by.
+    """
+
+    __slots__ = (
+        "_m00", "_m01", "_m10", "_m11", "_unit", "_rate", "_wake",
+        "_x0", "_y0", "_pre", "_count",
+        "_carry_t", "_carry_x", "_carry_y",
+        "_time", "_dur", "_x", "_y", "_vx", "_vy",
+        "_tables",
+    )
+
+    def __init__(self, spec: AgentSpec) -> None:
+        units = spec.units
+        self._m00, self._m01, self._m10, self._m11 = frame_matrix(
+            spec.frame.phi, spec.frame.chi
+        )
+        self._unit = units.length_unit
+        self._rate = units.clock_rate
+        self._wake = units.wake_time
+        self._x0, self._y0 = spec.start
+        self._pre = 1 if self._wake > 0.0 else 0
+        self._count = 0
+        # Left-fold carries after the last compiled row: scaled duration sum
+        # and displacement sums (the values cumsum would have reached).
+        self._carry_t = 0.0
+        self._carry_x = 0.0
+        self._carry_y = 0.0
+        size = self._pre + 1  # room for the pre-wake row and a tail slot
+        self._time = np.empty(size)
+        self._dur = np.empty(size)
+        self._x = np.empty(size)
+        self._y = np.empty(size)
+        self._vx = np.empty(size)
+        self._vy = np.empty(size)
+        if self._pre:
+            self._time[0] = 0.0
+            self._dur[0] = self._wake
+            self._x[0] = self._x0
+            self._y[0] = self._y0
+            self._vx[0] = 0.0
+            self._vy[0] = 0.0
+        self._tables: dict = {}
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = self._time.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(1024, 2 * capacity, needed)
+        for name in ("_time", "_dur", "_x", "_y", "_vx", "_vy"):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity)
+            grown[: self._pre + self._count] = old[: self._pre + self._count]
+            setattr(self, name, grown)
+
+    def _extend(self, local: LocalProgramTable, n: int) -> None:
+        count = self._count
+        self._ensure_capacity(self._pre + n + 1)
+        dx = local.dx[count:n]
+        dy = local.dy[count:n]
+        durations = local.duration[count:n] * self._rate
+        disp_x = (self._m00 * dx + self._m01 * dy) * self._unit
+        disp_y = (self._m10 * dx + self._m11 * dy) * self._unit
+        base = self._pre + count
+        grown = n - count
+        body = slice(base, base + grown)
+        self._dur[body] = durations
+        # Same wait/underflow handling as compile_table, on the new rows only
+        # (with the common all-positive case skipping the guard arrays).
+        positive = durations > 0.0
+        if positive.all():
+            np.divide(disp_x, durations, out=self._vx[body])
+            np.divide(disp_y, durations, out=self._vy[body])
+        else:
+            safe_durations = np.where(positive, durations, 1.0)
+            self._vx[body] = np.where(positive, disp_x / safe_durations, 0.0)
+            self._vy[body] = np.where(positive, disp_y / safe_durations, 0.0)
+        # One column-wise cumsum continues all three left folds at once; the
+        # leading carry row makes the additions (c_j = c_{j-1} + d_j) land in
+        # exactly the from-scratch order.
+        extension = np.empty((grown + 1, 3))
+        extension[0, 0] = self._carry_t
+        extension[0, 1] = self._carry_x
+        extension[0, 2] = self._carry_y
+        extension[1:, 0] = durations
+        extension[1:, 1] = disp_x
+        extension[1:, 2] = disp_y
+        cums = np.cumsum(extension, axis=0)
+        np.add(self._wake, cums[:-1, 0], out=self._time[body])
+        np.add(self._x0, cums[:-1, 1], out=self._x[body])
+        np.add(self._y0, cums[:-1, 2], out=self._y[body])
+        self._carry_t = float(cums[-1, 0])
+        self._carry_x = float(cums[-1, 1])
+        self._carry_y = float(cums[-1, 2])
+        self._count = n
+
+    def table(self, local: LocalProgramTable) -> TrajectoryTable:
+        """The compiled table of ``local`` (a prefix no shorter than any before)."""
+        n = len(local)
+        key = (n, local.complete)
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+        if n > self._count:
+            self._extend(local, n)
+        total = self._pre + n
+        if local.complete:
+            # One-time tail: the program is complete, so the prefix is final.
+            # The end position is recomputed exactly like compile_table
+            # (pairwise np.sum over the full displacement columns).
+            if n:
+                final_time = self._wake + float(
+                    local.cumulative[-1] * self._rate
+                )
+                disp_x = (self._m00 * local.dx + self._m01 * local.dy) * self._unit
+                disp_y = (self._m10 * local.dx + self._m11 * local.dy) * self._unit
+                final_x = self._x0 + float(np.sum(disp_x))
+                final_y = self._y0 + float(np.sum(disp_y))
+            else:
+                final_time = self._wake
+                final_x, final_y = self._x0, self._y0
+            self._time[total] = final_time
+            self._dur[total] = math.inf
+            self._x[total] = final_x
+            self._y[total] = final_y
+            self._vx[total] = 0.0
+            self._vy[total] = 0.0
+            total += 1
+        table = TrajectoryTable(
+            start_time=self._time[:total],
+            duration=self._dur[:total],
+            start_x=self._x[:total],
+            start_y=self._y[:total],
+            vel_x=self._vx[:total],
+            vel_y=self._vy[:total],
+            exhausted=local.complete,
+            segments=n + self._pre,
+        )
+        self._tables[key] = table
+        return table
 
 
 def constant_table(position: Vec2) -> TrajectoryTable:

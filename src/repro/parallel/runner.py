@@ -28,6 +28,7 @@ Design notes, following the hpc-parallel guides:
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -88,8 +89,14 @@ _VECTORIZABLE_OPTIONS = frozenset(
         "timebase",
         "radius_a",
         "radius_b",
+        "kernel_backend",
     }
 )
+
+#: Options that become per-instance *columns* of one stacked asymmetric batch
+#: call rather than part of the grouping key: a whole radius-ratio sweep with
+#: distinct per-task radii is one ``simulate_batch_asymmetric`` call.
+_COLUMN_OPTIONS = frozenset({"radius_a", "radius_b"})
 
 
 def _vectorizable(task: BatchTask) -> bool:
@@ -100,24 +107,43 @@ def _vectorizable(task: BatchTask) -> bool:
     return options.get("timebase", "float") == "float"
 
 
-def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
-    """Run one (algorithm, options)-homogeneous group through a batch engine.
+def _is_asymmetric(task: BatchTask) -> bool:
+    options = task.simulator_options
+    return "radius_a" in options or "radius_b" in options
 
-    Symmetric groups go to :func:`repro.sim.batch.simulate_batch`; groups
-    carrying per-agent radii to
-    :func:`repro.sim.batch_asymmetric.simulate_batch_asymmetric` (records are
-    the embedded :class:`SimulationResult`, so both paths produce the same
-    schema as the event-engine fallback).
+
+def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]]:
+    """Run one compatible group through a batch engine, inline.
+
+    Symmetric groups go to :func:`repro.sim.batch.simulate_batch`.  Groups
+    carrying per-agent radii go to
+    :func:`repro.sim.batch_asymmetric.simulate_batch_asymmetric` with the
+    tasks' radii stacked into per-instance columns — tasks of one group may
+    carry *different* radii (the engine takes per-instance arrays), with an
+    unset radius defaulting to that task's instance ``r``.  Records are the
+    embedded :class:`SimulationResult`, so every path produces the same
+    schema as the event-engine fallback.
     """
     options = {
         key: value
         for key, value in tasks[0].simulator_options.items()
-        if key != "timebase"
+        if key != "timebase" and key not in _COLUMN_OPTIONS
     }
+    options["backend"] = options.pop("kernel_backend", None)
     instances = [Instance.from_dict(task.instance) for task in tasks]
     algorithm = get_algorithm(tasks[0].algorithm)
-    if "radius_a" in options or "radius_b" in options:
-        outcomes = simulate_batch_asymmetric(instances, algorithm, **options)
+    if any(_is_asymmetric(task) for task in tasks):
+        radii_a = [
+            task.simulator_options.get("radius_a", instance.r)
+            for task, instance in zip(tasks, instances)
+        ]
+        radii_b = [
+            task.simulator_options.get("radius_b", instance.r)
+            for task, instance in zip(tasks, instances)
+        ]
+        outcomes = simulate_batch_asymmetric(
+            instances, algorithm, radius_a=radii_a, radius_b=radii_b, **options
+        )
         results = [outcome.result for outcome in outcomes]
     else:
         results = simulate_batch(instances, algorithm, **options)
@@ -155,12 +181,23 @@ class BatchRunner:
     chunksize:
         Tasks handed to a worker at a time (``None`` lets the runner pick
         roughly ``len(tasks) / (4 * processes)``).
+
+    The fallback's worker pool is a persistent
+    :class:`concurrent.futures.ProcessPoolExecutor`, created lazily on the
+    first pooled run and reused across ``run()`` calls, so repeated campaigns
+    pay the spawn cost once.  Call :meth:`close` (or use the runner as a
+    context manager) to release it; a closed runner stays usable and simply
+    respawns on demand.
     """
 
     engine: str = "auto"
     processes: Optional[int] = None
     min_parallel: int = 8
     chunksize: Optional[int] = None
+    _executor: Optional[ProcessPoolExecutor] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _executor_workers: int = field(default=0, init=False, repr=False, compare=False)
 
     def resolved_processes(self) -> int:
         if self.processes is not None:
@@ -186,12 +223,22 @@ class BatchRunner:
             )
 
         records: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
-        # Group vectorizable tasks by (algorithm, options): each group is one
-        # inline simulate_batch call, deterministic and worker-free.
+        # Group vectorizable tasks: each group is one inline batch-engine
+        # call, deterministic and worker-free.  Per-agent radii are *column*
+        # options — they stack into per-instance arrays instead of splitting
+        # the group — so the key is (algorithm, asymmetric?, remaining
+        # options): a whole radius-ratio sweep lands in one call.
         groups: Dict[Tuple, List[int]] = {}
         for i in vector_indices:
             task = tasks[i]
-            key = (task.algorithm, tuple(sorted(task.simulator_options.items())))
+            key_options = tuple(
+                sorted(
+                    item
+                    for item in task.simulator_options.items()
+                    if item[0] not in _COLUMN_OPTIONS
+                )
+            )
+            key = (task.algorithm, _is_asymmetric(task), key_options)
             groups.setdefault(key, []).append(i)
         for indices in groups.values():
             group_records = _execute_vectorized_group([tasks[i] for i in indices])
@@ -213,9 +260,43 @@ class BatchRunner:
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, len(tasks) // (4 * workers))
-        context = get_context("spawn")
-        with context.Pool(processes=workers) as pool:
-            return list(pool.map(_execute_task, list(tasks), chunksize=chunksize))
+        executor = self._ensure_executor(workers)
+        return list(executor.map(_execute_task, list(tasks), chunksize=chunksize))
+
+    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        """The lazily created, reusable worker pool of the event fallback.
+
+        Spawn cost is paid once per runner (not once per ``run()`` call) and
+        amortized across repeated campaigns; workers are spawned — not forked
+        — for determinism and platform parity.  A changed ``processes``
+        setting rebuilds the pool on the next use.
+        """
+        if self._executor is not None and self._executor_workers != workers:
+            self.close()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=get_context("spawn")
+            )
+            self._executor_workers = workers
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool, if one was ever created.
+
+        Idempotent; the runner remains usable afterwards (a new pool is
+        spawned on the next pooled run).  Prefer using the runner as a
+        context manager for scoped lifetimes.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
 
 def run_batch(
@@ -232,4 +313,7 @@ def run_batch(
         BatchTask.make(instance, algorithm, tag=tag, **simulator_options)
         for instance in instances
     ]
-    return BatchRunner(engine=engine, processes=processes).run(tasks)
+    # Scope the runner so any worker pool the fallback spawned is shut down
+    # deterministically instead of lingering until garbage collection.
+    with BatchRunner(engine=engine, processes=processes) as runner:
+        return runner.run(tasks)

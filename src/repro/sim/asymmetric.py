@@ -97,6 +97,7 @@ def simulate_asymmetric(
     radius_slack: float = 0.0,
     track_min_distance: bool = True,
     engine: str = "event",
+    kernel_backend: Optional[str] = None,
 ) -> AsymmetricOutcome:
     """Simulate ``algorithm`` on ``instance`` with per-agent visibility radii.
 
@@ -113,7 +114,9 @@ def simulate_asymmetric(
     ``engine="vectorized"`` delegates to the columnar batch engine
     (float timebase only), whose outcomes — ``met``, meeting time at 1e-9
     relative, termination reason, closest approach, freeze event — match
-    this engine per the asymmetric parity suite.
+    this engine per the asymmetric parity suite.  ``kernel_backend``
+    selects the vectorized engine's element-wise kernel implementation (see
+    :mod:`repro.geometry.backends`); the event loop ignores it.
     """
     if engine not in ("event", "vectorized"):
         raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
@@ -142,6 +145,7 @@ def simulate_asymmetric(
             max_segments=max_segments,
             radius_slack=radius_slack,
             track_min_distance=track_min_distance,
+            backend=kernel_backend,
         )[0]
 
     small = min(r_a, r_b) + radius_slack

@@ -6,10 +6,11 @@ and two quadratic-kernel calls per window.  This module is the columnar
 counterpart for Monte-Carlo campaigns: it bulk-compiles both agents'
 trajectories into :class:`~repro.motion.compiler.TrajectoryTable` arrays,
 stacks the merged event windows of *every instance of the batch* into flat
-arrays with one cross-instance ``lexsort`` pass
+arrays with one cross-instance pass
 (:func:`repro.sim.rounds.build_windows`), and solves all window quadratics
 with chunked calls of the fused batch kernel
-(:func:`repro.geometry.closest_approach.fused_window_batch`).
+(:func:`repro.geometry.closest_approach.fused_window_batch`, dispatching to a
+pluggable element-wise backend — see :mod:`repro.geometry.backends`).
 
 The engine matches the event engine's early-exit economics through *adaptive
 horizons*: every instance is first simulated to a small horizon derived from
@@ -21,6 +22,17 @@ schedule never changes a result, it only bounds how much trajectory is
 compiled and how many windows are solved.  The round/horizon machinery lives
 in :mod:`repro.sim.rounds` and is shared with the asymmetric-radius engine
 (:mod:`repro.sim.batch_asymmetric`).
+
+Round resolution and result assembly are themselves flat: each round's
+entries are classified at once with numpy masks (met / horizon-grow /
+terminal), per-instance round state (requested horizon, scan resume point,
+window counts, partial closest approach) lives in the preallocated columns of
+:class:`~repro.sim.columns.ResultColumns`, meeting times/positions and
+closest-approach merges are masked column writes, and the
+:class:`SimulationResult` objects are materialized once per batch after the
+last round.  The only remaining per-instance Python runs exactly once per
+instance, at resolution (segment-cursor counts, the horizon-cut final-window
+rescan) — never per round per instance.
 
 Scope and guarantees:
 
@@ -49,13 +61,21 @@ from __future__ import annotations
 
 import math
 import time as _time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.instance import Instance
+from repro.geometry.backends import get_backend
+from repro.sim.columns import (
+    MAX_SEGMENTS as _CODE_MAX_SEGMENTS,
+    MAX_TIME as _CODE_MAX_TIME,
+    PROGRAMS_FINISHED as _CODE_PROGRAMS_FINISHED,
+    RENDEZVOUS as _CODE_RENDEZVOUS,
+    ResultColumns,
+)
 from repro.sim.engine import _algorithm_name
-from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.results import SimulationResult
 from repro.sim.rounds import (
     GROWTH_FACTOR,
     KERNEL_CHUNK_WINDOWS,
@@ -63,6 +83,7 @@ from repro.sim.rounds import (
     RoundEntry,
     build_windows,
     default_initial_horizon,
+    entry_state_arrays,
     full_final_window_min,
     solve_round,
     trim_builder_cache,
@@ -104,6 +125,7 @@ def simulate_batch(
     radius_slack: float = 0.0,
     track_min_distance: bool = True,
     initial_horizon: Optional[float] = None,
+    backend=None,
 ) -> List[SimulationResult]:
     """Simulate ``algorithm`` on every instance with the vectorized engine.
 
@@ -133,6 +155,12 @@ def simulate_batch(
     initial_horizon:
         Overrides the per-instance starting horizon of the adaptive round
         loop.  Results never depend on it — only performance does.
+    backend:
+        Kernel backend selection — a registry name (``"numpy"``,
+        ``"numexpr"``) or a resolved
+        :class:`~repro.geometry.backends.KernelBackend`.  ``None`` honours
+        ``REPRO_KERNEL_BACKEND`` and defaults to numpy.  Results never depend
+        on it (backends are parity-pinned) — only performance does.
 
     Returns one :class:`SimulationResult` per instance, in input order, with
     ``met``, the meeting time (1e-9 relative parity with the event engine),
@@ -148,6 +176,7 @@ def simulate_batch(
         raise ValueError("radius_slack must be non-negative")
     if initial_horizon is not None and initial_horizon <= 0.0:
         raise ValueError("initial_horizon must be positive")
+    kernel = get_backend(backend)
     if not instances:
         return []
 
@@ -155,159 +184,154 @@ def simulate_batch(
     source = ProgramSource(algorithm, max_segments)
     name = _algorithm_name(algorithm)
     specs = [instance.agents() for instance in instances]
+    radii = np.array([instance.r for instance in instances]) + radius_slack
 
-    results: List[Optional[SimulationResult]] = [None] * len(instances)
+    cols = ResultColumns(len(instances))
     if initial_horizon is None:
-        horizons = [
+        cols.horizon[:] = [
             default_initial_horizon(instance, max_time) for instance in instances
         ]
     else:
-        horizons = [min(initial_horizon, max_time)] * len(instances)
-    pending = list(range(len(instances)))
-    # Carried state per unresolved instance: where the next round resumes
-    # scanning (start of the previous round's final, horizon-truncated
-    # window), how many windows lie fully before that point, and the partial
-    # closest approach over everything scanned so far.
-    scan_from: Dict[int, float] = {}
-    windows_before: Dict[int, int] = {}
-    carried_min: Dict[int, Tuple[float, Optional[float]]] = {}
+        cols.horizon[:] = min(initial_horizon, max_time)
+    pending = np.arange(len(instances), dtype=np.int64)
     total_windows = 0
     round_number = 0
 
-    while pending:
+    while pending.size:
         round_number += 1
-        entries = []
-        for idx in pending:
-            spec_a, spec_b = specs[idx]
-            table_a = source.table_for(idx, instances[idx], spec_a, "A", horizons[idx])
-            table_b = source.table_for(idx, instances[idx], spec_b, "B", horizons[idx])
-            entries.append(
-                RoundEntry(
-                    idx,
-                    instances[idx],
-                    table_a,
-                    table_b,
-                    horizons[idx],
-                    scan_from.get(idx, 0.0),
-                    max_segments,
-                    max_time,
-                )
+        # Plain-float views of the pending rows: scalar numpy indexing inside
+        # the construction loop would pay boxing overhead per entry.
+        pending_list = pending.tolist()
+        horizon_list = cols.horizon[pending].tolist()
+        scan_list = cols.scan_from[pending].tolist()
+        entries = [
+            RoundEntry(
+                idx,
+                instances[idx],
+                source.table_for(idx, instances[idx], specs[idx][0], "A", horizon),
+                source.table_for(idx, instances[idx], specs[idx][1], "B", horizon),
+                horizon,
+                scan_from,
+                max_segments,
+                max_time,
             )
+            for idx, horizon, scan_from in zip(pending_list, horizon_list, scan_list)
+        ]
         windows = build_windows(entries)
-        radius = np.repeat(
-            np.array([entry.instance.r + radius_slack for entry in entries]),
-            windows.counts,
-        )
+        radius = np.repeat(radii[pending], windows.counts)
         solution = solve_round(
-            windows, radius, track_min_distance=track_min_distance
+            windows, radius, track_min_distance=track_min_distance, backend=kernel
         )
-        offsets = windows.offsets
         total_windows += len(windows)
 
-        still_pending: List[int] = []
-        for k, entry in enumerate(entries):
-            lo = int(offsets[k])
-            hi = int(offsets[k + 1])
-            hit_index = int(solution.first_hit[k])
-            met = hit_index < hi
-            prior_windows = windows_before.get(entry.index, 0)
-            prior_min, prior_min_time = carried_min.get(entry.index, (math.inf, None))
+        offsets = windows.offsets
+        lo = offsets[:-1]
+        hi = offsets[1:]
+        first_hit = solution.first_hit
+        met = first_hit < hi
 
-            round_min = math.inf
-            round_min_time = None
-            if track_min_distance and solution.group_min is not None:
-                if math.isfinite(float(solution.group_min[k])):
-                    round_min = float(solution.group_min[k])
-                    round_min_time = float(solution.min_time[k])
+        if track_min_distance:
+            # Earlier rounds take precedence on ties, mirroring the event
+            # engine's first-window-wins rule.  The matching is best-effort:
+            # on near-equal minima, ulp-level differences between the engines
+            # can pick a different (equally minimal) window.
+            cols.fold_round_min(pending, solution.group_min, solution.min_time)
 
-            if not met:
-                reason = entry.resolves_without_hit(max_time)
-                if reason is None:
-                    horizons[entry.index] = min(
-                        horizons[entry.index] * GROWTH_FACTOR, max_time
-                    )
-                    still_pending.append(entry.index)
-                    # The final window was cut at the horizon; the next round
-                    # re-scans it from its start, at full length.
-                    scan_from[entry.index] = float(windows.starts[hi - 1])
-                    windows_before[entry.index] = prior_windows + (hi - lo) - 1
-                    if track_min_distance and round_min < prior_min:
-                        carried_min[entry.index] = (round_min, round_min_time)
-                    continue
-                termination = reason
-                meeting_time = None
-                meeting_pos_a = None
-                meeting_pos_b = None
-                windows_processed = prior_windows + (hi - lo)
-                if termination is TerminationReason.MAX_SEGMENTS:
-                    simulated_time = entry.horizon
+        # Round classification: the mask form of RoundEntry.resolves_without_hit.
+        budget_limited, entry_horizon, finish = entry_state_arrays(entries)
+        finished_within = finish <= entry_horizon
+        unresolved = (
+            ~met
+            & ~budget_limited
+            & ~finished_within
+            & (entry_horizon < max_time)
+        )
+        terminal = ~met & ~unresolved
+
+        if np.any(unresolved):
+            grow = pending[unresolved]
+            cols.horizon[grow] = np.minimum(
+                cols.horizon[grow] * GROWTH_FACTOR, max_time
+            )
+            # The final window was cut at the horizon; the next round re-scans
+            # it from its start, at full length.
+            cols.scan_from[grow] = windows.starts[hi[unresolved] - 1]
+            cols.windows_before[grow] += (hi - lo)[unresolved] - 1
+
+        if np.any(terminal):
+            rows = pending[terminal]
+            code = np.full(rows.shape[0], _CODE_MAX_TIME, dtype=np.int8)
+            code[budget_limited[terminal]] = _CODE_MAX_SEGMENTS
+            code[
+                ~budget_limited[terminal]
+                & finished_within[terminal]
+                & (finish[terminal] < max_time)
+            ] = _CODE_PROGRAMS_FINISHED
+            cols.termination[rows] = code
+            cols.windows_processed[rows] = (
+                cols.windows_before[rows] + (hi - lo)[terminal]
+            )
+            # The event loop reports the capped horizon on a budget stop and
+            # the full time budget otherwise.
+            cols.simulated_time[rows] = np.where(
+                budget_limited[terminal], entry_horizon[terminal], max_time
+            )
+
+        if np.any(met):
+            rows = pending[met]
+            hit_index = first_hit[met]
+            offset = solution.hit_offset[met]
+            start = windows.starts[hit_index]
+            meeting_time = start + offset
+            pax, pay, vax, vay, pbx, pby, vbx, vby = (
+                column[hit_index] for column in windows.states
+            )
+            cols.met[rows] = True
+            cols.termination[rows] = _CODE_RENDEZVOUS
+            cols.meeting_time[rows] = meeting_time
+            cols.meet_ax[rows] = pax + vax * offset
+            cols.meet_ay[rows] = pay + vay * offset
+            cols.meet_bx[rows] = pbx + vbx * offset
+            cols.meet_by[rows] = pby + vby * offset
+            cols.simulated_time[rows] = meeting_time
+            cols.windows_processed[rows] = (
+                cols.windows_before[rows] + (hit_index - lo[met]) + 1
+            )
+
+        # Per-resolved-instance residue (runs once per instance per batch):
+        # segment-cursor counts up to the stopping point, and the event
+        # engine's full-length rescan of a meeting window that was cut at the
+        # adaptive horizon rather than at a segment boundary.
+        resolved_positions = np.nonzero(met | terminal)[0]
+        if resolved_positions.size:
+            met_list = met.tolist()
+            for k in resolved_positions.tolist():
+                entry = entries[k]
+                if met_list[k]:
+                    segments_until = float(windows.starts[first_hit[k]])
+                    if (
+                        track_min_distance
+                        and first_hit[k] == hi[k] - 1
+                        and not entry.budget_limited
+                    ):
+                        full_window = full_final_window_min(
+                            entry, windows, int(first_hit[k]), max_time
+                        )
+                        if full_window is not None:
+                            cols.improve_min(entry.index, *full_window)
                 else:
-                    simulated_time = max_time
-            else:
-                offset = float(solution.hit_offset[k])
-                start = float(windows.starts[hit_index])
-                meeting_time = start + offset
-                pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(hit_index)
-                meeting_pos_a = (pax + vax * offset, pay + vay * offset)
-                meeting_pos_b = (pbx + vbx * offset, pby + vby * offset)
-                termination = TerminationReason.RENDEZVOUS
-                simulated_time = meeting_time
-                windows_processed = prior_windows + (hit_index - lo) + 1
+                    segments_until = entry.horizon
+                segments_a, segments_b = entry.segments_in_play(segments_until)
+                cols.segments_a[entry.index] = segments_a
+                cols.segments_b[entry.index] = segments_b
 
-            min_distance = math.inf
-            min_distance_time = None
-            if track_min_distance:
-                # Earlier rounds take precedence on ties, mirroring the event
-                # engine's first-window-wins rule.  The matching is best-
-                # effort: on near-equal minima, ulp-level differences between
-                # the engines can pick a different (equally minimal) window.
-                min_distance, min_distance_time = prior_min, prior_min_time
-                if round_min < min_distance:
-                    min_distance, min_distance_time = round_min, round_min_time
-                if met and hit_index == hi - 1 and not entry.budget_limited:
-                    # The meeting fell into the round's final window, which is
-                    # cut at the adaptive horizon rather than at a segment
-                    # boundary; the event engine scans that window to its real
-                    # end (even past the hit), so recompute it full-length.
-                    full_window = full_final_window_min(
-                        entry, windows, hit_index, max_time
-                    )
-                    if full_window is not None and full_window[0] < min_distance:
-                        min_distance, min_distance_time = full_window
-                if min_distance_time is None:
-                    min_distance = math.inf
-
-            # The event cursors stop pulling at the meeting window; count
-            # segments up to there (or up to the horizon on a miss).
-            segments_until = (
-                float(windows.starts[hit_index]) if met else entry.horizon
-            )
-            segments_a, segments_b = entry.segments_in_play(segments_until)
-            results[entry.index] = SimulationResult(
-                instance=entry.instance,
-                algorithm_name=name,
-                met=met,
-                termination=termination,
-                meeting_time=meeting_time,
-                meeting_point_a=meeting_pos_a,
-                meeting_point_b=meeting_pos_b,
-                min_distance=min_distance,
-                min_distance_time=min_distance_time,
-                simulated_time=simulated_time,
-                segments_a=segments_a,
-                segments_b=segments_b,
-                windows_processed=windows_processed,
-                elapsed_wall_seconds=0.0,
-                timebase_name="float",
-                meeting_time_exact=meeting_time,
-            )
-        pending = still_pending
+        pending = pending[unresolved]
 
     trim_builder_cache()
     elapsed = _time.perf_counter() - wall_start
-    per_instance_elapsed = elapsed / max(len(instances), 1)
-    for result in results:
-        result.elapsed_wall_seconds = per_instance_elapsed
+    results = cols.build_results(
+        instances, name, elapsed_wall_seconds=elapsed / max(len(instances), 1)
+    )
 
     logger.debug(
         "simulate_batch: %d instances, %d windows over %d rounds, %.3fs",

@@ -15,8 +15,9 @@ round/horizon machinery (:mod:`repro.sim.rounds`) as the symmetric
 * merged event windows are stacked flat across instances, carrying *two*
   per-window radius columns — the smaller (meeting) radius and the larger
   (freeze) radius — into the dual fused kernel
-  (:func:`repro.geometry.closest_approach.fused_window_batch_dual`), which
-  shares every dot product between the two quadratics;
+  (:func:`repro.geometry.closest_approach.fused_window_batch_dual`, which
+  shares every dot product between the two quadratics and dispatches to the
+  pluggable element-wise backends of :mod:`repro.geometry.backends`);
 * each run is a two-phase state machine over adaptive-horizon rounds.  Before
   the freeze, the round's first hit at the larger radius (strictly before any
   hit at the smaller one — the event engine's rule) freezes the larger-radius
@@ -27,6 +28,15 @@ round/horizon machinery (:mod:`repro.sim.rounds`) as the symmetric
   feeding the combined ``max_segments`` budget (``RoundEntry``'s
   ``extra_segments``), so the event loop's stopping rule is reproduced across
   the phase change.
+
+Like the symmetric engine, round resolution is flat: meet/freeze/grow/
+terminal classification is a set of numpy masks over the round's entries,
+per-instance state (horizon, scan resume point, window counts, partial
+closest approach) lives in :class:`~repro.sim.columns.ResultColumns` arrays,
+meeting and freeze positions are bulk gathers, and the
+:class:`~repro.sim.asymmetric.AsymmetricOutcome` objects are materialized
+once after the last round.  Per-instance Python runs only at a freeze or at
+resolution — never per round per instance.
 
 Parity contract (pinned by ``tests/test_sim_asymmetric_batch_parity.py``):
 per instance, ``met``, the meeting time (1e-9 relative), the termination
@@ -47,16 +57,24 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.instance import Instance
+from repro.geometry.backends import get_backend
 from repro.motion.compiler import constant_table
 from repro.sim.asymmetric import AsymmetricOutcome
+from repro.sim.columns import (
+    MAX_SEGMENTS as _CODE_MAX_SEGMENTS,
+    MAX_TIME as _CODE_MAX_TIME,
+    PROGRAMS_FINISHED as _CODE_PROGRAMS_FINISHED,
+    RENDEZVOUS as _CODE_RENDEZVOUS,
+    ResultColumns,
+)
 from repro.sim.engine import _algorithm_name
-from repro.sim.results import SimulationResult, TerminationReason
 from repro.sim.rounds import (
     GROWTH_FACTOR,
     ProgramSource,
     RoundEntry,
     build_windows,
     default_initial_horizon,
+    entry_state_arrays,
     full_final_window_min,
     solve_round,
     trim_builder_cache,
@@ -116,6 +134,7 @@ def simulate_batch_asymmetric(
     radius_slack: float = 0.0,
     track_min_distance: bool = True,
     initial_horizon: Optional[float] = None,
+    backend=None,
 ) -> List[AsymmetricOutcome]:
     """Simulate ``algorithm`` under per-agent radii with the vectorized engine.
 
@@ -131,11 +150,12 @@ def simulate_batch_asymmetric(
         one batch.  Radii must be positive; the instance's ``r`` is otherwise
         ignored for meeting detection (it still defines the feasibility
         classification of the underlying symmetric instance).
-    max_time, max_segments, radius_slack, track_min_distance, initial_horizon:
+    max_time, max_segments, radius_slack, track_min_distance, initial_horizon,
+    backend:
         Exactly as in :func:`repro.sim.batch.simulate_batch` — including the
         combined ``max_segments`` budget semantics across both agents (the
         frozen agent stops drawing on the budget at its freeze time, like the
-        event engine's frozen cursor).
+        event engine's frozen cursor) and the kernel-backend selection.
 
     Returns one :class:`~repro.sim.asymmetric.AsymmetricOutcome` per instance,
     in input order: an ordinary :class:`SimulationResult` (``met`` means the
@@ -154,6 +174,7 @@ def simulate_batch_asymmetric(
         raise ValueError("initial_horizon must be positive")
     radii_a = _radius_array(radius_a, instances, "radius_a")
     radii_b = _radius_array(radius_b, instances, "radius_b")
+    kernel = get_backend(backend)
     if not instances:
         return []
 
@@ -166,45 +187,42 @@ def simulate_batch_asymmetric(
     # agent holding the larger radius freezes first (ties never freeze).
     small = np.minimum(radii_a, radii_b) + radius_slack
     large = np.maximum(radii_a, radii_b) + radius_slack
-    larger_agent = ["A" if a >= b else "B" for a, b in zip(radii_a, radii_b)]
+    larger_agent = np.where(radii_a >= radii_b, "A", "B")
 
-    outcomes: List[Optional[AsymmetricOutcome]] = [None] * len(instances)
+    cols = ResultColumns(len(instances))
     if initial_horizon is None:
-        horizons = [
+        cols.horizon[:] = [
             default_initial_horizon(instance, max_time) for instance in instances
         ]
     else:
-        horizons = [min(initial_horizon, max_time)] * len(instances)
-    pending = list(range(len(instances)))
+        cols.horizon[:] = min(initial_horizon, max_time)
+    pending = np.arange(len(instances), dtype=np.int64)
     frozen: Dict[int, _FreezeState] = {}
-    scan_from: Dict[int, float] = {}
-    windows_before: Dict[int, int] = {}
-    carried_min: Dict[int, Tuple[float, Optional[float]]] = {}
+    frozen_rows = np.zeros(len(instances), dtype=bool)
     total_windows = 0
     round_number = 0
 
-    while pending:
+    while pending.size:
         round_number += 1
+        pending_list = pending.tolist()
+        horizon_list = cols.horizon[pending].tolist()
+        scan_list = cols.scan_from[pending].tolist()
         entries = []
-        for idx in pending:
+        for idx, horizon, scan_from in zip(pending_list, horizon_list, scan_list):
             instance = instances[idx]
             spec_a, spec_b = specs[idx]
             freeze = frozen.get(idx)
             if freeze is None:
-                table_a = source.table_for(idx, instance, spec_a, "A", horizons[idx])
-                table_b = source.table_for(idx, instance, spec_b, "B", horizons[idx])
+                table_a = source.table_for(idx, instance, spec_a, "A", horizon)
+                table_b = source.table_for(idx, instance, spec_b, "B", horizon)
                 extra = 0
             else:
                 still = constant_table(freeze.position)
                 if freeze.agent == "A":
                     table_a = still
-                    table_b = source.table_for(
-                        idx, instance, spec_b, "B", horizons[idx]
-                    )
+                    table_b = source.table_for(idx, instance, spec_b, "B", horizon)
                 else:
-                    table_a = source.table_for(
-                        idx, instance, spec_a, "A", horizons[idx]
-                    )
+                    table_a = source.table_for(idx, instance, spec_a, "A", horizon)
                     table_b = still
                 extra = freeze.segments
             entries.append(
@@ -213,24 +231,20 @@ def simulate_batch_asymmetric(
                     instance,
                     table_a,
                     table_b,
-                    horizons[idx],
-                    scan_from.get(idx, 0.0),
+                    horizon,
+                    scan_from,
                     max_segments,
                     max_time,
                     extra_segments=extra,
                 )
             )
         windows = build_windows(entries)
-        entry_small = np.array([small[e.index] for e in entries])
+        pending_frozen = frozen_rows[pending]
+        entry_small = small[pending]
         # After the freeze only the meeting radius is live; feeding the small
         # radius as the "freeze" column keeps the scan limit (and therefore
         # the closest-approach prefix) at the meeting window.
-        entry_large = np.array(
-            [
-                small[e.index] if e.index in frozen else large[e.index]
-                for e in entries
-            ]
-        )
+        entry_large = np.where(pending_frozen, entry_small, large[pending])
         meet_radius = np.repeat(entry_small, windows.counts)
         freeze_radius = np.repeat(entry_large, windows.counts)
         solution = solve_round(
@@ -238,67 +252,81 @@ def simulate_batch_asymmetric(
             meet_radius,
             track_min_distance=track_min_distance,
             second_radius=freeze_radius,
+            backend=kernel,
         )
-        offsets = windows.offsets
         total_windows += len(windows)
 
-        still_pending: List[int] = []
-        for k, entry in enumerate(entries):
-            idx = entry.index
-            lo = int(offsets[k])
-            hi = int(offsets[k + 1])
-            meet_index = int(solution.first_hit[k])
-            freeze_index = int(solution.first_hit2[k])
-            prior_windows = windows_before.get(idx, 0)
-            prior_min, prior_min_time = carried_min.get(idx, (math.inf, None))
+        offsets = windows.offsets
+        lo = offsets[:-1]
+        hi = offsets[1:]
+        meet_hit = solution.first_hit
+        freeze_hit = solution.first_hit2
 
-            round_min = math.inf
-            round_min_time = None
-            if track_min_distance and solution.group_min is not None:
-                if math.isfinite(float(solution.group_min[k])):
-                    round_min = float(solution.group_min[k])
-                    round_min_time = float(solution.min_time[k])
-            if track_min_distance and round_min < prior_min:
-                carried_min[idx] = (round_min, round_min_time)
+        if track_min_distance:
+            cols.fold_round_min(pending, solution.group_min, solution.min_time)
 
-            # The event engine's rule: the larger-radius agent freezes iff it
-            # sees the other one *strictly before* the distance reaches the
-            # smaller radius; on a tie (equal radii, or an instance already
-            # within both at a window start) the meeting wins.
-            freezes = (
-                idx not in frozen
-                and freeze_index < hi
-                and (
-                    meet_index > freeze_index
-                    or (
-                        meet_index == freeze_index
-                        and float(solution.hit_offset2[k])
-                        < float(solution.hit_offset[k])
-                    )
-                )
+        # The event engine's rule: the larger-radius agent freezes iff it
+        # sees the other one *strictly before* the distance reaches the
+        # smaller radius; on a tie (equal radii, or an instance already
+        # within both at a window start) the meeting wins.
+        freezes = (
+            ~pending_frozen
+            & (freeze_hit < hi)
+            & (
+                (meet_hit > freeze_hit)
+                | ((meet_hit == freeze_hit)
+                   & (solution.hit_offset2 < solution.hit_offset))
             )
-            met = meet_index < hi and not freezes
+        )
+        met = (meet_hit < hi) & ~freezes
 
-            if freezes:
-                offset = float(solution.hit_offset2[k])
-                start = float(windows.starts[freeze_index])
-                freeze_time = start + offset
-                pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(
-                    freeze_index
+        # Round classification over the non-met, non-freezing remainder: the
+        # mask form of RoundEntry.resolves_without_hit.
+        budget_limited, entry_horizon, finish = entry_state_arrays(entries)
+        finished_within = finish <= entry_horizon
+        unresolved = (
+            ~met
+            & ~freezes
+            & ~budget_limited
+            & ~finished_within
+            & (entry_horizon < max_time)
+        )
+        terminal = ~met & ~freezes & ~unresolved
+
+        if np.any(freezes):
+            # Bulk geometry for all freeze events of the round, then a small
+            # per-freeze Python pass (at most one per instance per run) for
+            # the state objects and segment-cursor counts.
+            freeze_positions = np.nonzero(freezes)[0]
+            rows = pending[freezes]
+            hit_index = freeze_hit[freezes]
+            offset = solution.hit_offset2[freezes]
+            start = windows.starts[hit_index]
+            freeze_time = start + offset
+            pax, pay, vax, vay, pbx, pby, vbx, vby = (
+                column[hit_index] for column in windows.states
+            )
+            pos_ax = pax + vax * offset
+            pos_ay = pay + vay * offset
+            pos_bx = pbx + vbx * offset
+            pos_by = pby + vby * offset
+            distance = np.hypot(pos_ax - pos_bx, pos_ay - pos_by)
+            agents = larger_agent[rows]
+            for j, k in enumerate(freeze_positions.tolist()):
+                entry = entries[k]
+                idx = entry.index
+                agent = str(agents[j])
+                frozen_pos = (
+                    (float(pos_ax[j]), float(pos_ay[j]))
+                    if agent == "A"
+                    else (float(pos_bx[j]), float(pos_by[j]))
                 )
-                pos_a = (pax + vax * offset, pay + vay * offset)
-                pos_b = (pbx + vbx * offset, pby + vby * offset)
-                agent = larger_agent[idx]
-                frozen_pos = pos_a if agent == "A" else pos_b
-                other_pos = pos_b if agent == "A" else pos_a
-                segments_a, segments_b = entry.segments_in_play(freeze_time)
+                segments_a, segments_b = entry.segments_in_play(float(freeze_time[j]))
                 frozen[idx] = _FreezeState(
                     agent=agent,
-                    time=freeze_time,
+                    time=float(freeze_time[j]),
                     position=frozen_pos,
-                    distance=math.hypot(
-                        frozen_pos[0] - other_pos[0], frozen_pos[1] - other_pos[1]
-                    ),
+                    distance=float(distance[j]),
                     segments=segments_a if agent == "A" else segments_b,
                 )
                 # The freeze window was scanned in full (the event engine
@@ -307,112 +335,125 @@ def simulate_batch_asymmetric(
                 # boundary exactly as for a meeting window.
                 if (
                     track_min_distance
-                    and freeze_index == hi - 1
+                    and hit_index[j] == hi[k] - 1
                     and not entry.budget_limited
                 ):
                     full_window = full_final_window_min(
-                        entry, windows, freeze_index, max_time
+                        entry, windows, int(hit_index[j]), max_time
                     )
-                    current_min, _ = carried_min.get(idx, (math.inf, None))
-                    if full_window is not None and full_window[0] < current_min:
-                        carried_min[idx] = full_window
-                # Resume scanning at the freeze time, with the frozen agent
-                # replaced by its stationary table; same horizon.
-                scan_from[idx] = freeze_time
-                windows_before[idx] = prior_windows + (freeze_index - lo) + 1
-                still_pending.append(idx)
-                continue
+                    if full_window is not None:
+                        cols.improve_min(idx, *full_window)
+            frozen_rows[rows] = True
+            # Resume scanning at the freeze time, with the frozen agent
+            # replaced by its stationary table; same horizon.
+            cols.scan_from[rows] = freeze_time
+            cols.windows_before[rows] += (hit_index - lo[freezes]) + 1
 
-            if not met:
-                reason = entry.resolves_without_hit(max_time)
-                if reason is None:
-                    horizons[idx] = min(horizons[idx] * GROWTH_FACTOR, max_time)
-                    still_pending.append(idx)
-                    # The final window was cut at the horizon; the next round
-                    # re-scans it from its start, at full length.
-                    scan_from[idx] = float(windows.starts[hi - 1])
-                    windows_before[idx] = prior_windows + (hi - lo) - 1
-                    continue
-                termination = reason
-                meeting_time = None
-                meeting_pos_a = None
-                meeting_pos_b = None
-                windows_processed = prior_windows + (hi - lo)
-                if termination is TerminationReason.MAX_SEGMENTS:
-                    simulated_time = entry.horizon
-                else:
-                    simulated_time = max_time
-            else:
-                offset = float(solution.hit_offset[k])
-                start = float(windows.starts[meet_index])
-                meeting_time = start + offset
-                pax, pay, vax, vay, pbx, pby, vbx, vby = windows.state_at(meet_index)
-                meeting_pos_a = (pax + vax * offset, pay + vay * offset)
-                meeting_pos_b = (pbx + vbx * offset, pby + vby * offset)
-                termination = TerminationReason.RENDEZVOUS
-                simulated_time = meeting_time
-                windows_processed = prior_windows + (meet_index - lo) + 1
-
-            min_distance = math.inf
-            min_distance_time = None
-            if track_min_distance:
-                min_distance, min_distance_time = carried_min.get(
-                    idx, (math.inf, None)
-                )
-                if met and meet_index == hi - 1 and not entry.budget_limited:
-                    full_window = full_final_window_min(
-                        entry, windows, meet_index, max_time
-                    )
-                    if full_window is not None and full_window[0] < min_distance:
-                        min_distance, min_distance_time = full_window
-                if min_distance_time is None:
-                    min_distance = math.inf
-
-            segments_until = (
-                float(windows.starts[meet_index]) if met else entry.horizon
+        if np.any(unresolved):
+            grow = pending[unresolved]
+            cols.horizon[grow] = np.minimum(
+                cols.horizon[grow] * GROWTH_FACTOR, max_time
             )
-            segments_a, segments_b = entry.segments_in_play(segments_until)
-            freeze = frozen.get(idx)
-            if freeze is not None:
-                if freeze.agent == "A":
-                    segments_a = freeze.segments
-                else:
-                    segments_b = freeze.segments
-            r_a = float(radii_a[idx])
-            r_b = float(radii_b[idx])
-            result = SimulationResult(
-                instance=entry.instance,
-                algorithm_name=base_name + f"[r_a={r_a:g}, r_b={r_b:g}]",
-                met=met,
-                termination=termination,
-                meeting_time=meeting_time,
-                meeting_point_a=meeting_pos_a,
-                meeting_point_b=meeting_pos_b,
-                min_distance=min_distance,
-                min_distance_time=min_distance_time,
-                simulated_time=simulated_time,
-                segments_a=segments_a,
-                segments_b=segments_b,
-                windows_processed=windows_processed,
-                elapsed_wall_seconds=0.0,
-                timebase_name="float",
-                meeting_time_exact=meeting_time,
+            # The final window was cut at the horizon; the next round re-scans
+            # it from its start, at full length.
+            cols.scan_from[grow] = windows.starts[hi[unresolved] - 1]
+            cols.windows_before[grow] += (hi - lo)[unresolved] - 1
+
+        if np.any(terminal):
+            rows = pending[terminal]
+            code = np.full(rows.shape[0], _CODE_MAX_TIME, dtype=np.int8)
+            code[budget_limited[terminal]] = _CODE_MAX_SEGMENTS
+            code[
+                ~budget_limited[terminal]
+                & finished_within[terminal]
+                & (finish[terminal] < max_time)
+            ] = _CODE_PROGRAMS_FINISHED
+            cols.termination[rows] = code
+            cols.windows_processed[rows] = (
+                cols.windows_before[rows] + (hi - lo)[terminal]
             )
-            outcomes[idx] = AsymmetricOutcome(
+            cols.simulated_time[rows] = np.where(
+                budget_limited[terminal], entry_horizon[terminal], max_time
+            )
+
+        if np.any(met):
+            rows = pending[met]
+            hit_index = meet_hit[met]
+            offset = solution.hit_offset[met]
+            start = windows.starts[hit_index]
+            meeting_time = start + offset
+            pax, pay, vax, vay, pbx, pby, vbx, vby = (
+                column[hit_index] for column in windows.states
+            )
+            cols.met[rows] = True
+            cols.termination[rows] = _CODE_RENDEZVOUS
+            cols.meeting_time[rows] = meeting_time
+            cols.meet_ax[rows] = pax + vax * offset
+            cols.meet_ay[rows] = pay + vay * offset
+            cols.meet_bx[rows] = pbx + vbx * offset
+            cols.meet_by[rows] = pby + vby * offset
+            cols.simulated_time[rows] = meeting_time
+            cols.windows_processed[rows] = (
+                cols.windows_before[rows] + (hit_index - lo[met]) + 1
+            )
+
+        # Per-resolved-instance residue (once per instance per batch):
+        # segment-cursor counts, the frozen agent's cursor override, and the
+        # horizon-cut final-window rescan of a meeting window.
+        resolved_positions = np.nonzero(met | terminal)[0]
+        if resolved_positions.size:
+            met_list = met.tolist()
+            for k in resolved_positions.tolist():
+                entry = entries[k]
+                if met_list[k]:
+                    segments_until = float(windows.starts[meet_hit[k]])
+                    if (
+                        track_min_distance
+                        and meet_hit[k] == hi[k] - 1
+                        and not entry.budget_limited
+                    ):
+                        full_window = full_final_window_min(
+                            entry, windows, int(meet_hit[k]), max_time
+                        )
+                        if full_window is not None:
+                            cols.improve_min(entry.index, *full_window)
+                else:
+                    segments_until = entry.horizon
+                segments_a, segments_b = entry.segments_in_play(segments_until)
+                freeze = frozen.get(entry.index)
+                if freeze is not None:
+                    # The frozen cursor stopped pulling at the freeze time.
+                    if freeze.agent == "A":
+                        segments_a = freeze.segments
+                    else:
+                        segments_b = freeze.segments
+                cols.segments_a[entry.index] = segments_a
+                cols.segments_b[entry.index] = segments_b
+
+        pending = pending[unresolved | freezes]
+
+    trim_builder_cache()
+    elapsed = _time.perf_counter() - wall_start
+    names = [
+        base_name + f"[r_a={float(r_a):g}, r_b={float(r_b):g}]"
+        for r_a, r_b in zip(radii_a, radii_b)
+    ]
+    results = cols.build_results(
+        instances, names, elapsed_wall_seconds=elapsed / max(len(instances), 1)
+    )
+    outcomes = []
+    for k, result in enumerate(results):
+        freeze = frozen.get(k)
+        outcomes.append(
+            AsymmetricOutcome(
                 result=result,
-                radius_a=r_a,
-                radius_b=r_b,
+                radius_a=float(radii_a[k]),
+                radius_b=float(radii_b[k]),
                 frozen_agent=freeze.agent if freeze is not None else None,
                 freeze_time=freeze.time if freeze is not None else None,
                 freeze_distance=freeze.distance if freeze is not None else None,
             )
-        pending = still_pending
-
-    trim_builder_cache()
-    elapsed = _time.perf_counter() - wall_start
-    per_instance_elapsed = elapsed / max(len(instances), 1)
-    for outcome in outcomes:
-        outcome.result.elapsed_wall_seconds = per_instance_elapsed
+        )
 
     logger.debug(
         "simulate_batch_asymmetric: %d instances, %d windows over %d rounds, %.3fs",

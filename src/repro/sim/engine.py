@@ -208,6 +208,12 @@ class RendezvousSimulator:
         counterpart under ``engine="vectorized"``), with the unset radius
         defaulting to ``instance.r``.  Asymmetric runs do not record
         trajectories.
+    kernel_backend:
+        Element-wise backend of the vectorized engines' fused window kernel
+        (a :mod:`repro.geometry.backends` registry name, e.g. ``"numpy"`` or
+        ``"numexpr"``).  ``None`` honours ``REPRO_KERNEL_BACKEND`` and
+        defaults to numpy; the event engine ignores it.  Results never
+        depend on it — backends are parity-pinned.
     """
 
     max_time: float = 1e9
@@ -221,6 +227,7 @@ class RendezvousSimulator:
     engine: str = "event"
     radius_a: Optional[float] = None
     radius_b: Optional[float] = None
+    kernel_backend: Optional[str] = None
 
     def run(self, instance: Instance, algorithm: Any) -> SimulationResult:
         """Simulate ``algorithm`` on ``instance`` and return the outcome."""
@@ -383,6 +390,7 @@ class RendezvousSimulator:
             radius_slack=self.radius_slack,
             track_min_distance=self.track_min_distance,
             engine=self.engine,
+            kernel_backend=self.kernel_backend,
         )
         result = outcome.result
         if not result.met and self.raise_on_budget and result.termination in (
@@ -415,6 +423,7 @@ class RendezvousSimulator:
             max_segments=self.max_segments,
             radius_slack=self.radius_slack,
             track_min_distance=self.track_min_distance,
+            backend=self.kernel_backend,
         )[0]
         if not result.met and self.raise_on_budget and result.termination in (
             TerminationReason.MAX_TIME,
@@ -442,6 +451,7 @@ def simulate(
     engine: str = "event",
     radius_a: Optional[float] = None,
     radius_b: Optional[float] = None,
+    kernel_backend: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`RendezvousSimulator` and run it once.
 
@@ -461,5 +471,6 @@ def simulate(
         engine=engine,
         radius_a=radius_a,
         radius_b=radius_b,
+        kernel_backend=kernel_backend,
     )
     return simulator.run(instance, algorithm)

@@ -11,23 +11,30 @@ share one implementation:
 
 * :class:`ProgramSource` — serves trajectory tables while consuming each
   instruction stream only once (shared builders for universal algorithms,
-  cross-call reuse through the bounded builder cache);
+  cross-call reuse through the bounded builder cache) and compiling each
+  trajectory row only once per batch
+  (:class:`~repro.motion.compiler.IncrementalTableCompiler` per distinct
+  trajectory, extended as the adaptive horizon grows);
 * :class:`RoundEntry` — one instance's tables, horizon and budget state for
   one round, including the exact reproduction of the event engine's
-  ``max_segments`` stopping rule;
-* :func:`build_windows` — the *flat* cross-instance window construction: one
-  ``lexsort`` + segmented-cumsum pass replaces the per-instance
-  ``np.unique``/``states_at`` calls of the first batch engine (the remaining
-  Python cost named in the ROADMAP), producing window starts, durations and
-  both agents' states as single flat arrays with per-instance offsets;
-* :func:`solve_round` — the chunked fused-kernel pass with segmented
-  first-hit/minimum reductions, optionally solving every window against a
-  *second* per-window radius column in the same pass (the asymmetric engine's
-  freeze radius).
+  ``max_segments`` stopping rule (:func:`entry_state_arrays` is the column
+  form the engines classify whole rounds with);
+* :func:`build_windows` — the *flat* cross-instance window construction:
+  grouped ``searchsorted`` range cuts, a rank-arithmetic merge of each
+  entry's two boundary runs, one entry-grouped deduplication pass and
+  shared scatter index arrays produce window starts, durations and both
+  agents' states as single flat arrays with per-instance offsets — replacing
+  the per-instance ``np.unique``/``states_at`` calls of the first batch
+  engine;
+* :func:`solve_round` — the chunked fused-kernel pass (one pluggable-backend
+  call per chunk) with segmented first-hit/minimum reductions, optionally
+  solving every window against a *second* per-window radius column in the
+  same pass (the asymmetric engine's freeze radius).
 
 Nothing in here depends on the meeting semantics: the drivers interpret the
 per-entry first-hit indices (meeting for the symmetric engine; meeting *or*
-freeze for the asymmetric one) and assemble results.
+freeze for the asymmetric one) and assemble results into flat columns
+(:mod:`repro.sim.columns`).
 """
 
 from __future__ import annotations
@@ -43,15 +50,24 @@ from repro.geometry.closest_approach import (
     fused_window_batch,
     fused_window_batch_dual,
 )
-from repro.motion.compiler import LocalProgramBuilder, TrajectoryTable, compile_table
+from repro.motion.compiler import (
+    IncrementalTableCompiler,
+    LocalProgramBuilder,
+    TrajectoryTable,
+)
 from repro.sim.engine import _resolve_program
 from repro.sim.results import TerminationReason
 
-#: Horizon multiplier between rounds.  The total number of windows solved is a
-#: geometric series ``1 + 1/g + 1/g**2 + ...`` times the work of the resolving
-#: round, so 8 keeps the re-scan overhead under 15% while resolving most
-#: instances within a handful of rounds.
-GROWTH_FACTOR = 8.0
+#: Horizon multiplier between rounds.  Scanning resumes at ``scan_from``, so
+#: the dominant waste is not re-scanning but *overshoot*: the resolving round
+#: scans to the first horizon past the meeting time, an expected factor of
+#: ``(g - 1) / ln g`` beyond it for log-uniform meeting times (~3.4 at g = 8,
+#: ~1.8 at g = 3).  The extra rounds a small factor costs are cheap now that
+#: trajectory prefixes compile incrementally (each row once per batch), so 3
+#: measures ~15-20% faster end-to-end on the stratified campaign than the
+#: original 8, with bit-identical results (the horizon schedule is a pure
+#: performance knob; 2 loses again to per-round overhead).
+GROWTH_FACTOR = 3.0
 
 #: Upper bound on the number of stacked windows handed to one kernel call.
 #: Chunks cap peak memory (each window carries ~10 float64 columns) without
@@ -121,11 +137,16 @@ class ProgramSource:
         self._universal = _is_universal(algorithm)
         self._shared: Optional[LocalProgramBuilder] = None
         self._builders: Dict[Tuple[int, str], LocalProgramBuilder] = {}
-        # Universal programs compile to the same table for equal specs and
-        # equal prefix lengths; agent A's spec is the canonical reference and
-        # identical across *all* instances, so this cache collapses its
-        # per-instance compilations to one per distinct horizon.
-        self._tables: Dict[Tuple[AgentSpec, int, bool], TrajectoryTable] = {}
+        # One incremental compiler per distinct trajectory: every adaptive
+        # round re-requests a longer prefix of the same agent's table, and
+        # the compiler extends in place instead of recompiling from scratch.
+        # Agent A of a universal program is the canonical reference with one
+        # spec across *all* instances, so all its per-instance requests
+        # collapse onto a single spec-keyed compiler (whose per-(rows,
+        # complete) memoization also preserves table identity for the flat
+        # window construction's dedup); everything else keys per (instance,
+        # role).
+        self._compilers: Dict[Any, IncrementalTableCompiler] = {}
 
     def table_for(
         self, index: int, instance: Instance, spec: AgentSpec, role: str, horizon: float
@@ -155,17 +176,12 @@ class ProgramSource:
                 )
                 self._builders[key] = builder
         local = builder.snapshot(local_budget, max_steps=self.max_steps)
-        # Only agent A's spec (the canonical reference, identical across all
-        # instances) ever produces cache hits; caching B-side tables would
-        # retain one dead entry per (instance, round).
-        if not self._universal or role != "A":
-            return compile_table(spec, local)
-        cache_key = (spec, len(local), local.complete)
-        table = self._tables.get(cache_key)
-        if table is None:
-            table = compile_table(spec, local)
-            self._tables[cache_key] = table
-        return table
+        compiler_key: Any = spec if self._universal and role == "A" else (index, role)
+        compiler = self._compilers.get(compiler_key)
+        if compiler is None:
+            compiler = IncrementalTableCompiler(spec)
+            self._compilers[compiler_key] = compiler
+        return compiler.table(local)
 
 
 def default_initial_horizon(instance: Instance, max_time: float) -> float:
@@ -231,17 +247,18 @@ class RoundEntry:
         # by both cursors exceeds ``max_segments``, which happens at the start
         # time of the (max_segments + 1)-th segment in the merged timeline.
         # Capping the horizon there reproduces its stopping rule exactly.
+        # (``partition`` extracts that order statistic in linear time; the
+        # value is identical to a full sort's.)
         self.budget_limited = False
         if table_a.segments + table_b.segments + extra_segments > max_segments:
-            merged_starts = np.sort(
-                np.concatenate(
-                    (
-                        table_a.start_time[: table_a.segments],
-                        table_b.start_time[: table_b.segments],
-                    )
+            merged_starts = np.concatenate(
+                (
+                    table_a.start_time[: table_a.segments],
+                    table_b.start_time[: table_b.segments],
                 )
             )
-            cutoff = float(merged_starts[max(max_segments - extra_segments, 0)])
+            kth = max(max_segments - extra_segments, 0)
+            cutoff = float(np.partition(merged_starts, kth)[kth])
             # A cutoff at exactly max_time still terminates as MAX_TIME: the
             # event loop checks the time horizon before the segment budget.
             if cutoff <= horizon and cutoff < max_time:
@@ -275,17 +292,13 @@ class RoundEntry:
         """Per-agent counts of segments starting by ``until`` (event-cursor analogue)."""
         return (
             int(
-                np.searchsorted(
-                    self.table_a.start_time[: self.table_a.segments],
-                    until,
-                    side="right",
+                self.table_a.start_time[: self.table_a.segments].searchsorted(
+                    until, side="right"
                 )
             ),
             int(
-                np.searchsorted(
-                    self.table_b.start_time[: self.table_b.segments],
-                    until,
-                    side="right",
+                self.table_b.start_time[: self.table_b.segments].searchsorted(
+                    until, side="right"
                 )
             ),
         )
@@ -294,7 +307,9 @@ class RoundEntry:
         """Termination reason if no window of this round contains a hit.
 
         ``None`` means the instance is unresolved at this horizon and must be
-        retried with a larger one.
+        retried with a larger one.  The engines' round loops apply the same
+        rule in bulk over :func:`entry_state_arrays` columns; this scalar
+        form is the readable reference (and serves unit tests).
         """
         if self.budget_limited:
             return TerminationReason.MAX_SEGMENTS
@@ -313,6 +328,35 @@ class RoundEntry:
         if self.horizon >= max_time:
             return TerminationReason.MAX_TIME
         return None
+
+
+def entry_state_arrays(
+    entries: Sequence["RoundEntry"],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(budget_limited, horizon, finish)`` columns over one round's entries.
+
+    The array form of the per-entry state that
+    :meth:`RoundEntry.resolves_without_hit` consults, letting the engines
+    classify a whole round's misses with masks: ``budget_limited`` and the
+    (possibly budget-capped) effective ``horizon`` per entry, and ``finish``
+    — the absolute time at which *both* programs have ended (``inf`` when
+    either is still running or not fully represented).
+    """
+    n = len(entries)
+    budget_limited = np.empty(n, dtype=bool)
+    horizon = np.empty(n)
+    finish = np.empty(n)
+    for k, entry in enumerate(entries):
+        budget_limited[k] = entry.budget_limited
+        horizon[k] = entry.horizon
+        finish_a = entry.table_a.finish_time
+        finish_b = entry.table_b.finish_time
+        finish[k] = (
+            math.inf
+            if finish_a is None or finish_b is None
+            else max(finish_a, finish_b)
+        )
+    return budget_limited, horizon, finish
 
 
 class RoundWindows:
@@ -349,12 +393,27 @@ class RoundWindows:
         return tuple(float(column[window]) for column in self.states)
 
 
+#: Shared consecutive-integer buffer for the rank-merge loop; grows on demand
+#: and is only ever read through slices, so earlier slices stay valid.
+_CONSECUTIVE = np.arange(4096)
+
+
+def _consecutive(count: int) -> np.ndarray:
+    """The integers ``0..count-1`` as a slice of a shared, growing buffer."""
+    global _CONSECUTIVE
+    if count > _CONSECUTIVE.shape[0]:
+        _CONSECUTIVE = np.arange(max(count, 2 * _CONSECUTIVE.shape[0]))
+    return _CONSECUTIVE[:count]
+
+
 def _flat_table_columns(tables: Sequence[TrajectoryTable]):
     """Concatenated state columns of the distinct tables, plus per-entry bases.
 
     Tables are deduplicated by identity: universal campaigns share one A-side
     table across every instance of a round, so concatenating per-entry would
-    copy it once per instance.
+    copy it once per instance.  A side collapsing to a *single* distinct
+    table (late rounds of a universal campaign) skips the concatenation
+    entirely and gathers straight from the table's own columns.
     """
     order: Dict[int, int] = {}
     distinct: List[TrajectoryTable] = []
@@ -367,25 +426,70 @@ def _flat_table_columns(tables: Sequence[TrajectoryTable]):
             order[key] = slot
             distinct.append(table)
         table_of_entry[k] = slot
+    names = ("start_time", "start_x", "start_y", "vel_x", "vel_y")
+    if len(distinct) == 1:
+        # ``None`` base: rows index the table's own columns directly, with no
+        # concatenation copy and no per-window base offsets.
+        table = distinct[0]
+        return tuple(getattr(table, name) for name in names), None
     lengths = np.array([len(table) for table in distinct], dtype=np.int64)
     row_offsets = np.concatenate(([0], np.cumsum(lengths)))
     columns = tuple(
         np.concatenate([getattr(table, name) for table in distinct])
-        for name in ("start_time", "start_x", "start_y", "vel_x", "vel_y")
+        for name in names
     )
     return columns, row_offsets[table_of_entry]
+
+
+def _range_cuts(
+    tables: List[TrajectoryTable], scan_froms: np.ndarray, horizons: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-entry ``(low, high)`` boundary cuts into each table's event times.
+
+    ``low`` counts the boundaries at or before the entry's ``scan_from``
+    (doubling as the base row count there), ``high`` those strictly before
+    its horizon.  Entries sharing a table *by identity* — every instance of a
+    universal campaign shares the A-side table of its horizon — are cut with
+    one vectorized ``searchsorted`` per group instead of two scalar calls per
+    entry.
+    """
+    n = len(tables)
+    low = np.zeros(n, dtype=np.int64)
+    high = np.empty(n, dtype=np.int64)
+    groups: Dict[int, List[int]] = {}
+    for k, table in enumerate(tables):
+        groups.setdefault(id(table), []).append(k)
+    for members in groups.values():
+        bounds = tables[members[0]].boundaries()
+        if len(members) == 1:
+            k = members[0]
+            high[k] = bounds.searchsorted(horizons[k], side="left")
+            if scan_froms[k] > 0.0:
+                low[k] = bounds.searchsorted(scan_froms[k], side="right")
+        else:
+            sel = np.array(members, dtype=np.int64)
+            high[sel] = bounds.searchsorted(horizons[sel], side="left")
+            froms = scan_froms[sel]
+            # scan_from == 0.0 keeps the base at 0 even when boundaries sit
+            # at time 0 (zero-duration first segments), exactly like the
+            # scalar formulation's guarded cut.
+            low[sel] = np.where(
+                froms > 0.0, bounds.searchsorted(froms, side="right"), 0
+            )
+    return low, high
 
 
 def build_windows(entries: Sequence[RoundEntry]) -> RoundWindows:
     """Stack the merged event windows of every entry into flat arrays.
 
     The flat formulation of the per-instance window construction: all entries'
-    segment boundaries are filtered, sorted and deduplicated in one
-    ``lexsort`` pass (grouped by entry, then time), per-entry window layouts
-    are derived from segmented counts, and both agents' states at every window
-    start come from two fancy-indexing gathers instead of per-instance
-    ``states_at`` calls.  Produces bit-identical windows and states to the
-    per-instance formulation (same comparisons, same float arithmetic).
+    segment boundaries are filtered with grouped ``searchsorted`` cuts, merged
+    by rank arithmetic, deduplicated in one entry-grouped pass, per-entry
+    window layouts are derived from segmented counts, and both agents' states
+    at every window start come from two fancy-indexing gathers instead of
+    per-instance ``states_at`` calls.  Produces bit-identical windows and
+    states to the per-instance formulation (same comparisons, same float
+    arithmetic).
     """
     n_entries = len(entries)
     entry_ids = np.arange(n_entries)
@@ -395,54 +499,55 @@ def build_windows(entries: Sequence[RoundEntry]) -> RoundWindows:
     # In-range boundary slices per entry and table — boundaries are sorted, so
     # the ``(scan_from, horizon)`` range is a pair of searchsorted cuts, and
     # the lower cut doubles as the base row count at the entry's scan_from.
-    slices_a: List[np.ndarray] = []
-    slices_b: List[np.ndarray] = []
-    base_a = np.zeros(n_entries, dtype=np.int64)
-    base_b = np.zeros(n_entries, dtype=np.int64)
-    for k, entry in enumerate(entries):
-        for bounds, slices, base in (
-            (entry.table_a.boundaries(), slices_a, base_a),
-            (entry.table_b.boundaries(), slices_b, base_b),
-        ):
-            low = (
-                int(np.searchsorted(bounds, entry.scan_from, side="right"))
-                if entry.scan_from > 0.0
-                else 0
-            )
-            high = int(np.searchsorted(bounds, entry.horizon, side="left"))
-            base[k] = low
-            slices.append(bounds[low:high])
+    tables_a = [entry.table_a for entry in entries]
+    tables_b = [entry.table_b for entry in entries]
+    base_a, high_a = _range_cuts(tables_a, scan_froms, horizons)
+    base_b, high_b = _range_cuts(tables_b, scan_froms, horizons)
+    slices_a = [
+        tables_a[k].boundaries()[base_a[k] : high_a[k]] for k in range(n_entries)
+    ]
+    slices_b = [
+        tables_b[k].boundaries()[base_b[k] : high_b[k]] for k in range(n_entries)
+    ]
 
     # Merge each entry's two sorted boundary runs into one flat, entry-grouped
     # event array by rank arithmetic (no sort): an A-side event's merged
     # position is its own index plus the number of strictly smaller B-side
     # events, and symmetrically with ties broken A-before-B so that the
-    # keep-last deduplication below sees equal times adjacent.
+    # keep-last deduplication below sees equal times adjacent.  A run whose
+    # counterpart is empty lands as one contiguous copy.
     events_per_entry = np.array(
         [a.shape[0] + b.shape[0] for a, b in zip(slices_a, slices_b)],
         dtype=np.int64,
     )
     segment_offsets = np.concatenate(([0], np.cumsum(events_per_entry)))
+    offsets_list = segment_offsets.tolist()
     total_events = int(segment_offsets[-1])
     event_value = np.empty(total_events)
     event_is_a = np.zeros(total_events, dtype=bool)
     for k in range(n_entries):
         a = slices_a[k]
         b = slices_b[k]
-        offset = int(segment_offsets[k])
-        if a.shape[0]:
-            position = offset + np.arange(a.shape[0]) + np.searchsorted(
-                b, a, side="left"
-            )
+        offset = offsets_list[k]
+        count_a = a.shape[0]
+        count_b = b.shape[0]
+        if count_a:
+            if count_b:
+                position = offset + _consecutive(count_a) + b.searchsorted(
+                    a, side="left"
+                )
+            else:
+                position = slice(offset, offset + count_a)
             event_value[position] = a
             event_is_a[position] = True
-        if b.shape[0]:
-            position = offset + np.arange(b.shape[0]) + np.searchsorted(
-                a, b, side="right"
-            )
+        if count_b:
+            if count_a:
+                position = offset + _consecutive(count_b) + a.searchsorted(
+                    b, side="right"
+                )
+            else:
+                position = slice(offset, offset + count_b)
             event_value[position] = b
-    event_entry = np.repeat(entry_ids, events_per_entry)
-
     # Inclusive per-entry running counts of A-/B-side events: the number of
     # boundaries of that agent at or before each event time (within range).
     a_cumulative = np.cumsum(event_is_a)
@@ -453,38 +558,54 @@ def build_windows(entries: Sequence[RoundEntry]) -> RoundWindows:
     b_count = b_cumulative - np.repeat(prefix, events_per_entry)
 
     # Deduplicate equal times within an entry, keeping the *last* occurrence:
-    # its counts already include every boundary at that time.
-    duplicate_of_next = np.zeros(event_value.shape[0], dtype=bool)
-    if event_value.shape[0] > 1:
-        duplicate_of_next[:-1] = (event_entry[:-1] == event_entry[1:]) & (
-            event_value[:-1] == event_value[1:]
+    # its counts already include every boundary at that time.  Equal adjacent
+    # values never straddle entries by construction, so clearing the mask at
+    # every entry's final event confines the comparison within entries; most
+    # rounds have no duplicates at all and skip the compress copies entirely.
+    duplicate_of_next = np.zeros(total_events, dtype=bool)
+    if total_events > 1:
+        np.equal(
+            event_value[:-1], event_value[1:], out=duplicate_of_next[:-1]
         )
-    keep = ~duplicate_of_next
-    kept_value = event_value[keep]
-    kept_a = a_count[keep]
-    kept_b = b_count[keep]
-    kept_per_entry = np.bincount(event_entry[keep], minlength=n_entries)
+        duplicate_of_next[segment_offsets[1:-1] - 1] = False
+    if duplicate_of_next.any():
+        keep = ~duplicate_of_next
+        kept_value = event_value[keep]
+        kept_a = a_count[keep]
+        kept_b = b_count[keep]
+        kept_per_entry = np.bincount(
+            np.repeat(entry_ids, events_per_entry)[keep], minlength=n_entries
+        )
+    else:
+        kept_value = event_value
+        kept_a = a_count
+        kept_b = b_count
+        kept_per_entry = events_per_entry
 
     # Window layout: entry k has kept_per_entry[k] interior events and
     # therefore kept_per_entry[k] + 1 windows, the first starting at its
-    # scan_from and the last ending at its horizon.
+    # scan_from and the last ending at its horizon.  Kept event ``j`` (global,
+    # entry ``k``) *ends* window ``j + k`` and *starts* window ``j + k + 1``
+    # — each earlier entry contributes exactly one leading window — so two
+    # shared index arrays scatter every column without any boolean masks.
     counts = kept_per_entry + 1
     offsets = np.concatenate(([0], np.cumsum(counts)))
     total = int(offsets[-1])
-    first_mask = np.zeros(total, dtype=bool)
-    first_mask[offsets[:-1]] = True
-    last_mask = np.zeros(total, dtype=bool)
-    last_mask[offsets[1:] - 1] = True
+    kept_total = kept_value.shape[0]
+    first_positions = offsets[:-1]
+    last_positions = offsets[1:] - 1
+    end_positions = _consecutive(kept_total) + np.repeat(entry_ids, kept_per_entry)
+    start_positions = end_positions + 1
 
     starts = np.empty(total)
-    starts[first_mask] = scan_froms
-    starts[~first_mask] = kept_value
+    starts[first_positions] = scan_froms
+    starts[start_positions] = kept_value
     ends = np.empty(total)
-    ends[~last_mask] = kept_value
+    ends[end_positions] = kept_value
     # A budget-capped horizon can fall at or before scan_from (everything up
     # to it was already scanned); such an entry degenerates to one clamped,
     # zero-length window, exactly like the per-instance formulation.
-    ends[last_mask] = np.maximum(horizons, scan_froms)
+    ends[last_positions] = np.maximum(horizons, scan_froms)
     durations = np.maximum(ends - starts, 0.0)
 
     # Active row of each agent's table at each window start: the number of
@@ -492,17 +613,29 @@ def build_windows(entries: Sequence[RoundEntry]) -> RoundWindows:
     # (boundaries at or before scan_from) plus the running in-range count;
     # first windows get the base count alone.
     row_a = np.empty(total, dtype=np.int64)
-    row_a[first_mask] = base_a
-    row_a[~first_mask] = np.repeat(base_a, kept_per_entry) + kept_a
+    row_a[first_positions] = base_a
+    row_a[start_positions] = np.repeat(base_a, kept_per_entry) + kept_a
     row_b = np.empty(total, dtype=np.int64)
-    row_b[first_mask] = base_b
-    row_b[~first_mask] = np.repeat(base_b, kept_per_entry) + kept_b
+    row_b[first_positions] = base_b
+    row_b[start_positions] = np.repeat(base_b, kept_per_entry) + kept_b
 
-    entry_of_window = np.repeat(entry_ids, counts)
     columns_a, table_base_a = _flat_table_columns([e.table_a for e in entries])
     columns_b, table_base_b = _flat_table_columns([e.table_b for e in entries])
-    gather_a = row_a + table_base_a[entry_of_window]
-    gather_b = row_b + table_base_b[entry_of_window]
+    entry_of_window = (
+        np.repeat(entry_ids, counts)
+        if table_base_a is not None or table_base_b is not None
+        else None
+    )
+    gather_a = (
+        row_a
+        if table_base_a is None
+        else row_a + table_base_a[entry_of_window]
+    )
+    gather_b = (
+        row_b
+        if table_base_b is None
+        else row_b + table_base_b[entry_of_window]
+    )
 
     time_a, sx_a, sy_a, vx_a, vy_a = (column[gather_a] for column in columns_a)
     time_b, sx_b, sy_b, vx_b, vy_b = (column[gather_b] for column in columns_b)
@@ -565,14 +698,20 @@ def solve_round(
     *,
     track_min_distance: bool,
     second_radius: Optional[np.ndarray] = None,
+    backend=None,
 ) -> RoundSolution:
     """Solve all windows of a round with the fused batch kernel, chunked.
 
     ``radius`` (and the optional ``second_radius``) are per-window columns —
     windows of different instances carry different radii, which is how the
     asymmetric engine feeds per-agent visibility radii through the shared
-    pipeline.  Chunking caps peak kernel memory without changing any result:
-    segmented reductions never cross instances.
+    pipeline.  ``backend`` selects the kernel implementation (a name or
+    resolved :class:`~repro.geometry.backends.KernelBackend`; the engines
+    resolve once per run and pass the instance).  Chunking caps peak kernel
+    memory without changing any result: segmented reductions never cross
+    instances — and each chunk is one backend call, which makes
+    ``KERNEL_CHUNK_WINDOWS`` the natural transfer granularity for device
+    backends.
     """
     counts = windows.counts
     offsets = windows.offsets
@@ -607,19 +746,19 @@ def solve_round(
             hit, hit2, window_min, window_t_star = fused_window_batch_dual(
                 rel_x, rel_y, rvel_x, rvel_y,
                 radius[lo:hi], second_radius[lo:hi], durations,
-                track_closest=track_min_distance,
+                track_closest=track_min_distance, backend=backend,
             )
         else:
             hit, window_min, window_t_star = fused_window_batch(
                 rel_x, rel_y, rvel_x, rvel_y, radius[lo:hi], durations,
-                track_closest=track_min_distance,
+                track_closest=track_min_distance, backend=backend,
             )
             hit2 = None
 
         local_counts = counts[chunk_start:chunk_end]
         local_offsets = offsets[chunk_start:chunk_end] - lo
         local_total = hi - lo
-        index = np.arange(local_total)
+        index = _consecutive(local_total)
 
         local_first = _first_hits(hit, index, local_offsets, local_total)
         has_hit = local_first < local_total

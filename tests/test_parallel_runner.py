@@ -4,10 +4,12 @@ import math
 
 import pytest
 
+import repro.parallel.runner as runner_module
 from repro.analysis.sampler import InstanceSampler
 from repro.core.classification import InstanceClass
 from repro.core.instance import Instance
 from repro.parallel.runner import BatchRunner, BatchTask, run_batch
+from repro.sim.asymmetric import simulate_asymmetric
 
 
 class TestBatchTask:
@@ -64,3 +66,163 @@ class TestParallelExecution:
         instances = [Instance(r=2.0, x=float(k % 3 + 1) * 0.1, y=0.0) for k in range(12)]
         records = run_batch(instances, "stay-put", processes=2, max_time=10.0)
         assert [rec["instance_x"] for rec in records] == [inst.x for inst in instances]
+
+
+class TestPersistentPool:
+    def test_executor_is_reused_across_runs(self):
+        runner = BatchRunner(engine="event", processes=2, min_parallel=2)
+        tasks = [
+            BatchTask.make(Instance(r=2.0, x=1.0, y=0.0), "stay-put", max_time=10.0)
+            for _ in range(4)
+        ]
+        try:
+            first = runner.run(tasks)
+            executor = runner._executor
+            assert executor is not None
+            second = runner.run(tasks)
+            assert runner._executor is executor  # same pool, no respawn
+            assert [r["met"] for r in first] == [r["met"] for r in second]
+        finally:
+            runner.close()
+        assert runner._executor is None
+
+    def test_close_is_idempotent_and_runner_stays_usable(self):
+        runner = BatchRunner(engine="event", processes=2, min_parallel=2)
+        runner.close()  # nothing created yet
+        tasks = [
+            BatchTask.make(Instance(r=2.0, x=1.0, y=0.0), "stay-put", max_time=10.0)
+            for _ in range(4)
+        ]
+        records = runner.run(tasks)
+        runner.close()
+        runner.close()
+        assert all(r["met"] for r in records)
+        # Usable again after close: a fresh pool spawns on demand.
+        assert all(r["met"] for r in runner.run(tasks))
+        runner.close()
+
+    def test_context_manager_closes_pool(self):
+        tasks = [
+            BatchTask.make(Instance(r=2.0, x=1.0, y=0.0), "stay-put", max_time=10.0)
+            for _ in range(4)
+        ]
+        with BatchRunner(engine="event", processes=2, min_parallel=2) as runner:
+            runner.run(tasks)
+            assert runner._executor is not None
+        assert runner._executor is None
+
+    def test_changed_process_count_rebuilds_pool(self):
+        runner = BatchRunner(engine="event", processes=2, min_parallel=2)
+        tasks = [
+            BatchTask.make(Instance(r=2.0, x=1.0, y=0.0), "stay-put", max_time=10.0)
+            for _ in range(4)
+        ]
+        try:
+            runner.run(tasks)
+            first_pool = runner._executor
+            runner.processes = 3
+            runner.run(tasks)
+            assert runner._executor is not first_pool
+            assert runner._executor_workers == 3
+        finally:
+            runner.close()
+
+
+class TestPerTaskRadiusColumns:
+    def _ratio_sweep_tasks(self, count=8):
+        sampler = InstanceSampler(seed=23)
+        instances = sampler.batch_of_class(InstanceClass.TYPE_1, count)
+        ratios = (1.0, 0.75, 0.5, 0.25)
+        tasks = []
+        for k, instance in enumerate(instances):
+            tasks.append(
+                BatchTask.make(
+                    instance,
+                    "almost-universal-compact",
+                    tag=str(k),
+                    max_time=1e5,
+                    max_segments=20_000,
+                    radius_a=instance.r,
+                    radius_b=instance.r * ratios[k % len(ratios)],
+                )
+            )
+        return instances, tasks
+
+    def test_mixed_ratio_sweep_is_one_batch_call(self, monkeypatch):
+        instances, tasks = self._ratio_sweep_tasks()
+        calls = []
+        real = runner_module.simulate_batch_asymmetric
+
+        def spy(*args, **kwargs):
+            calls.append(kwargs)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "simulate_batch_asymmetric", spy)
+        records = BatchRunner(processes=1).run(tasks)
+        # Distinct per-task radii stack into per-instance columns of a
+        # single vectorized call instead of one group per radius pair.
+        assert len(calls) == 1
+        assert len(calls[0]["radius_a"]) == len(tasks)
+        assert len(records) == len(tasks)
+
+    def test_mixed_ratio_sweep_matches_per_task_event_runs(self):
+        instances, tasks = self._ratio_sweep_tasks()
+        records = BatchRunner(processes=1).run(tasks)
+        assert [rec["tag"] for rec in records] == [str(k) for k in range(len(tasks))]
+        for task, instance, record in zip(tasks, instances, records):
+            outcome = simulate_asymmetric(
+                instance,
+                runner_module.get_algorithm(task.algorithm),
+                radius_a=task.simulator_options["radius_a"],
+                radius_b=task.simulator_options["radius_b"],
+                max_time=task.simulator_options["max_time"],
+                max_segments=task.simulator_options["max_segments"],
+            )
+            assert record["met"] == outcome.met
+            assert record["termination"] == outcome.result.termination.value
+            if outcome.met:
+                assert record["meeting_time"] == pytest.approx(
+                    outcome.result.meeting_time, rel=1e-9
+                )
+
+    def test_single_sided_radius_defaults_to_instance_r(self):
+        instance = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0)
+        tasks = [
+            BatchTask.make(instance, "almost-universal-compact",
+                           max_time=1e4, radius_b=0.25),
+        ]
+        record = BatchRunner(processes=1).run(tasks)[0]
+        outcome = simulate_asymmetric(
+            instance,
+            runner_module.get_algorithm("almost-universal-compact"),
+            radius_b=0.25,
+            max_time=1e4,
+        )
+        assert record["met"] == outcome.met
+        if outcome.met:
+            assert record["meeting_time"] == pytest.approx(
+                outcome.result.meeting_time, rel=1e-9
+            )
+
+    def test_symmetric_tasks_do_not_mix_with_asymmetric(self, monkeypatch):
+        instance = Instance(r=0.5, x=1.0, y=1.0, phi=math.pi / 2.0)
+        tasks = [
+            BatchTask.make(instance, "almost-universal-compact", max_time=1e4),
+            BatchTask.make(instance, "almost-universal-compact", max_time=1e4,
+                           radius_a=0.5, radius_b=0.25),
+        ]
+        symmetric_calls = []
+        asymmetric_calls = []
+        real_sym = runner_module.simulate_batch
+        real_asym = runner_module.simulate_batch_asymmetric
+        monkeypatch.setattr(
+            runner_module, "simulate_batch",
+            lambda *a, **k: symmetric_calls.append(k) or real_sym(*a, **k),
+        )
+        monkeypatch.setattr(
+            runner_module, "simulate_batch_asymmetric",
+            lambda *a, **k: asymmetric_calls.append(k) or real_asym(*a, **k),
+        )
+        records = BatchRunner(processes=1).run(tasks)
+        assert len(symmetric_calls) == 1 and len(asymmetric_calls) == 1
+        assert len(records) == 2 and all(rec["met"] for rec in records)

@@ -1,0 +1,125 @@
+"""Exact-timebase cross-check of the vectorized batch engine.
+
+The float-parity suites pin ``simulate_batch`` against the *float-timebase*
+event engine — both sides can, in principle, drift together.  This suite
+closes that loop against the exact timebase (``Fraction`` timestamps, the
+repository's ground truth): every float instance is exactly representable
+(floats are dyadic rationals), so an exact event run accumulates the very
+same segment durations without any rounding on the time axis, and comparing
+the batch engine's float meeting times against it *bounds the accumulated
+float error* of the whole columnar pipeline — compile-time cumsums, window
+stacking and kernel — not just its agreement with another float engine.
+
+Deep phases are the interesting regime: the universal algorithm's phase
+waits grow geometrically, so late meetings sit on timestamps that are sums
+of thousands of segment durations.  The sampled suite keeps a spread of
+classes plus hand-built deep/late-meeting instances while staying fast
+enough for tier 1.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.sampler import InstanceSampler
+from repro.core.classification import InstanceClass
+from repro.core.instance import Instance
+from repro.sim.batch import simulate_batch
+from repro.sim.engine import RendezvousSimulator
+
+MAX_TIME = 1e4
+MAX_SEGMENTS = 20_000
+
+#: Relative bound on the batch engine's accumulated float error against the
+#: exact timebase.  Matches the float parity contract: the engines' 1e-9
+#: tolerance absorbs accumulation differences, and the exact run shows the
+#: accumulation itself stays well inside it.
+REL_TOLERANCE = 1e-9
+
+SAMPLED_CLASSES = (
+    InstanceClass.TRIVIAL,
+    InstanceClass.TYPE_1,
+    InstanceClass.TYPE_2,
+    InstanceClass.TYPE_3,
+    InstanceClass.TYPE_4,
+)
+
+
+def _exact_run(instance, algorithm_name, **overrides):
+    simulator = RendezvousSimulator(
+        max_time=overrides.get("max_time", MAX_TIME),
+        max_segments=overrides.get("max_segments", MAX_SEGMENTS),
+        timebase="exact",
+    )
+    return simulator.run(instance, get_algorithm(algorithm_name))
+
+
+def _batch_run(instances, algorithm_name, **overrides):
+    return simulate_batch(
+        instances,
+        get_algorithm(algorithm_name),
+        max_time=overrides.get("max_time", MAX_TIME),
+        max_segments=overrides.get("max_segments", MAX_SEGMENTS),
+    )
+
+
+def assert_matches_exact(exact, batch):
+    __tracebackhide__ = True
+    assert batch.met == exact.met
+    assert batch.termination == exact.termination
+    if exact.met:
+        assert batch.meeting_time == pytest.approx(
+            exact.meeting_time, rel=REL_TOLERANCE, abs=REL_TOLERANCE
+        )
+    if math.isfinite(exact.min_distance):
+        assert batch.min_distance == pytest.approx(
+            exact.min_distance, rel=REL_TOLERANCE, abs=REL_TOLERANCE
+        )
+
+
+class TestSampledCrossCheck:
+    @pytest.mark.parametrize("cls", SAMPLED_CLASSES)
+    def test_universal_against_exact_timebase(self, cls):
+        sampler = InstanceSampler(seed=2026)
+        instances = sampler.batch_of_class(cls, 2)
+        batch = _batch_run(instances, "almost-universal-compact")
+        for instance, batch_result in zip(instances, batch):
+            exact = _exact_run(instance, "almost-universal-compact")
+            assert_matches_exact(exact, batch_result)
+
+    def test_dedicated_against_exact_timebase(self):
+        sampler = InstanceSampler(seed=7)
+        instances = sampler.batch_of_class(InstanceClass.TYPE_4, 3)
+        batch = _batch_run(instances, "dedicated")
+        for instance, batch_result in zip(instances, batch):
+            exact = _exact_run(instance, "dedicated")
+            assert_matches_exact(exact, batch_result)
+
+
+class TestDeepPhaseAccumulation:
+    """Late meetings: timestamps that are sums of many segment durations."""
+
+    def test_late_meeting_accumulated_error_is_bounded(self):
+        # A distant, slow-to-find partner forces the universal enumeration
+        # through many phases before the meeting; the meeting timestamp sits
+        # on a long accumulation chain in both engines.
+        instances = [
+            Instance(r=0.25, x=40.0, y=22.5, phi=1.0, tau=1.25, v=0.75, t=3.5),
+            Instance(r=0.125, x=-35.0, y=18.0, phi=4.0, tau=0.75, v=1.5, t=0.25),
+        ]
+        batch = _batch_run(instances, "almost-universal-compact")
+        for instance, batch_result in zip(instances, batch):
+            exact = _exact_run(instance, "almost-universal-compact")
+            assert_matches_exact(exact, batch_result)
+            # The point of the exercise: these runs really are deep.
+            assert exact.segments_total > 100
+
+    def test_budget_limited_run_agrees(self):
+        instance = Instance(r=0.25, x=50.0, y=0.0, t=0.1)
+        exact = _exact_run(instance, "almost-universal-compact", max_segments=500)
+        batch = _batch_run([instance], "almost-universal-compact", max_segments=500)[0]
+        assert_matches_exact(exact, batch)
+        assert batch.simulated_time == pytest.approx(
+            exact.simulated_time, rel=REL_TOLERANCE
+        )
