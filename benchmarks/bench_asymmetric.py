@@ -30,6 +30,7 @@ from datetime import datetime, timezone
 from repro.algorithms.registry import get_algorithm
 from repro.analysis.sampler import InstanceSampler
 from repro.core.classification import InstanceClass
+from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.sim.asymmetric import simulate_asymmetric
 from repro.sim.batch_asymmetric import simulate_batch_asymmetric
 
@@ -121,6 +122,12 @@ def main() -> int:
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
+        },
+        # Environment-resolved kernel settings of this measurement; results
+        # never depend on them, wall times do.
+        "kernel": {
+            "backend": get_backend(None).name,
+            "threads": resolve_kernel_threads(None),
         },
         "batch_engine": {
             "seconds": round(batch_seconds, 4),

@@ -33,6 +33,7 @@ from datetime import datetime, timezone
 from repro.algorithms.registry import get_algorithm
 from repro.analysis.sampler import InstanceSampler
 from repro.core.classification import InstanceClass
+from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.sim.batch import simulate_batch
 from repro.sim.engine import RendezvousSimulator
 
@@ -131,6 +132,14 @@ def main() -> int:
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
+        },
+        # The kernel settings the measurement ran under (environment-resolved:
+        # REPRO_KERNEL_BACKEND / REPRO_KERNEL_THREADS).  Results never depend
+        # on them, but wall times do — a baseline written under a different
+        # setting is not comparable second-for-second.
+        "kernel": {
+            "backend": get_backend(None).name,
+            "threads": resolve_kernel_threads(None),
         },
         "batch_engine": {
             "seconds": round(batch_seconds, 4),

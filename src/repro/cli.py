@@ -74,10 +74,28 @@ def _check_kernel_backend(name: Optional[str]) -> Optional[str]:
     return None
 
 
+def _check_kernel_threads(value: Optional[int]) -> Optional[str]:
+    """Resolve a --kernel-threads count early; returns an error string if invalid.
+
+    ``None`` still resolves — it consults ``REPRO_KERNEL_THREADS``, so a bad
+    environment value surfaces as a clean CLI error instead of a traceback
+    mid-campaign.
+    """
+    from repro.geometry.backends import resolve_kernel_threads
+
+    try:
+        resolve_kernel_threads(value)
+    except ValueError as error:
+        return str(error)
+    return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     instance = _instance_from_args(args)
     algorithm = get_algorithm(args.algorithm)
     backend_error = _check_kernel_backend(args.kernel_backend)
+    if backend_error is None:
+        backend_error = _check_kernel_threads(args.kernel_threads)
     if backend_error is not None:
         print(f"error: {backend_error}", file=sys.stderr)
         return 2
@@ -99,6 +117,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             timebase=args.timebase,
             engine=args.engine,
             kernel_backend=args.kernel_backend,
+            kernel_threads=args.kernel_threads,
         )
         result = outcome.result
         if outcome.frozen_agent is not None:
@@ -123,6 +142,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             record_trajectories=args.render,
             engine=args.engine,
             kernel_backend=args.kernel_backend,
+            kernel_threads=args.kernel_threads,
         )
     print(result.summary())
     if args.render:
@@ -134,17 +154,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     backend_error = _check_kernel_backend(args.kernel_backend)
+    if backend_error is None:
+        backend_error = _check_kernel_threads(args.kernel_threads)
     if backend_error is not None:
         print(f"error: {backend_error}", file=sys.stderr)
         return 2
-    if args.kernel_backend is not None:
+    if args.kernel_backend is not None or args.kernel_threads is not None:
         # The experiment drivers build their own batch tasks; the environment
-        # variable is the documented process-wide opt-in they all honour.
+        # variables are the documented process-wide opt-ins they all honour.
         import os
 
-        from repro.geometry.backends import ENV_VAR
+        from repro.geometry.backends import ENV_VAR, THREADS_ENV_VAR
 
-        os.environ[ENV_VAR] = args.kernel_backend
+        if args.kernel_backend is not None:
+            os.environ[ENV_VAR] = args.kernel_backend
+        if args.kernel_threads is not None:
+            os.environ[THREADS_ENV_VAR] = str(args.kernel_threads)
 
     from repro.experiments import (
         all_figures,
@@ -228,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_KERNEL_BACKEND, then numpy — an unavailable backend "
              "silently degrades to numpy)",
     )
+    simulate_parser.add_argument(
+        "--kernel-threads", type=int, default=None, metavar="N",
+        help="thread count of the vectorized engine's chunked kernel dispatch "
+             "(default: $REPRO_KERNEL_THREADS, then 1; results are "
+             "bit-identical for every value)",
+    )
     simulate_parser.add_argument("--radius-a", type=float, default=None,
                                  help="agent A's visibility radius (Section 5 extension)")
     simulate_parser.add_argument("--radius-b", type=float, default=None,
@@ -257,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="element-wise kernel backend for the vectorized campaigns "
              "(sets REPRO_KERNEL_BACKEND for the run; unavailable backends "
              "silently degrade to numpy)",
+    )
+    experiment_parser.add_argument(
+        "--kernel-threads", type=int, default=None, metavar="N",
+        help="thread count of the vectorized campaigns' chunked kernel "
+             "dispatch (sets REPRO_KERNEL_THREADS for the run; results are "
+             "bit-identical for every value)",
     )
     experiment_parser.add_argument("--results-dir", default=None)
     experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")

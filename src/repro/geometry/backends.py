@@ -46,6 +46,7 @@ logger = get_logger("geometry.backends")
 
 __all__ = [
     "ENV_VAR",
+    "THREADS_ENV_VAR",
     "KernelBackend",
     "NumpyBackend",
     "NumexprBackend",
@@ -53,10 +54,45 @@ __all__ = [
     "get_backend",
     "register_backend",
     "registered_backends",
+    "resolve_kernel_threads",
 ]
 
 #: Environment variable naming the process-wide default backend.
 ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Environment variable naming the process-wide default kernel thread count.
+THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
+
+def resolve_kernel_threads(value: Optional[int] = None) -> int:
+    """Resolve a kernel thread-count selection to a positive int.
+
+    ``None`` consults ``REPRO_KERNEL_THREADS`` and falls back to 1 (serial
+    chunk dispatch, the default everywhere).  Selection priority mirrors the
+    backend knob: explicit ``kernel_threads=`` argument > environment
+    variable > serial.  Thread counts never change results — chunks write
+    disjoint output slices and numpy releases the GIL, so the threaded
+    dispatch is bit-identical to the serial one; only wall time depends on
+    the setting.  A non-integer or non-positive selection raises
+    ``ValueError`` (an explicit misconfiguration, unlike an *unavailable*
+    backend, which degrades).
+    """
+    source = "kernel_threads"
+    if value is None:
+        raw = os.environ.get(THREADS_ENV_VAR)
+        if raw is None or not raw.strip():
+            return 1
+        source = THREADS_ENV_VAR
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{THREADS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    threads = int(value)
+    if threads < 1:
+        raise ValueError(f"{source} must be a positive integer, got {value!r}")
+    return threads
 
 
 class KernelBackend:
@@ -71,6 +107,15 @@ class KernelBackend:
 
     #: Registry name; subclasses must override.
     name: str = ""
+
+    #: Whether :meth:`solve` may be called concurrently from several threads
+    #: (the engines' chunked dispatch with ``kernel_threads > 1``).  Backends
+    #: that touch shared global state — a library-level VM, cached buffers —
+    #: must declare ``False``; the chunked dispatch then stays serial for
+    #: them (results are identical either way, this is purely a safety
+    #: gate).  Pure element-wise numpy code is safe: every call works on its
+    #: own arrays and numpy releases the GIL.
+    thread_safe: bool = True
 
     @classmethod
     def is_available(cls) -> bool:
@@ -205,6 +250,13 @@ class NumexprBackend(KernelBackend):
     """
 
     name = "numexpr"
+
+    #: numexpr.evaluate shared global VM state and was not thread-safe
+    #: before numexpr 2.8.4 (no version is pinned here), and the library
+    #: already multi-threads internally per evaluate call — outer chunk
+    #: threads would add contention, not parallelism.  The chunked dispatch
+    #: therefore stays serial for this backend.
+    thread_safe = False
 
     @classmethod
     def is_available(cls) -> bool:

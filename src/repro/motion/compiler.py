@@ -524,6 +524,18 @@ def compile_table(spec: AgentSpec, table: LocalProgramTable) -> TrajectoryTable:
     )
 
 
+#: Process-wide count of trajectory rows compiled by every
+#: :class:`IncrementalTableCompiler`.  Each row is counted exactly once, when
+#: its ``_extend`` pass runs — cache hits (cross-call compiler reuse, memoized
+#: snapshots) add nothing, which is what the compiler-cache tests assert.
+_ROWS_COMPILED_TOTAL = 0
+
+
+def rows_compiled_total() -> int:
+    """Trajectory rows compiled process-wide (cache hits compile none)."""
+    return _ROWS_COMPILED_TOTAL
+
+
 class IncrementalTableCompiler:
     """Compiles growing prefixes of one agent's local program, incrementally.
 
@@ -597,8 +609,15 @@ class IncrementalTableCompiler:
             grown[: self._pre + self._count] = old[: self._pre + self._count]
             setattr(self, name, grown)
 
+    @property
+    def rows_compiled(self) -> int:
+        """Program rows compiled so far (the cross-call cache's row budget unit)."""
+        return self._count
+
     def _extend(self, local: LocalProgramTable, n: int) -> None:
+        global _ROWS_COMPILED_TOTAL
         count = self._count
+        _ROWS_COMPILED_TOTAL += n - count
         self._ensure_capacity(self._pre + n + 1)
         dx = local.dx[count:n]
         dy = local.dy[count:n]

@@ -90,6 +90,7 @@ _VECTORIZABLE_OPTIONS = frozenset(
         "radius_a",
         "radius_b",
         "kernel_backend",
+        "kernel_threads",
     }
 )
 

@@ -98,6 +98,7 @@ def simulate_asymmetric(
     track_min_distance: bool = True,
     engine: str = "event",
     kernel_backend: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
 ) -> AsymmetricOutcome:
     """Simulate ``algorithm`` on ``instance`` with per-agent visibility radii.
 
@@ -116,7 +117,9 @@ def simulate_asymmetric(
     relative, termination reason, closest approach, freeze event — match
     this engine per the asymmetric parity suite.  ``kernel_backend``
     selects the vectorized engine's element-wise kernel implementation (see
-    :mod:`repro.geometry.backends`); the event loop ignores it.
+    :mod:`repro.geometry.backends`) and ``kernel_threads`` its chunked
+    dispatch's thread count (results never depend on either); the event loop
+    ignores both.
     """
     if engine not in ("event", "vectorized"):
         raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
@@ -126,6 +129,8 @@ def simulate_asymmetric(
         raise ValueError("visibility radii must be positive")
     if not (math.isfinite(max_time) and max_time > 0.0):
         raise ValueError("max_time must be positive and finite")
+    if max_segments <= 0:
+        raise ValueError("max_segments must be positive")
 
     if engine == "vectorized":
         # Local import: the batch engine imports AsymmetricOutcome from here.
@@ -146,6 +151,7 @@ def simulate_asymmetric(
             radius_slack=radius_slack,
             track_min_distance=track_min_distance,
             backend=kernel_backend,
+            kernel_threads=kernel_threads,
         )[0]
 
     small = min(r_a, r_b) + radius_slack
@@ -186,24 +192,37 @@ def simulate_asymmetric(
         pos_a, vel_a = cursor_a.state_at(current)
         pos_b, vel_b = cursor_b.state_at(current)
 
-        if track_min_distance:
-            approach = closest_approach_moving_points(pos_a, vel_a, pos_b, vel_b, window)
-            if approach.min_distance < min_distance:
-                min_distance = approach.min_distance
-                min_distance_time = tb.to_float(current) + approach.time_offset
-
         hit_small = first_time_within(pos_a, vel_a, pos_b, vel_b, small, window)
         hit_large = (
             first_time_within(pos_a, vel_a, pos_b, vel_b, large, window)
             if frozen_agent is None
             else None
         )
-
         # The *earliest* event wins: if the larger-radius agent sees the other
         # one strictly before the distance reaches the smaller radius, it
         # freezes and the rest of the window must be re-simulated with it
         # stationary (its original motion past that moment never happens).
-        if hit_large is not None and (hit_small is None or hit_large < hit_small):
+        freeze_wins = hit_large is not None and (
+            hit_small is None or hit_large < hit_small
+        )
+
+        if track_min_distance:
+            # The tracked window is clamped to the earliest event when the
+            # freeze wins: beyond the freeze offset this window describes
+            # motion of the larger-radius agent that never happens, and its
+            # closest approach would be counterfactual.  The real post-freeze
+            # motion is tracked by the re-simulated windows that follow.  (A
+            # meeting window is still scanned in full, the symmetric engine's
+            # convention.)
+            tracked = hit_large if freeze_wins else window
+            approach = closest_approach_moving_points(
+                pos_a, vel_a, pos_b, vel_b, tracked
+            )
+            if approach.min_distance < min_distance:
+                min_distance = approach.min_distance
+                min_distance_time = tb.to_float(current) + approach.time_offset
+
+        if freeze_wins:
             freeze_at = tb.add(current, hit_large)
             frozen_agent = larger_agent
             freeze_time = tb.to_float(freeze_at)
@@ -216,6 +235,13 @@ def simulate_asymmetric(
             )
             current = freeze_at
             other_cursor.advance_past(current)
+            # The freeze resume must honour the segment budget exactly like
+            # the window-advance path below: a freeze landing on a segment
+            # boundary pulls new segments, and skipping the check here would
+            # let the run scan (and even meet) past the budget.
+            if cursor_a.segments_consumed + cursor_b.segments_consumed > max_segments:
+                termination = TerminationReason.MAX_SEGMENTS
+                break
             continue
 
         if hit_small is not None:

@@ -66,7 +66,7 @@ from typing import Any, List, Optional, Sequence
 import numpy as np
 
 from repro.core.instance import Instance
-from repro.geometry.backends import get_backend
+from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.sim.columns import (
     MAX_SEGMENTS as _CODE_MAX_SEGMENTS,
     MAX_TIME as _CODE_MAX_TIME,
@@ -87,6 +87,7 @@ from repro.sim.rounds import (
     full_final_window_min,
     solve_round,
     trim_builder_cache,
+    trim_compiler_cache,
 )
 from repro.util.logging import get_logger
 
@@ -126,6 +127,7 @@ def simulate_batch(
     track_min_distance: bool = True,
     initial_horizon: Optional[float] = None,
     backend=None,
+    kernel_threads: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Simulate ``algorithm`` on every instance with the vectorized engine.
 
@@ -161,6 +163,12 @@ def simulate_batch(
         :class:`~repro.geometry.backends.KernelBackend`.  ``None`` honours
         ``REPRO_KERNEL_BACKEND`` and defaults to numpy.  Results never depend
         on it (backends are parity-pinned) — only performance does.
+    kernel_threads:
+        Thread count of the chunked kernel dispatch.  ``None`` honours
+        ``REPRO_KERNEL_THREADS`` and defaults to 1 (serial).  Chunks write
+        disjoint output slices and numpy releases the GIL, so results are
+        bit-identical for every thread count — only wall time depends on it
+        (worth > 1 on multi-core campaign hardware, pointless on 1-core CI).
 
     Returns one :class:`SimulationResult` per instance, in input order, with
     ``met``, the meeting time (1e-9 relative parity with the event engine),
@@ -177,6 +185,7 @@ def simulate_batch(
     if initial_horizon is not None and initial_horizon <= 0.0:
         raise ValueError("initial_horizon must be positive")
     kernel = get_backend(backend)
+    threads = resolve_kernel_threads(kernel_threads)
     if not instances:
         return []
 
@@ -220,7 +229,11 @@ def simulate_batch(
         windows = build_windows(entries)
         radius = np.repeat(radii[pending], windows.counts)
         solution = solve_round(
-            windows, radius, track_min_distance=track_min_distance, backend=kernel
+            windows,
+            radius,
+            track_min_distance=track_min_distance,
+            backend=kernel,
+            threads=threads,
         )
         total_windows += len(windows)
 
@@ -328,6 +341,7 @@ def simulate_batch(
         pending = pending[unresolved]
 
     trim_builder_cache()
+    trim_compiler_cache()
     elapsed = _time.perf_counter() - wall_start
     results = cols.build_results(
         instances, name, elapsed_wall_seconds=elapsed / max(len(instances), 1)

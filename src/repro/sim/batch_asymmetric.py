@@ -57,7 +57,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.instance import Instance
-from repro.geometry.backends import get_backend
+from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.motion.compiler import constant_table
 from repro.sim.asymmetric import AsymmetricOutcome
 from repro.sim.columns import (
@@ -78,6 +78,7 @@ from repro.sim.rounds import (
     full_final_window_min,
     solve_round,
     trim_builder_cache,
+    trim_compiler_cache,
 )
 from repro.util.logging import get_logger
 
@@ -135,6 +136,7 @@ def simulate_batch_asymmetric(
     track_min_distance: bool = True,
     initial_horizon: Optional[float] = None,
     backend=None,
+    kernel_threads: Optional[int] = None,
 ) -> List[AsymmetricOutcome]:
     """Simulate ``algorithm`` under per-agent radii with the vectorized engine.
 
@@ -151,11 +153,12 @@ def simulate_batch_asymmetric(
         ignored for meeting detection (it still defines the feasibility
         classification of the underlying symmetric instance).
     max_time, max_segments, radius_slack, track_min_distance, initial_horizon,
-    backend:
+    backend, kernel_threads:
         Exactly as in :func:`repro.sim.batch.simulate_batch` — including the
         combined ``max_segments`` budget semantics across both agents (the
         frozen agent stops drawing on the budget at its freeze time, like the
-        event engine's frozen cursor) and the kernel-backend selection.
+        event engine's frozen cursor), the kernel-backend selection and the
+        threaded chunk dispatch (bit-identical for every thread count).
 
     Returns one :class:`~repro.sim.asymmetric.AsymmetricOutcome` per instance,
     in input order: an ordinary :class:`SimulationResult` (``met`` means the
@@ -175,6 +178,7 @@ def simulate_batch_asymmetric(
     radii_a = _radius_array(radius_a, instances, "radius_a")
     radii_b = _radius_array(radius_b, instances, "radius_b")
     kernel = get_backend(backend)
+    threads = resolve_kernel_threads(kernel_threads)
     if not instances:
         return []
 
@@ -253,6 +257,11 @@ def simulate_batch_asymmetric(
             track_min_distance=track_min_distance,
             second_radius=freeze_radius,
             backend=kernel,
+            threads=threads,
+            # Freeze semantics: the closest-approach tracking of a window in
+            # which the freeze wins is clamped to the freeze offset — the
+            # minimum past it would come from counterfactual motion.
+            clamp_at_second_hit=True,
         )
         total_windows += len(windows)
 
@@ -329,20 +338,11 @@ def simulate_batch_asymmetric(
                     distance=float(distance[j]),
                     segments=segments_a if agent == "A" else segments_b,
                 )
-                # The freeze window was scanned in full (the event engine
-                # computes its closest approach before handling the freeze);
-                # when it is the horizon-cut final window, extend to the true
-                # boundary exactly as for a meeting window.
-                if (
-                    track_min_distance
-                    and hit_index[j] == hi[k] - 1
-                    and not entry.budget_limited
-                ):
-                    full_window = full_final_window_min(
-                        entry, windows, int(hit_index[j]), max_time
-                    )
-                    if full_window is not None:
-                        cols.improve_min(idx, *full_window)
+                # The closest-approach tracking of the freeze window was
+                # clamped at the freeze offset inside ``solve_round`` (motion
+                # past the freeze never happens), so — unlike a meeting
+                # window — a horizon-cut freeze window needs *no* full-length
+                # rescan: nothing beyond the freeze time is ever scanned.
             frozen_rows[rows] = True
             # Resume scanning at the freeze time, with the frozen agent
             # replaced by its stationary table; same horizon.
@@ -433,6 +433,7 @@ def simulate_batch_asymmetric(
         pending = pending[unresolved | freezes]
 
     trim_builder_cache()
+    trim_compiler_cache()
     elapsed = _time.perf_counter() - wall_start
     names = [
         base_name + f"[r_a={float(r_a):g}, r_b={float(r_b):g}]"

@@ -214,6 +214,11 @@ class RendezvousSimulator:
         ``"numexpr"``).  ``None`` honours ``REPRO_KERNEL_BACKEND`` and
         defaults to numpy; the event engine ignores it.  Results never
         depend on it — backends are parity-pinned.
+    kernel_threads:
+        Thread count of the vectorized engines' chunked kernel dispatch.
+        ``None`` honours ``REPRO_KERNEL_THREADS`` and defaults to 1 (serial);
+        the event engine ignores it.  Results never depend on it — threaded
+        and serial dispatch are bit-identical.
     """
 
     max_time: float = 1e9
@@ -228,6 +233,7 @@ class RendezvousSimulator:
     radius_a: Optional[float] = None
     radius_b: Optional[float] = None
     kernel_backend: Optional[str] = None
+    kernel_threads: Optional[int] = None
 
     def run(self, instance: Instance, algorithm: Any) -> SimulationResult:
         """Simulate ``algorithm`` on ``instance`` and return the outcome."""
@@ -391,6 +397,7 @@ class RendezvousSimulator:
             track_min_distance=self.track_min_distance,
             engine=self.engine,
             kernel_backend=self.kernel_backend,
+            kernel_threads=self.kernel_threads,
         )
         result = outcome.result
         if not result.met and self.raise_on_budget and result.termination in (
@@ -424,6 +431,7 @@ class RendezvousSimulator:
             radius_slack=self.radius_slack,
             track_min_distance=self.track_min_distance,
             backend=self.kernel_backend,
+            kernel_threads=self.kernel_threads,
         )[0]
         if not result.met and self.raise_on_budget and result.termination in (
             TerminationReason.MAX_TIME,
@@ -452,6 +460,7 @@ def simulate(
     radius_a: Optional[float] = None,
     radius_b: Optional[float] = None,
     kernel_backend: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`RendezvousSimulator` and run it once.
 
@@ -472,5 +481,6 @@ def simulate(
         radius_a=radius_a,
         radius_b=radius_b,
         kernel_backend=kernel_backend,
+        kernel_threads=kernel_threads,
     )
     return simulator.run(instance, algorithm)

@@ -76,6 +76,24 @@ class TestSimulateCommand:
         assert "froze at" in out
         assert "rendezvous at" in out
 
+    def test_vectorized_with_kernel_threads(self, capsys):
+        code = main(
+            ["simulate", "--r", "0.5", "--x", "1", "--y", "1", "--phi", "1.5707963",
+             "--algorithm", "dedicated", "--timebase", "float",
+             "--engine", "vectorized", "--kernel-threads", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rendezvous at" in out
+
+    def test_invalid_kernel_threads_rejected(self, capsys):
+        code = main(
+            ["simulate", "--r", "0.5", "--x", "1", "--y", "1",
+             "--algorithm", "stay-put", "--kernel-threads", "0", "--allow-miss"]
+        )
+        assert code == 2
+        assert "kernel_threads" in capsys.readouterr().err
+
 
 class TestOtherCommands:
     def test_algorithms_listing(self, capsys):

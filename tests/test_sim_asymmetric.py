@@ -10,6 +10,8 @@ from repro.algorithms.dedicated import LinearProbe
 from repro.core.instance import Instance
 from repro.motion.instructions import Move
 from repro.sim.asymmetric import AsymmetricOutcome, simulate_asymmetric
+from repro.sim.batch import simulate_batch
+from repro.sim.batch_asymmetric import simulate_batch_asymmetric
 from repro.sim.engine import simulate
 from repro.sim.results import TerminationReason
 
@@ -71,6 +73,95 @@ class TestBasicSemantics:
         instance = Instance(r=0.5, x=2.0, y=0.0, t=3.0)
         outcome = simulate_asymmetric(instance, WalkEast(), radius_a=0.5, radius_b=0.25)
         assert "r_a=0.5" in outcome.result.algorithm_name
+
+
+class TestFreezeCounterfactualFixes:
+    """PR 4 bugfixes: the freeze event retroactively cancels motion.
+
+    The closest-approach tracker used to scan each window in full *before*
+    the freeze was detected, recording minima achieved by the larger-radius
+    agent's counterfactual motion past its freeze time; the freeze resume
+    path also skipped the segment-budget check, and ``max_segments`` was
+    never validated.  All three are fixed in both engines.
+    """
+
+    def _drive_by(self):
+        # A (radius 5) walks east straight through B's position; B sleeps
+        # until t=30 and then walks *away*.  A freezes at distance 5 (t=5)
+        # and never moves again, so the true closest approach is exactly the
+        # freeze distance — but A's counterfactual continuation would have
+        # passed through B (distance 0 at t=10), which is what the old
+        # tracker recorded.
+        return Instance(r=0.5, x=10.0, y=0.0, t=30.0), WalkEast(20.0)
+
+    def test_event_engine_min_distance_stops_at_freeze(self):
+        instance, algorithm = self._drive_by()
+        outcome = simulate_asymmetric(
+            instance, algorithm, radius_a=5.0, radius_b=0.5, max_time=100.0
+        )
+        assert outcome.frozen_agent == "A"
+        assert outcome.freeze_time == pytest.approx(5.0)
+        assert not outcome.met
+        assert outcome.result.min_distance == pytest.approx(5.0)
+        assert outcome.result.min_distance_time == pytest.approx(5.0)
+
+    def test_batch_engine_parity_including_horizon_cut_freeze_window(self):
+        instance, algorithm = self._drive_by()
+        event = simulate_asymmetric(
+            instance, algorithm, radius_a=5.0, radius_b=0.5, max_time=100.0
+        )
+        # initial_horizon=9.0 cuts the freeze window at the adaptive horizon:
+        # the old engine re-scanned it to its true boundary (t=20) and
+        # recorded the counterfactual pass-through.
+        for initial_horizon in (None, 9.0):
+            batch = simulate_batch_asymmetric(
+                [instance], algorithm, radius_a=5.0, radius_b=0.5,
+                max_time=100.0, initial_horizon=initial_horizon,
+            )[0]
+            assert batch.frozen_agent == "A"
+            assert batch.result.min_distance == pytest.approx(
+                event.result.min_distance, rel=1e-9
+            )
+            assert batch.result.min_distance_time == pytest.approx(5.0, rel=1e-9)
+
+    def test_freeze_resume_enforces_segment_budget(self):
+        def algorithm(instance, spec, role):
+            if role == "A":
+                return []  # A never moves; B walks west in unit steps
+            return [Move(1.0, 0.0) for _ in range(10)]
+
+        instance = Instance(r=0.5, x=10.0, y=0.0, phi=math.pi)
+        # The freeze at t=3 lands exactly on a segment boundary of the moving
+        # agent, so resuming pulls its 4th segment — over the budget of 3.
+        # The old code skipped the budget check on the freeze path and went
+        # on to meet at t=3.5 despite the exhausted budget.
+        event = simulate_asymmetric(
+            instance, algorithm, radius_a=7.0, radius_b=6.5,
+            max_time=100.0, max_segments=3,
+        )
+        assert event.frozen_agent == "A"
+        assert event.freeze_time == pytest.approx(3.0)
+        assert not event.met
+        assert event.result.termination is TerminationReason.MAX_SEGMENTS
+        batch = simulate_batch_asymmetric(
+            [instance], algorithm, radius_a=7.0, radius_b=6.5,
+            max_time=100.0, max_segments=3,
+        )[0]
+        assert batch.frozen_agent == "A" and not batch.met
+        assert batch.result.termination is TerminationReason.MAX_SEGMENTS
+        assert batch.result.simulated_time == pytest.approx(
+            event.result.simulated_time, rel=1e-9
+        )
+
+    def test_non_positive_max_segments_rejected_everywhere(self):
+        instance = Instance(r=0.5, x=3.0, y=0.0)
+        for bad in (0, -5):
+            with pytest.raises(ValueError):
+                simulate_asymmetric(instance, WalkEast(), max_segments=bad)
+            with pytest.raises(ValueError):
+                simulate_batch_asymmetric([instance], WalkEast(), max_segments=bad)
+            with pytest.raises(ValueError):
+                simulate_batch([instance], WalkEast(), max_segments=bad)
 
 
 class TestSection5Claims:
