@@ -118,6 +118,36 @@ def main() -> int:
     print(f"batch engine (verdict) : {verdict_seconds:.3f}s "
           f"({len(instances) / verdict_seconds:,.0f} instances/s)")
 
+    # Campaign mode: the same stratified workload declared as a CampaignSpec
+    # and run through the orchestrator into a throwaway store.  Measures what
+    # the durability layer costs on top of the raw batch engine (sampling,
+    # shard loop, npz writes, manifest fsyncs) — instances are spawn-seeded,
+    # i.e. an equivalent workload rather than the identical instance list.
+    import shutil
+    import tempfile
+
+    from repro.campaign import CampaignArm, CampaignSpec, run_campaign
+
+    campaign_spec = CampaignSpec(
+        name="bench-campaign",
+        arms=(CampaignArm(algorithm=ALGORITHM),),
+        classes=tuple(cls.value for cls in TYPE_CLASSES),
+        instances_per_cell=per_type,
+        seed=7,
+        simulator={"max_time": MAX_TIME, "max_segments": MAX_SEGMENTS},
+        shard_size=256,
+    )
+    campaign_dir = tempfile.mkdtemp(prefix="bench-campaign-")
+    try:
+        campaign_seconds, campaign_stats = timed(run_campaign, campaign_dir, campaign_spec)
+    finally:
+        shutil.rmtree(campaign_dir, ignore_errors=True)
+    campaign_total = campaign_spec.total_instances
+    print(f"campaign mode          : {campaign_seconds:.3f}s "
+          f"({campaign_total / campaign_seconds:,.0f} instances/s, "
+          f"{campaign_stats.shards_executed} shards, "
+          f"{campaign_seconds / batch_seconds:.2f}x the raw batch time)")
+
     snapshot = {
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "workload": {
@@ -149,6 +179,14 @@ def main() -> int:
         "batch_engine_verdict_only": {
             "seconds": round(verdict_seconds, 4),
             "instances_per_second": round(len(instances) / verdict_seconds, 1),
+        },
+        "campaign_mode": {
+            "seconds": round(campaign_seconds, 4),
+            "instances_per_second": round(campaign_total / campaign_seconds, 1),
+            "instances": campaign_total,
+            "shards": campaign_stats.shards_executed,
+            "shard_size": campaign_spec.shard_size,
+            "overhead_vs_batch": round(campaign_seconds / batch_seconds, 3),
         },
     }
 

@@ -244,6 +244,70 @@ class InstanceSampler:
         return [self.of_class(cls) for _ in range(count)]
 
 
+# -- deterministic shard seeding ----------------------------------------------------------
+
+
+def spawn_instance_seeds(seed, count: int, *, start: int = 0) -> List[np.random.SeedSequence]:
+    """Child :class:`~numpy.random.SeedSequence` per instance *position*.
+
+    Children are derived with :meth:`numpy.random.SeedSequence.spawn`, whose
+    spawn keys are the positions ``0 .. start + count - 1``: the child at
+    position ``k`` is the same object no matter how a campaign slices its
+    instance stream into shards.  This is what makes sharded sampling
+    independent of shard size and execution order — a shard covering
+    positions ``[start, start + count)`` asks for exactly those children and
+    gets bit-identical instances whether the campaign ran as 1 shard or N.
+
+    ``seed`` is an integer (or anything :class:`~numpy.random.SeedSequence`
+    accepts as entropy) or an existing ``SeedSequence``; children are built
+    directly from entropy + spawn key, so the caller's object is never
+    mutated and its spawn counter is never observed — repeated calls always
+    return the same children.
+    """
+    if count < 0 or start < 0:
+        raise ValueError("start and count must be non-negative")
+    if isinstance(seed, np.random.SeedSequence):
+        parent = seed
+    else:
+        parent = np.random.SeedSequence(seed)
+    # Construct exactly the children a fresh parent's ``spawn(start + count)``
+    # would return at positions [start, start + count) — spawn's children are
+    # by definition the parent with the position appended to the spawn key —
+    # without materializing the prefix, so a deep shard costs O(count), not
+    # O(start + count) (pinned against real spawn() by the seeding tests).
+    return [
+        np.random.SeedSequence(
+            entropy=parent.entropy,
+            spawn_key=parent.spawn_key + (position,),
+            pool_size=parent.pool_size,
+        )
+        for position in range(start, start + count)
+    ]
+
+
+def sample_spawned(
+    count: int,
+    *,
+    seed,
+    start: int = 0,
+    cls: Optional[InstanceClass] = None,
+    config: Optional[SamplerConfig] = None,
+) -> List[Instance]:
+    """``count`` instances at positions ``start ..`` of a spawned stream.
+
+    Each instance is drawn by a fresh :class:`InstanceSampler` seeded with
+    its position's child sequence (:func:`spawn_instance_seeds`), so the
+    result depends only on ``(seed, cls, config)`` and the absolute
+    positions — never on how positions are grouped into calls.  ``cls=None``
+    draws unconstrained (:meth:`InstanceSampler.uniform`) samples.
+    """
+    instances: List[Instance] = []
+    for child in spawn_instance_seeds(seed, count, start=start):
+        sampler = InstanceSampler(config, np.random.default_rng(child))
+        instances.append(sampler.uniform() if cls is None else sampler.of_class(cls))
+    return instances
+
+
 # -- module-level conveniences ------------------------------------------------------------
 
 

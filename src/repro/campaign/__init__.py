@@ -1,0 +1,49 @@
+"""Sharded, checkpointed, resumable simulation campaigns.
+
+The campaign subsystem turns the in-memory Monte-Carlo sweeps into durable,
+larger-than-RAM workloads:
+
+* :mod:`repro.campaign.spec` — campaigns as serializable, content-addressed
+  declarations (algorithm grid x instance sampler x simulator options);
+* :mod:`repro.campaign.shards` — deterministic partitioning into shards that
+  are reproducible in isolation (position-spawned per-instance seeds);
+* :mod:`repro.campaign.store` — an append-only on-disk columnar store with a
+  crash-safe manifest and streaming aggregation;
+* :mod:`repro.campaign.orchestrator` — the shard loop: skip finished work,
+  execute the rest through the batch engines, checkpoint atomically.
+
+``repro campaign run | resume | status | report`` is the CLI surface.
+"""
+
+from repro.campaign.orchestrator import (
+    CampaignRunStats,
+    resolve_cache_policy,
+    run_campaign,
+    status_rows,
+)
+from repro.campaign.shards import Shard, plan_shards, shard_instances, shard_tasks
+from repro.campaign.spec import (
+    UNIFORM_CLASS,
+    CampaignArm,
+    CampaignError,
+    CampaignSpec,
+)
+from repro.campaign.store import CampaignStore, CellAggregate, records_to_columns
+
+__all__ = [
+    "CampaignArm",
+    "CampaignError",
+    "CampaignRunStats",
+    "CampaignSpec",
+    "CampaignStore",
+    "CellAggregate",
+    "Shard",
+    "UNIFORM_CLASS",
+    "plan_shards",
+    "records_to_columns",
+    "resolve_cache_policy",
+    "run_campaign",
+    "shard_instances",
+    "shard_tasks",
+    "status_rows",
+]

@@ -1,0 +1,252 @@
+"""Campaign execution: shard loop, crash-safe checkpointing, resume.
+
+:func:`run_campaign` is the one entry point: given a directory (and, on first
+run, a spec) it plans the shards, skips every shard the manifest already
+records, and executes the rest in plan order through a single persistent
+:class:`~repro.parallel.runner.BatchRunner` — vectorizable shards run inline
+as one batch-engine call each, the rest (exact timebase) fan out over the
+runner's persistent worker pool.  Each finished shard is committed atomically
+(:meth:`~repro.campaign.store.CampaignStore.write_shard`) before the next one
+starts, so a crash loses at most the shard in flight and ``resume``
+recomputes **zero** finished shards; by the spawned-seeding contract of
+:mod:`repro.campaign.shards` the resumed store is bit-identical to an
+uninterrupted run's.
+
+The orchestrator is also where the compiler-cache admission policy lives
+(the natural shard-granular vantage point the ROADMAP asked for): with
+``cache_policy="auto"`` it counts the campaign's expected distinct universal
+compilers — one shared A-side compiler plus one B-side compiler per distinct
+instance — against :func:`repro.sim.rounds.compiler_cache_entry_budget`, and
+scopes :func:`repro.sim.rounds.compiler_cache_admission` to ``"shared-only"``
+around every shard when the budget would thrash: the guaranteed-reusable
+A-side entry stays cached, the single-use B-side flood never enters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.shards import Shard, plan_shards, shard_instances, shard_tasks
+from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.campaign.store import CampaignStore, records_to_columns
+from repro.sim.rounds import compiler_cache_admission, compiler_cache_entry_budget
+from repro.util.logging import get_logger
+
+logger = get_logger("campaign.orchestrator")
+
+__all__ = ["CampaignRunStats", "resolve_cache_policy", "run_campaign", "status_rows"]
+
+#: Valid ``cache_policy`` selections of :func:`run_campaign`.
+CACHE_POLICIES = ("auto", "all", "shared-only")
+
+
+@dataclass
+class CampaignRunStats:
+    """What one :func:`run_campaign` call did (the resume counters live here).
+
+    ``shards_skipped`` counts finished shards the manifest let the call skip;
+    ``rows_recomputed`` counts rows executed for shards that were *already*
+    recorded complete — by construction always 0, and pinned at 0 by the
+    crash/resume suite: it is the observable form of the "resume recomputes
+    nothing" contract.
+    """
+
+    spec_digest: str
+    cache_policy: str
+    shards_planned: int = 0
+    shards_skipped: int = 0
+    shards_executed: int = 0
+    rows_computed: int = 0
+    rows_recomputed: int = 0
+    interrupted: bool = False
+    wall_seconds: float = 0.0
+    executed_shard_ids: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.shards_skipped + self.shards_executed == self.shards_planned
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_digest": self.spec_digest,
+            "cache_policy": self.cache_policy,
+            "shards_planned": self.shards_planned,
+            "shards_skipped": self.shards_skipped,
+            "shards_executed": self.shards_executed,
+            "rows_computed": self.rows_computed,
+            "rows_recomputed": self.rows_recomputed,
+            "interrupted": self.interrupted,
+            "complete": self.complete,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+def resolve_cache_policy(spec: CampaignSpec, policy: str) -> str:
+    """Resolve ``"auto"`` against the compiler cache's entry budget.
+
+    Cross-call compiler-cache entries are keyed ``(program_cache_key,
+    spec)``: per distinct arm *algorithm* the campaign holds one shared
+    A-side entry plus (at most) one B-side entry per distinct instance.
+    Instances are shared across arms, so the estimate is
+    ``distinct_algorithms x (classes x instances_per_cell + 1)``.  When that
+    exceeds the cross-call cache's entry budget, LRU insertion would evict
+    reusable entries to make room for single-use ones — so admission drops to
+    the shared A side only.
+    """
+    if policy not in CACHE_POLICIES:
+        raise CampaignError(
+            f"unknown cache_policy {policy!r}; expected one of {CACHE_POLICIES}"
+        )
+    if policy != "auto":
+        return policy
+    distinct_algorithms = len({arm.algorithm for arm in spec.arms})
+    distinct_compilers = distinct_algorithms * (
+        len(spec.classes) * spec.instances_per_cell + 1
+    )
+    if distinct_compilers > compiler_cache_entry_budget():
+        return "shared-only"
+    return "all"
+
+
+def run_campaign(
+    directory: str,
+    spec: Optional[CampaignSpec] = None,
+    *,
+    runner=None,
+    max_shards: Optional[int] = None,
+    cache_policy: str = "auto",
+    shard_hook: Optional[Callable[[Shard], None]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRunStats:
+    """Run (or resume) a campaign in ``directory`` until complete or interrupted.
+
+    Parameters
+    ----------
+    directory:
+        The campaign directory.  Created and initialized when ``spec`` is
+        given and the directory is fresh; an existing directory must hold an
+        equal spec (same digest) or the call refuses.
+    spec:
+        The campaign to run.  ``None`` loads the spec from the directory —
+        that is a *resume*, and requires the directory to exist.
+    runner:
+        A :class:`~repro.parallel.runner.BatchRunner` to execute shards
+        through.  ``None`` creates one for the call (and closes it after);
+        pass a long-lived runner to share its persistent worker pool across
+        campaigns.
+    max_shards:
+        Execute at most this many shards, then stop with
+        ``stats.interrupted = True`` — the controlled form of "kill it
+        partway" (CI interrupts campaigns this way; a real crash just stops
+        harder).  ``None`` runs to completion.
+    cache_policy:
+        Compiler-cache admission around each shard: ``"auto"`` (default,
+        see :func:`resolve_cache_policy`), ``"all"``, or ``"shared-only"``.
+    shard_hook:
+        Called with each :class:`Shard` immediately before it executes.
+        Exists for fault injection (a hook that raises simulates a crash
+        between checkpoints — everything already written stays valid) and
+        for external progress tracking.
+    progress:
+        Line sink for human-readable progress (the CLI passes ``print``);
+        ``None`` logs at debug level instead.
+    """
+    store = CampaignStore(directory)
+    if spec is None:
+        spec = store.load_spec()
+    else:
+        spec = store.initialize(spec)
+    spec.validate_algorithms()
+    policy = resolve_cache_policy(spec, cache_policy)
+    emit = progress if progress is not None else (lambda line: logger.debug("%s", line))
+
+    plan = plan_shards(spec)
+    done = store.completed()
+    stats = CampaignRunStats(
+        spec_digest=spec.digest(), cache_policy=policy, shards_planned=len(plan)
+    )
+    pending = []
+    for shard in plan:
+        if shard.shard_id in done:
+            stats.shards_skipped += 1
+        else:
+            pending.append(shard)
+    emit(
+        f"campaign {spec.name!r} [{stats.spec_digest}]: {len(plan)} shards planned, "
+        f"{stats.shards_skipped} already complete, {len(pending)} to run "
+        f"(cache policy: {policy})"
+    )
+
+    own_runner = runner is None
+    if own_runner:
+        from repro.parallel.runner import BatchRunner
+
+        runner = BatchRunner()
+    start = time.perf_counter()
+    try:
+        for shard in pending:
+            if max_shards is not None and stats.shards_executed >= max_shards:
+                stats.interrupted = True
+                emit(f"stopping after {stats.shards_executed} shards (--max-shards)")
+                break
+            if shard_hook is not None:
+                shard_hook(shard)
+            shard_start = time.perf_counter()
+            instances = shard_instances(spec, shard)
+            tasks = shard_tasks(spec, shard, instances)
+            with compiler_cache_admission(policy):
+                records = runner.run(tasks)
+            columns = records_to_columns(shard, records)
+            store.write_shard(
+                shard, columns, wall_seconds=time.perf_counter() - shard_start
+            )
+            stats.shards_executed += 1
+            stats.rows_computed += shard.count
+            stats.executed_shard_ids.append(shard.shard_id)
+            emit(
+                f"  {shard.describe(spec)}: {shard.count} rows in "
+                f"{time.perf_counter() - shard_start:.2f}s "
+                f"[{stats.shards_skipped + stats.shards_executed}/{len(plan)}]"
+            )
+    finally:
+        stats.wall_seconds = time.perf_counter() - start
+        if own_runner:
+            runner.close()
+    if stats.complete:
+        emit(
+            f"campaign complete: {stats.rows_computed} rows computed this call, "
+            f"{stats.rows_recomputed} recomputed, {stats.wall_seconds:.2f}s"
+        )
+    return stats
+
+
+def status_rows(directory: str) -> Dict[str, Any]:
+    """Machine-readable status of a campaign directory (no execution).
+
+    Streams the store once: shard completion counts plus the per-(arm,
+    class) aggregates, labelled with the spec's arm labels and class names.
+    """
+    store = CampaignStore(directory)
+    spec = store.load_spec()
+    plan = plan_shards(spec)
+    done = store.completed()
+    cells = store.aggregate(plan)
+    rows = []
+    for (arm_index, class_index), aggregate in sorted(cells.items()):
+        row = {
+            "arm": spec.arms[arm_index].label,
+            "class": spec.classes[class_index],
+        }
+        row.update(aggregate.as_row())
+        rows.append(row)
+    return {
+        "name": spec.name,
+        "digest": spec.digest(),
+        "shards_total": len(plan),
+        "shards_complete": sum(1 for shard in plan if shard.shard_id in done),
+        "rows_total": spec.total_instances,
+        "rows_stored": sum(int(record.get("rows", 0)) for record in done.values()),
+        "cells": rows,
+    }

@@ -1,0 +1,458 @@
+"""Append-only on-disk columnar result store with a crash-safe manifest.
+
+Layout of a campaign directory::
+
+    <campaign-dir>/
+        spec.json        # the CampaignSpec, written once at initialization
+        manifest.jsonl   # one JSON line per *completed* shard, append-only
+        shards/<shard_id>.npz   # that shard's result columns
+
+The atomicity contract that makes ``repro campaign resume`` safe:
+
+1. a shard's columns are written to a temporary file in the same directory
+   and moved into place with :func:`os.replace` — the ``.npz`` either exists
+   completely or not at all;
+2. only *after* the data file is in place (and flushed) is the completion
+   record appended to the manifest, flushed and fsynced — a manifest line
+   therefore never references missing data;
+3. readers ignore manifest lines that fail to parse (a torn final line from
+   a crash mid-append) and lines whose data file is missing, so a half-dead
+   directory degrades to "those shards re-run" rather than to corruption.
+
+Checksum verification is deliberately tiered by read cost: resume and the
+streaming aggregates trust the manifest (atomic writes rule torn files out;
+start-up stays O(shards) in stat calls), while the readers that touch every
+byte anyway — :meth:`CampaignStore.export_columns`, ``repro campaign report
+--check`` / :meth:`CampaignStore.verify`, and ``completed(verify=True)`` —
+re-hash shard files and treat a mismatch (bit rot, outside edits) as an
+error or as "not done".
+
+Everything downstream is *streaming*: :meth:`CampaignStore.aggregate` folds
+one shard's columns at a time into per-(arm, class) accumulators, so
+``repro campaign status``/``report`` summarize campaigns far larger than RAM;
+:meth:`CampaignStore.export_columns` (used by the bit-identical resume tests
+and by analysis code that does want everything) is the one deliberately
+non-streaming reader.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.shards import Shard, plan_shards
+from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.sim.columns import TERMINATION_BY_CODE
+
+__all__ = ["CampaignStore", "CellAggregate", "records_to_columns", "RESULT_COLUMNS"]
+
+#: Column name -> dtype of every shard file, in canonical order.  Wall-clock
+#: fields are deliberately absent: stored columns are a pure function of the
+#: spec (that is the bit-identical-resume contract); timing lives in the
+#: manifest records instead.
+RESULT_COLUMNS: Dict[str, Any] = {
+    "arm": np.int32,
+    "cls": np.int32,
+    "position": np.int64,
+    "met": np.bool_,
+    "termination": np.int8,
+    "meeting_time": np.float64,
+    "min_distance": np.float64,
+    "min_distance_time": np.float64,
+    "simulated_time": np.float64,
+    "segments_a": np.int64,
+    "segments_b": np.int64,
+    "windows": np.int64,
+    # Freeze event of the asymmetric engines: -1 = no freeze (or the record
+    # carried no freeze information — exact-timebase event fallback), 0 = A
+    # froze, 1 = B froze.
+    "frozen": np.int8,
+    "freeze_time": np.float64,
+    "freeze_distance": np.float64,
+    # The sampled instance, so stored shards are self-contained.
+    "instance_r": np.float64,
+    "instance_x": np.float64,
+    "instance_y": np.float64,
+    "instance_phi": np.float64,
+    "instance_tau": np.float64,
+    "instance_v": np.float64,
+    "instance_t": np.float64,
+    "instance_chi": np.int8,
+}
+
+_TERMINATION_CODES = {reason.value: code for code, reason in enumerate(TERMINATION_BY_CODE)}
+
+
+def _float_or_nan(value: Any) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def records_to_columns(
+    shard: Shard, records: Sequence[Mapping[str, Any]]
+) -> Dict[str, np.ndarray]:
+    """Pack one shard's runner records into the canonical column arrays."""
+    n = len(records)
+    columns: Dict[str, np.ndarray] = {
+        name: np.zeros(n, dtype=dtype) for name, dtype in RESULT_COLUMNS.items()
+    }
+    columns["arm"][:] = shard.arm_index
+    columns["cls"][:] = shard.class_index
+    columns["position"][:] = np.arange(shard.start, shard.start + n)
+    for k, record in enumerate(records):
+        columns["met"][k] = bool(record["met"])
+        columns["termination"][k] = _TERMINATION_CODES[record["termination"]]
+        columns["meeting_time"][k] = _float_or_nan(record["meeting_time"])
+        columns["min_distance"][k] = _float_or_nan(record["min_distance"])
+        columns["min_distance_time"][k] = _float_or_nan(record["min_distance_time"])
+        columns["simulated_time"][k] = float(record["simulated_time"])
+        columns["segments_a"][k] = int(record["segments_a"])
+        columns["segments_b"][k] = int(record["segments_b"])
+        columns["windows"][k] = int(record["windows"])
+        frozen_agent = record.get("frozen_agent")
+        columns["frozen"][k] = {"A": 0, "B": 1}.get(frozen_agent, -1)
+        columns["freeze_time"][k] = _float_or_nan(record.get("freeze_time"))
+        columns["freeze_distance"][k] = _float_or_nan(record.get("freeze_distance"))
+        for name in ("r", "x", "y", "phi", "tau", "v", "t"):
+            columns[f"instance_{name}"][k] = float(record[f"instance_{name}"])
+        columns["instance_chi"][k] = int(record["instance_chi"])
+    return columns
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass
+class CellAggregate:
+    """Streaming accumulator of one (arm, class) cell's stored columns.
+
+    Holds only scalars, so aggregating a campaign touches one shard's columns
+    at a time no matter how large the store grows.  Medians are deliberately
+    not offered — they need the full value set; load
+    :meth:`CampaignStore.export_columns` when an exact median matters.
+    """
+
+    count: int = 0
+    successes: int = 0
+    meeting_time_sum: float = 0.0
+    meeting_time_max: Optional[float] = None
+    min_distance_sum: float = 0.0
+    min_distance_count: int = 0
+    segments_sum: int = 0
+    simulated_sum: float = 0.0
+    windows_sum: int = 0
+    frozen_count: int = 0
+    freeze_time_sum: float = 0.0
+    termination_counts: List[int] = field(
+        default_factory=lambda: [0] * len(TERMINATION_BY_CODE)
+    )
+
+    def fold(self, columns: Mapping[str, np.ndarray], rows: np.ndarray) -> None:
+        """Fold the selected ``rows`` of one shard's columns into the totals."""
+        if not rows.size:
+            return
+        met = columns["met"][rows]
+        meeting = columns["meeting_time"][rows][met]
+        self.count += int(rows.size)
+        self.successes += int(met.sum())
+        if meeting.size:
+            self.meeting_time_sum += float(meeting.sum())
+            peak = float(meeting.max())
+            if self.meeting_time_max is None or peak > self.meeting_time_max:
+                self.meeting_time_max = peak
+        distances = columns["min_distance"][rows]
+        finite = np.isfinite(distances)
+        self.min_distance_sum += float(distances[finite].sum())
+        self.min_distance_count += int(finite.sum())
+        self.segments_sum += int(
+            columns["segments_a"][rows].sum() + columns["segments_b"][rows].sum()
+        )
+        self.simulated_sum += float(columns["simulated_time"][rows].sum())
+        self.windows_sum += int(columns["windows"][rows].sum())
+        frozen = columns["frozen"][rows] >= 0
+        self.frozen_count += int(frozen.sum())
+        if frozen.any():
+            self.freeze_time_sum += float(columns["freeze_time"][rows][frozen].sum())
+        codes, counts = np.unique(columns["termination"][rows], return_counts=True)
+        for code, n in zip(codes.tolist(), counts.tolist()):
+            self.termination_counts[code] += n
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat summary row (rates and means derived from the totals)."""
+        met = self.successes
+        return {
+            "count": self.count,
+            "successes": met,
+            "success_rate": met / self.count if self.count else float("nan"),
+            "meeting_time_mean": self.meeting_time_sum / met if met else None,
+            "meeting_time_max": self.meeting_time_max,
+            "min_distance_mean": (
+                self.min_distance_sum / self.min_distance_count
+                if self.min_distance_count
+                else float("inf")
+            ),
+            "segments_mean": self.segments_sum / self.count if self.count else float("nan"),
+            "windows_mean": self.windows_sum / self.count if self.count else float("nan"),
+            "freeze_rate": self.frozen_count / self.count if self.count else float("nan"),
+            "freeze_time_mean": (
+                self.freeze_time_sum / self.frozen_count if self.frozen_count else None
+            ),
+            "budget_exhausted": sum(
+                self.termination_counts[code]
+                for code, reason in enumerate(TERMINATION_BY_CODE)
+                if reason.value in ("max-time", "max-segments")
+            ),
+        }
+
+
+class CampaignStore:
+    """One campaign directory: spec, manifest and shard column files."""
+
+    SPEC_FILE = "spec.json"
+    MANIFEST_FILE = "manifest.jsonl"
+    SHARD_DIR = "shards"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+
+    # -- paths ----------------------------------------------------------------------
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.directory, self.SPEC_FILE)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, self.MANIFEST_FILE)
+
+    def shard_path(self, shard_id: str) -> str:
+        return os.path.join(self.directory, self.SHARD_DIR, f"{shard_id}.npz")
+
+    def exists(self) -> bool:
+        return os.path.exists(self.spec_path)
+
+    # -- spec lifecycle ----------------------------------------------------------------
+    def initialize(self, spec: CampaignSpec) -> CampaignSpec:
+        """Create the directory for ``spec``, or re-open it if it already holds it.
+
+        Idempotent on an equal spec (same digest): re-running ``repro
+        campaign run`` against an existing directory simply continues it.  A
+        *different* spec raises — finished shards of one campaign must never
+        be misread as finished shards of another.
+        """
+        if self.exists():
+            existing = self.load_spec()
+            if existing.digest() != spec.digest():
+                raise CampaignError(
+                    f"campaign directory {self.directory} already holds campaign "
+                    f"{existing.name!r} (digest {existing.digest()}); refusing to "
+                    f"overwrite it with {spec.name!r} (digest {spec.digest()})"
+                )
+            return existing
+        os.makedirs(os.path.join(self.directory, self.SHARD_DIR), exist_ok=True)
+        self._write_atomic(self.spec_path, spec.to_json().encode())
+        return spec
+
+    def load_spec(self) -> CampaignSpec:
+        if not self.exists():
+            raise CampaignError(
+                f"{self.directory} is not a campaign directory (no {self.SPEC_FILE})"
+            )
+        with open(self.spec_path) as handle:
+            return CampaignSpec.from_json(handle.read())
+
+    def _write_atomic(self, path: str, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- manifest ----------------------------------------------------------------------
+    def manifest_records(self) -> List[Dict[str, Any]]:
+        """All parseable manifest records, in append order (torn lines skipped)."""
+        records: List[Dict[str, Any]] = []
+        if not os.path.exists(self.manifest_path):
+            return records
+        with open(self.manifest_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A crash mid-append tears at most the final line; the
+                    # shard it described simply re-runs.
+                    continue
+        return records
+
+    def completed(self, *, verify: bool = False) -> Dict[str, Dict[str, Any]]:
+        """Completion records by shard id, dropping records whose data is gone.
+
+        ``verify=True`` additionally re-hashes every shard file against its
+        recorded checksum (``repro campaign report --check``); the default
+        trusts the manifest and only requires the file to exist, which keeps
+        resume start-up O(shards) in stat calls rather than in reads.
+        """
+        done: Dict[str, Dict[str, Any]] = {}
+        for record in self.manifest_records():
+            shard_id = record.get("shard_id")
+            path = self.shard_path(shard_id) if shard_id else None
+            if not shard_id or not os.path.exists(path):
+                continue
+            if verify and _sha256_file(path) != record.get("sha256"):
+                continue
+            done[shard_id] = record
+        return done
+
+    def write_shard(
+        self,
+        shard: Shard,
+        columns: Mapping[str, np.ndarray],
+        *,
+        wall_seconds: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Persist one completed shard: atomic data file, then manifest record."""
+        unknown = set(columns) - set(RESULT_COLUMNS)
+        missing = set(RESULT_COLUMNS) - set(columns)
+        if unknown or missing:
+            raise CampaignError(
+                f"shard columns mismatch: unknown={sorted(unknown)} missing={sorted(missing)}"
+            )
+        rows = {len(np.asarray(column)) for column in columns.values()}
+        if len(rows) != 1 or rows != {shard.count}:
+            raise CampaignError(
+                f"shard {shard.shard_id} expects {shard.count} rows, got {sorted(rows)}"
+            )
+        path = self.shard_path(shard.shard_id)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **{name: np.asarray(columns[name]) for name in RESULT_COLUMNS})
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        record = {
+            "shard_id": shard.shard_id,
+            "index": shard.index,
+            "arm": shard.arm_index,
+            "cls": shard.class_index,
+            "start": shard.start,
+            "rows": shard.count,
+            "sha256": _sha256_file(path),
+            "wall_seconds": round(float(wall_seconds), 6),
+            "completed_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+        with open(self.manifest_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    # -- readers -------------------------------------------------------------------------
+    def read_shard(self, shard_id: str) -> Dict[str, np.ndarray]:
+        path = self.shard_path(shard_id)
+        if not os.path.exists(path):
+            raise CampaignError(f"shard {shard_id} has no data file in {self.directory}")
+        try:
+            with np.load(path) as data:
+                return {name: data[name] for name in data.files}
+        except (OSError, ValueError) as error:
+            # In-place corruption (atomic writes rule out torn files, but not
+            # a bad disk or an outside edit): surface as a campaign problem —
+            # `report --check` names the shard — instead of a numpy traceback.
+            raise CampaignError(f"shard {shard_id} is unreadable: {error}") from None
+
+    def iter_completed(
+        self, plan: Optional[Sequence[Shard]] = None
+    ) -> Iterator[Tuple[Shard, Dict[str, np.ndarray]]]:
+        """Completed shards with their columns, one at a time, in plan order."""
+        if plan is None:
+            plan = plan_shards(self.load_spec())
+        done = self.completed()
+        for shard in plan:
+            if shard.shard_id in done:
+                yield shard, self.read_shard(shard.shard_id)
+
+    def export_columns(self, plan: Optional[Sequence[Shard]] = None) -> Dict[str, np.ndarray]:
+        """All stored columns concatenated in plan order (completeness required).
+
+        The one whole-campaign reader; everything else streams.  Raises when
+        any planned shard is missing *or checksum-corrupt* — this is the
+        reader the bit-identical-resume contract is pinned on, it reads every
+        byte anyway, so the integrity hash is nearly free here — because a
+        partial or corrupted export silently standing in for a finished
+        campaign is exactly the bug the manifest exists to prevent.
+        """
+        if plan is None:
+            plan = plan_shards(self.load_spec())
+        done = self.completed(verify=True)
+        missing = [shard.shard_id for shard in plan if shard.shard_id not in done]
+        if missing:
+            raise CampaignError(
+                f"campaign is incomplete or corrupt: {len(missing)}/{len(plan)} "
+                f"shards unusable (first: {missing[0]})"
+            )
+        parts = [self.read_shard(shard.shard_id) for shard in plan]
+        return {
+            name: np.concatenate([part[name] for part in parts])
+            for name in RESULT_COLUMNS
+        }
+
+    def aggregate(
+        self, plan: Optional[Sequence[Shard]] = None
+    ) -> Dict[Tuple[int, int], CellAggregate]:
+        """Streaming per-(arm, class) aggregates over every completed shard."""
+        cells: Dict[Tuple[int, int], CellAggregate] = {}
+        for shard, columns in self.iter_completed(plan):
+            key = (shard.arm_index, shard.class_index)
+            aggregate = cells.setdefault(key, CellAggregate())
+            aggregate.fold(columns, np.arange(shard.count))
+        return cells
+
+    def verify(self, plan: Optional[Sequence[Shard]] = None) -> List[str]:
+        """Consistency problems of the directory (empty list = all good).
+
+        Checks that every planned shard has a matching record whose checksum
+        and row count hold; used by ``repro campaign report --check``.
+        """
+        if plan is None:
+            plan = plan_shards(self.load_spec())
+        problems: List[str] = []
+        records = self.completed()
+        for shard in plan:
+            record = records.get(shard.shard_id)
+            if record is None:
+                problems.append(f"shard {shard.shard_id} (index {shard.index}) incomplete")
+                continue
+            path = self.shard_path(shard.shard_id)
+            if _sha256_file(path) != record.get("sha256"):
+                problems.append(f"shard {shard.shard_id} checksum mismatch")
+                continue
+            if int(record.get("rows", -1)) != shard.count:
+                problems.append(
+                    f"shard {shard.shard_id} rows {record.get('rows')} != planned {shard.count}"
+                )
+        return problems

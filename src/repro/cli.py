@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the everyday uses of the library without writing any
+Five subcommands cover the everyday uses of the library without writing any
 Python:
 
 * ``repro classify``   — classify an instance, report feasibility/coverage and
@@ -8,7 +8,11 @@ Python:
 * ``repro simulate``   — run one algorithm on one instance (optionally with
   asymmetric visibility radii and an ASCII rendering of the outcome);
 * ``repro experiment`` — run one (or all) of the DESIGN.md experiments and
-  write the results under ``results/``;
+  write the results under ``results/`` (the Monte-Carlo sweeps optionally as
+  resumable campaigns via ``--campaign-dir``);
+* ``repro campaign``   — run/resume/inspect sharded, checkpointed simulation
+  campaigns with an on-disk columnar result store
+  (``run | resume | status | report``);
 * ``repro algorithms`` — list the registered algorithms.
 
 The module is also installed as the ``python -m repro`` entry point.
@@ -184,6 +188,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     thm31_engine = "vectorized" if args.engine in ("auto", "vectorized") else "event"
+    # The big Monte-Carlo sweeps can run as checkpointed, resumable campaigns:
+    # --campaign-dir routes them through the campaign orchestrator, storing
+    # columns under <dir>/<experiment>/ so each sweep owns its own manifest.
+    def campaign_subdir(name: str):
+        if args.campaign_dir is None:
+            return None
+        import os
+
+        return os.path.join(args.campaign_dir, name)
+
     registry = {
         "figures": lambda: all_figures(),
         "thm31": lambda: run_characterization_experiment(
@@ -192,6 +206,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "thm32": lambda: run_universal_coverage_experiment(
             samples_per_type=args.samples,
             engine=args.engine,
+            campaign_dir=campaign_subdir("thm32"),
             # The vectorized engine is float-only; give it a float-safe horizon.
             **({"timebase": "float", "max_time": 1e9} if args.engine == "vectorized" else {}),
         ),
@@ -199,12 +214,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "section5": lambda: run_asymmetric_radius_experiment(
             samples_per_type=args.samples,
             engine="event" if args.engine == "event" else "vectorized",
+            campaign_dir=campaign_subdir("section5"),
         ),
         "measure": lambda: run_measure_experiment(samples=args.samples * 20_000),
         "scaling": lambda: run_scaling_experiment(),
         "ablation": lambda: [run_timebase_ablation(), run_schedule_ablation()],
     }
     names = list(registry) if args.name == "all" else [args.name]
+    campaign_capable = {"thm32", "section5"}
+    if args.campaign_dir is not None and not campaign_capable.intersection(names):
+        print(
+            "error: --campaign-dir applies to the Monte-Carlo sweeps "
+            f"({', '.join(sorted(campaign_capable))}), not {args.name!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.campaign_dir is not None and args.engine == "event" and "section5" in names:
+        print(
+            "error: --campaign-dir routes section5 through the vectorized "
+            "engine; drop --engine event (or drop --campaign-dir for the "
+            "event cross-check)",
+            file=sys.stderr,
+        )
+        return 2
     for name in names:
         outcome = registry[name]()
         results = outcome if isinstance(outcome, list) else [outcome]
@@ -220,6 +252,148 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_algorithms(_args: argparse.Namespace) -> int:
     for name in available_algorithms():
         print(f"{name:28s} {get_algorithm(name).name}")
+    return 0
+
+
+# -- campaign subcommands ---------------------------------------------------------------
+
+
+#: Inline-spec flags and their argparse defaults.  With ``--spec FILE`` these
+#: flags have no effect (the file is the spec), so passing any of them
+#: alongside ``--spec`` is an error rather than a silent no-op; only
+#: ``--shard-size`` is an explicit, documented override.
+_INLINE_SPEC_DEFAULTS = {
+    "name": "campaign",
+    "algorithm": [],
+    "classes": "uniform",
+    "instances_per_cell": 256,
+    "seed": 0,
+    "max_time": 1e6,
+    "max_segments": 100_000,
+    "timebase": "float",
+}
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """The campaign spec of a ``repro campaign run``: a file, or inline flags."""
+    from repro.campaign import CampaignArm, CampaignSpec
+
+    if args.spec is not None:
+        conflicting = [
+            "--" + key.replace("_", "-")
+            for key, default in _INLINE_SPEC_DEFAULTS.items()
+            if getattr(args, key) != default
+        ]
+        if conflicting:
+            raise ReproError(
+                f"--spec conflicts with inline spec flags {', '.join(conflicting)}; "
+                "edit the spec file instead (--shard-size is the one supported "
+                "override)"
+            )
+        with open(args.spec) as handle:
+            spec = CampaignSpec.from_json(handle.read())
+        if args.shard_size is not None:
+            # shard_size enters the digest (it defines the shard plan), so an
+            # override is a *different* campaign — which is exactly right: the
+            # caller asked for a different partition.
+            spec = CampaignSpec.from_dict({**spec.as_dict(), "shard_size": args.shard_size})
+        return spec
+    if not args.algorithm:
+        raise ReproError("campaign run needs --spec FILE or at least one --algorithm")
+    simulator = {"max_time": args.max_time, "max_segments": args.max_segments}
+    if args.timebase != "float":
+        simulator["timebase"] = args.timebase
+    return CampaignSpec(
+        name=args.name,
+        arms=tuple(CampaignArm(algorithm=name) for name in args.algorithm),
+        classes=tuple(args.classes.split(",")),
+        instances_per_cell=args.instances_per_cell,
+        seed=args.seed,
+        simulator=simulator,
+        shard_size=args.shard_size if args.shard_size is not None else 256,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    backend_error = _check_kernel_backend(args.kernel_backend)
+    if backend_error is None:
+        backend_error = _check_kernel_threads(args.kernel_threads)
+    if backend_error is not None:
+        print(f"error: {backend_error}", file=sys.stderr)
+        return 2
+    if args.kernel_backend is not None or args.kernel_threads is not None:
+        import os
+
+        from repro.geometry.backends import ENV_VAR, THREADS_ENV_VAR
+
+        if args.kernel_backend is not None:
+            os.environ[ENV_VAR] = args.kernel_backend
+        if args.kernel_threads is not None:
+            os.environ[THREADS_ENV_VAR] = str(args.kernel_threads)
+
+    from repro.campaign import run_campaign
+    from repro.parallel.runner import BatchRunner
+
+    spec = _campaign_spec_from_args(args) if args.campaign_command == "run" else None
+    with BatchRunner(processes=args.processes) as runner:
+        stats = run_campaign(
+            args.campaign_dir,
+            spec,
+            runner=runner,
+            max_shards=args.max_shards,
+            cache_policy=args.cache_policy,
+            progress=print,
+        )
+    if stats.interrupted:
+        print(f"interrupted: resume with `repro campaign resume --campaign-dir {args.campaign_dir}`")
+        return 3
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import status_rows
+    from repro.experiments.report import format_table
+
+    status = status_rows(args.campaign_dir)
+    print(f"campaign          : {status['name']} [{status['digest']}]")
+    print(f"shards complete   : {status['shards_complete']}/{status['shards_total']}")
+    print(f"rows stored       : {status['rows_stored']}/{status['rows_total']}")
+    if status["cells"]:
+        print()
+        print(format_table(status["cells"]))
+    return 0 if status["shards_complete"] == status["shards_total"] else 3
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, plan_shards, status_rows
+    from repro.experiments.report import format_table, write_csv
+
+    if args.check:
+        # Verify *before* aggregating, so a corrupt shard is reported as a
+        # named check failure instead of crashing the table render.
+        store = CampaignStore(args.campaign_dir)
+        problems = store.verify(plan_shards(store.load_spec()))
+        if problems:
+            for problem in problems:
+                print(f"[check] FAIL: {problem}", file=sys.stderr)
+            return 1
+    status = status_rows(args.campaign_dir)
+    print(f"== campaign {status['name']} [{status['digest']}] ==")
+    print(format_table(status["cells"]))
+    if args.output_csv:
+        write_csv(status["cells"], args.output_csv)
+        print(f"[saved] {args.output_csv}")
+    if args.check:
+        print(f"[check] OK: {status['shards_total']} shards, "
+              f"{status['rows_stored']} rows, checksums verified")
+        return 0
+    if status["shards_complete"] != status["shards_total"]:
+        # Same convention as `status`: a partial aggregate renders, but the
+        # exit code says the campaign is not finished.
+        print(
+            f"(incomplete: {status['shards_complete']}/{status['shards_total']} shards)"
+        )
+        return 3
     return 0
 
 
@@ -296,11 +470,93 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical for every value)",
     )
     experiment_parser.add_argument("--results-dir", default=None)
+    experiment_parser.add_argument(
+        "--campaign-dir", default=None, metavar="DIR",
+        help="run the Monte-Carlo sweeps (thm32, section5) as checkpointed "
+             "campaigns under DIR/<experiment>: interrupted runs resume, "
+             "finished shards are never recomputed",
+    )
     experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
     algorithms_parser = subparsers.add_parser("algorithms", help="list registered algorithms")
     algorithms_parser.set_defaults(handler=_cmd_algorithms)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="sharded, checkpointed, resumable simulation campaigns",
+        description="Run simulation campaigns as checkpointed shards in a campaign "
+                    "directory: `run` executes (or continues) a campaign, `resume` "
+                    "continues one from its stored spec, `status`/`report` summarize "
+                    "the on-disk columns by streaming them (exit code 3 = incomplete).",
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_execution_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--campaign-dir", required=True, metavar="DIR",
+                         help="campaign directory (spec + manifest + shard columns)")
+        sub.add_argument("--max-shards", type=int, default=None, metavar="N",
+                         help="stop after N shards (exit code 3; resume later)")
+        sub.add_argument("--cache-policy", default="auto",
+                         choices=("auto", "all", "shared-only"),
+                         help="compiler-cache admission around each shard (auto "
+                              "drops to shared-only when the campaign's distinct "
+                              "compilers would thrash the cache budget)")
+        sub.add_argument("--processes", type=int, default=None, metavar="N",
+                         help="worker processes for non-vectorizable (e.g. exact-"
+                              "timebase) shards; vectorized shards never use workers")
+        sub.add_argument("--kernel-backend", default=None, metavar="NAME",
+                         help="kernel backend for the vectorized shards "
+                              "(sets REPRO_KERNEL_BACKEND for the run)")
+        sub.add_argument("--kernel-threads", type=int, default=None, metavar="N",
+                         help="kernel chunk threads (sets REPRO_KERNEL_THREADS; "
+                              "results are bit-identical for every value)")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign (continues an existing directory)")
+    campaign_run.add_argument("--spec", default=None, metavar="FILE",
+                              help="campaign spec JSON (alternative: the inline "
+                                   "--algorithm/--classes/... flags below)")
+    campaign_run.add_argument("--name", default="campaign", help="inline spec: campaign name")
+    campaign_run.add_argument("--algorithm", action="append", default=[], metavar="NAME",
+                              help="inline spec: algorithm arm (repeatable)")
+    campaign_run.add_argument("--classes", default="uniform",
+                              help="inline spec: comma-separated instance classes "
+                                   "(e.g. type-1,type-2) or 'uniform'")
+    campaign_run.add_argument("--instances-per-cell", type=int, default=256,
+                              help="inline spec: instances sampled per class")
+    campaign_run.add_argument("--seed", type=int, default=0, help="inline spec: master seed")
+    campaign_run.add_argument("--max-time", type=float, default=1e6,
+                              help="inline spec: simulated-time budget")
+    campaign_run.add_argument("--max-segments", type=int, default=100_000,
+                              help="inline spec: combined segment budget")
+    campaign_run.add_argument("--timebase", default="float", choices=("float", "exact"),
+                              help="inline spec: timebase (exact forces the event engine)")
+    campaign_run.add_argument("--shard-size", type=int, default=None, metavar="N",
+                              help="instances per shard (changes the shard plan, "
+                                   "i.e. the campaign identity)")
+    _add_execution_arguments(campaign_run)
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue a campaign from its stored spec")
+    _add_execution_arguments(campaign_resume)
+    campaign_resume.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="shard completion and streaming per-cell aggregates")
+    campaign_status.add_argument("--campaign-dir", required=True, metavar="DIR")
+    campaign_status.set_defaults(handler=_cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate table over the stored columns")
+    campaign_report.add_argument("--campaign-dir", required=True, metavar="DIR")
+    campaign_report.add_argument("--output-csv", default=None, metavar="FILE",
+                                 help="also write the table as CSV")
+    campaign_report.add_argument("--check", action="store_true",
+                                 help="verify completeness and shard checksums; "
+                                      "non-zero exit on any problem")
+    campaign_report.set_defaults(handler=_cmd_campaign_report)
     return parser
 
 

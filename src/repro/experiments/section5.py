@@ -53,6 +53,91 @@ TYPE_CLASSES = (
 DEFAULT_RATIOS = (1.0, 0.5, 0.25)
 
 
+def asymmetric_campaign_spec(
+    samples_per_type: int = 8,
+    seed: int = 17,
+    *,
+    ratios=DEFAULT_RATIOS,
+    config: Optional[SamplerConfig] = None,
+    max_time: float = 1e6,
+    max_segments: int = 200_000,
+    radius_slack: float = 1e-9,
+    shard_size: int = 256,
+):
+    """The Section 5 sweep as a :class:`~repro.campaign.spec.CampaignSpec`.
+
+    One arm per radius ratio: the ``radius_b_ratio`` arm option resolves
+    against each sampled instance's own ``r`` at task-build time, so the
+    whole ratio grid serializes without knowing the instances — and every
+    arm simulates the *identical* per-type instance stream (instances are
+    keyed by class position, not by arm), keeping ratios comparable row for
+    row just like the in-memory sweep.
+    """
+    from dataclasses import asdict
+
+    from repro.campaign import CampaignArm, CampaignSpec
+
+    arms = tuple(
+        CampaignArm(
+            algorithm="almost-universal-compact",
+            label=f"ratio-{ratio:g}",
+            options={"radius_a_ratio": 1.0, "radius_b_ratio": float(ratio)},
+        )
+        for ratio in ratios
+    )
+    return CampaignSpec(
+        name="section-5-asymmetric-radii",
+        arms=arms,
+        classes=tuple(cls.value for cls in TYPE_CLASSES),
+        instances_per_cell=samples_per_type,
+        seed=seed,
+        sampler=asdict(config if config is not None else DEFAULT_COVERAGE_CONFIG),
+        simulator={
+            "max_time": max_time,
+            "max_segments": max_segments,
+            "radius_slack": radius_slack,
+        },
+        shard_size=shard_size,
+    )
+
+
+def _campaign_asymmetric_result(campaign_dir: str, spec, ratios) -> ExperimentResult:
+    """Assemble the sweep table from a campaign directory's stored columns."""
+    from repro.campaign import status_rows
+
+    status = status_rows(campaign_dir)
+    by_label = {
+        (cell["arm"], cell["class"]): cell for cell in status["cells"]
+    }
+    rows: List[Dict[str, object]] = []
+    for cls in TYPE_CLASSES:
+        for ratio in ratios:
+            cell = by_label[(f"ratio-{ratio:g}", cls.value)]
+            rows.append(
+                {
+                    "label": cls.value,
+                    "ratio": ratio,
+                    "count": cell["count"],
+                    "success_rate": cell["success_rate"],
+                    "freeze_rate": cell["freeze_rate"],
+                    "meeting_time_mean": cell["meeting_time_mean"],
+                    "freeze_time_mean": cell["freeze_time_mean"],
+                    "budget_exhausted": cell["budget_exhausted"],
+                }
+            )
+    result = ExperimentResult(name="section-5-asymmetric-radii", rows=rows)
+    result.add_note(
+        f"Campaign mode: columns stored under {campaign_dir} "
+        f"[{status['digest']}]; re-running resumes instead of recomputing."
+    )
+    result.add_note(
+        f"Ratios r_b/r_a = {tuple(ratios)}; budgets: "
+        f"max_time={spec.simulator['max_time']:g}, "
+        f"max_segments={spec.simulator['max_segments']}."
+    )
+    return result
+
+
 def run_asymmetric_radius_experiment(
     samples_per_type: int = 8,
     seed: int = 17,
@@ -64,6 +149,7 @@ def run_asymmetric_radius_experiment(
     max_segments: int = 200_000,
     radius_slack: float = 1e-9,
     engine: str = "vectorized",
+    campaign_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the Section 5 asymmetric-radius sweep and return its table.
 
@@ -72,9 +158,42 @@ def run_asymmetric_radius_experiment(
     batches each cell through the asymmetric batch engine, ``"event"`` loops
     the per-instance event engine).  Budgets and the ``radius_slack``
     meeting tolerance mirror the other Monte-Carlo experiments.
+
+    ``campaign_dir`` routes the sweep through the campaign orchestrator: the
+    (type, ratio) grid executes as checkpointed shards under that directory —
+    resumable, durable, aggregated by streaming the stored columns.  Requires
+    the default schedule (the spec serializes algorithms by registry name).
     """
     if engine not in ("event", "vectorized"):
         raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
+    if campaign_dir is not None:
+        if engine == "event":
+            # The campaign router sends float-timebase tasks to the
+            # vectorized engine; silently ignoring an explicit event-engine
+            # cross-check request would hand back the wrong evidence.
+            raise ValueError(
+                "campaign mode routes float-timebase shards through the "
+                "vectorized engine; use engine='event' without campaign_dir "
+                "for the per-instance event cross-check"
+            )
+        if schedule is not None:
+            raise ValueError(
+                "campaign mode serializes the spec; custom schedule objects "
+                "have no registry name — use schedule=None"
+            )
+        from repro.campaign import run_campaign
+
+        spec = asymmetric_campaign_spec(
+            samples_per_type,
+            seed,
+            ratios=ratios,
+            config=config,
+            max_time=max_time,
+            max_segments=max_segments,
+            radius_slack=radius_slack,
+        )
+        run_campaign(campaign_dir, spec)
+        return _campaign_asymmetric_result(campaign_dir, spec, ratios)
     sampler = InstanceSampler(
         config if config is not None else DEFAULT_COVERAGE_CONFIG, seed
     )

@@ -147,11 +147,21 @@ def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]
         )
         results = [outcome.result for outcome in outcomes]
     else:
+        outcomes = None
         results = simulate_batch(instances, algorithm, **options)
     records = []
-    for task, result in zip(tasks, results):
+    for k, (task, result) in enumerate(zip(tasks, results)):
         record = result.as_record()
         record["tag"] = task.tag
+        if outcomes is not None:
+            # Surface the asymmetric engine's freeze event; the campaign
+            # store and the Section 5 sweep aggregate these columns.  The
+            # event-engine fallback has no record-level freeze channel, so
+            # the keys mark the difference between "did not freeze" and
+            # "not recorded".
+            record["frozen_agent"] = outcomes[k].frozen_agent
+            record["freeze_time"] = outcomes[k].freeze_time
+            record["freeze_distance"] = outcomes[k].freeze_distance
         records.append(record)
     return records
 
@@ -189,6 +199,13 @@ class BatchRunner:
     pay the spawn cost once.  Call :meth:`close` (or use the runner as a
     context manager) to release it; a closed runner stays usable and simply
     respawns on demand.
+
+    This is also the campaign orchestrator's shard dispatcher
+    (:func:`repro.campaign.orchestrator.run_campaign`): one runner spans the
+    whole campaign and takes one ``run()`` call per shard, so vectorizable
+    shards execute as single inline batch-engine calls while exact-timebase
+    shards amortize the worker pool's spawn cost across every shard of the
+    campaign.
     """
 
     engine: str = "auto"

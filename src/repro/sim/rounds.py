@@ -47,7 +47,8 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,6 +166,59 @@ def trim_compiler_cache() -> None:
     _trim_compiler_cache()
 
 
+def compiler_cache_entry_budget() -> int:
+    """The entry cap of the cross-call compiler cache.
+
+    Exposed for admission-policy decisions (the campaign orchestrator
+    compares a campaign's expected distinct-compiler count against this
+    budget before choosing a policy); reads the module-level limit at call
+    time so tests can shrink it.
+    """
+    return _COMPILER_CACHE_LIMIT
+
+
+#: Current admission policy of ``_COMPILER_CACHE``.  ``"all"`` (default)
+#: admits every universal compiler with a ``program_cache_key``; ``"shared-only"``
+#: admits only agent A's — the canonical reference spec shared by *every*
+#: instance — so a campaign whose per-instance B-side specs outnumber the
+#: cache budget keeps its one guaranteed-reusable entry instead of thrashing
+#: the LRU with thousands of single-use B compilers (each insertion of which
+#: would evict an entry that *would* have been reused).
+_COMPILER_CACHE_ADMISSION = "all"
+
+_ADMISSION_POLICIES = ("all", "shared-only")
+
+
+def compiler_cache_admission_policy() -> str:
+    """The admission policy currently applied to the cross-call compiler cache."""
+    return _COMPILER_CACHE_ADMISSION
+
+
+@contextmanager
+def compiler_cache_admission(policy: str) -> Iterator[None]:
+    """Scope a compiler-cache admission policy around a batch run.
+
+    ``"all"`` restores the default behaviour; ``"shared-only"`` makes
+    :class:`ProgramSource` bypass the cross-call ``_COMPILER_CACHE`` for every
+    spec except agent A's (``spec.name == "A"``), the one compiler every
+    instance of every campaign shares.  Results never depend on the policy —
+    only which rows are *recompiled* across calls does.  The previous policy
+    is restored on exit, so nested scopes compose.
+    """
+    if policy not in _ADMISSION_POLICIES:
+        raise ValueError(
+            f"unknown compiler-cache admission policy {policy!r}; "
+            f"expected one of {_ADMISSION_POLICIES}"
+        )
+    global _COMPILER_CACHE_ADMISSION
+    previous = _COMPILER_CACHE_ADMISSION
+    _COMPILER_CACHE_ADMISSION = policy
+    try:
+        yield
+    finally:
+        _COMPILER_CACHE_ADMISSION = previous
+
+
 class ProgramSource:
     """Serves trajectory tables, consuming each instruction stream only once.
 
@@ -231,7 +285,14 @@ class ProgramSource:
         compiler_key: Any = spec if self._universal else (index, role)
         compiler = self._compilers.get(compiler_key)
         if compiler is None:
-            if self._universal and self._cache_key is not None:
+            # Under the "shared-only" admission policy, only agent A's spec —
+            # the canonical reference shared by every instance — may consult
+            # or populate the cross-call cache; per-instance B specs compile
+            # locally and die with the run instead of churning the LRU.
+            admitted = (
+                _COMPILER_CACHE_ADMISSION == "all" or spec.name == "A"
+            )
+            if self._universal and self._cache_key is not None and admitted:
                 global_key = (self._cache_key, spec)
                 compiler = _COMPILER_CACHE.pop(global_key, None)
                 if compiler is None:

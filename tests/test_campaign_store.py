@@ -1,0 +1,220 @@
+"""The on-disk columnar store: atomicity, manifest recovery, streaming reads.
+
+The store's contract is what makes campaigns crash-safe: a shard data file
+exists completely or not at all, a manifest line never references missing
+data, and a half-dead directory (torn manifest line, deleted shard file,
+corrupted bytes) degrades to "those shards re-run" — never to a wrong or
+partial aggregate silently standing in for a complete one.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignArm,
+    CampaignError,
+    CampaignSpec,
+    CampaignStore,
+    plan_shards,
+)
+from repro.campaign.store import RESULT_COLUMNS, records_to_columns
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="store-unit",
+        arms=(CampaignArm(algorithm="almost-universal-compact"),),
+        classes=("type-1",),
+        instances_per_cell=6,
+        seed=2,
+        simulator={"max_time": 1e5, "max_segments": 20_000},
+        shard_size=3,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def fake_record(met=True, **overrides):
+    record = {
+        "met": met,
+        "termination": "rendezvous" if met else "max-time",
+        "meeting_time": 2.5 if met else None,
+        "min_distance": 0.4,
+        "min_distance_time": 1.5,
+        "simulated_time": 2.5,
+        "segments_a": 3,
+        "segments_b": 4,
+        "windows": 7,
+        "instance_r": 0.5,
+        "instance_x": 1.0,
+        "instance_y": 1.0,
+        "instance_phi": 0.0,
+        "instance_tau": 1.0,
+        "instance_v": 1.0,
+        "instance_t": 0.0,
+        "instance_chi": 1,
+    }
+    record.update(overrides)
+    return record
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = CampaignStore(str(tmp_path / "camp"))
+    store.initialize(make_spec())
+    return store
+
+
+def write_all(store, spec=None):
+    spec = spec if spec is not None else store.load_spec()
+    plan = plan_shards(spec)
+    for shard in plan:
+        columns = records_to_columns(shard, [fake_record() for _ in range(shard.count)])
+        store.write_shard(shard, columns, wall_seconds=0.1)
+    return plan
+
+
+class TestInitialize:
+    def test_creates_spec_and_reopens_idempotently(self, store):
+        assert store.exists()
+        assert store.load_spec() == make_spec()
+        store.initialize(make_spec(name="renamed"))  # same digest: fine
+
+    def test_refuses_a_different_campaign(self, store):
+        with pytest.raises(CampaignError, match="refusing"):
+            store.initialize(make_spec(seed=3))
+
+    def test_load_without_spec_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="not a campaign directory"):
+            CampaignStore(str(tmp_path / "nothing")).load_spec()
+
+
+class TestWriteAndRead:
+    def test_write_then_completed_and_read(self, store):
+        plan = write_all(store)
+        done = store.completed()
+        assert set(done) == {shard.shard_id for shard in plan}
+        columns = store.read_shard(plan[0].shard_id)
+        assert set(columns) == set(RESULT_COLUMNS)
+        assert columns["met"].all()
+        assert (columns["position"] == np.arange(plan[0].count)).all()
+
+    def test_records_to_columns_encodes_sentinels(self):
+        shard = plan_shards(make_spec())[0]
+        columns = records_to_columns(
+            shard,
+            [
+                fake_record(),
+                fake_record(
+                    met=False, meeting_time=None, min_distance_time=None,
+                    frozen_agent="B", freeze_time=1.25, freeze_distance=0.75,
+                ),
+                fake_record(min_distance=float("inf")),
+            ],
+        )
+        assert columns["met"].tolist() == [True, False, True]
+        assert np.isnan(columns["meeting_time"][1])
+        assert np.isnan(columns["min_distance_time"][1])
+        assert columns["frozen"].tolist() == [-1, 1, -1]
+        assert columns["freeze_time"][1] == 1.25
+        assert np.isinf(columns["min_distance"][2])
+
+    def test_row_count_mismatch_rejected(self, store):
+        shard = plan_shards(store.load_spec())[0]
+        columns = records_to_columns(shard, [fake_record()] * (shard.count - 1))
+        with pytest.raises(CampaignError, match="rows"):
+            store.write_shard(shard, columns)
+
+    def test_unknown_or_missing_columns_rejected(self, store):
+        shard = plan_shards(store.load_spec())[0]
+        columns = records_to_columns(shard, [fake_record()] * shard.count)
+        columns["bogus"] = np.zeros(shard.count)
+        with pytest.raises(CampaignError, match="bogus"):
+            store.write_shard(shard, columns)
+        del columns["bogus"], columns["met"]
+        with pytest.raises(CampaignError, match="met"):
+            store.write_shard(shard, columns)
+
+    def test_no_temp_files_survive(self, store):
+        write_all(store)
+        shard_dir = os.path.join(store.directory, CampaignStore.SHARD_DIR)
+        assert not [name for name in os.listdir(shard_dir) if name.startswith(".tmp")]
+
+
+class TestManifestRecovery:
+    def test_torn_final_line_is_skipped(self, store):
+        plan = write_all(store)
+        with open(store.manifest_path, "a") as handle:
+            handle.write('{"shard_id": "deadbeef", "rows":')  # crash mid-append
+        assert set(store.completed()) == {shard.shard_id for shard in plan}
+
+    def test_record_without_data_file_is_dropped(self, store):
+        plan = write_all(store)
+        os.unlink(store.shard_path(plan[0].shard_id))
+        assert plan[0].shard_id not in store.completed()
+        assert plan[1].shard_id in store.completed()
+
+    def test_checksum_verification_drops_corrupt_shards(self, store):
+        plan = write_all(store)
+        with open(store.shard_path(plan[0].shard_id), "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"corrupt!")
+        assert plan[0].shard_id in store.completed()  # default trusts the manifest
+        assert plan[0].shard_id not in store.completed(verify=True)
+        problems = store.verify(plan)
+        assert any("checksum" in problem for problem in problems)
+
+    def test_verify_reports_incomplete_shards(self, store):
+        plan = plan_shards(store.load_spec())
+        problems = store.verify(plan)
+        assert len(problems) == len(plan)
+        assert all("incomplete" in problem for problem in problems)
+
+    def test_manifest_records_carry_bookkeeping(self, store):
+        write_all(store)
+        for record in store.manifest_records():
+            assert set(record) >= {
+                "shard_id", "index", "arm", "cls", "start", "rows",
+                "sha256", "wall_seconds", "completed_utc",
+            }
+
+
+class TestReaders:
+    def test_export_concatenates_in_plan_order(self, store):
+        plan = write_all(store)
+        columns = store.export_columns(plan)
+        assert len(columns["met"]) == sum(shard.count for shard in plan)
+        assert columns["position"].tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_export_refuses_partial_campaigns(self, store):
+        plan = write_all(store)
+        os.unlink(store.shard_path(plan[-1].shard_id))
+        with pytest.raises(CampaignError, match="incomplete"):
+            store.export_columns(plan)
+
+    def test_aggregate_streams_per_cell(self, store):
+        plan = write_all(store)
+        cells = store.aggregate(plan)
+        assert set(cells) == {(0, 0)}
+        row = cells[(0, 0)].as_row()
+        assert row["count"] == 6
+        assert row["success_rate"] == 1.0
+        assert row["meeting_time_mean"] == pytest.approx(2.5)
+        assert row["budget_exhausted"] == 0
+
+    def test_aggregate_counts_budget_exhaustion(self, store):
+        spec = store.load_spec()
+        plan = plan_shards(spec)
+        for shard in plan:
+            records = [
+                fake_record(met=False, meeting_time=None, termination="max-time")
+                for _ in range(shard.count)
+            ]
+            store.write_shard(shard, records_to_columns(shard, records))
+        row = store.aggregate(plan)[(0, 0)].as_row()
+        assert row["successes"] == 0
+        assert row["budget_exhausted"] == 6
+        assert row["meeting_time_mean"] is None

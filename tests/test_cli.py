@@ -113,3 +113,130 @@ class TestOtherCommands:
         assert code == 0
         assert "[saved]" in out
         assert any(path.suffix == ".csv" for path in tmp_path.iterdir())
+
+
+class TestCampaignCommands:
+    def _run_args(self, directory, extra=()):
+        return [
+            "campaign", "run", "--campaign-dir", str(directory),
+            "--name", "cli-smoke", "--algorithm", "almost-universal-compact",
+            "--classes", "type-1", "--instances-per-cell", "4",
+            "--shard-size", "2", "--seed", "5",
+            "--max-time", "1e6", "--max-segments", "30000",
+            *extra,
+        ]
+
+    def test_run_interrupt_resume_report_check(self, tmp_path, capsys):
+        directory = tmp_path / "camp"
+        # Interrupted run exits 3 and says how to resume.
+        code = main(self._run_args(directory, ["--max-shards", "1"]))
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "campaign resume" in out
+
+        # Status and report of the partial campaign also exit 3.
+        assert main(["campaign", "status", "--campaign-dir", str(directory)]) == 3
+        assert "1/2" in capsys.readouterr().out
+        assert main(["campaign", "report", "--campaign-dir", str(directory)]) == 3
+        assert "incomplete" in capsys.readouterr().out
+
+        # Resume completes from the stored spec and skips the finished shard.
+        code = main(["campaign", "resume", "--campaign-dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 already complete" in out
+
+        # Report renders the aggregate and --check verifies the store.
+        code = main(["campaign", "report", "--campaign-dir", str(directory), "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "type-1" in out
+        assert "[check] OK" in out
+
+    def test_report_check_fails_on_corruption(self, tmp_path, capsys):
+        from repro.campaign import CampaignStore
+
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory)) == 0
+        capsys.readouterr()
+        store = CampaignStore(str(directory))
+        record = store.manifest_records()[0]
+        with open(store.shard_path(record["shard_id"]), "r+b") as handle:
+            handle.write(b"corrupt!")
+        code = main(["campaign", "report", "--campaign-dir", str(directory), "--check"])
+        assert code == 1
+        assert "checksum" in capsys.readouterr().err
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.campaign import CampaignArm, CampaignSpec
+
+        spec = CampaignSpec(
+            name="from-file",
+            arms=(CampaignArm(algorithm="almost-universal-compact"),),
+            classes=("type-1",),
+            instances_per_cell=2,
+            seed=1,
+            simulator={"max_time": 1e6, "max_segments": 30_000},
+            shard_size=2,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        code = main([
+            "campaign", "run", "--spec", str(spec_path),
+            "--campaign-dir", str(tmp_path / "camp"),
+        ])
+        assert code == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_run_without_spec_or_algorithm_errors(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--campaign-dir", str(tmp_path / "camp")])
+        assert code == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_unknown_class_errors_cleanly(self, tmp_path, capsys):
+        code = main([
+            "campaign", "run", "--campaign-dir", str(tmp_path / "camp"),
+            "--algorithm", "almost-universal-compact", "--classes", "type-9",
+        ])
+        assert code == 2
+        assert "unknown instance class" in capsys.readouterr().err
+
+    def test_experiment_campaign_dir_routes_and_resumes(self, tmp_path, capsys):
+        args = [
+            "experiment", "section5", "--samples", "2",
+            "--campaign-dir", str(tmp_path), "--no-save",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Campaign mode" in out
+        assert (tmp_path / "section5" / "manifest.jsonl").exists()
+        # Second run resumes from the store: identical table, no recompute.
+        assert main(args) == 0
+        assert "Campaign mode" in capsys.readouterr().out
+
+    def test_experiment_campaign_dir_rejected_for_unsupported(self, tmp_path, capsys):
+        code = main([
+            "experiment", "thm41", "--samples", "2",
+            "--campaign-dir", str(tmp_path), "--no-save",
+        ])
+        assert code == 2
+        assert "--campaign-dir" in capsys.readouterr().err
+
+    def test_spec_file_conflicts_with_inline_flags(self, tmp_path, capsys):
+        from repro.campaign import CampaignArm, CampaignSpec
+
+        spec = CampaignSpec(
+            name="from-file",
+            arms=(CampaignArm(algorithm="almost-universal-compact"),),
+            classes=("type-1",),
+            instances_per_cell=2,
+            simulator={"max_time": 1e6, "max_segments": 30_000},
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        code = main([
+            "campaign", "run", "--spec", str(spec_path),
+            "--campaign-dir", str(tmp_path / "camp"), "--seed", "99",
+        ])
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err

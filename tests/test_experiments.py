@@ -124,6 +124,52 @@ class TestTheoremExperiments:
             assert by_set[name]["dedicated_meets_at_exactly_r"] == 2
             assert by_set[name]["universal_success_after_perturbation"] == 2
 
+    def test_universal_coverage_campaign_mode(self, tmp_path):
+        """campaign_dir routes the sweep through the orchestrator and resumes."""
+        directory = str(tmp_path / "thm32")
+        kwargs = dict(
+            samples_per_type=2, seed=4, max_segments=400_000,
+            timebase="float", max_time=1e9,
+        )
+        result = run_universal_coverage_experiment(campaign_dir=directory, **kwargs)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row["success_rate"] == 1.0, row["label"]
+        assert any("Campaign mode" in note for note in result.notes)
+        # Re-running aggregates the stored columns without recomputing.
+        from repro.campaign import CampaignStore
+
+        manifest_before = CampaignStore(directory).manifest_records()
+        again = run_universal_coverage_experiment(campaign_dir=directory, **kwargs)
+        assert again.rows == result.rows
+        assert CampaignStore(directory).manifest_records() == manifest_before
+
+    def test_universal_coverage_campaign_mode_rejects_custom_schedule(self, tmp_path):
+        from repro.algorithms.schedules import CompactSchedule
+
+        with pytest.raises(ValueError, match="registry name"):
+            run_universal_coverage_experiment(
+                samples_per_type=2, schedule=CompactSchedule(),
+                campaign_dir=str(tmp_path / "thm32"),
+            )
+
+    def test_campaign_mode_rejects_silently_unhonorable_event_engine(self, tmp_path):
+        # Float-timebase shards route to the vectorized engine inside a
+        # campaign; an explicit event-engine request must fail loudly, never
+        # silently hand back vectorized results.
+        from repro.experiments.section5 import run_asymmetric_radius_experiment
+
+        with pytest.raises(ValueError, match="vectorized engine"):
+            run_asymmetric_radius_experiment(
+                samples_per_type=2, engine="event",
+                campaign_dir=str(tmp_path / "s5"),
+            )
+        with pytest.raises(ValueError, match="vectorized engine"):
+            run_universal_coverage_experiment(
+                samples_per_type=2, engine="event", timebase="float",
+                max_time=1e9, campaign_dir=str(tmp_path / "thm32"),
+            )
+
 
 class TestScalingAndAblation:
     def test_scaling_small(self):

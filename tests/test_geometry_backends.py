@@ -62,6 +62,58 @@ class TestRegistry:
         # library imports.
         assert "numexpr" in registered_backends()
 
+    def test_numba_is_registered(self):
+        # Same contract as numexpr: always registered, available only when
+        # the library imports, degrading silently to numpy otherwise — the
+        # parity parametrization below picks it up automatically wherever
+        # numba exists.
+        assert "numba" in registered_backends()
+        if "numba" not in available_backends():
+            assert get_backend("numba").name == "numpy"
+
+    def test_numba_declares_thread_safety(self):
+        # The chunked dispatch consults this before fanning out; a silent
+        # default change would re-enable threading for an unsafe backend.
+        assert backends.NumbaBackend.thread_safe is True
+
+    def test_numba_kernel_bodies_match_numpy_without_numba(self, monkeypatch):
+        """Run the jitted loop bodies as plain Python via a passthrough njit.
+
+        The dev image has no numba, so without this the kernel bodies would
+        first execute on some user's machine.  A fake ``numba`` module whose
+        ``njit`` returns the function unchanged exercises every line of
+        ``_compile_numba_kernels`` and ``NumbaBackend.solve`` and pins the
+        loops to the numpy backend's exact outputs (they restate the same
+        float operations, so equality is bitwise).
+        """
+        import sys
+        import types
+
+        fake = types.ModuleType("numba")
+        fake.njit = lambda *args, **kwargs: (lambda fn: fn)
+        monkeypatch.setitem(sys.modules, "numba", fake)
+        monkeypatch.setattr(backends, "_NUMBA_KERNELS", None)
+
+        rel_x, rel_y, rvel_x, rvel_y, radius, second, durations = _window_problems()
+        reference = NumpyBackend()
+        subject = backends.NumbaBackend()
+        assert backends.NumbaBackend.is_available()
+        for second_radius in (None, second, radius):
+            for track in (True, False):
+                ours = subject.solve(
+                    rel_x, rel_y, rvel_x, rvel_y, radius, second_radius,
+                    durations, track,
+                )
+                theirs = reference.solve(
+                    rel_x, rel_y, rvel_x, rvel_y, radius, second_radius,
+                    durations, track,
+                )
+                for mine, ref in zip(ours, theirs):
+                    if ref is None:
+                        assert mine is None
+                    else:
+                        assert np.array_equal(mine, ref, equal_nan=True)
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown kernel backend"):
             get_backend("cuda-warp-drive")

@@ -26,6 +26,7 @@ class TestPublicAPI:
             "repro.algorithms",
             "repro.analysis",
             "repro.parallel",
+            "repro.campaign",
             "repro.experiments",
             "repro.viz",
         ):

@@ -190,3 +190,86 @@ class TestCompilerCacheBounds:
             c.rows_compiled for c in rounds._COMPILER_CACHE.values()
         )
         assert retained <= 4
+
+
+class TestCacheAdmissionPolicy:
+    """The campaign-scale admission hook: "shared-only" admits only agent A.
+
+    Large campaigns hold more distinct per-instance B-side specs than the
+    cache has entries; admitting them all would evict the one entry every
+    instance shares (agent A's).  The policy trades B-side reuse for a
+    guaranteed A-side hit — pinned here via the rows-compiled counter.
+    """
+
+    def test_policy_is_scoped_and_restored(self):
+        assert rounds.compiler_cache_admission_policy() == "all"
+        with rounds.compiler_cache_admission("shared-only"):
+            assert rounds.compiler_cache_admission_policy() == "shared-only"
+            with rounds.compiler_cache_admission("all"):
+                assert rounds.compiler_cache_admission_policy() == "all"
+            assert rounds.compiler_cache_admission_policy() == "shared-only"
+        assert rounds.compiler_cache_admission_policy() == "all"
+
+    def test_policy_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with rounds.compiler_cache_admission("shared-only"):
+                raise RuntimeError("shard died")
+        assert rounds.compiler_cache_admission_policy() == "all"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="admission policy"):
+            with rounds.compiler_cache_admission("most-of-them"):
+                pass
+
+    def test_shared_only_caches_only_agent_a_specs(self, fresh_caches):
+        instances = _campaign()
+        algorithm = get_algorithm("almost-universal-compact")
+        with rounds.compiler_cache_admission("shared-only"):
+            simulate_batch(
+                instances, algorithm, max_time=MAX_TIME, max_segments=MAX_SEGMENTS
+            )
+        assert rounds._COMPILER_CACHE, "the shared A-side compiler must be admitted"
+        assert all(spec.name == "A" for _, spec in rounds._COMPILER_CACHE)
+
+    def test_rows_recompiled_counter_pins_the_policy(self, fresh_caches):
+        """shared-only recompiles exactly the B side on repeat; "all" nothing."""
+        instances = _campaign()
+        algorithm = get_algorithm("almost-universal-compact")
+        kwargs = dict(max_time=MAX_TIME, max_segments=MAX_SEGMENTS)
+
+        with rounds.compiler_cache_admission("shared-only"):
+            before = motion_compiler.rows_compiled_total()
+            simulate_batch(instances, algorithm, **kwargs)
+            cold_rows = motion_compiler.rows_compiled_total() - before
+            simulate_batch(instances, algorithm, **kwargs)
+            recompiled = motion_compiler.rows_compiled_total() - before - cold_rows
+        # B-side trajectories were not retained -> some rows recompile ...
+        assert recompiled > 0
+        # ... but strictly fewer than a cold run: the admitted A-side
+        # compiler (and the builder cache) still serve their rows.
+        assert recompiled < cold_rows
+
+        # Same campaign under the default policy: zero rows on repeat.
+        rounds._COMPILER_CACHE.clear()
+        rounds._BUILDER_CACHE.clear()
+        simulate_batch(instances, algorithm, **kwargs)
+        after_cold = motion_compiler.rows_compiled_total()
+        simulate_batch(instances, algorithm, **kwargs)
+        assert motion_compiler.rows_compiled_total() == after_cold
+
+    def test_results_do_not_depend_on_the_policy(self, fresh_caches):
+        instances = _campaign(seed=9)
+        algorithm = get_algorithm("almost-universal-compact")
+        kwargs = dict(max_time=MAX_TIME, max_segments=MAX_SEGMENTS)
+        with rounds.compiler_cache_admission("shared-only"):
+            restricted = simulate_batch(instances, algorithm, **kwargs)
+        rounds._COMPILER_CACHE.clear()
+        rounds._BUILDER_CACHE.clear()
+        default = simulate_batch(instances, algorithm, **kwargs)
+        for a, b in zip(restricted, default):
+            assert _fields(a) == _fields(b)
+
+    def test_entry_budget_getter_tracks_the_limit(self, monkeypatch):
+        assert rounds.compiler_cache_entry_budget() == rounds._COMPILER_CACHE_LIMIT
+        monkeypatch.setattr(rounds, "_COMPILER_CACHE_LIMIT", 7)
+        assert rounds.compiler_cache_entry_budget() == 7
