@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Fault-injection smoke of the campaign robustness stack (CI gate).
+
+Drives the failure modes the CLI alone cannot reach (fault hooks are a
+Python API), end to end in a few seconds:
+
+1. a sequential uninterrupted run — the byte-identity reference;
+2. a ``--workers 2`` run against a *kill-one-worker* hook plus a poison
+   shard that exhausts its attempts and is quarantined (the campaign
+   degrades instead of aborting);
+3. in-place corruption of one committed shard file;
+4. ``campaign doctor`` must FAIL, ``doctor --repair`` must delete the
+   corrupt shard and clear the quarantine ledger;
+5. ``campaign resume`` must recompute exactly the broken work, and
+   ``report --check`` plus a final ``doctor`` must pass;
+6. the recovered store's exported columns must be **byte-identical** to the
+   reference — faults may cost work, never bytes.
+
+Usage:
+    PYTHONPATH=src python scripts/campaign_fault_smoke.py [--keep DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+
+
+def fail(message: str) -> None:
+    print(f"[fault-smoke] FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep", metavar="DIR", default=None,
+        help="keep the campaign directories under DIR instead of a temp dir",
+    )
+    args = parser.parse_args()
+
+    from repro.campaign import (
+        CampaignArm,
+        CampaignSpec,
+        CampaignStore,
+        FaultInjection,
+        plan_shards,
+        run_campaign,
+    )
+    from repro.cli import main as cli_main
+
+    spec = CampaignSpec(
+        name="fault-smoke",
+        arms=(CampaignArm(algorithm="almost-universal-compact"),),
+        classes=("type-1", "type-2"),
+        instances_per_cell=8,
+        seed=17,
+        simulator={"max_time": 1e6, "max_segments": 30_000},
+        shard_size=4,
+    )
+    plan = plan_shards(spec)
+    kill_target = plan[0].shard_id
+    poison_target = plan[-1].shard_id
+    killed = set()
+
+    def faulty_hook(shard):
+        if shard.shard_id == kill_target and shard.shard_id not in killed:
+            killed.add(shard.shard_id)
+            raise FaultInjection("kill")
+        if shard.shard_id == poison_target:
+            raise FaultInjection("fail")
+
+    root = args.keep or tempfile.mkdtemp(prefix="campaign-fault-smoke-")
+    reference_dir = os.path.join(root, "reference")
+    faulty_dir = os.path.join(root, "faulty")
+    try:
+        print("[fault-smoke] 1/6 sequential reference run")
+        reference = run_campaign(reference_dir, spec)
+        if not reference.complete:
+            fail("reference run did not complete")
+
+        print("[fault-smoke] 2/6 workers=2 run with kill + poison faults")
+        stats = run_campaign(
+            faulty_dir, spec, workers=2, shard_hook=faulty_hook,
+            max_attempts=2, retry_backoff=0.05, progress=print,
+        )
+        if stats.worker_restarts < 1:
+            fail(f"expected a worker restart, got {stats.worker_restarts}")
+        if stats.shards_quarantined != 1:
+            fail(f"expected 1 quarantined shard, got {stats.shards_quarantined}")
+        if stats.complete:
+            fail("degraded run should not report complete")
+
+        print("[fault-smoke] 3/6 corrupting one committed shard")
+        store = CampaignStore(faulty_dir)
+        committed = sorted(store.completed())[0]
+        with open(store.shard_path(committed), "r+b") as handle:
+            handle.write(b"corrupt!")
+
+        print("[fault-smoke] 4/6 doctor must fail, then --repair")
+        code = cli_main(["campaign", "doctor", "--campaign-dir", faulty_dir])
+        if code != 1:
+            fail(f"doctor on a corrupt store exited {code}, expected 1")
+        code = cli_main(["campaign", "doctor", "--campaign-dir", faulty_dir, "--repair"])
+        if code != 3:
+            fail(f"doctor --repair exited {code}, expected 3 (clean but incomplete)")
+
+        print("[fault-smoke] 5/6 resume + report --check + final doctor")
+        code = cli_main(["campaign", "resume", "--campaign-dir", faulty_dir])
+        if code != 0:
+            fail(f"resume after repair exited {code}")
+        code = cli_main(["campaign", "report", "--campaign-dir", faulty_dir, "--check"])
+        if code != 0:
+            fail(f"report --check exited {code}")
+        code = cli_main(["campaign", "doctor", "--campaign-dir", faulty_dir])
+        if code != 0:
+            fail(f"final doctor exited {code}")
+
+        print("[fault-smoke] 6/6 byte-identity against the reference")
+        a = CampaignStore(reference_dir).export_columns()
+        b = CampaignStore(faulty_dir).export_columns()
+        for name in a:
+            if a[name].tobytes() != b[name].tobytes():
+                fail(f"column {name!r} differs from the sequential reference")
+        print("[fault-smoke] OK: recovered store is byte-identical to the reference")
+    finally:
+        if args.keep is None:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

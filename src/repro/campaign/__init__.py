@@ -8,13 +8,24 @@ larger-than-RAM workloads:
 * :mod:`repro.campaign.shards` — deterministic partitioning into shards that
   are reproducible in isolation (position-spawned per-instance seeds);
 * :mod:`repro.campaign.store` — an append-only on-disk columnar store with a
-  crash-safe manifest and streaming aggregation;
+  crash-safe manifest, streaming aggregation, a quarantine ledger for poison
+  shards, and a ``doctor`` integrity/repair pass;
+* :mod:`repro.campaign.leases` — atomic shard leases (exclusive-create claim,
+  heartbeat mtime, stale takeover) partitioning work between concurrent
+  runners;
+* :mod:`repro.campaign.executor` — the fault-tolerant process pool: retry
+  with exponential backoff, per-shard timeouts, worker-death recovery and
+  quarantine instead of aborting;
 * :mod:`repro.campaign.orchestrator` — the shard loop: skip finished work,
-  execute the rest through the batch engines, checkpoint atomically.
+  claim leases, execute the rest (inline or pooled), checkpoint atomically,
+  stop cleanly on SIGINT/SIGTERM.
 
-``repro campaign run | resume | status | report`` is the CLI surface.
+``repro campaign run | resume | status | report | doctor`` is the CLI
+surface.
 """
 
+from repro.campaign.executor import FaultInjection, ShardExecutor
+from repro.campaign.leases import LeaseManager
 from repro.campaign.orchestrator import (
     CampaignRunStats,
     resolve_cache_policy,
@@ -37,7 +48,10 @@ __all__ = [
     "CampaignSpec",
     "CampaignStore",
     "CellAggregate",
+    "FaultInjection",
+    "LeaseManager",
     "Shard",
+    "ShardExecutor",
     "UNIFORM_CLASS",
     "plan_shards",
     "records_to_columns",

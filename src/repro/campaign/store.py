@@ -222,6 +222,8 @@ class CampaignStore:
     SPEC_FILE = "spec.json"
     MANIFEST_FILE = "manifest.jsonl"
     SHARD_DIR = "shards"
+    LEASE_DIR = "leases"
+    FAILED_DIR = "failed"
 
     def __init__(self, directory: str) -> None:
         self.directory = os.path.abspath(directory)
@@ -235,8 +237,15 @@ class CampaignStore:
     def manifest_path(self) -> str:
         return os.path.join(self.directory, self.MANIFEST_FILE)
 
+    @property
+    def lease_dir(self) -> str:
+        return os.path.join(self.directory, self.LEASE_DIR)
+
     def shard_path(self, shard_id: str) -> str:
         return os.path.join(self.directory, self.SHARD_DIR, f"{shard_id}.npz")
+
+    def failed_path(self, shard_id: str) -> str:
+        return os.path.join(self.directory, self.FAILED_DIR, f"{shard_id}.json")
 
     def exists(self) -> bool:
         return os.path.exists(self.spec_path)
@@ -305,6 +314,13 @@ class CampaignStore:
 
     def completed(self, *, verify: bool = False) -> Dict[str, Dict[str, Any]]:
         """Completion records by shard id, dropping records whose data is gone.
+
+        **Last record wins** on duplicate lines for one ``shard_id``: two
+        concurrent runners racing a lease takeover can both legally append a
+        completion record (the shard data they wrote is byte-identical, only
+        the bookkeeping — wall seconds, timestamp — differs), and every
+        reader built on this dict (``aggregate``, ``status_rows``,
+        ``export_columns``, row totals) must count such a shard exactly once.
 
         ``verify=True`` additionally re-hashes every shard file against its
         recorded checksum (``repro campaign report --check``); the default
@@ -456,3 +472,174 @@ class CampaignStore:
                     f"shard {shard.shard_id} rows {record.get('rows')} != planned {shard.count}"
                 )
         return problems
+
+    # -- quarantine ledger -------------------------------------------------------------
+    def quarantine(self, shard: Shard, *, error: str, attempts: int) -> Dict[str, Any]:
+        """Record a poison shard in the ``failed/`` ledger (graceful degradation).
+
+        Written atomically like every other store file.  A quarantined shard
+        is skipped by subsequent runs — the campaign stays partial-but-valid
+        instead of aborting — until ``doctor(repair=True)`` (or
+        :meth:`clear_failed`) removes the entry, after which ``resume``
+        retries exactly that shard.
+        """
+        entry = {
+            "shard_id": shard.shard_id,
+            "index": shard.index,
+            "arm": shard.arm_index,
+            "cls": shard.class_index,
+            "start": shard.start,
+            "rows": shard.count,
+            "attempts": int(attempts),
+            "error": str(error),
+            "quarantined_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+        os.makedirs(os.path.join(self.directory, self.FAILED_DIR), exist_ok=True)
+        self._write_atomic(
+            self.failed_path(shard.shard_id),
+            (json.dumps(entry, sort_keys=True, indent=2) + "\n").encode(),
+        )
+        return entry
+
+    def failed_shards(self) -> Dict[str, Dict[str, Any]]:
+        """Quarantine entries by shard id (unreadable entries surface as stubs)."""
+        failed_dir = os.path.join(self.directory, self.FAILED_DIR)
+        entries: Dict[str, Dict[str, Any]] = {}
+        if not os.path.isdir(failed_dir):
+            return entries
+        for name in sorted(os.listdir(failed_dir)):
+            if not name.endswith(".json"):
+                continue
+            shard_id = name[: -len(".json")]
+            try:
+                with open(os.path.join(failed_dir, name)) as handle:
+                    entries[shard_id] = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                entries[shard_id] = {"shard_id": shard_id, "error": "unreadable ledger entry"}
+        return entries
+
+    def clear_failed(self, shard_id: str) -> None:
+        try:
+            os.unlink(self.failed_path(shard_id))
+        except FileNotFoundError:
+            pass
+
+    # -- doctor ------------------------------------------------------------------------
+    def doctor(
+        self,
+        plan: Optional[Sequence[Shard]] = None,
+        *,
+        repair: bool = False,
+        lease_timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Full integrity pass over the directory (``repro campaign doctor``).
+
+        Re-hashes every recorded shard against its manifest checksum and
+        reports, by category:
+
+        * ``corrupt`` — checksum mismatch or unreadable/short npz;
+        * ``wrong_rows`` — row count disagrees with the plan;
+        * ``orphaned`` — npz files no (last-wins) manifest record references,
+          e.g. from a crash between the data replace and the manifest append;
+        * ``stale_leases`` / ``active_leases`` — dead vs heartbeating claims;
+        * ``quarantined`` — ``failed/`` ledger entries;
+        * ``incomplete`` — planned shards with no usable record.
+
+        With ``repair=True`` the store is brought back to a state where
+        ``resume`` recomputes exactly the broken work: corrupt and orphaned
+        data files are deleted (their manifest records then dangle and are
+        ignored), stale leases are removed, and quarantine entries are
+        cleared so the poisoned shards get a fresh ``max_attempts`` budget.
+        Fresh leases and healthy shards are never touched.
+        """
+        from repro.campaign.leases import DEFAULT_STALE_AFTER, LeaseManager
+
+        if plan is None:
+            plan = plan_shards(self.load_spec())
+        planned_ids = {shard.shard_id for shard in plan}
+        counts = {shard.shard_id: shard.count for shard in plan}
+        records = {}
+        for record in self.manifest_records():  # last record wins, like completed()
+            if record.get("shard_id"):
+                records[record["shard_id"]] = record
+
+        report: Dict[str, Any] = {
+            "shards_planned": len(plan),
+            "shards_recorded": 0,
+            "healthy": 0,
+            "corrupt": [],
+            "wrong_rows": [],
+            "orphaned": [],
+            "stale_leases": [],
+            "active_leases": [],
+            "quarantined": sorted(self.failed_shards()),
+            "incomplete": [],
+            "repaired": [],
+        }
+        for shard_id, record in sorted(records.items()):
+            path = self.shard_path(shard_id)
+            if not os.path.exists(path):
+                continue  # dangling record: the shard simply re-runs
+            report["shards_recorded"] += 1
+            if _sha256_file(path) != record.get("sha256"):
+                report["corrupt"].append(shard_id)
+            elif shard_id in counts and int(record.get("rows", -1)) != counts[shard_id]:
+                report["wrong_rows"].append(shard_id)
+            elif shard_id in planned_ids:
+                report["healthy"] += 1
+
+        shard_dir = os.path.join(self.directory, self.SHARD_DIR)
+        if os.path.isdir(shard_dir):
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".npz"):
+                    continue
+                shard_id = name[: -len(".npz")]
+                if shard_id not in records or shard_id not in planned_ids:
+                    report["orphaned"].append(shard_id)
+
+        leases = LeaseManager(
+            self.lease_dir,
+            stale_after=lease_timeout if lease_timeout is not None else DEFAULT_STALE_AFTER,
+        )
+        report["stale_leases"] = leases.stale_leases()
+        report["active_leases"] = leases.active_leases()
+
+        usable = {
+            shard_id
+            for shard_id, record in records.items()
+            if os.path.exists(self.shard_path(shard_id))
+            and shard_id not in report["corrupt"]
+            and shard_id not in report["wrong_rows"]
+        }
+        report["incomplete"] = [
+            shard.shard_id for shard in plan if shard.shard_id not in usable
+        ]
+
+        if repair:
+            for shard_id in report["corrupt"] + report["wrong_rows"] + report["orphaned"]:
+                try:
+                    os.unlink(self.shard_path(shard_id))
+                    report["repaired"].append(f"deleted shard {shard_id}")
+                except FileNotFoundError:
+                    pass
+            for shard_id in leases.remove_stale():
+                report["repaired"].append(f"removed stale lease {shard_id}")
+            for shard_id in report["quarantined"]:
+                self.clear_failed(shard_id)
+                report["repaired"].append(f"cleared quarantine {shard_id}")
+
+        # "clean" is an *integrity* verdict (nothing corrupt, orphaned, stale
+        # or quarantined); "complete" is coverage.  A half-run campaign is
+        # clean-but-incomplete, which is healthy — resume finishes it.  After
+        # a repair every integrity problem has been remediated (the broken
+        # work moved into "incomplete", which resume recomputes).
+        problems = (
+            report["corrupt"]
+            or report["wrong_rows"]
+            or report["orphaned"]
+            or report["stale_leases"]
+            or report["quarantined"]
+        )
+        report["clean"] = not problems or bool(repair)
+        report["complete"] = not report["incomplete"]
+        return report

@@ -10,9 +10,11 @@ Python:
 * ``repro experiment`` — run one (or all) of the DESIGN.md experiments and
   write the results under ``results/`` (the Monte-Carlo sweeps optionally as
   resumable campaigns via ``--campaign-dir``);
-* ``repro campaign``   — run/resume/inspect sharded, checkpointed simulation
-  campaigns with an on-disk columnar result store
-  (``run | resume | status | report``);
+* ``repro campaign``   — run/resume/inspect/repair sharded, checkpointed
+  simulation campaigns with an on-disk columnar result store
+  (``run | resume | status | report | doctor``), fault-tolerant and
+  parallel (``--workers``) with lease-based claims safe for concurrent
+  runners;
 * ``repro algorithms`` — list the registered algorithms.
 
 The module is also installed as the ``python -m repro`` entry point.
@@ -343,10 +345,56 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             max_shards=args.max_shards,
             cache_policy=args.cache_policy,
             progress=print,
+            workers=args.workers,
+            shard_timeout=args.shard_timeout,
+            max_attempts=args.max_attempts,
+            lease_timeout=args.lease_timeout,
         )
     if stats.interrupted:
         print(f"interrupted: resume with `repro campaign resume --campaign-dir {args.campaign_dir}`")
         return 3
+    if stats.shards_quarantined:
+        print(
+            f"degraded: {stats.shards_quarantined} shard(s) quarantined; inspect "
+            f"failed/, then `repro campaign doctor --campaign-dir "
+            f"{args.campaign_dir} --repair` and resume to retry them",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_campaign_doctor(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, plan_shards
+
+    store = CampaignStore(args.campaign_dir)
+    report = store.doctor(
+        plan_shards(store.load_spec()),
+        repair=args.repair,
+        lease_timeout=args.lease_timeout,
+    )
+    print(
+        f"shards            : {report['healthy']} healthy / "
+        f"{report['shards_planned']} planned"
+    )
+    for key in ("corrupt", "wrong_rows", "orphaned", "stale_leases", "quarantined"):
+        for shard_id in report[key]:
+            print(f"[doctor] {key.replace('_', ' ')}: {shard_id}")
+    if report["active_leases"]:
+        print(f"[doctor] {len(report['active_leases'])} active lease(s) (runners alive)")
+    for action in report["repaired"]:
+        print(f"[doctor] repaired: {action}")
+    if not report["clean"]:
+        print("[doctor] FAIL: integrity problems found (re-run with --repair)",
+              file=sys.stderr)
+        return 1
+    if not report["complete"]:
+        print(
+            f"[doctor] OK but incomplete: {len(report['incomplete'])} shard(s) to "
+            "compute — `repro campaign resume` recomputes exactly those"
+        )
+        return 3
+    print("[doctor] OK: store is clean and complete")
     return 0
 
 
@@ -488,7 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run simulation campaigns as checkpointed shards in a campaign "
                     "directory: `run` executes (or continues) a campaign, `resume` "
                     "continues one from its stored spec, `status`/`report` summarize "
-                    "the on-disk columns by streaming them (exit code 3 = incomplete).",
+                    "the on-disk columns by streaming them (exit code 3 = incomplete), "
+                    "`doctor` verifies (and with --repair, fixes) store integrity. "
+                    "Execution is fault-tolerant: `--workers N` fans shards out over "
+                    "a process pool that survives worker death, hangs and poison "
+                    "shards, and lease files make concurrent runners on one store "
+                    "safe.",
     )
     campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
 
@@ -505,6 +558,21 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--processes", type=int, default=None, metavar="N",
                          help="worker processes for non-vectorizable (e.g. exact-"
                               "timebase) shards; vectorized shards never use workers")
+        sub.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="shard-granular worker processes (>= 2 enables the "
+                              "fault-tolerant pool: retries, per-shard timeouts, "
+                              "worker-death recovery; results are byte-identical "
+                              "for every value)")
+        sub.add_argument("--shard-timeout", type=float, default=None, metavar="SEC",
+                         help="kill and retry a shard attempt running longer than "
+                              "SEC seconds (needs --workers >= 2)")
+        sub.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="attempts per shard before it is quarantined to the "
+                              "failed/ ledger and the campaign continues without it")
+        sub.add_argument("--lease-timeout", type=float, default=60.0, metavar="SEC",
+                         help="seconds without a heartbeat before a shard lease "
+                              "counts as stale and may be taken over (keep above "
+                              "the slowest shard's wall time)")
         sub.add_argument("--kernel-backend", default=None, metavar="NAME",
                          help="kernel backend for the vectorized shards "
                               "(sets REPRO_KERNEL_BACKEND for the run)")
@@ -557,6 +625,22 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="verify completeness and shard checksums; "
                                       "non-zero exit on any problem")
     campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_doctor = campaign_sub.add_parser(
+        "doctor",
+        help="verify store integrity (checksums, orphans, leases, quarantine); "
+             "--repair deletes the broken pieces so resume recomputes them",
+    )
+    campaign_doctor.add_argument("--campaign-dir", required=True, metavar="DIR")
+    campaign_doctor.add_argument("--repair", action="store_true",
+                                 help="delete corrupt/orphaned shard files and "
+                                      "stale leases, clear the quarantine ledger "
+                                      "(healthy shards and fresh leases are never "
+                                      "touched)")
+    campaign_doctor.add_argument("--lease-timeout", type=float, default=60.0,
+                                 metavar="SEC",
+                                 help="staleness threshold for lease files")
+    campaign_doctor.set_defaults(handler=_cmd_campaign_doctor)
     return parser
 
 

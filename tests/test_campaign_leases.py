@@ -1,0 +1,151 @@
+"""Lease protocol unit tests: claim, conflict, heartbeat, stale takeover.
+
+The invariants pinned here are exactly the ones the concurrent-runner tests
+in ``test_campaign_executor.py`` rely on end to end: exclusive create means
+one winner per shard, release only ever touches your own claim, and a stolen
+lease is never clobbered by its previous holder.
+"""
+
+import json
+import os
+import time
+
+from repro.campaign.leases import DEFAULT_STALE_AFTER, LeaseManager, default_owner_id
+
+
+def backdate(path, seconds):
+    """Age a lease file by rewinding its mtime (simulates a dead holder)."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestClaim:
+    def test_acquire_creates_a_lease_file_with_owner(self, tmp_path):
+        manager = LeaseManager(str(tmp_path), owner="runner-a")
+        assert manager.acquire("shard-1")
+        assert manager.held() == ["shard-1"]
+        with open(manager.lease_path("shard-1")) as handle:
+            payload = json.load(handle)
+        assert payload["owner"] == "runner-a"
+        assert payload["shard_id"] == "shard-1"
+
+    def test_acquire_is_idempotent_for_the_holder(self, tmp_path):
+        manager = LeaseManager(str(tmp_path))
+        assert manager.acquire("shard-1")
+        assert manager.acquire("shard-1")
+        assert manager.conflicts == 0
+
+    def test_fresh_foreign_lease_conflicts(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a")
+        b = LeaseManager(str(tmp_path), owner="b")
+        assert a.acquire("shard-1")
+        assert not b.acquire("shard-1")
+        assert b.conflicts == 1
+        assert b.takeovers == 0
+        assert b.owner_of("shard-1") == "a"
+
+    def test_exactly_one_of_many_claimants_wins(self, tmp_path):
+        managers = [LeaseManager(str(tmp_path), owner=f"r{i}") for i in range(8)]
+        wins = [manager.acquire("shard-1") for manager in managers]
+        assert sum(wins) == 1
+
+    def test_default_owner_ids_are_process_unique(self):
+        assert default_owner_id() != default_owner_id()
+        assert str(os.getpid()) in default_owner_id()
+
+
+class TestRelease:
+    def test_release_removes_the_file(self, tmp_path):
+        manager = LeaseManager(str(tmp_path))
+        manager.acquire("shard-1")
+        manager.release("shard-1")
+        assert not os.path.exists(manager.lease_path("shard-1"))
+        assert manager.held() == []
+
+    def test_release_of_an_unheld_lease_is_a_noop(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a")
+        b = LeaseManager(str(tmp_path), owner="b")
+        a.acquire("shard-1")
+        b.release("shard-1")  # b never held it
+        assert os.path.exists(a.lease_path("shard-1"))
+
+    def test_release_never_clobbers_a_stolen_lease(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=0.5)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), 10.0)  # a stalled past stale_after
+        assert b.acquire("shard-1")  # takeover
+        assert b.takeovers == 1
+        a.release("shard-1")  # a wakes up and releases...
+        # ...but the lease now belongs to b and must survive.
+        assert b.owner_of("shard-1") == "b"
+
+    def test_release_all_releases_only_own_claims(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a")
+        b = LeaseManager(str(tmp_path), owner="b")
+        a.acquire("shard-1")
+        b.acquire("shard-2")
+        a.release_all()
+        assert not os.path.exists(a.lease_path("shard-1"))
+        assert os.path.exists(b.lease_path("shard-2"))
+
+
+class TestStaleTakeover:
+    def test_stale_lease_is_taken_over(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=0.5)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), 10.0)
+        assert b.acquire("shard-1")
+        assert b.takeovers == 1
+        assert b.owner_of("shard-1") == "b"
+
+    def test_heartbeat_prevents_takeover(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=0.5)
+        a.acquire("shard-1")
+        a.heartbeat()
+        assert not b.acquire("shard-1")
+        assert b.conflicts == 1
+
+    def test_heartbeat_drops_stolen_leases(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=0.5)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), 10.0)
+        b.acquire("shard-1")
+        b.release("shard-1")
+        a.heartbeat()  # the file a held is gone: a must not resurrect it
+        assert a.held() == []
+        assert not os.path.exists(a.lease_path("shard-1"))
+
+
+class TestInspection:
+    def test_stale_and_active_partition_the_directory(self, tmp_path):
+        manager = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        manager.acquire("fresh")
+        manager.acquire("dead")
+        backdate(manager.lease_path("dead"), 10.0)
+        assert manager.active_leases() == ["fresh"]
+        assert manager.stale_leases() == ["dead"]
+
+    def test_remove_stale_unlinks_only_stale(self, tmp_path):
+        manager = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        manager.acquire("fresh")
+        manager.acquire("dead")
+        backdate(manager.lease_path("dead"), 10.0)
+        assert manager.remove_stale() == ["dead"]
+        assert os.path.exists(manager.lease_path("fresh"))
+        assert not os.path.exists(manager.lease_path("dead"))
+
+    def test_missing_directory_reports_no_leases(self, tmp_path):
+        manager = LeaseManager(str(tmp_path / "nope"))
+        assert manager.stale_leases() == []
+        assert manager.active_leases() == []
+
+    def test_default_stale_after_outlives_a_heartbeat_cycle(self, tmp_path):
+        # Holders heartbeat every stale_after / 4; the default must leave a
+        # wide margin between heartbeats and takeover eligibility.
+        manager = LeaseManager(str(tmp_path))
+        assert manager.stale_after == DEFAULT_STALE_AFTER
+        assert DEFAULT_STALE_AFTER / 4.0 < DEFAULT_STALE_AFTER

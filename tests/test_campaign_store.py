@@ -9,6 +9,7 @@ partial aggregate silently standing in for a complete one.
 
 import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -218,3 +219,162 @@ class TestReaders:
         assert row["successes"] == 0
         assert row["budget_exhausted"] == 6
         assert row["meeting_time_mean"] is None
+
+
+class TestLastRecordWins:
+    """Duplicate manifest lines (concurrent appenders racing a lease takeover)
+    must count each shard exactly once everywhere."""
+
+    def duplicate_first_record(self, store):
+        record = dict(store.manifest_records()[0])
+        record["wall_seconds"] = 99.0  # only bookkeeping differs; data is identical
+        with open(store.manifest_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def test_completed_keeps_the_last_record(self, store):
+        plan = write_all(store)
+        duplicate = self.duplicate_first_record(store)
+        done = store.completed()
+        assert len(done) == len(plan)
+        assert done[duplicate["shard_id"]]["wall_seconds"] == 99.0
+
+    def test_aggregate_counts_duplicated_shards_once(self, store):
+        plan = write_all(store)
+        self.duplicate_first_record(store)
+        row = store.aggregate(plan)[(0, 0)].as_row()
+        assert row["count"] == 6  # not 9
+
+    def test_status_rows_totals_do_not_double_count(self, store):
+        from repro.campaign import status_rows
+
+        write_all(store)
+        self.duplicate_first_record(store)
+        status = status_rows(store.directory)
+        assert status["rows_stored"] == 6
+        assert status["shards_complete"] == 2
+
+    def test_export_is_unchanged_by_duplicates(self, store):
+        plan = write_all(store)
+        before = store.export_columns(plan)
+        self.duplicate_first_record(store)
+        after = store.export_columns(plan)
+        for name in before:
+            assert before[name].tobytes() == after[name].tobytes()
+
+
+class TestQuarantineLedger:
+    def test_quarantine_roundtrip(self, store):
+        plan = plan_shards(store.load_spec())
+        entry = store.quarantine(plan[0], error="Traceback: boom", attempts=3)
+        stored = store.failed_shards()[plan[0].shard_id]
+        assert stored == entry
+        assert stored["attempts"] == 3
+        assert "boom" in stored["error"]
+
+    def test_clear_failed_is_idempotent(self, store):
+        plan = plan_shards(store.load_spec())
+        store.quarantine(plan[0], error="x", attempts=1)
+        store.clear_failed(plan[0].shard_id)
+        store.clear_failed(plan[0].shard_id)
+        assert store.failed_shards() == {}
+
+    def test_unreadable_ledger_entry_surfaces_as_stub(self, store):
+        plan = plan_shards(store.load_spec())
+        store.quarantine(plan[0], error="x", attempts=1)
+        with open(store.failed_path(plan[0].shard_id), "w") as handle:
+            handle.write("{not json")
+        entry = store.failed_shards()[plan[0].shard_id]
+        assert entry["error"] == "unreadable ledger entry"
+
+
+class TestDoctor:
+    def test_healthy_store_is_clean_and_complete(self, store):
+        write_all(store)
+        report = store.doctor()
+        assert report["clean"] and report["complete"]
+        assert report["healthy"] == report["shards_planned"]
+        assert report["incomplete"] == []
+
+    def test_partial_store_is_clean_but_incomplete(self, store):
+        plan = plan_shards(store.load_spec())
+        columns = records_to_columns(plan[0], [fake_record() for _ in range(plan[0].count)])
+        store.write_shard(plan[0], columns)
+        report = store.doctor()
+        assert report["clean"]
+        assert not report["complete"]
+        assert report["incomplete"] == [shard.shard_id for shard in plan[1:]]
+
+    def test_corrupt_shard_detected_and_repaired(self, store):
+        plan = write_all(store)
+        with open(store.shard_path(plan[0].shard_id), "r+b") as handle:
+            handle.write(b"corrupt!")
+        report = store.doctor()
+        assert report["corrupt"] == [plan[0].shard_id]
+        assert not report["clean"]
+
+        repaired = store.doctor(repair=True)
+        assert f"deleted shard {plan[0].shard_id}" in repaired["repaired"]
+        assert repaired["clean"]
+        # Resume now recomputes exactly the deleted shard.
+        assert store.doctor()["incomplete"] == [plan[0].shard_id]
+
+    def test_orphaned_data_file_detected_and_repaired(self, store):
+        write_all(store)
+        orphan = store.shard_path("deadbeefdeadbeef")
+        with open(orphan, "wb") as handle:
+            handle.write(b"not even npz")
+        report = store.doctor()
+        assert report["orphaned"] == ["deadbeefdeadbeef"]
+        assert not report["clean"]
+        store.doctor(repair=True)
+        assert not os.path.exists(orphan)
+
+    def test_stale_lease_detected_and_repaired(self, store):
+        from repro.campaign.leases import LeaseManager
+
+        write_all(store)
+        leases = LeaseManager(store.lease_dir, owner="dead-runner")
+        leases.acquire("some-shard")
+        past = time.time() - 3600.0
+        os.utime(leases.lease_path("some-shard"), (past, past))
+        report = store.doctor()
+        assert report["stale_leases"] == ["some-shard"]
+        assert not report["clean"]
+        repaired = store.doctor(repair=True)
+        assert "removed stale lease some-shard" in repaired["repaired"]
+        assert store.doctor()["stale_leases"] == []
+
+    def test_fresh_lease_reported_active_and_never_repaired(self, store):
+        from repro.campaign.leases import LeaseManager
+
+        write_all(store)
+        leases = LeaseManager(store.lease_dir, owner="live-runner")
+        leases.acquire("some-shard")
+        report = store.doctor(repair=True)
+        assert report["active_leases"] == ["some-shard"]
+        assert os.path.exists(leases.lease_path("some-shard"))
+        assert report["clean"]
+
+    def test_quarantined_shard_flags_and_repair_clears(self, store):
+        plan = write_all(store)
+        store.quarantine(plan[0], error="poison", attempts=3)
+        report = store.doctor()
+        assert report["quarantined"] == [plan[0].shard_id]
+        assert not report["clean"]
+        repaired = store.doctor(repair=True)
+        assert f"cleared quarantine {plan[0].shard_id}" in repaired["repaired"]
+        assert store.failed_shards() == {}
+
+    def test_wrong_row_count_detected(self, store):
+        plan = write_all(store)
+        # Rewrite the manifest claiming the wrong row count for shard 0 while
+        # keeping the checksum honest (outside edit of the manifest).
+        records = store.manifest_records()
+        records[0]["rows"] = 99
+        with open(store.manifest_path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        report = store.doctor()
+        assert report["wrong_rows"] == [plan[0].shard_id]
+        assert not report["clean"]

@@ -240,3 +240,117 @@ class TestCampaignCommands:
         ])
         assert code == 2
         assert "--seed" in capsys.readouterr().err
+
+
+class TestCampaignDoctorAndFaultFlags:
+    def _run_args(self, directory, extra=()):
+        return [
+            "campaign", "run", "--campaign-dir", str(directory),
+            "--name", "cli-doctor", "--algorithm", "almost-universal-compact",
+            "--classes", "type-1", "--instances-per-cell", "4",
+            "--shard-size", "2", "--seed", "5",
+            "--max-time", "1e6", "--max-segments", "30000",
+            *extra,
+        ]
+
+    def test_execution_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(self._run_args("d"))
+        assert args.workers == 1
+        assert args.shard_timeout is None
+        assert args.max_attempts == 3
+        assert args.lease_timeout == 60.0
+        args = build_parser().parse_args(self._run_args(
+            "d", ["--workers", "4", "--shard-timeout", "30",
+                  "--max-attempts", "5", "--lease-timeout", "120"]
+        ))
+        assert args.workers == 4
+        assert args.shard_timeout == 30.0
+        assert args.max_attempts == 5
+        assert args.lease_timeout == 120.0
+
+    def test_run_with_worker_pool_completes(self, tmp_path, capsys):
+        directory = tmp_path / "camp"
+        code = main(self._run_args(directory, ["--workers", "2"]))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workers: 2" in out
+        assert main(["campaign", "report", "--campaign-dir", str(directory), "--check"]) == 0
+
+    def test_invalid_workers_reports_clean_error(self, tmp_path, capsys):
+        code = main(self._run_args(tmp_path / "camp", ["--workers", "0"]))
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_doctor_on_healthy_complete_store(self, tmp_path, capsys):
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory)) == 0
+        capsys.readouterr()
+        code = main(["campaign", "doctor", "--campaign-dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[doctor] OK: store is clean and complete" in out
+
+    def test_doctor_on_partial_store_exits_3(self, tmp_path, capsys):
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory, ["--max-shards", "1"])) == 3
+        capsys.readouterr()
+        code = main(["campaign", "doctor", "--campaign-dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "OK but incomplete" in out
+        assert "campaign resume" in out
+
+    def test_doctor_repair_recovers_a_corrupt_store(self, tmp_path, capsys):
+        from repro.campaign import CampaignStore
+
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory)) == 0
+        capsys.readouterr()
+        store = CampaignStore(str(directory))
+        record = store.manifest_records()[0]
+        with open(store.shard_path(record["shard_id"]), "r+b") as handle:
+            handle.write(b"corrupt!")
+
+        # Detection: exit 1, the broken shard named.
+        code = main(["campaign", "doctor", "--campaign-dir", str(directory)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert f"[doctor] corrupt: {record['shard_id']}" in captured.out
+        assert "FAIL" in captured.err
+
+        # Repair: the corrupt file is deleted, leaving a clean-but-incomplete
+        # store (exit 3); resume recomputes exactly that shard; check passes.
+        code = main(["campaign", "doctor", "--campaign-dir", str(directory), "--repair"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert f"repaired: deleted shard {record['shard_id']}" in out
+        code = main(["campaign", "resume", "--campaign-dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 already complete" in out
+        assert main(["campaign", "report", "--campaign-dir", str(directory), "--check"]) == 0
+
+    def test_quarantined_store_resume_exits_3_with_guidance(self, tmp_path, capsys):
+        from repro.campaign import CampaignStore, plan_shards
+
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory, ["--max-shards", "1"])) == 3
+        capsys.readouterr()
+        store = CampaignStore(str(directory))
+        plan = plan_shards(store.load_spec())
+        pending = [shard for shard in plan if shard.shard_id not in store.completed()]
+        store.quarantine(pending[0], error="poison", attempts=3)
+
+        code = main(["campaign", "resume", "--campaign-dir", str(directory)])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "degraded: 1 shard(s) quarantined" in captured.err
+        assert "doctor" in captured.err
+
+        # Doctor names the quarantined shard; --repair clears it; resume
+        # finishes the campaign cleanly.
+        code = main(["campaign", "doctor", "--campaign-dir", str(directory), "--repair"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert f"cleared quarantine {pending[0].shard_id}" in out
+        assert main(["campaign", "resume", "--campaign-dir", str(directory)]) == 0
