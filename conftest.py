@@ -1,0 +1,26 @@
+"""Repo-root pytest configuration.
+
+Two jobs, both of which must happen before anything imports ``repro``:
+
+1. Default contract checking to ``raise`` under pytest (``setdefault`` so an
+   explicit ``REPRO_CONTRACTS=off|check`` from the environment still wins —
+   that is how the zero-cost production default is itself tested).  The mode
+   is frozen when ``repro.contracts.core`` first imports, which is why this
+   lives in the root conftest rather than ``tests/``.
+2. Register the contract-coverage plugin (``pytest_plugins`` is only
+   honoured in the rootdir conftest).
+"""
+
+import os
+import sys
+
+os.environ.setdefault("REPRO_CONTRACTS", "raise")
+
+# Make `python -m pytest` work from the repo root even without PYTHONPATH=src
+# (the plugin below is imported by dotted name, so src must be importable
+# before collection starts).
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+pytest_plugins = ["repro.contracts.pytest_plugin"]

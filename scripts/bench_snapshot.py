@@ -30,6 +30,7 @@ import platform
 import time
 from datetime import datetime, timezone
 
+from repro import contracts
 from repro.algorithms.registry import get_algorithm
 from repro.analysis.sampler import InstanceSampler
 from repro.core.classification import InstanceClass
@@ -92,6 +93,16 @@ def main() -> int:
         # snapshot should fail before the multi-minute measurement, not after.
         if args.skip_event:
             parser.error("--check needs the event measurement; drop --skip-event")
+        if contracts.mode() != "off":
+            # The committed baselines were measured with contract checking
+            # off (the production default); a checked run measures the
+            # contracts, not the engine.  This gate is also the bench-smoke
+            # proof that REPRO_CONTRACTS=off stays on the baseline numbers.
+            parser.error(
+                f"--check requires {contracts.MODE_ENV}=off "
+                f"(currently {contracts.mode()!r}): contract-checked runs "
+                "are not comparable to the committed baseline"
+            )
         with open(args.check) as handle:
             baseline_speedup = json.load(handle).get("speedup")
         if baseline_speedup is None:
@@ -171,6 +182,10 @@ def main() -> int:
             "backend": get_backend(None).name,
             "threads": resolve_kernel_threads(None),
         },
+        # Contract-checking mode of the measurement (see repro.contracts):
+        # always "off" for comparable baselines, recorded so a snapshot taken
+        # under check/raise can never be mistaken for one.
+        "contracts": contracts.mode(),
         "batch_engine": {
             "seconds": round(batch_seconds, 4),
             "instances_per_second": round(len(instances) / batch_seconds, 1),

@@ -36,6 +36,9 @@ import time
 import uuid
 from typing import Dict, List, Optional
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import LEASE_RELEASE_OWN_ONLY
+
 __all__ = ["DEFAULT_STALE_AFTER", "LeaseManager", "default_owner_id"]
 
 #: Default seconds without a heartbeat before a lease counts as stale.  Long
@@ -183,8 +186,16 @@ class LeaseManager:
         path = self._held.pop(shard_id, None)
         if path is None:
             return
-        if self.owner_of(shard_id) != self.owner:
+        recorded = self.owner_of(shard_id)
+        if recorded != self.owner:
             return
+        if _contracts.enabled():
+            # The guard above is the enforcement; the contract pins it: at
+            # the unlink point the on-disk lease always carries our owner id.
+            LEASE_RELEASE_OWN_ONLY.check(
+                recorded == self.owner,
+                f"unlinking {shard_id} owned by {recorded!r} as {self.owner!r}",
+            )
         try:
             os.unlink(path)
         except OSError as error:

@@ -43,6 +43,8 @@ from repro.campaign.leases import DEFAULT_STALE_AFTER, LeaseManager
 from repro.campaign.shards import Shard, plan_shards, shard_instances, shard_tasks
 from repro.campaign.spec import CampaignError, CampaignSpec
 from repro.campaign.store import CampaignStore, records_to_columns
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import CAMPAIGN_RESUME_NO_RECOMPUTE
 from repro.sim.rounds import compiler_cache_admission, compiler_cache_entry_budget
 from repro.util.logging import get_logger
 
@@ -371,6 +373,11 @@ def run_campaign(
         emit(
             f"campaign degraded: {stats.shards_quarantined} shard(s) quarantined "
             f"(see {store.FAILED_DIR}/), the rest of the store is valid"
+        )
+    if _contracts.enabled():
+        CAMPAIGN_RESUME_NO_RECOMPUTE.check(
+            stats.rows_recomputed == 0,
+            f"{stats.rows_recomputed} rows recomputed for already-complete shards",
         )
     return stats
 

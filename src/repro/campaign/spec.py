@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -50,6 +51,52 @@ RATIO_OPTIONS = ("radius_a_ratio", "radius_b_ratio")
 
 class CampaignError(ReproError):
     """A campaign spec, store or manifest is invalid or inconsistent."""
+
+
+#: Simulator option keys with a numeric domain, validated at spec
+#: construction so a bad value fails with a named CampaignError up front —
+#: not as a numpy/engine ValueError in the middle of a shard, where the
+#: fault-tolerant executor would retry it and quarantine the shard.
+_POSITIVE_FINITE_OPTIONS = ("max_time", "initial_horizon", "radius_a", "radius_b")
+_POSITIVE_INT_OPTIONS = ("max_segments", "kernel_threads")
+_NON_NEGATIVE_OPTIONS = ("radius_slack",)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_simulator_options(options: Mapping[str, Any], where: str) -> None:
+    """Range-check the known numeric simulator options of one option mapping.
+
+    Unknown keys pass through untouched (the event fallback accepts options —
+    ``timebase``, ``record_trajectories`` — this module has no business
+    enumerating); only the numeric knobs with a fixed domain are pinned.
+    """
+    for key in _POSITIVE_FINITE_OPTIONS:
+        value = options.get(key)
+        if value is None:
+            continue
+        if not _is_number(value) or not (math.isfinite(value) and value > 0.0):
+            raise CampaignError(
+                f"{key} of {where} must be a positive finite number, got {value!r}"
+            )
+    for key in _POSITIVE_INT_OPTIONS:
+        value = options.get(key)
+        if value is None:
+            continue
+        if not _is_number(value) or value != int(value) or value <= 0:
+            raise CampaignError(
+                f"{key} of {where} must be a positive integer, got {value!r}"
+            )
+    for key in _NON_NEGATIVE_OPTIONS:
+        value = options.get(key)
+        if value is None:
+            continue
+        if not _is_number(value) or not (math.isfinite(value) and value >= 0.0):
+            raise CampaignError(
+                f"{key} of {where} must be a non-negative finite number, got {value!r}"
+            )
 
 
 def _json_clean(value: Any, where: str) -> Any:
@@ -168,10 +215,25 @@ class CampaignSpec:
                 )
         if len(set(self.classes)) != len(self.classes):
             raise CampaignError(f"instance classes must be unique, got {self.classes}")
-        if self.instances_per_cell <= 0:
-            raise CampaignError("instances_per_cell must be positive")
-        if self.shard_size <= 0:
-            raise CampaignError("shard_size must be positive")
+        if not isinstance(self.instances_per_cell, int) or isinstance(
+            self.instances_per_cell, bool
+        ) or self.instances_per_cell <= 0:
+            raise CampaignError(
+                f"instances_per_cell must be a positive integer, "
+                f"got {self.instances_per_cell!r}"
+            )
+        if not isinstance(self.shard_size, int) or isinstance(
+            self.shard_size, bool
+        ) or self.shard_size <= 0:
+            raise CampaignError(
+                f"shard_size must be a positive integer, got {self.shard_size!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            # numpy's SeedSequence rejects negative entropy with a bare
+            # ValueError only once the first shard samples — fail it here.
+            raise CampaignError(
+                f"seed must be a non-negative integer, got {self.seed!r}"
+            )
         if self.sampler is not None:
             _json_clean(dict(self.sampler), "sampler config")
             # Fail on typos now, not mid-campaign: the config constructor
@@ -181,6 +243,13 @@ class CampaignSpec:
         for key in RATIO_OPTIONS:
             if key in self.simulator:
                 raise CampaignError(f"{key} is a per-arm option, not a campaign default")
+        _validate_simulator_options(self.simulator, "campaign defaults")
+        # Each arm's *effective* options (campaign defaults merged under the
+        # arm's overrides) is what the engines eventually see — validate that
+        # view, so a bad campaign-wide default an arm fails to override is
+        # caught just as early as a bad per-arm value.
+        for index, arm in enumerate(self.arms):
+            _validate_simulator_options(self.arm_options(index), f"arm {arm.label!r}")
 
     # -- derived -------------------------------------------------------------------
     def sampler_config(self):

@@ -49,6 +49,11 @@ import numpy as np
 
 from repro.campaign.shards import Shard, plan_shards
 from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import (
+    STORE_MANIFEST_MATCHES_DATA,
+    STORE_SHARD_ROUNDTRIP,
+)
 from repro.sim.columns import TERMINATION_BY_CODE
 
 __all__ = ["CampaignStore", "CellAggregate", "records_to_columns", "RESULT_COLUMNS"]
@@ -385,7 +390,41 @@ class CampaignStore:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if _contracts.enabled():
+            self._check_write_contracts(shard, columns, record)
         return record
+
+    def _check_write_contracts(
+        self,
+        shard: Shard,
+        columns: Mapping[str, np.ndarray],
+        record: Dict[str, Any],
+    ) -> None:
+        """Post-write contracts: manifest ↔ bytes on disk ↔ computed columns."""
+        path = self.shard_path(shard.shard_id)
+        latest = None
+        for line in self.manifest_records():
+            if line.get("shard_id") == shard.shard_id:
+                latest = line
+        STORE_MANIFEST_MATCHES_DATA.check(
+            latest is not None
+            and latest.get("sha256") == _sha256_file(path)
+            and latest.get("rows") == shard.count,
+            f"shard {shard.shard_id}: manifest record {latest} vs "
+            f"npz at {path}",
+        )
+        reread = self.read_shard(shard.shard_id)
+        roundtrip = set(reread) == set(RESULT_COLUMNS) and all(
+            np.array_equal(
+                reread[name],
+                np.asarray(columns[name]),
+                equal_nan=bool(np.issubdtype(np.asarray(columns[name]).dtype, np.floating)),
+            )
+            for name in RESULT_COLUMNS
+        )
+        STORE_SHARD_ROUNDTRIP.check(
+            roundtrip, f"shard {shard.shard_id} columns changed across npz roundtrip"
+        )
 
     # -- readers -------------------------------------------------------------------------
     def read_shard(self, shard_id: str) -> Dict[str, np.ndarray]:

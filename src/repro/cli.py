@@ -445,6 +445,20 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_contracts_list(args: argparse.Namespace) -> int:
+    from repro import contracts
+
+    active = contracts.mode()
+    print(f"contract checking mode: {active}  (set {contracts.MODE_ENV}=off|check|raise)")
+    rows = contracts.all_contracts()
+    width = max(len(contract.id) for contract in rows)
+    print(f"{'contract'.ljust(width)}  severity  description")
+    for contract in rows:
+        print(f"{contract.id.ljust(width)}  {contract.severity:<8}  {contract.doc}")
+    print(f"{len(rows)} contracts registered")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -529,6 +543,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     algorithms_parser = subparsers.add_parser("algorithms", help="list registered algorithms")
     algorithms_parser.set_defaults(handler=_cmd_algorithms)
+
+    contracts_parser = subparsers.add_parser(
+        "contracts",
+        help="inspect the declared runtime invariants (REPRO_CONTRACTS)",
+    )
+    contracts_sub = contracts_parser.add_subparsers(
+        dest="contracts_command", required=True
+    )
+    contracts_list = contracts_sub.add_parser(
+        "list", help="list every registered contract with severity and doc"
+    )
+    contracts_list.set_defaults(handler=_cmd_contracts_list)
 
     campaign_parser = subparsers.add_parser(
         "campaign",

@@ -1,0 +1,53 @@
+"""Declared runtime invariants for kernels, engines and the campaign store.
+
+See :mod:`repro.contracts.core` for the model (registry, ``REPRO_CONTRACTS``
+mode switch, decorators) and :mod:`repro.contracts.invariants` for the
+repo's contract set and the checker helpers applied at the seams.
+Importing this package registers every contract.
+"""
+
+from repro.contracts.core import (
+    MODE_ENV,
+    MODES,
+    Contract,
+    ContractViolation,
+    all_contracts,
+    coverage_rows,
+    declare,
+    enabled,
+    ensures,
+    get,
+    mode,
+    requires,
+    reset_counters,
+    resolve_mode,
+)
+from repro.contracts.invariants import (
+    check_engine_parity,
+    check_kernel_solution,
+    check_outcome,
+    check_outcome_parity,
+    check_result,
+)
+
+__all__ = [
+    "MODE_ENV",
+    "MODES",
+    "Contract",
+    "ContractViolation",
+    "all_contracts",
+    "check_engine_parity",
+    "check_kernel_solution",
+    "check_outcome",
+    "check_outcome_parity",
+    "check_result",
+    "coverage_rows",
+    "declare",
+    "enabled",
+    "ensures",
+    "get",
+    "mode",
+    "requires",
+    "reset_counters",
+    "resolve_mode",
+]

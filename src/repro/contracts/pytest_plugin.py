@@ -1,0 +1,114 @@
+"""Contract-coverage pytest plugin.
+
+Loaded via ``pytest_plugins`` in the repo-root ``conftest.py``.  During the
+run every :class:`~repro.contracts.core.Contract` counts its own firings;
+this plugin renders the counters as a coverage table at session end and —
+the part with teeth — fails the session when a registered contract was never
+exercised, so an invariant whose seam stopped calling it cannot silently rot
+into dead documentation.
+
+``--contract-coverage`` selects the behaviour:
+
+- ``auto`` (default): print the table; enforce never-fired-is-failure only
+  on *full* runs (no path/keyword/marker selection, no ``--lf``, not
+  collect-only) with checking enabled — a ``-k lease`` run obviously won't
+  fire the kernel contracts and must not fail for it.
+- ``require``: always enforce (the CI leg's setting).
+- ``report``: table only, never enforce.
+- ``off``: stay silent.
+
+Enforcement flips a passing session's exit status to 1 from
+``pytest_sessionfinish`` (``wrap_session`` reads ``session.exitstatus``
+after that hook); an already-failing status is left alone so real failures
+keep their exit codes.
+"""
+
+from __future__ import annotations
+
+from repro.contracts import core
+
+_CHOICES = ("auto", "require", "report", "off")
+
+#: Exit status used when coverage enforcement is the only failure.
+COVERAGE_FAILURE_EXIT = 1
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("contracts")
+    group.addoption(
+        "--contract-coverage",
+        default="auto",
+        choices=_CHOICES,
+        help=(
+            "contract-coverage reporting: auto (table always, enforce on "
+            "full runs), require (always enforce), report (table only), off"
+        ),
+    )
+
+
+def _selection_is_partial(config) -> bool:
+    """Whether this run selects a subset of the suite (no enforcement in auto)."""
+    option = config.option
+    return bool(
+        getattr(option, "file_or_dir", None)
+        or getattr(option, "keyword", "")
+        or getattr(option, "markexpr", "")
+        or getattr(option, "collectonly", False)
+        or getattr(option, "lf", False)
+        or getattr(option, "last_failed_no_failures", None) == "none"
+    )
+
+
+def _should_enforce(config) -> bool:
+    policy = config.getoption("contract_coverage")
+    if policy == "require":
+        return True
+    if policy != "auto":
+        return False
+    return core.enabled() and not _selection_is_partial(config)
+
+
+def _unfired():
+    return [contract for contract in core.all_contracts() if contract.fired == 0]
+
+
+def pytest_sessionfinish(session) -> None:
+    if session.config.getoption("contract_coverage") == "off":
+        return
+    if not _should_enforce(session.config):
+        return
+    if _unfired() and session.exitstatus == 0:
+        session.exitstatus = COVERAGE_FAILURE_EXIT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    policy = config.getoption("contract_coverage")
+    if policy == "off":
+        return
+    contracts = core.all_contracts()
+    if not contracts:
+        return
+    tr = terminalreporter
+    tr.section(f"contract coverage (mode={core.mode()})")
+    width = max(len(contract.id) for contract in contracts)
+    tr.write_line(f"{'contract'.ljust(width)}  severity  fired  violations")
+    for contract in contracts:
+        mark = " " if contract.fired else "!"
+        tr.write_line(
+            f"{contract.id.ljust(width)}  {contract.severity:<8}  "
+            f"{contract.fired:>5}  {contract.violations:>10}{mark if not contract.fired else ''}"
+        )
+    unfired = _unfired()
+    if not unfired:
+        tr.write_line(f"all {len(contracts)} contracts exercised")
+        return
+    names = ", ".join(contract.id for contract in unfired)
+    if _should_enforce(config):
+        tr.write_line(f"FAILED contract coverage: never fired: {names}")
+    elif core.enabled():
+        tr.write_line(f"not exercised by this selection: {names}")
+    else:
+        tr.write_line(
+            f"contract checking is off (set {core.MODE_ENV}=raise); "
+            f"not fired: {names}"
+        )

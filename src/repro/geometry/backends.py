@@ -41,6 +41,8 @@ from typing import Dict, Optional, Tuple, Type, Union
 
 import numpy as np
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import check_kernel_solution
 from repro.util.logging import get_logger
 
 logger = get_logger("geometry.backends")
@@ -482,8 +484,45 @@ def _compile_numba_kernels():  # pragma: no cover - needs numba
     return _NUMBA_KERNELS
 
 
+class _CheckedBackend(KernelBackend):
+    """Transparent proxy applying the kernel contracts to every ``solve``.
+
+    Installed by :func:`get_backend` when contract checking is enabled, so
+    every backend — numpy, numexpr, numba, future plugins — is held to the
+    same declared invariants (``kernel.min_distance_nonneg``,
+    ``kernel.min_leq_endpoints``, ``kernel.hit_within_window``) without any
+    backend opting in.  Never registered; never constructed in ``off`` mode,
+    so the production path keeps raw instances.
+    """
+
+    def __init__(self, inner: KernelBackend) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.thread_safe = inner.thread_safe
+
+    @classmethod
+    def is_available(cls) -> bool:  # pragma: no cover - proxy is never registered
+        return True
+
+    def solve(
+        self, rel_x, rel_y, rvel_x, rvel_y, radius, second_radius, durations,
+        track_closest,
+    ):
+        hit, second_hit, min_distance, t_star = self.inner.solve(
+            rel_x, rel_y, rvel_x, rvel_y, radius, second_radius, durations,
+            track_closest,
+        )
+        if _contracts.enabled():
+            check_kernel_solution(
+                hit, second_hit, min_distance, t_star,
+                rel_x, rel_y, rvel_x, rvel_y, durations,
+            )
+        return hit, second_hit, min_distance, t_star
+
+
 _REGISTRY: Dict[str, Type[KernelBackend]] = {}
 _INSTANCES: Dict[str, KernelBackend] = {}
+_CHECKED_INSTANCES: Dict[str, KernelBackend] = {}
 _FALLBACK_WARNED: set = set()
 
 
@@ -498,6 +537,7 @@ def register_backend(backend: Type[KernelBackend]) -> Type[KernelBackend]:
         raise ValueError("kernel backends must declare a non-empty name")
     _REGISTRY[backend.name] = backend
     _INSTANCES.pop(backend.name, None)
+    _CHECKED_INSTANCES.pop(backend.name, None)
     return backend
 
 
@@ -548,4 +588,11 @@ def get_backend(
     instance = _INSTANCES.get(cls.name)
     if instance is None:
         instance = _INSTANCES[cls.name] = cls()
+    if _contracts.enabled():
+        # Test/diagnostic modes get the contract-checking proxy; `off` (the
+        # production default) returns the raw instance — zero indirection.
+        checked = _CHECKED_INSTANCES.get(cls.name)
+        if checked is None:
+            checked = _CHECKED_INSTANCES[cls.name] = _CheckedBackend(instance)
+        return checked
     return instance

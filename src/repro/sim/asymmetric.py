@@ -36,6 +36,8 @@ import time as _time
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import check_outcome
 from repro.core.instance import Instance
 from repro.geometry.closest_approach import closest_approach_moving_points, first_time_within
 from repro.geometry.vec import Vec2, add, scale
@@ -286,7 +288,7 @@ def simulate_asymmetric(
         timebase_name=tb.name,
         meeting_time_exact=meeting_time_exact,
     )
-    return AsymmetricOutcome(
+    outcome = AsymmetricOutcome(
         result=result,
         radius_a=r_a,
         radius_b=r_b,
@@ -294,3 +296,6 @@ def simulate_asymmetric(
         freeze_time=freeze_time,
         freeze_distance=freeze_distance,
     )
+    if _contracts.enabled():
+        check_outcome(outcome, max_time=max_time)
+    return outcome

@@ -65,6 +65,8 @@ from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import check_result
 from repro.core.instance import Instance
 from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.sim.columns import (
@@ -346,6 +348,9 @@ def simulate_batch(
     results = cols.build_results(
         instances, name, elapsed_wall_seconds=elapsed / max(len(instances), 1)
     )
+    if _contracts.enabled():
+        for result in results:
+            check_result(result, max_time=max_time)
 
     logger.debug(
         "simulate_batch: %d instances, %d windows over %d rounds, %.3fs",

@@ -56,6 +56,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import check_outcome
 from repro.core.instance import Instance
 from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.motion.compiler import constant_table
@@ -455,6 +457,9 @@ def simulate_batch_asymmetric(
                 freeze_distance=freeze.distance if freeze is not None else None,
             )
         )
+    if _contracts.enabled():
+        for outcome in outcomes:
+            check_outcome(outcome, max_time=max_time)
 
     logger.debug(
         "simulate_batch_asymmetric: %d instances, %d windows over %d rounds, %.3fs",

@@ -20,6 +20,8 @@ import time as _time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Tuple, Union
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import check_result
 from repro.core.instance import AgentSpec, Instance
 from repro.geometry.closest_approach import first_hit_and_closest_approach
 from repro.geometry.vec import Vec2, add, scale
@@ -373,6 +375,8 @@ class RendezvousSimulator:
             trace_b=(recorder_b.as_polyline() if recorder_b is not None else None),
             meeting_time_exact=meeting_time_exact,
         )
+        if _contracts.enabled():
+            check_result(result, max_time=self.max_time)
         logger.debug("%s", result.summary())
         return result
 

@@ -52,6 +52,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import KERNEL_CHUNK_PARITY
 from repro.core.instance import AgentSpec, Instance
 from repro.geometry.backends import get_backend
 from repro.geometry.closest_approach import (
@@ -868,6 +870,17 @@ def _chunk_executor(threads: int) -> ThreadPoolExecutor:
     return _CHUNK_EXECUTOR
 
 
+#: Chunk-parity contract sampling: every ``2**_PARITY_SAMPLE_SHIFT``-th
+#: eligible ``solve_round`` call (plus the very first) re-solves under an
+#: alternative chunk partition and bit-compares — enough to exercise the
+#: invariant continuously without doubling test-mode kernel time.
+_PARITY_SAMPLE_SHIFT = 4
+#: Rounds larger than this many windows are never parity-resampled (the
+#: re-solve would dominate the round's own cost).
+_PARITY_MAX_WINDOWS = 1 << 16
+_parity_calls = 0
+
+
 def solve_round(
     windows: RoundWindows,
     radius: np.ndarray,
@@ -877,6 +890,8 @@ def solve_round(
     backend=None,
     threads: int = 1,
     clamp_at_second_hit: bool = False,
+    _chunk_target: Optional[int] = None,
+    _parity_recheck: bool = True,
 ) -> RoundSolution:
     """Solve all windows of a round with the fused batch kernel, chunked.
 
@@ -924,6 +939,10 @@ def solve_round(
     if threads > 1:
         per_thread = -(-total // (2 * threads))
         target = min(target, max(per_thread, _MIN_THREADED_CHUNK))
+    if _chunk_target is not None:
+        # Private hook of the chunk-parity contract: re-solve the same round
+        # under a different partition of the window table.
+        target = _chunk_target
     bounds = [0]
     while bounds[-1] < n_entries:
         start = bounds[-1]
@@ -1037,6 +1056,52 @@ def solve_round(
     else:
         for span in chunks:
             solve_chunk(*span)
+
+    if (
+        _parity_recheck
+        and n_entries > 1
+        and total <= _PARITY_MAX_WINDOWS
+        and _contracts.enabled()
+    ):
+        global _parity_calls
+        sample = _parity_calls % (1 << _PARITY_SAMPLE_SHIFT) == 0
+        _parity_calls += 1
+        if sample:
+            # Re-solve under a different chunk partition (single-chunk when
+            # this pass was chunked, roughly-halved otherwise) and require a
+            # bit-identical solution — the declared contract behind both the
+            # memory-capped chunking and the threaded dispatch.
+            alternative = solve_round(
+                windows, radius,
+                track_min_distance=track_min_distance,
+                second_radius=second_radius, backend=backend, threads=1,
+                clamp_at_second_hit=clamp_at_second_hit,
+                _chunk_target=(total if len(chunks) > 1 else max(1, total // 2)),
+                _parity_recheck=False,
+            )
+            same = np.array_equal(solution.first_hit, alternative.first_hit)
+            same = same and np.array_equal(
+                solution.hit_offset, alternative.hit_offset, equal_nan=True
+            )
+            if dual:
+                same = same and np.array_equal(
+                    solution.first_hit2, alternative.first_hit2
+                )
+                same = same and np.array_equal(
+                    solution.hit_offset2, alternative.hit_offset2, equal_nan=True
+                )
+            if track_min_distance:
+                same = same and np.array_equal(
+                    solution.group_min, alternative.group_min, equal_nan=True
+                )
+                same = same and np.array_equal(
+                    solution.min_time, alternative.min_time, equal_nan=True
+                )
+            KERNEL_CHUNK_PARITY.check(
+                same,
+                f"{total} windows / {n_entries} entries diverged across "
+                "chunk partitions",
+            )
 
     return solution
 

@@ -1,12 +1,23 @@
-"""Shared fixtures: representative instances of every class and common helpers."""
+"""Shared fixtures: representative instances of every class and common helpers.
+
+Also activates the Hypothesis settings profile named by the
+``HYPOTHESIS_PROFILE`` environment variable (``quick`` / ``default`` /
+``deep``, registered in :mod:`profiles`), so CI legs pick a whole-suite
+example budget without editing any test.
+"""
 
 import math
+import os
 
 import pytest
+from hypothesis import settings
 
+import profiles  # noqa: F401  (registers the named profiles)
 from repro.analysis.exceptions import make_s1_instance, make_s2_instance
 from repro.core.instance import Instance
 from repro.sim.engine import RendezvousSimulator
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -18,7 +18,18 @@ Tiers (example budgets picked to keep the whole suite inside tier-1 time):
 - ``SLOW_SETTINGS``: 25 examples — tests that run a full simulation (or
   another expensive subject) per example;
 - ``QUICK_SETTINGS``: 20 examples — fast validation tests (rejection paths,
-  trivial identities).
+  trivial identities);
+- ``CONTRACT_SETTINGS``: 50 examples — differential contract fuzzing, where
+  each example runs both engines (event + vectorized) end to end.
+
+Whole-suite depth is additionally selectable through *registered profiles*
+(``settings.register_profile`` + the ``HYPOTHESIS_PROFILE`` environment
+variable, loaded by ``tests/conftest.py``): ``quick`` caps every property
+test at 10 examples for fast PR legs, ``default`` leaves the per-test tiers
+above in charge, and ``deep`` multiplies the budget for nightly contract
+passes.  A profile's ``max_examples`` only overrides tests that don't pin
+their own, so the tiers stay authoritative except under ``quick``/``deep``
+(which are applied last and win by profile semantics for unpinned tests).
 """
 
 from hypothesis import HealthCheck, settings
@@ -29,3 +40,20 @@ SLOW_SETTINGS = settings(
     max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None
 )
 QUICK_SETTINGS = settings(max_examples=20)
+CONTRACT_SETTINGS = settings(
+    max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "quick",
+    settings(max_examples=10, deadline=None),
+)
+settings.register_profile(
+    "deep",
+    settings(
+        max_examples=1000,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    ),
+)

@@ -10,11 +10,21 @@ import json
 import os
 import time
 
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from profiles import QUICK_SETTINGS
 from repro.campaign.leases import DEFAULT_STALE_AFTER, LeaseManager, default_owner_id
+from repro.contracts import core as contracts_core
+from repro.contracts import get as get_contract
 
 
 def backdate(path, seconds):
-    """Age a lease file by rewinding its mtime (simulates a dead holder)."""
+    """Age a lease file by rewinding its mtime (simulates a dead holder).
+
+    A *negative* ``seconds`` pushes the mtime into the future — how a lease
+    written by a peer host with a fast clock looks through NFS.
+    """
     past = time.time() - seconds
     os.utime(path, (past, past))
 
@@ -118,6 +128,87 @@ class TestStaleTakeover:
         a.heartbeat()  # the file a held is gone: a must not resurrect it
         assert a.held() == []
         assert not os.path.exists(a.lease_path("shard-1"))
+
+
+class TestClockSkew:
+    """Multi-host takeover semantics under clock skew (ROADMAP's NFS concern).
+
+    The protocol reads lease age as ``max(0, now - mtime)``: a lease whose
+    mtime sits in *our* future (written by a fast-clocked peer) clamps to age
+    0 and is treated as maximally fresh — skew can only ever delay a
+    takeover, never cause a premature one.  These tests pin that boundary on
+    both sides of ``stale_after``.
+    """
+
+    def test_future_mtime_lease_is_never_stolen(self, tmp_path):
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=0.5)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), -3600.0)  # peer clock an hour ahead
+        assert not b.acquire("shard-1")
+        assert b.conflicts == 1 and b.takeovers == 0
+        assert a.lease_path("shard-1") and a.owner_of("shard-1") == "a"
+
+    def test_future_mtime_lease_reads_as_active_not_stale(self, tmp_path):
+        manager = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        manager.acquire("shard-1")
+        backdate(manager.lease_path("shard-1"), -3600.0)
+        assert manager.active_leases() == ["shard-1"]
+        assert manager.stale_leases() == []
+
+    def test_takeover_boundary_is_stale_after_in_local_clock(self, tmp_path):
+        # Just short of stale_after (a slow-clocked peer that still
+        # heartbeats within our window): conflict.  Past it: takeover.
+        stale_after = 10.0
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=stale_after)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=stale_after)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), stale_after - 2.0)
+        assert not b.acquire("shard-1")
+        assert b.conflicts == 1
+        backdate(a.lease_path("shard-1"), stale_after + 2.0)
+        assert b.acquire("shard-1")
+        assert b.takeovers == 1
+        assert b.owner_of("shard-1") == "b"
+
+    def test_heartbeat_rebases_a_skewed_lease_to_the_local_clock(self, tmp_path):
+        # A holder that heartbeats through os.utime() stamps *its* clock; the
+        # lease stays fresh no matter how skewed the original mtime was.
+        a = LeaseManager(str(tmp_path), owner="a", stale_after=0.5)
+        b = LeaseManager(str(tmp_path), owner="b", stale_after=0.5)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), 10.0)  # would be takeover-eligible
+        a.heartbeat()
+        assert not b.acquire("shard-1")
+        assert b.conflicts == 1
+
+    @QUICK_SETTINGS
+    @given(skew=st.floats(-120.0, 120.0))
+    def test_takeover_decision_only_depends_on_local_age(self, tmp_path_factory, skew):
+        # Property form of the boundary: for any skewed mtime, takeover
+        # happens iff the *locally observed* age reaches stale_after.  A
+        # margin around the boundary absorbs the wall-clock time between
+        # utime and the acquire's stat.
+        stale_after = 30.0
+        assume(abs(skew - stale_after) > 5.0)
+        directory = str(tmp_path_factory.mktemp("leases"))
+        a = LeaseManager(directory, owner="a", stale_after=stale_after)
+        b = LeaseManager(directory, owner="b", stale_after=stale_after)
+        a.acquire("shard-1")
+        backdate(a.lease_path("shard-1"), skew)
+        took_over = b.acquire("shard-1")
+        assert took_over == (skew > stale_after)
+
+    @pytest.mark.skipif(not contracts_core.enabled(),
+                        reason="requires REPRO_CONTRACTS=check|raise")
+    def test_release_own_only_contract_fires_on_release(self, tmp_path):
+        contract = get_contract("lease.release_own_only")
+        fired_before = contract.fired
+        manager = LeaseManager(str(tmp_path), owner="a")
+        manager.acquire("shard-1")
+        manager.release("shard-1")
+        assert contract.fired == fired_before + 1
+        assert contract.violations == 0
 
 
 class TestInspection:

@@ -17,6 +17,7 @@ from hypothesis import given, strategies as st
 
 from repro.algorithms.registry import get_algorithm
 from repro.analysis.sampler import InstanceSampler
+from repro.contracts import check_engine_parity
 from repro.core.classification import InstanceClass
 from repro.core.instance import Instance
 from repro.parallel.runner import BatchRunner, BatchTask, run_batch
@@ -52,17 +53,16 @@ PARITY_ALGORITHMS = (
 
 
 def assert_results_match(event, batch, *, rel=1e-9):
+    # Delegates to the declared parity contracts (parity.verdict,
+    # parity.meeting_time, parity.min_distance) so these tests both verify
+    # and exercise the registry; under REPRO_CONTRACTS=raise a mismatch
+    # surfaces as a ContractViolation naming the violated invariant.
+    # min_distance_time is deliberately NOT part of the contract: periodic
+    # programs attain near-equal minima in many windows, and ulp-level
+    # differences between the engines' accumulated positions legitimately
+    # pick different (equally minimal) windows.
     __tracebackhide__ = True
-    assert batch.met == event.met
-    assert batch.termination == event.termination
-    if event.met:
-        assert batch.meeting_time == pytest.approx(event.meeting_time, rel=rel, abs=rel)
-    if math.isfinite(event.min_distance):
-        assert batch.min_distance == pytest.approx(event.min_distance, rel=rel, abs=rel)
-    # min_distance_time is deliberately NOT compared: periodic programs attain
-    # near-equal minima in many windows, and ulp-level differences between the
-    # engines' accumulated positions legitimately pick different (equally
-    # minimal) windows.  Only the distance value is guaranteed.
+    assert check_engine_parity(event, batch, rel=rel)
 
 
 class TestEngineParityAcrossClasses:
