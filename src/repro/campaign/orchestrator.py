@@ -209,6 +209,7 @@ def run_campaign(
     retry_backoff: float = 0.25,
     lease_timeout: float = DEFAULT_STALE_AFTER,
     owner: Optional[str] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> CampaignRunStats:
     """Run (or resume) a campaign in ``directory`` until complete or interrupted.
 
@@ -269,6 +270,13 @@ def run_campaign(
     owner:
         Lease owner id (defaults to host:pid:nonce); set it only to make
         test assertions or logs more readable.
+    should_stop:
+        External stop request, polled at the same points as the signal
+        guard's flag.  The service daemon's graceful drain runs campaigns in
+        scheduler threads (where signal handlers cannot install) and flips
+        this instead: the shard in flight finishes or is abandoned, leases
+        release, and the call returns with ``stats.interrupted = True`` —
+        identical semantics to a SIGTERM of a foreground run.
     """
     _require_positive("max_shards", max_shards)
     _require_positive("workers", workers, optional=False)
@@ -320,6 +328,10 @@ def run_campaign(
     leases = LeaseManager(store.lease_dir, owner=owner, stale_after=lease_timeout)
     start = time.perf_counter()
     with _SignalGuard() as guard:
+        if should_stop is None:
+            stop_requested = lambda: guard.stop  # noqa: E731
+        else:
+            stop_requested = lambda: guard.stop or bool(should_stop())  # noqa: E731
         try:
             if workers > 1:
                 executor = ShardExecutor(
@@ -336,7 +348,7 @@ def run_campaign(
                     retry_backoff=retry_backoff,
                     max_shards=max_shards,
                     shard_hook=shard_hook,
-                    should_stop=lambda: guard.stop,
+                    should_stop=stop_requested,
                 )
                 executor.run(pending)
             else:
@@ -354,16 +366,16 @@ def run_campaign(
                     max_attempts=max_attempts,
                     retry_backoff=retry_backoff,
                     shard_hook=shard_hook,
-                    guard=guard,
+                    stop_requested=stop_requested,
                 )
         finally:
             leases.release_all()
             stats.lease_takeovers = leases.takeovers
             stats.lease_conflicts = leases.conflicts
             stats.wall_seconds = time.perf_counter() - start
-        if guard.stop:
+        if stop_requested():
             stats.interrupted = True
-            emit("interrupted by signal: in-flight work abandoned cleanly, leases released")
+            emit("interrupted: in-flight work abandoned cleanly, leases released")
     if stats.complete:
         emit(
             f"campaign complete: {stats.rows_computed} rows computed this call, "
@@ -397,7 +409,7 @@ def _run_inline(
     max_attempts: int,
     retry_backoff: float,
     shard_hook: Optional[Callable[[Shard], None]],
-    guard: _SignalGuard,
+    stop_requested: Callable[[], bool],
 ) -> None:
     """The sequential (``workers=1``) shard loop, with the same failure model.
 
@@ -416,11 +428,11 @@ def _run_inline(
     foreign: Dict[str, Shard] = {}
     try:
         while ready or foreign:
-            if guard.stop:
+            if stop_requested():
                 return
             progressed = False
             for _ in range(len(ready)):
-                if guard.stop:
+                if stop_requested():
                     return
                 if max_shards is not None and stats.shards_executed >= max_shards:
                     stats.interrupted = True
@@ -543,11 +555,17 @@ def _completed_elsewhere(
     return False
 
 
-def status_rows(directory: str) -> Dict[str, Any]:
+def status_rows(
+    directory: str, *, lease_timeout: float = DEFAULT_STALE_AFTER
+) -> Dict[str, Any]:
     """Machine-readable status of a campaign directory (no execution).
 
     Streams the store once: shard completion counts plus the per-(arm,
     class) aggregates, labelled with the spec's arm labels and class names.
+    Lease state is surfaced here too — active (heartbeating) vs stale claim
+    counts and the quarantined shard ids — so ``repro campaign status`` and
+    the service status endpoint show a wedged or degraded campaign without a
+    separate ``doctor`` run.
     """
     store = CampaignStore(directory)
     spec = store.load_spec()
@@ -563,12 +581,18 @@ def status_rows(directory: str) -> Dict[str, Any]:
         row.update(aggregate.as_row())
         rows.append(row)
     failed = store.failed_shards()
+    leases = LeaseManager(store.lease_dir, stale_after=lease_timeout)
     return {
         "name": spec.name,
         "digest": spec.digest(),
         "shards_total": len(plan),
         "shards_complete": sum(1 for shard in plan if shard.shard_id in done),
         "shards_quarantined": sum(1 for shard in plan if shard.shard_id in failed),
+        "quarantined": sorted(
+            shard.shard_id for shard in plan if shard.shard_id in failed
+        ),
+        "leases_active": len(leases.active_leases()),
+        "leases_stale": len(leases.stale_leases()),
         "rows_total": spec.total_instances,
         # `done` is keyed by shard id (last record wins), so duplicate
         # manifest lines from concurrent writers never double-count rows.

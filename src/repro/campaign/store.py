@@ -130,6 +130,17 @@ def records_to_columns(
     return columns
 
 
+def _missing_trailing_newline(path: str) -> bool:
+    """True when ``path`` exists, is non-empty and its last byte is not ``\\n``
+    — the signature of an append torn by a crash before the newline landed."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+    except (OSError, ValueError):
+        return False
+
+
 def _sha256_file(path: str) -> str:
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
@@ -229,6 +240,22 @@ class CampaignStore:
     SHARD_DIR = "shards"
     LEASE_DIR = "leases"
     FAILED_DIR = "failed"
+
+    #: Test-only crash seam: a callable invoked with a named commit point
+    #: (:data:`CRASH_POINTS`) during :meth:`write_shard`.  The crash-consistency
+    #: suite installs a hook that SIGKILLs the process at one point, proving the
+    #: atomicity contract holds at every seam; production leaves it ``None``.
+    crash_hook: Optional[Any] = None
+
+    #: The named :attr:`crash_hook` points, in commit order: after the npz
+    #: :func:`os.replace` (data durable, manifest silent) and after the manifest
+    #: line is written but before its fsync (the torn-tail window).
+    CRASH_POINTS = ("shard-data-replaced", "manifest-pre-fsync")
+
+    @classmethod
+    def _crash_point(cls, point: str) -> None:
+        if cls.crash_hook is not None:
+            cls.crash_hook(point)
 
     def __init__(self, directory: str) -> None:
         self.directory = os.path.abspath(directory)
@@ -375,6 +402,7 @@ class CampaignStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._crash_point("shard-data-replaced")
         record = {
             "shard_id": shard.shard_id,
             "index": shard.index,
@@ -387,8 +415,15 @@ class CampaignStore:
             "completed_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         }
         with open(self.manifest_path, "a") as handle:
+            # A crash can tear the previous append after its bytes but before
+            # its newline; appending straight after would merge this record
+            # into the torn fragment.  A leading newline isolates the fragment
+            # as its own (skipped) torn line and keeps this record parseable.
+            if _missing_trailing_newline(self.manifest_path):
+                handle.write("\n")
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
+            self._crash_point("manifest-pre-fsync")
             os.fsync(handle.fileno())
         if _contracts.enabled():
             self._check_write_contracts(shard, columns, record)

@@ -15,9 +15,28 @@ Python:
   (``run | resume | status | report | doctor``), fault-tolerant and
   parallel (``--workers``) with lease-based claims safe for concurrent
   runners;
-* ``repro algorithms`` — list the registered algorithms.
+* ``repro algorithms`` — list the registered algorithms;
+* ``repro serve``      — run the campaign service daemon (durable job queue +
+  scheduler + HTTP API) over a service directory;
+* ``repro submit``     — submit a campaign spec to a running daemon (or
+  straight into a service directory's journal when no daemon is up).
 
 The module is also installed as the ``python -m repro`` entry point.
+
+Exit-code contract (every subcommand, tested in ``tests/test_cli.py``):
+
+* ``0`` — success: the command did what was asked and, where applicable,
+  the subject is complete and healthy (a finished campaign, a clean store,
+  an accepted or deduplicated submission, a cleanly drained daemon);
+* ``2`` — usage error: bad flags, invalid spec, unknown backend, an
+  unreachable daemon — nothing was executed (argparse's own convention,
+  shared by every :class:`~repro.util.errors.ReproError`);
+* ``3`` — ran fine but the subject is not (yet) complete: an interrupted or
+  partial campaign, quarantined shards or jobs, a submission refused by
+  backpressure or a draining daemon — retry/resume/repair is the remedy;
+* ``1`` — integrity failure: checksum mismatches, corrupt stores
+  (``report --check``, ``doctor`` without ``--repair``) — data cannot be
+  trusted until repaired.
 """
 
 from __future__ import annotations
@@ -301,7 +320,7 @@ def _campaign_spec_from_args(args: argparse.Namespace):
             spec = CampaignSpec.from_dict({**spec.as_dict(), "shard_size": args.shard_size})
         return spec
     if not args.algorithm:
-        raise ReproError("campaign run needs --spec FILE or at least one --algorithm")
+        raise ReproError("a campaign spec needs --spec FILE or at least one --algorithm")
     simulator = {"max_time": args.max_time, "max_segments": args.max_segments}
     if args.timebase != "float":
         simulator["timebase"] = args.timebase
@@ -406,6 +425,10 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     print(f"campaign          : {status['name']} [{status['digest']}]")
     print(f"shards complete   : {status['shards_complete']}/{status['shards_total']}")
     print(f"rows stored       : {status['rows_stored']}/{status['rows_total']}")
+    print(f"leases            : {status['leases_active']} active, "
+          f"{status['leases_stale']} stale")
+    if status["quarantined"]:
+        print(f"quarantined       : {', '.join(status['quarantined'])}")
     if status["cells"]:
         print()
         print(format_table(status["cells"]))
@@ -442,6 +465,111 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             f"(incomplete: {status['shards_complete']}/{status['shards_total']} shards)"
         )
         return 3
+    return 0
+
+
+# -- service subcommands ----------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging as logging_module
+
+    from repro.service import ServiceDaemon
+    from repro.util.logging import get_logger, json_log_handler
+
+    root = get_logger("repro")
+    root.addHandler(json_log_handler(sys.stderr))
+    root.setLevel(getattr(logging_module, args.log_level.upper()))
+
+    campaign_options = {
+        "workers": args.workers,
+        "lease_timeout": args.lease_timeout,
+    }
+    if args.shard_timeout is not None:
+        campaign_options["shard_timeout"] = args.shard_timeout
+    daemon = ServiceDaemon(
+        args.service_dir,
+        host=args.host,
+        port=args.port,
+        depth_limit=args.depth_limit,
+        max_concurrent=args.max_concurrent,
+        max_attempts=args.max_attempts,
+        campaign_options=campaign_options,
+    )
+    daemon.run_until_signal()
+    return 0
+
+
+def _submit_spec_from_args(args: argparse.Namespace):
+    """The spec of a ``repro submit``: same file-or-inline rules as campaign run."""
+    return _campaign_spec_from_args(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _submit_spec_from_args(args)
+    spec.validate_algorithms()
+    url = args.url
+    if url is None:
+        from repro.service import read_daemon_file
+
+        info = read_daemon_file(args.service_dir)
+        if info is not None:
+            # A daemon owns the directory: route through its API rather than
+            # racing it on the journal (one live writer per directory).
+            url = f"http://{info['host']}:{info['port']}"
+        else:
+            return _submit_direct(args.service_dir, spec)
+    return _submit_http(url, spec)
+
+
+def _submit_direct(service_dir: str, spec) -> int:
+    """Journal the submission directly (no daemon running on the directory)."""
+    from repro.service import JobQueue
+
+    queue = JobQueue(service_dir)
+    job, created = queue.submit(spec)
+    verb = "accepted" if created else "deduplicated"
+    print(f"{verb}: job {job.digest} ({job.state}); "
+          f"a daemon on {service_dir} will run it")
+    return 0
+
+
+def _submit_http(url: str, spec) -> int:
+    """POST the spec to a running daemon; exit codes follow the CLI contract."""
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    body = spec.to_json().encode()
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}/campaigns",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = json_module.loads(response.read())
+            code = response.status
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode(errors="replace").strip()
+        try:
+            detail = json_module.loads(detail).get("error", detail)
+        except (ValueError, AttributeError):
+            pass
+        if error.code in (429, 503):
+            # Backpressure / draining: the daemon is healthy but refusing new
+            # work right now — retry later (same exit class as "incomplete").
+            print(f"refused ({error.code}): {detail}", file=sys.stderr)
+            return 3
+        print(f"error: daemon rejected the submission ({error.code}): {detail}",
+              file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        raise ReproError(f"cannot reach daemon at {url}: {error}")
+    verb = "accepted" if code == 201 else "deduplicated"
+    print(f"{verb}: job {payload['digest']} ({payload['state']})")
+    print(f"status: GET {url.rstrip('/')}/campaigns/{payload['digest']}/status")
     return 0
 
 
@@ -606,29 +734,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="kernel chunk threads (sets REPRO_KERNEL_THREADS; "
                               "results are bit-identical for every value)")
 
+    def _add_spec_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--spec", default=None, metavar="FILE",
+                         help="campaign spec JSON (alternative: the inline "
+                              "--algorithm/--classes/... flags below)")
+        sub.add_argument("--name", default="campaign", help="inline spec: campaign name")
+        sub.add_argument("--algorithm", action="append", default=[], metavar="NAME",
+                         help="inline spec: algorithm arm (repeatable)")
+        sub.add_argument("--classes", default="uniform",
+                         help="inline spec: comma-separated instance classes "
+                              "(e.g. type-1,type-2) or 'uniform'")
+        sub.add_argument("--instances-per-cell", type=int, default=256,
+                         help="inline spec: instances sampled per class")
+        sub.add_argument("--seed", type=int, default=0, help="inline spec: master seed")
+        sub.add_argument("--max-time", type=float, default=1e6,
+                         help="inline spec: simulated-time budget")
+        sub.add_argument("--max-segments", type=int, default=100_000,
+                         help="inline spec: combined segment budget")
+        sub.add_argument("--timebase", default="float", choices=("float", "exact"),
+                         help="inline spec: timebase (exact forces the event engine)")
+        sub.add_argument("--shard-size", type=int, default=None, metavar="N",
+                         help="instances per shard (changes the shard plan, "
+                              "i.e. the campaign identity)")
+
     campaign_run = campaign_sub.add_parser(
         "run", help="run a campaign (continues an existing directory)")
-    campaign_run.add_argument("--spec", default=None, metavar="FILE",
-                              help="campaign spec JSON (alternative: the inline "
-                                   "--algorithm/--classes/... flags below)")
-    campaign_run.add_argument("--name", default="campaign", help="inline spec: campaign name")
-    campaign_run.add_argument("--algorithm", action="append", default=[], metavar="NAME",
-                              help="inline spec: algorithm arm (repeatable)")
-    campaign_run.add_argument("--classes", default="uniform",
-                              help="inline spec: comma-separated instance classes "
-                                   "(e.g. type-1,type-2) or 'uniform'")
-    campaign_run.add_argument("--instances-per-cell", type=int, default=256,
-                              help="inline spec: instances sampled per class")
-    campaign_run.add_argument("--seed", type=int, default=0, help="inline spec: master seed")
-    campaign_run.add_argument("--max-time", type=float, default=1e6,
-                              help="inline spec: simulated-time budget")
-    campaign_run.add_argument("--max-segments", type=int, default=100_000,
-                              help="inline spec: combined segment budget")
-    campaign_run.add_argument("--timebase", default="float", choices=("float", "exact"),
-                              help="inline spec: timebase (exact forces the event engine)")
-    campaign_run.add_argument("--shard-size", type=int, default=None, metavar="N",
-                              help="instances per shard (changes the shard plan, "
-                                   "i.e. the campaign identity)")
+    _add_spec_arguments(campaign_run)
     _add_execution_arguments(campaign_run)
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
@@ -667,6 +798,51 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="SEC",
                                  help="staleness threshold for lease files")
     campaign_doctor.set_defaults(handler=_cmd_campaign_doctor)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the campaign service daemon (durable queue + scheduler + "
+             "HTTP API) over a service directory",
+    )
+    serve_parser.add_argument("--service-dir", required=True, metavar="DIR",
+                              help="service directory (journal, stores/, daemon.json)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: loopback)")
+    serve_parser.add_argument("--port", type=int, default=0, metavar="N",
+                              help="bind port (default 0 = ephemeral; the bound "
+                                   "port is published in daemon.json)")
+    serve_parser.add_argument("--depth-limit", type=int, default=None, metavar="N",
+                              help="max unfinished jobs before submissions are "
+                                   "refused with 429 (default: unbounded)")
+    serve_parser.add_argument("--max-concurrent", type=int, default=1, metavar="N",
+                              help="campaigns run at once (shards parallelize "
+                                   "via --workers inside each)")
+    serve_parser.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                              help="dispatches per job before it is quarantined")
+    serve_parser.add_argument("--workers", type=int, default=1, metavar="N",
+                              help="shard workers per campaign run")
+    serve_parser.add_argument("--shard-timeout", type=float, default=None, metavar="SEC",
+                              help="per-shard deadline (needs --workers >= 2)")
+    serve_parser.add_argument("--lease-timeout", type=float, default=60.0, metavar="SEC",
+                              help="shard lease staleness threshold")
+    serve_parser.add_argument("--log-level", default="info",
+                              choices=("debug", "info", "warning", "error"),
+                              help="JSON-lines log level on stderr")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a campaign spec to the service (idempotent by spec digest)",
+    )
+    target = submit_parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", default=None, metavar="URL",
+                        help="base URL of a running daemon (e.g. "
+                             "http://127.0.0.1:8440)")
+    target.add_argument("--service-dir", default=None, metavar="DIR",
+                        help="service directory; routes to its daemon when one "
+                             "is serving (daemon.json), else journals directly")
+    _add_spec_arguments(submit_parser)
+    submit_parser.set_defaults(handler=_cmd_submit)
     return parser
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "check_kernel_solution",
     "check_outcome",
     "check_outcome_parity",
+    "check_recovery_identity",
     "check_result",
 ]
 
@@ -135,6 +136,26 @@ CAMPAIGN_RESUME_NO_RECOMPUTE = declare(
 LEASE_RELEASE_OWN_ONLY = declare(
     "lease.release_own_only",
     "a worker only ever deletes lease files carrying its own owner id",
+)
+
+# -- service layer (job queue / daemon) -------------------------------------------
+
+QUEUE_JOURNAL_MONOTONIC = declare(
+    "queue.journal_monotonic",
+    "job state transitions recorded in the service journal only move forward "
+    "(submitted -> running -> complete | quarantined); terminal states are "
+    "final",
+)
+QUEUE_DIGEST_DEDUP = declare(
+    "queue.digest_dedup_single_store",
+    "two submissions of one spec digest share a single job and a single "
+    "store directory",
+)
+SERVICE_RECOVER_RESUME_IDENTITY = declare(
+    "service.recover_resume_identity",
+    "a campaign resumed after crash recovery (doctor --repair, then resume) "
+    "recomputes zero finished shards and exports columns byte-identical to "
+    "an uninterrupted run",
 )
 
 
@@ -248,6 +269,33 @@ def check_outcome(outcome, *, max_time: float) -> None:
         freeze_ok,
         f"frozen={outcome.frozen_agent} freeze_time={outcome.freeze_time} "
         f"meeting_time={outcome.meeting_time}",
+    )
+
+
+# -- service checkers -------------------------------------------------------------
+
+def check_recovery_identity(reference, recovered, *, rows_recomputed: int) -> bool:
+    """Check the recover-then-resume byte-identity contract on two exports.
+
+    ``reference`` and ``recovered`` are column dicts
+    (:meth:`~repro.campaign.store.CampaignStore.export_columns`) of an
+    uninterrupted run and a crash-recovered one.  Like the parity helpers,
+    the predicate always runs and the verdict is returned, so recovery tests
+    can ``assert check_recovery_identity(...)`` in any mode.
+    """
+    identical = set(reference) == set(recovered) and all(
+        np.array_equal(
+            np.asarray(reference[name]),
+            np.asarray(recovered[name]),
+            equal_nan=bool(
+                np.issubdtype(np.asarray(reference[name]).dtype, np.floating)
+            ),
+        )
+        for name in reference
+    )
+    return SERVICE_RECOVER_RESUME_IDENTITY.check(
+        identical and rows_recomputed == 0,
+        f"identical={identical} rows_recomputed={rows_recomputed}",
     )
 
 

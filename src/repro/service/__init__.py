@@ -1,0 +1,39 @@
+"""Durable campaign service: crash-safe job queue, scheduler daemon, HTTP API.
+
+The layer that turns campaign execution into a long-lived service: an
+append-only fsynced journal makes the job queue lose nothing across
+``kill -9`` (:mod:`repro.service.queue`), a scheduler leases queued jobs to
+the campaign orchestrator with retry/backoff and bounded concurrency
+(:mod:`repro.service.scheduler`), and a threaded stdlib HTTP API plus the
+daemon's recover-then-serve lifecycle expose it all over a socket
+(:mod:`repro.service.api`, :mod:`repro.service.daemon`).
+"""
+
+from repro.service.api import MAX_BODY_BYTES, REQUEST_TIMEOUT, NotReady, make_server
+from repro.service.daemon import DAEMON_FILE, ServiceDaemon, read_daemon_file
+from repro.service.queue import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+    QueueFull,
+    ServiceError,
+)
+from repro.service.scheduler import Scheduler
+
+__all__ = [
+    "DAEMON_FILE",
+    "JOB_STATES",
+    "MAX_BODY_BYTES",
+    "REQUEST_TIMEOUT",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "NotReady",
+    "QueueFull",
+    "Scheduler",
+    "ServiceDaemon",
+    "ServiceError",
+    "make_server",
+    "read_daemon_file",
+]

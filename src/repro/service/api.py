@@ -1,0 +1,167 @@
+"""The service's HTTP surface: a threaded stdlib ``http.server`` API.
+
+Endpoints (all JSON)::
+
+    POST /campaigns                      submit a CampaignSpec (the spec's
+                                         as_dict JSON); 201 accepted,
+                                         200 deduplicated to an existing job,
+                                         400 invalid spec, 413 oversized body,
+                                         429 queue full (backpressure),
+                                         503 draining / not ready
+    GET  /campaigns                      every job, in submission order
+    GET  /campaigns/<digest>/status      job record + live campaign status
+                                         (shard counts, lease state,
+                                         quarantined shards)
+    GET  /campaigns/<digest>/report      per-(arm, class) aggregate cells
+    GET  /healthz                        process liveness (always 200)
+    GET  /readyz                         200 only after startup recovery
+                                         finished and while not draining
+
+Design notes: :class:`ThreadingHTTPServer` gives one thread per connection —
+ample for a control-plane API whose hot path is a queue append.  Each
+connection gets a hard socket timeout (:data:`REQUEST_TIMEOUT` via the
+handler's ``timeout`` attribute), so a stalled client can never pin a thread;
+bodies are length-capped (:data:`MAX_BODY_BYTES`) before they are read.  The
+handler talks to the daemon only through the narrow
+:class:`ServiceFacade`-shaped object stored on the server, keeping the HTTP
+layer import-light and the daemon testable without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+
+from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.service.queue import QueueFull, ServiceError
+from repro.util.logging import get_logger, log_event
+
+logger = get_logger("service.api")
+
+__all__ = ["MAX_BODY_BYTES", "REQUEST_TIMEOUT", "NotReady", "make_server"]
+
+#: Hard per-connection socket timeout (seconds): a client that stops sending
+#: or reading mid-request gets its connection dropped, not a parked thread.
+REQUEST_TIMEOUT = 30.0
+
+#: Submission body cap.  Campaign specs are a few KB of JSON; anything near
+#: this limit is a mistake or an attack, refused before it is read.
+MAX_BODY_BYTES = 1 << 20
+
+
+class NotReady(ServiceError):
+    """The daemon is starting up (recovery in progress) or draining."""
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the daemon facade at ``self.server.service``."""
+
+    server_version = "repro-service"
+    timeout = REQUEST_TIMEOUT
+
+    # -- plumbing ----------------------------------------------------------------
+    @property
+    def service(self):
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        log_event(
+            logger, logging.DEBUG, format % args,
+            client=self.client_address[0],
+        )
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    # -- routes ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        if self.path.rstrip("/") != "/campaigns":
+            self._error(404, f"no such endpoint: POST {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "invalid Content-Length")
+            return
+        if length <= 0:
+            self._error(400, "a CampaignSpec JSON body is required")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        body = self.rfile.read(length)
+        try:
+            data = json.loads(body)
+            spec = CampaignSpec.from_dict(data)
+            spec.validate_algorithms()
+        except (json.JSONDecodeError, TypeError, CampaignError) as error:
+            self._error(400, f"invalid campaign spec: {error}")
+            return
+        try:
+            job, created = self.service.submit(spec)
+        except QueueFull as error:
+            self._error(429, str(error))
+            return
+        except NotReady as error:
+            self._error(503, str(error))
+            return
+        payload = dict(job.as_dict(), deduplicated=not created)
+        self._send_json(201 if created else 200, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        try:
+            code, payload = self._route_get(self.path.rstrip("/") or "/")
+        except ServiceError as error:
+            code, payload = 500, {"error": str(error)}
+        self._send_json(code, payload)
+
+    def _route_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            return 200, {"ok": True, "pid": self.service.pid}
+        if path == "/readyz":
+            if self.service.is_ready():
+                return 200, {"ready": True}
+            return 503, {"ready": False, "reason": self.service.not_ready_reason()}
+        if path == "/campaigns":
+            return 200, {"jobs": [job.as_dict() for job in self.service.jobs()]}
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 3 and parts[0] == "campaigns":
+            digest, view = parts[1], parts[2]
+            if view == "status":
+                status = self.service.campaign_status(digest)
+                if status is None:
+                    return 404, {"error": f"unknown campaign {digest}"}
+                return 200, status
+            if view == "report":
+                report = self.service.campaign_report(digest)
+                if report is None:
+                    return 404, {"error": f"unknown campaign {digest}"}
+                return 200, report
+        return 404, {"error": f"no such endpoint: GET {path}"}
+
+
+def make_server(service, host: str, port: int) -> ThreadingHTTPServer:
+    """Bind the API server for a daemon facade (``port=0`` = ephemeral).
+
+    The caller owns the lifecycle (``serve_forever`` in a thread,
+    ``shutdown()`` + ``server_close()`` on drain); the bound port is
+    ``server.server_address[1]``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    # Connection threads must never outlive the drain: the daemon joins the
+    # scheduler explicitly, while request threads are short-lived by the
+    # socket timeout.
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,406 @@
+"""Durable on-disk job queue: the crash-safe substrate of the service daemon.
+
+A *job* is one submitted campaign, keyed by its spec's content digest.  All
+queue state lives in a single append-only journal
+(``<service-dir>/journal.jsonl``): every accepted submission and every state
+transition is one JSON line, flushed and fsynced before the mutation is
+acknowledged, so a ``kill -9`` at any instant loses **no accepted job** — at
+worst it tears the final line, and the replay on reopen skips torn lines the
+same way the campaign manifest reader does (the transition they described is
+simply not acknowledged, which is exactly the promise made to the submitter).
+
+The job state machine is monotonic::
+
+    submitted ──► running ──► complete
+                     │   ▲
+                     │   │ (retry: running ─► running, attempt += 1)
+                     └───┴──► quarantined
+
+``complete`` and ``quarantined`` are terminal; a transition that moves
+backwards or leaves a terminal state is refused (and pinned by the
+``queue.journal_monotonic`` contract).  A job that was ``running`` when the
+process died stays ``running`` in the replayed journal — that is the
+recovery signal the daemon acts on (doctor + resume), not an error.
+
+Submission is **idempotent by digest**: submitting a spec whose digest the
+journal already holds returns the existing job — same job id, same store
+directory (``<service-dir>/stores/<digest>``) — so two users submitting the
+same campaign share one run and one set of result columns
+(``queue.digest_dedup_single_store``).  Backpressure is explicit: when the
+number of unfinished jobs reaches ``depth_limit``, :meth:`JobQueue.submit`
+raises :class:`QueueFull` instead of silently dropping or unboundedly
+accepting work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import QUEUE_DIGEST_DEDUP, QUEUE_JOURNAL_MONOTONIC
+from repro.util.errors import ReproError
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "ServiceError",
+]
+
+#: Every job state, in rank order (transitions never decrease the rank).
+JOB_STATES = ("submitted", "running", "complete", "quarantined")
+
+#: States no transition may leave.
+TERMINAL_STATES = ("complete", "quarantined")
+
+_STATE_RANK = {"submitted": 0, "running": 1, "complete": 2, "quarantined": 2}
+
+
+class ServiceError(ReproError):
+    """The service journal, queue or daemon is invalid or inconsistent."""
+
+
+class QueueFull(ServiceError):
+    """Submission rejected: the queue is at its depth limit (backpressure).
+
+    The explicit-reject contract: a submitter always learns whether its job
+    was accepted; overload degrades to refusals, never to silent drops.
+    """
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its current journal state."""
+
+    digest: str
+    name: str
+    spec_data: Dict[str, Any]
+    state: str = "submitted"
+    attempts: int = 0
+    submitted_utc: str = ""
+    updated_utc: str = ""
+    error: Optional[str] = None
+    stats: Optional[Dict[str, Any]] = field(default=None)
+
+    def spec(self) -> CampaignSpec:
+        """The job's :class:`CampaignSpec`, rebuilt from the journaled dict."""
+        return CampaignSpec.from_dict(self.spec_data)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (the API's job representation)."""
+        return {
+            "digest": self.digest,
+            "name": self.name,
+            "state": self.state,
+            "attempts": self.attempts,
+            "submitted_utc": self.submitted_utc,
+            "updated_utc": self.updated_utc,
+            "error": self.error,
+            "stats": self.stats,
+        }
+
+
+class JobQueue:
+    """The durable job queue of one service directory.
+
+    Thread-safe: the API handler threads submit while scheduler threads
+    transition, all under one lock.  Exactly one live process should own a
+    service directory (the daemon); the journal makes hand-offs between
+    *successive* processes safe, not concurrent ones.
+    """
+
+    JOURNAL_FILE = "journal.jsonl"
+    STORE_DIR = "stores"
+
+    #: Test-only crash seam, mirroring :attr:`CampaignStore.crash_hook`:
+    #: called with a :data:`CRASH_POINTS` name during journal appends.
+    crash_hook: Optional[Callable[[str], None]] = None
+
+    #: The one named crash point: after the journal line is written but
+    #: before its fsync — the window a real crash tears the tail in.
+    CRASH_POINTS = ("journal-pre-fsync",)
+
+    def __init__(self, directory: str, *, depth_limit: Optional[int] = None) -> None:
+        if depth_limit is not None and (
+            not isinstance(depth_limit, int)
+            or isinstance(depth_limit, bool)
+            or depth_limit <= 0
+        ):
+            raise ServiceError(
+                f"depth_limit must be a positive integer or None, got {depth_limit!r}"
+            )
+        self.directory = os.path.abspath(directory)
+        self.depth_limit = depth_limit
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        #: Journal lines that failed to parse on replay (torn tail from a
+        #: crash mid-append); informational, never fatal.
+        self.torn_lines = 0
+        #: Journal records whose transition was invalid on replay; skipped,
+        #: counted, never fatal (recovery must always succeed).
+        self.invalid_records = 0
+        #: Whether the previous daemon session journaled a clean shutdown
+        #: (None = no daemon lifecycle records at all).
+        self.clean_shutdown: Optional[bool] = None
+        os.makedirs(self.directory, exist_ok=True)
+        self._replay()
+
+    # -- paths -------------------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, self.JOURNAL_FILE)
+
+    def store_path(self, digest: str) -> str:
+        """The single campaign store directory of a spec digest."""
+        return os.path.join(self.directory, self.STORE_DIR, digest)
+
+    # -- journal -----------------------------------------------------------------
+    @classmethod
+    def _crash_point(cls, point: str) -> None:
+        if cls.crash_hook is not None:
+            cls.crash_hook(point)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Append one journal line; the mutation is durable when this returns."""
+        from repro.campaign.store import _missing_trailing_newline
+
+        record = dict(record, ts=_utc_now())
+        with open(self.journal_path, "a") as handle:
+            # Isolate a newline-less torn tail (crash mid-append) so this
+            # record never merges into the fragment — see the same guard on
+            # the campaign manifest.
+            if _missing_trailing_newline(self.journal_path):
+                handle.write("\n")
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            self._crash_point("journal-pre-fsync")
+            os.fsync(handle.fileno())
+
+    def journal_records(self) -> List[Dict[str, Any]]:
+        """All parseable journal records in append order (torn lines skipped)."""
+        records: List[Dict[str, Any]] = []
+        if not os.path.exists(self.journal_path):
+            return records
+        with open(self.journal_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash between append and fsync tears at most the
+                    # final line; its transition was never acknowledged, so
+                    # dropping it is lossless from the submitter's view.
+                    self.torn_lines += 1
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+                else:
+                    self.invalid_records += 1
+        return records
+
+    def _replay(self) -> None:
+        self.torn_lines = 0
+        self.invalid_records = 0
+        for record in self.journal_records():
+            event = record.get("event")
+            if event == "daemon-start":
+                self.clean_shutdown = False
+            elif event == "daemon-shutdown":
+                self.clean_shutdown = True
+            elif event == "job":
+                self._replay_job(record)
+            else:
+                self.invalid_records += 1
+
+    def _replay_job(self, record: Dict[str, Any]) -> None:
+        digest = record.get("digest")
+        state = record.get("state")
+        if not digest or state not in JOB_STATES:
+            self.invalid_records += 1
+            return
+        job = self._jobs.get(digest)
+        if job is None:
+            if state != "submitted" or not isinstance(record.get("spec"), dict):
+                self.invalid_records += 1
+                return
+            job = Job(
+                digest=digest,
+                name=str(record.get("name", "")),
+                spec_data=dict(record["spec"]),
+                submitted_utc=str(record.get("ts", "")),
+                updated_utc=str(record.get("ts", "")),
+            )
+            self._jobs[digest] = job
+            self._order.append(digest)
+            return
+        if state == "submitted":
+            # Duplicate submissions never journal (dedup happens before the
+            # append); a replayed duplicate is a malformed journal.
+            self.invalid_records += 1
+            return
+        if _STATE_RANK[state] < _STATE_RANK[job.state] or job.state in TERMINAL_STATES:
+            self.invalid_records += 1
+            return
+        self._apply(job, record)
+
+    @staticmethod
+    def _apply(job: Job, record: Dict[str, Any]) -> None:
+        job.state = record["state"]
+        job.updated_utc = str(record.get("ts", job.updated_utc))
+        if "attempt" in record:
+            job.attempts = int(record["attempt"])
+        if record.get("error") is not None:
+            job.error = str(record["error"])
+        if isinstance(record.get("stats"), dict):
+            job.stats = dict(record["stats"])
+
+    # -- submission --------------------------------------------------------------
+    def submit(self, spec: CampaignSpec) -> Tuple[Job, bool]:
+        """Accept (or dedup) one campaign submission; returns ``(job, created)``.
+
+        Identical specs — same content digest — share one job and one store
+        directory: the second submitter simply observes the first's job,
+        whatever state it has reached (a completed job is a cache hit).
+        Raises :class:`QueueFull` when the unfinished-job count is at the
+        depth limit.
+        """
+        if not isinstance(spec, CampaignSpec):
+            raise ServiceError(f"submit expects a CampaignSpec, got {type(spec).__name__}")
+        digest = spec.digest()
+        with self._lock:
+            existing = self._jobs.get(digest)
+            if existing is not None:
+                if _contracts.enabled():
+                    QUEUE_DIGEST_DEDUP.check(
+                        self.store_path(existing.digest) == self.store_path(digest)
+                        and existing.digest == digest,
+                        f"digest {digest} resolved to job {existing.digest}",
+                    )
+                return existing, False
+            if self.depth_limit is not None and self.depth() >= self.depth_limit:
+                raise QueueFull(
+                    f"queue depth limit {self.depth_limit} reached "
+                    f"({self.depth()} unfinished jobs); retry later"
+                )
+            job = Job(
+                digest=digest,
+                name=spec.name,
+                spec_data=spec.as_dict(),
+                submitted_utc=_utc_now(),
+                updated_utc=_utc_now(),
+            )
+            self._append(
+                {
+                    "event": "job",
+                    "state": "submitted",
+                    "digest": digest,
+                    "name": spec.name,
+                    "spec": job.spec_data,
+                }
+            )
+            self._jobs[digest] = job
+            self._order.append(digest)
+            return job, True
+
+    # -- transitions -------------------------------------------------------------
+    def _transition(self, digest: str, state: str, **extra: Any) -> Job:
+        with self._lock:
+            job = self._jobs.get(digest)
+            ok = (
+                job is not None
+                and state in JOB_STATES
+                and state != "submitted"
+                and _STATE_RANK[state] >= _STATE_RANK[job.state]
+                and job.state not in TERMINAL_STATES
+            )
+            if not ok:
+                # Caller error, refused before anything reaches the journal.
+                raise ServiceError(
+                    f"invalid job transition to {state!r} for {digest} "
+                    f"(current: {job.state if job else 'unknown job'})"
+                )
+            if _contracts.enabled():
+                # The invariant is about journal *contents*: every transition
+                # we are about to journal moves the state rank forward from a
+                # non-terminal state.
+                QUEUE_JOURNAL_MONOTONIC.check(
+                    _STATE_RANK[state] >= _STATE_RANK[job.state]
+                    and job.state not in TERMINAL_STATES,
+                    f"{job.state} -> {state} for {digest}",
+                )
+            record = {"event": "job", "state": state, "digest": digest}
+            record.update({k: v for k, v in extra.items() if v is not None})
+            self._append(record)
+            self._apply(job, dict(record, ts=_utc_now()))
+            return job
+
+    def mark_running(self, digest: str, *, attempt: Optional[int] = None) -> Job:
+        """Journal a (re)dispatch; ``attempt`` defaults to the next number."""
+        with self._lock:
+            job = self._jobs.get(digest)
+            if attempt is None:
+                attempt = (job.attempts if job else 0) + 1
+            return self._transition(digest, "running", attempt=int(attempt))
+
+    def mark_complete(self, digest: str, *, stats: Optional[Dict[str, Any]] = None) -> Job:
+        return self._transition(digest, "complete", stats=stats)
+
+    def mark_quarantined(self, digest: str, *, error: str) -> Job:
+        return self._transition(digest, "quarantined", error=str(error))
+
+    # -- daemon lifecycle --------------------------------------------------------
+    def record_daemon_start(self) -> None:
+        self._append({"event": "daemon-start", "pid": os.getpid()})
+        self.clean_shutdown = False
+
+    def record_daemon_shutdown(self) -> None:
+        """The clean-shutdown record a graceful drain ends with."""
+        self._append({"event": "daemon-shutdown", "pid": os.getpid()})
+        self.clean_shutdown = True
+
+    # -- queries -----------------------------------------------------------------
+    def job(self, digest: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(digest)
+
+    def jobs(self) -> List[Job]:
+        """Every job, in submission order."""
+        with self._lock:
+            return [self._jobs[digest] for digest in self._order]
+
+    def eligible(self) -> List[Job]:
+        """Jobs the scheduler may (re)dispatch, in submission order.
+
+        ``submitted`` jobs are fresh work; ``running`` jobs are either a
+        previous process's crash orphans (the recovery path) or a retry the
+        scheduler itself parked — the scheduler filters out its own
+        in-flight digests.
+        """
+        with self._lock:
+            return [
+                self._jobs[digest]
+                for digest in self._order
+                if self._jobs[digest].state in ("submitted", "running")
+            ]
+
+    def depth(self) -> int:
+        """Unfinished jobs (``submitted`` + ``running``) — the backpressure gauge."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.state not in TERMINAL_STATES
+            )

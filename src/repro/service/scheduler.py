@@ -1,0 +1,248 @@
+"""The scheduler loop: leases queued jobs to the campaign orchestrator.
+
+One :class:`Scheduler` per daemon.  It repeatedly takes eligible jobs from
+the :class:`~repro.service.queue.JobQueue` (``submitted`` work and crash- or
+retry-orphaned ``running`` work) and executes each as a campaign run in its
+own worker thread, at most ``max_concurrent`` at a time — campaigns
+themselves fan out over shards (``workers``), so job-level concurrency stays
+deliberately small.
+
+The failure model mirrors the shard executor one level up: a job whose
+campaign run *raises* is retried with exponential backoff
+(:func:`repro.campaign.executor.retry_delay`) up to ``max_attempts`` total
+dispatches, then journaled ``quarantined``; a run that merely *degrades*
+(some shards quarantined in the store, the rest valid) quarantines the job
+immediately with the shard ids in its error — retrying would re-hit the same
+poison shards until ``doctor --repair`` clears them.  Backoff state is
+in-memory only: after a daemon restart a parked retry is simply eligible
+again, which errs on the side of progress.
+
+Graceful drain: :meth:`Scheduler.stop` flips the stop event that every
+in-flight ``run_campaign`` polls (its ``should_stop`` hook), so shards in
+flight finish or abandon cleanly, leases release, and the interrupted jobs
+stay ``running`` in the journal — the next daemon session resumes them with
+zero recomputed shards.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, Optional
+
+from repro.campaign.executor import retry_delay
+from repro.campaign.orchestrator import run_campaign
+from repro.service.queue import Job, JobQueue, ServiceError
+from repro.util.logging import get_logger, log_event
+
+logger = get_logger("service.scheduler")
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Dispatches queue jobs to ``run_campaign`` worker threads."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        max_concurrent: int = 1,
+        max_attempts: int = 3,
+        retry_backoff: float = 1.0,
+        poll_interval: float = 0.05,
+        campaign_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not isinstance(max_concurrent, int) or isinstance(max_concurrent, bool) \
+                or max_concurrent <= 0:
+            raise ServiceError(
+                f"max_concurrent must be a positive integer, got {max_concurrent!r}"
+            )
+        if not isinstance(max_attempts, int) or isinstance(max_attempts, bool) \
+                or max_attempts <= 0:
+            raise ServiceError(
+                f"max_attempts must be a positive integer, got {max_attempts!r}"
+            )
+        if retry_backoff < 0:
+            raise ServiceError(f"retry_backoff must be >= 0, got {retry_backoff!r}")
+        self.queue = queue
+        self.max_concurrent = max_concurrent
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.poll_interval = poll_interval
+        #: Extra keyword arguments forwarded to every ``run_campaign`` call
+        #: (``workers``, ``shard_timeout``, ``lease_timeout``, and — in the
+        #: fault-injection tests — ``shard_hook``).
+        self.campaign_options = dict(campaign_options or {})
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Thread] = {}
+        self._not_before: Dict[str, float] = {}
+        #: Jobs this scheduler finished (any terminal transition), for tests
+        #: and the daemon's idle detection.
+        self.jobs_completed = 0
+        self.jobs_quarantined = 0
+
+    # -- introspection -----------------------------------------------------------
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def idle(self) -> bool:
+        """No job running and nothing eligible to dispatch."""
+        with self._lock:
+            if self._inflight:
+                return False
+        return not self.queue.eligible()
+
+    # -- the loop ----------------------------------------------------------------
+    def step(self) -> bool:
+        """One scheduling pass: dispatch eligible jobs into free slots.
+
+        Returns True when anything was dispatched (the loop's busy signal).
+        """
+        if self._stop.is_set():
+            return False
+        dispatched = False
+        now = time.monotonic()
+        for job in self.queue.eligible():
+            with self._lock:
+                if len(self._inflight) >= self.max_concurrent:
+                    break
+                if job.digest in self._inflight:
+                    continue
+                if self._not_before.get(job.digest, 0.0) > now:
+                    continue
+                thread = threading.Thread(
+                    target=self._run_job,
+                    args=(job,),
+                    name=f"repro-job-{job.digest[:8]}",
+                    daemon=True,
+                )
+                self._inflight[job.digest] = thread
+            thread.start()
+            dispatched = True
+        return dispatched
+
+    def run_forever(self) -> None:
+        """The daemon's scheduler thread body: step until stopped."""
+        while not self._stop.is_set():
+            self.step()
+            time.sleep(self.poll_interval)
+
+    def run_until_idle(self, timeout: float = 60.0) -> None:
+        """Drive the loop until every job settled (tests and batch mode)."""
+        deadline = time.monotonic() + timeout
+        while not self.idle():
+            if time.monotonic() > deadline:
+                raise ServiceError(f"scheduler not idle after {timeout}s")
+            if self._stop.is_set():
+                return
+            self.step()
+            time.sleep(self.poll_interval)
+
+    def stop(self, *, timeout: Optional[float] = None) -> None:
+        """Graceful drain: stop dispatching, interrupt in-flight runs, join.
+
+        In-flight campaigns see the stop through their ``should_stop`` hook,
+        abandon cleanly (leases released, every committed shard kept) and
+        leave their jobs ``running`` for the next session to resume.
+        """
+        self._stop.set()
+        with self._lock:
+            threads = list(self._inflight.values())
+        for thread in threads:
+            thread.join(timeout)
+
+    # -- one job -----------------------------------------------------------------
+    def _run_job(self, job: Job) -> None:
+        digest = job.digest
+        try:
+            marked = self.queue.mark_running(digest)
+            attempt = marked.attempts
+            log_event(
+                logger, logging.INFO, "job dispatched",
+                digest=digest, attempt=attempt, state="running",
+                worker_pid=os.getpid(),
+            )
+            stats = run_campaign(
+                self.queue.store_path(digest),
+                job.spec(),
+                progress=self._progress(digest, attempt),
+                should_stop=self._stop.is_set,
+                **self.campaign_options,
+            )
+            if stats.complete:
+                self.queue.mark_complete(digest, stats=stats.as_dict())
+                self.jobs_completed += 1
+                log_event(
+                    logger, logging.INFO, "job complete",
+                    digest=digest, attempt=attempt,
+                    rows_computed=stats.rows_computed,
+                    rows_recomputed=stats.rows_recomputed,
+                    shards_executed=stats.shards_executed,
+                    shards_skipped=stats.shards_skipped,
+                )
+            elif stats.interrupted:
+                # Drain or an external stop: the job stays `running` in the
+                # journal; the next session (or the next step, if the stop
+                # clears) resumes it with zero recomputed shards.
+                log_event(
+                    logger, logging.INFO, "job interrupted; will resume",
+                    digest=digest, attempt=attempt,
+                    shards_executed=stats.shards_executed,
+                )
+            else:
+                # Finished its pending work but the store is degraded
+                # (quarantined shards).  Retrying without a repair would
+                # re-hit the same poison shards, so quarantine the job now.
+                quarantined = stats.shards_quarantined
+                self.queue.mark_quarantined(
+                    digest,
+                    error=(
+                        f"campaign degraded: {quarantined} shard(s) quarantined; "
+                        "run `repro campaign doctor --repair` on the store and "
+                        "resubmit"
+                    ),
+                )
+                self.jobs_quarantined += 1
+                log_event(
+                    logger, logging.WARNING, "job quarantined (degraded store)",
+                    digest=digest, attempt=attempt, shards_quarantined=quarantined,
+                )
+        except Exception as error:  # noqa: BLE001 - the job-level failure boundary
+            attempt = (self.queue.job(digest) or job).attempts
+            if attempt >= self.max_attempts:
+                self.queue.mark_quarantined(digest, error=traceback.format_exc())
+                self.jobs_quarantined += 1
+                log_event(
+                    logger, logging.ERROR, "job quarantined (attempts exhausted)",
+                    digest=digest, attempt=attempt, error=repr(error),
+                )
+            else:
+                delay = retry_delay(attempt, self.retry_backoff)
+                with self._lock:
+                    self._not_before[digest] = time.monotonic() + delay
+                log_event(
+                    logger, logging.WARNING, "job failed; retrying",
+                    digest=digest, attempt=attempt, retry_in=round(delay, 3),
+                    error=repr(error),
+                )
+        finally:
+            with self._lock:
+                self._inflight.pop(digest, None)
+
+    def _progress(self, digest: str, attempt: int):
+        def emit(line: str) -> None:
+            log_event(
+                logger, logging.DEBUG, line,
+                digest=digest, attempt=attempt, worker_pid=os.getpid(),
+            )
+
+        return emit

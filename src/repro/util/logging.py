@@ -5,14 +5,31 @@ loggers under ``repro.*`` so that applications embedding the library stay in
 control of handlers and levels.  ``get_logger`` attaches a ``NullHandler`` to
 the package root once, which silences the "no handler" warning for users that
 do not configure logging at all.
+
+The one *application* in this repo — the service daemon (``repro serve``) —
+wants machine-greppable logs: one JSON object per line, carrying the job's
+campaign digest, shard id, attempt number and worker pid whenever the call
+site provides them.  :class:`JsonLinesFormatter` renders records that way and
+:func:`json_log_handler` builds a ready handler; structured fields ride the
+stdlib ``extra=`` mechanism (see :func:`log_event`), so the same call sites
+render fine under any ordinary formatter too.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+from datetime import datetime, timezone
+from typing import Any, Optional, TextIO
 
 _PACKAGE_ROOT = "repro"
 _initialized = False
+
+#: Attributes every ``logging.LogRecord`` carries; anything *else* on a
+#: record arrived via ``extra=`` and is a structured field worth emitting.
+_STANDARD_RECORD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -28,3 +45,62 @@ def get_logger(name: str) -> logging.Logger:
     if not name.startswith(_PACKAGE_ROOT):
         name = f"{_PACKAGE_ROOT}.{name}"
     return logging.getLogger(name)
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Base fields: ``ts`` (UTC ISO-8601), ``level``, ``logger``, ``message``;
+    every ``extra=`` field the call site attached (campaign ``digest``,
+    ``shard_id``, ``attempt``, ``worker_pid``, ...) is merged in verbatim,
+    with non-JSON-serializable values degraded to ``repr`` rather than
+    crashing the log path.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.fromtimestamp(record.created, timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_RECORD_ATTRS or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def json_log_handler(stream: Optional[TextIO] = None) -> logging.Handler:
+    """A stream handler emitting :class:`JsonLinesFormatter` lines.
+
+    The caller (an application, e.g. the service daemon) attaches it to the
+    ``repro`` root logger and sets a level; the library itself still never
+    configures handlers.
+    """
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLinesFormatter())
+    return handler
+
+
+def log_event(
+    logger: logging.Logger, level: int, message: str, **fields: Any
+) -> None:
+    """Log ``message`` with structured ``fields`` attached via ``extra=``.
+
+    Under :class:`JsonLinesFormatter` the fields become top-level JSON keys
+    (``{"message": "shard complete", "digest": ..., "shard_id": ...}``);
+    under plain formatters they are simply carried on the record.  ``None``
+    values are dropped so absent context never becomes ``"null"`` noise.
+    """
+    logger.log(
+        level, message, extra={k: v for k, v in fields.items() if v is not None}
+    )

@@ -378,3 +378,41 @@ class TestDoctor:
         report = store.doctor()
         assert report["wrong_rows"] == [plan[0].shard_id]
         assert not report["clean"]
+
+
+class TestStatusLeaseSurfacing:
+    """`status_rows` carries lease health and the quarantined shard list, so
+    `campaign status` and the service status endpoint show a wedged or
+    degraded campaign without a separate doctor run."""
+
+    def test_quiet_store_reports_zero_lease_activity(self, store):
+        from repro.campaign import status_rows
+
+        write_all(store)
+        status = status_rows(store.directory)
+        assert status["leases_active"] == 0
+        assert status["leases_stale"] == 0
+        assert status["quarantined"] == []
+
+    def test_active_stale_and_quarantined_all_surface(self, store):
+        import os
+        import time
+
+        from repro.campaign import status_rows
+        from repro.campaign.leases import LeaseManager
+
+        plan = plan_shards(store.load_spec())
+        store.quarantine(plan[1], error="poison", attempts=3)
+        leases = LeaseManager(store.lease_dir, stale_after=60.0)
+        assert leases.acquire(plan[0].shard_id)
+        stale = LeaseManager(store.lease_dir, stale_after=60.0)
+        assert stale.acquire("ancient-shard")
+        lease_path = os.path.join(store.lease_dir, "ancient-shard.lease")
+        old = time.time() - 3600
+        os.utime(lease_path, (old, old))
+
+        status = status_rows(store.directory, lease_timeout=60.0)
+        assert status["leases_active"] == 1
+        assert status["leases_stale"] == 1
+        assert status["quarantined"] == [plan[1].shard_id]
+        assert status["shards_quarantined"] == 1

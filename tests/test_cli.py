@@ -354,3 +354,127 @@ class TestCampaignDoctorAndFaultFlags:
         assert code == 3
         assert f"cleared quarantine {pending[0].shard_id}" in out
         assert main(["campaign", "resume", "--campaign-dir", str(directory)]) == 0
+
+
+class TestServiceCommands:
+    """`repro serve` / `repro submit`, and the CLI-wide exit-code contract.
+
+    The contract (module docstring of :mod:`repro.cli`): 0 success, 2 usage,
+    3 ran-but-incomplete (backpressure, draining, partial campaigns),
+    1 integrity failure.  Each class is pinned by at least one test here or
+    in :class:`TestCampaignCommands` / :class:`TestCampaignDoctorAndFaultFlags`.
+    """
+
+    def _submit_args(self, target, extra=()):
+        return [
+            "submit", *target,
+            "--name", "svc-smoke", "--algorithm", "almost-universal-compact",
+            "--classes", "type-1", "--instances-per-cell", "4",
+            "--shard-size", "2", "--seed", "5",
+            "--max-time", "1e6", "--max-segments", "30000",
+            *extra,
+        ]
+
+    def test_submit_direct_accepts_then_dedups_exit_0(self, tmp_path, capsys):
+        target = ["--service-dir", str(tmp_path)]
+        assert main(self._submit_args(target)) == 0
+        assert "accepted" in capsys.readouterr().out
+        assert main(self._submit_args(target)) == 0
+        assert "deduplicated" in capsys.readouterr().out
+
+    def test_submit_without_spec_is_usage_error_2(self, tmp_path, capsys):
+        code = main(["submit", "--service-dir", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_is_usage_error_2(self, tmp_path, capsys):
+        code = main(self._submit_args(["--url", "http://127.0.0.1:1"]))
+        assert code == 2
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_submit_backpressure_exits_3(self, capsys, tmp_path):
+        import threading
+
+        from repro.campaign import CampaignArm, CampaignSpec
+        from repro.service import ServiceDaemon, make_server
+
+        daemon = ServiceDaemon(tmp_path, depth_limit=1)
+        # Ready but never scheduling: occupy the single queue slot directly.
+        daemon.recover()
+        daemon.queue.record_daemon_start()
+        daemon._server = make_server(daemon, "127.0.0.1", 0)
+        thread = threading.Thread(target=daemon._server.serve_forever, daemon=True)
+        thread.start()
+        daemon._ready.set()
+        try:
+            daemon.queue.submit(
+                CampaignSpec(
+                    name="occupier",
+                    arms=(CampaignArm(algorithm="almost-universal-compact"),),
+                    classes=("type-1",),
+                    instances_per_cell=2,
+                    seed=999,
+                    simulator={"max_time": 1e5, "max_segments": 20_000},
+                    shard_size=2,
+                )
+            )
+            url = f"http://127.0.0.1:{daemon._server.server_address[1]}"
+            code = main(self._submit_args(["--url", url]))
+            captured = capsys.readouterr()
+            assert code == 3
+            assert "refused (429)" in captured.err
+        finally:
+            daemon._server.shutdown()
+            daemon._server.server_close()
+
+    def test_serve_drains_cleanly_on_sigterm_exit_0(self, tmp_path):
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")) if p
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--service-dir", str(tmp_path)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            daemon_file = tmp_path / "daemon.json"
+            deadline = time.monotonic() + 60
+            while not daemon_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert daemon_file.exists(), process.stderr.read() if process.poll() else "slow start"
+            info = json.loads(daemon_file.read_text())
+            with urllib.request.urlopen(
+                f"http://{info['host']}:{info['port']}/readyz", timeout=10
+            ) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        # The drain journaled a clean shutdown and removed daemon.json.
+        assert not daemon_file.exists()
+        assert '"message": "service daemon stopped cleanly"' in stderr
+
+    def test_status_surfaces_lease_state(self, tmp_path, capsys):
+        directory = tmp_path / "camp"
+        assert main([
+            "campaign", "run", "--campaign-dir", str(directory),
+            "--algorithm", "almost-universal-compact", "--classes", "type-1",
+            "--instances-per-cell", "4", "--shard-size", "2", "--seed", "5",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--campaign-dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "leases            : 0 active, 0 stale" in out
+        assert "quarantined" not in out  # nothing quarantined, line suppressed

@@ -1,0 +1,208 @@
+"""The HTTP surface: status codes, backpressure, draining, request hygiene.
+
+A real ``ThreadingHTTPServer`` on an ephemeral loopback port, fronted by a
+stub facade — API behavior is pinned independently of the daemon, whose own
+lifecycle tests live in ``test_service_daemon.py``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignArm, CampaignSpec
+from repro.service import MAX_BODY_BYTES, Job, NotReady, QueueFull, make_server
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="api-unit",
+        arms=(CampaignArm(algorithm="almost-universal-compact"),),
+        classes=("type-1",),
+        instances_per_cell=4,
+        seed=5,
+        simulator={"max_time": 1e5, "max_segments": 20_000},
+        shard_size=2,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class StubService:
+    """A canned facade: each test scripts exactly what the daemon would do."""
+
+    def __init__(self):
+        self.pid = 4242
+        self.ready = True
+        self.reason = "recovering"
+        self.submissions = []
+        self.submit_result = None
+        self.submit_error = None
+        self.status_payload = None
+        self.report_payload = None
+
+    def is_ready(self):
+        return self.ready
+
+    def not_ready_reason(self):
+        return self.reason
+
+    def submit(self, spec):
+        self.submissions.append(spec)
+        if self.submit_error is not None:
+            raise self.submit_error
+        if self.submit_result is not None:
+            return self.submit_result
+        job = Job(digest=spec.digest(), name=spec.name, spec_data=spec.as_dict())
+        return job, True
+
+    def jobs(self):
+        return [
+            Job(digest="d1", name="one", spec_data={}),
+            Job(digest="d2", name="two", spec_data={}, state="complete"),
+        ]
+
+    def campaign_status(self, digest):
+        return self.status_payload if digest == "known" else None
+
+    def campaign_report(self, digest):
+        return self.report_payload if digest == "known" else None
+
+
+@pytest.fixture
+def service():
+    return StubService()
+
+
+@pytest.fixture
+def base_url(service):
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(url, body, content_length=None):
+    if isinstance(body, (dict, list)):
+        body = json.dumps(body).encode()
+    request = urllib.request.Request(url, data=body, method="POST")
+    if content_length is not None:
+        request.add_header("Content-Length", str(content_length))
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHealth:
+    def test_healthz_always_200(self, base_url, service):
+        service.ready = False
+        code, payload = get(f"{base_url}/healthz")
+        assert code == 200 and payload["pid"] == 4242
+
+    def test_readyz_flips_with_readiness(self, base_url, service):
+        assert get(f"{base_url}/readyz") == (200, {"ready": True})
+        service.ready = False
+        code, payload = get(f"{base_url}/readyz")
+        assert code == 503 and payload["reason"] == "recovering"
+
+
+class TestSubmission:
+    def test_created_is_201(self, base_url, service):
+        code, payload = post(f"{base_url}/campaigns", make_spec().as_dict())
+        assert code == 201
+        assert payload["state"] == "submitted"
+        assert payload["deduplicated"] is False
+        assert service.submissions[0].digest() == make_spec().digest()
+
+    def test_dedup_is_200(self, base_url, service):
+        spec = make_spec()
+        service.submit_result = (
+            Job(digest=spec.digest(), name=spec.name, spec_data=spec.as_dict(),
+                state="complete"),
+            False,
+        )
+        code, payload = post(f"{base_url}/campaigns", spec.as_dict())
+        assert code == 200
+        assert payload["deduplicated"] is True
+        assert payload["state"] == "complete"
+
+    def test_queue_full_is_429(self, base_url, service):
+        service.submit_error = QueueFull("queue depth limit 2 reached")
+        code, payload = post(f"{base_url}/campaigns", make_spec().as_dict())
+        assert code == 429 and "depth limit" in payload["error"]
+
+    def test_draining_is_503(self, base_url, service):
+        service.submit_error = NotReady("daemon is draining; resubmit later")
+        code, payload = post(f"{base_url}/campaigns", make_spec().as_dict())
+        assert code == 503 and "draining" in payload["error"]
+
+    def test_invalid_spec_is_400(self, base_url):
+        code, payload = post(f"{base_url}/campaigns", {"name": "x"})
+        assert code == 400 and "invalid campaign spec" in payload["error"]
+
+    def test_unknown_algorithm_is_400(self, base_url):
+        spec = dict(make_spec().as_dict())
+        spec["arms"] = [{"algorithm": "no-such-algorithm"}]
+        code, payload = post(f"{base_url}/campaigns", spec)
+        assert code == 400
+
+    def test_malformed_json_is_400(self, base_url):
+        code, payload = post(f"{base_url}/campaigns", b"{not json")
+        assert code == 400
+
+    def test_empty_body_is_400(self, base_url):
+        code, payload = post(f"{base_url}/campaigns", b"")
+        assert code == 400
+
+    def test_oversized_body_is_413(self, base_url, service):
+        code, payload = post(
+            f"{base_url}/campaigns", b"x", content_length=MAX_BODY_BYTES + 1
+        )
+        assert code == 413
+        assert service.submissions == []
+
+    def test_post_elsewhere_is_404(self, base_url):
+        code, _ = post(f"{base_url}/other", make_spec().as_dict())
+        assert code == 404
+
+
+class TestViews:
+    def test_jobs_listing(self, base_url):
+        code, payload = get(f"{base_url}/campaigns")
+        assert code == 200
+        assert [job["digest"] for job in payload["jobs"]] == ["d1", "d2"]
+
+    def test_status_known_and_unknown(self, base_url, service):
+        service.status_payload = {
+            "job": {"digest": "known", "state": "running"},
+            "campaign": {"shards_complete": 1, "leases_active": 1, "quarantined": []},
+        }
+        code, payload = get(f"{base_url}/campaigns/known/status")
+        assert code == 200 and payload["campaign"]["leases_active"] == 1
+        code, payload = get(f"{base_url}/campaigns/ghost/status")
+        assert code == 404 and "unknown campaign" in payload["error"]
+
+    def test_report_known_and_unknown(self, base_url, service):
+        service.report_payload = {"job": {"digest": "known"}, "cells": []}
+        assert get(f"{base_url}/campaigns/known/report")[0] == 200
+        assert get(f"{base_url}/campaigns/ghost/report")[0] == 404
+
+    def test_unknown_get_is_404(self, base_url):
+        assert get(f"{base_url}/nope")[0] == 404
+        assert get(f"{base_url}/campaigns/x/unknown-view")[0] == 404

@@ -1,0 +1,143 @@
+"""The scheduler: dispatch, retry/backoff, quarantine, graceful drain.
+
+Real campaign runs (tiny specs) keep the scheduler honest against the actual
+orchestrator; failure paths are injected through ``shard_hook`` (the
+campaign layer's own fault seam) and through specs whose algorithm arm is
+made to fail.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign import CampaignArm, CampaignSpec, CampaignStore
+from repro.campaign.executor import FaultInjection
+from repro.service import JobQueue, Scheduler, ServiceError
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="scheduler-unit",
+        arms=(CampaignArm(algorithm="almost-universal-compact"),),
+        classes=("type-1",),
+        instances_per_cell=4,
+        seed=11,
+        simulator={"max_time": 1e5, "max_segments": 20_000},
+        shard_size=2,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(ServiceError, match="max_concurrent"):
+            Scheduler(queue, max_concurrent=0)
+        with pytest.raises(ServiceError, match="max_attempts"):
+            Scheduler(queue, max_attempts=-1)
+        with pytest.raises(ServiceError, match="retry_backoff"):
+            Scheduler(queue, retry_backoff=-0.5)
+
+
+class TestExecution:
+    def test_job_runs_to_complete(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(make_spec())
+        scheduler = Scheduler(queue)
+        scheduler.run_until_idle(timeout=120)
+        done = queue.job(job.digest)
+        assert done.state == "complete"
+        assert done.attempts == 1
+        assert done.stats["complete"] is True
+        assert done.stats["rows_recomputed"] == 0
+        assert scheduler.jobs_completed == 1
+        # The store landed under the service's stores/<digest> directory.
+        store = CampaignStore(queue.store_path(job.digest))
+        columns = store.export_columns()
+        assert len(next(iter(columns.values()))) == 4
+
+    def test_exception_retries_then_quarantines(self, tmp_path):
+        def explode(shard):
+            raise RuntimeError("injected orchestration failure")
+
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(make_spec())
+        scheduler = Scheduler(
+            queue,
+            max_attempts=2,
+            retry_backoff=0.0,
+            # A hook raising a plain exception crashes the run itself — the
+            # job-level failure mode, as opposed to a FaultInjection which the
+            # campaign layer absorbs per shard.
+            campaign_options={"shard_hook": explode, "max_attempts": 1},
+        )
+        scheduler.run_until_idle(timeout=60)
+        done = queue.job(job.digest)
+        assert done.state == "quarantined"
+        assert done.attempts == 2
+        assert "injected orchestration failure" in done.error
+        assert scheduler.jobs_quarantined == 1
+
+    def test_degraded_store_quarantines_job_immediately(self, tmp_path):
+        def poison(shard):
+            raise FaultInjection("fail")
+
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(make_spec())
+        scheduler = Scheduler(
+            queue,
+            max_attempts=5,
+            retry_backoff=0.0,
+            campaign_options={"shard_hook": poison, "max_attempts": 1},
+        )
+        scheduler.run_until_idle(timeout=60)
+        done = queue.job(job.digest)
+        # One dispatch only: retrying a degraded store would re-hit the same
+        # poison shards, so the scheduler quarantines without burning attempts.
+        assert done.state == "quarantined"
+        assert done.attempts == 1
+        assert "doctor --repair" in done.error
+
+    def test_two_jobs_with_bounded_concurrency(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        a, _ = queue.submit(make_spec(seed=1))
+        b, _ = queue.submit(make_spec(seed=2))
+        scheduler = Scheduler(queue, max_concurrent=1)
+        scheduler.run_until_idle(timeout=240)
+        assert queue.job(a.digest).state == "complete"
+        assert queue.job(b.digest).state == "complete"
+        assert scheduler.jobs_completed == 2
+
+
+class TestDrain:
+    def test_stop_leaves_job_running_for_resume(self, tmp_path):
+        started = threading.Event()
+
+        def slow(shard):
+            started.set()
+            time.sleep(0.2)
+
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(make_spec(instances_per_cell=16, shard_size=1))
+        scheduler = Scheduler(queue, campaign_options={"shard_hook": slow})
+        thread = threading.Thread(target=scheduler.run_forever, daemon=True)
+        thread.start()
+        assert started.wait(timeout=60)
+        scheduler.stop(timeout=60)
+        thread.join(timeout=10)
+        assert scheduler.inflight() == 0
+        interrupted = queue.job(job.digest)
+        # The drained job stays `running` — the recovery signal, not an error.
+        assert interrupted.state == "running"
+        assert interrupted in queue.eligible()
+
+        # A fresh scheduler (the "next session") resumes it to completion
+        # with zero recomputed shards.
+        resumed = Scheduler(JobQueue(tmp_path))
+        resumed.run_until_idle(timeout=120)
+        done = resumed.queue.job(job.digest)
+        assert done.state == "complete"
+        assert done.stats["rows_recomputed"] == 0
+        assert done.attempts == 2

@@ -1,0 +1,114 @@
+"""JSON-lines logging: one object per line, structured fields, safe degradation."""
+
+import io
+import json
+import logging
+
+from repro.util.logging import (
+    JsonLinesFormatter,
+    get_logger,
+    json_log_handler,
+    log_event,
+)
+
+
+def capture(configure):
+    """Run ``configure(logger)`` against a buffer-backed JSON handler."""
+    buffer = io.StringIO()
+    logger = logging.getLogger("repro.test-json-logging")
+    logger.propagate = False
+    handler = json_log_handler(buffer)
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG)
+    try:
+        configure(logger)
+    finally:
+        logger.removeHandler(handler)
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestFormatter:
+    def test_base_fields(self):
+        lines = capture(lambda logger: logger.info("hello %s", "world"))
+        (payload,) = lines
+        assert payload["message"] == "hello world"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test-json-logging"
+        assert payload["ts"].endswith("+00:00")  # UTC, ISO-8601
+
+    def test_extra_fields_become_top_level_keys(self):
+        lines = capture(
+            lambda logger: log_event(
+                logger, logging.INFO, "shard complete",
+                digest="abc123", shard_id="s-0007", attempt=2, worker_pid=999,
+            )
+        )
+        (payload,) = lines
+        assert payload["digest"] == "abc123"
+        assert payload["shard_id"] == "s-0007"
+        assert payload["attempt"] == 2
+        assert payload["worker_pid"] == 999
+
+    def test_none_fields_dropped(self):
+        lines = capture(
+            lambda logger: log_event(
+                logger, logging.INFO, "x", digest="d", error=None
+            )
+        )
+        assert "error" not in lines[0]
+
+    def test_non_serializable_degrades_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        lines = capture(
+            lambda logger: log_event(logger, logging.INFO, "x", payload=Opaque())
+        )
+        assert lines[0]["payload"] == "<opaque thing>"
+
+    def test_exception_info_included(self):
+        def boom(logger):
+            try:
+                raise ValueError("kaboom")
+            except ValueError:
+                logger.exception("failed")
+
+        (payload,) = capture(boom)
+        assert "kaboom" in payload["exc_info"]
+        assert payload["level"] == "ERROR"
+
+    def test_every_line_is_standalone_json(self):
+        lines = capture(
+            lambda logger: [
+                log_event(logger, logging.INFO, f"event {i}", seq=i)
+                for i in range(5)
+            ]
+        )
+        assert [line["seq"] for line in lines] == list(range(5))
+
+    def test_formatter_direct(self):
+        record = logging.LogRecord(
+            "repro.x", logging.WARNING, __file__, 1, "direct", (), None
+        )
+        payload = json.loads(JsonLinesFormatter().format(record))
+        assert payload["level"] == "WARNING" and payload["message"] == "direct"
+
+
+class TestGetLogger:
+    def test_short_and_qualified_names_resolve_identically(self):
+        assert get_logger("sim.engine") is get_logger("repro.sim.engine")
+
+    def test_plain_formatters_still_work_with_log_event(self):
+        buffer = io.StringIO()
+        logger = logging.getLogger("repro.test-plain-logging")
+        logger.propagate = False
+        handler = logging.StreamHandler(buffer)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            log_event(logger, logging.INFO, "plain render", digest="d")
+        finally:
+            logger.removeHandler(handler)
+        assert buffer.getvalue() == "INFO plain render\n"
