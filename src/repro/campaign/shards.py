@@ -24,8 +24,15 @@ from typing import Any, Dict, List, Sequence
 
 from repro.campaign.spec import RATIO_OPTIONS, CampaignSpec
 from repro.core.instance import Instance
+from repro.sim.scenarios import STALL_RANGE_OPTIONS, resolve_stall_options
 
 __all__ = ["Shard", "class_stream_seed", "plan_shards", "shard_instances", "shard_tasks"]
+
+#: Spawn-key tag rooting the stall-option draws in their own branch of the
+#: class stream's seed tree.  Sampler children append the bare instance
+#: position (bounded by ``instances_per_cell``) to the class seed's spawn
+#: key, so a first element this large can never collide with them.
+_STALL_SPAWN_TAG = 2**32 - 977
 
 
 @dataclass(frozen=True)
@@ -116,22 +123,40 @@ def shard_tasks(spec: CampaignSpec, shard: Shard, instances: Sequence[Instance])
     """The shard's :class:`~repro.parallel.runner.BatchTask` list.
 
     Resolves the arm's :data:`~repro.campaign.spec.RATIO_OPTIONS` against
-    each instance's own ``r`` into concrete ``radius_a``/``radius_b`` values;
-    every other option passes through to the runner verbatim.  Tasks are
+    each instance's own ``r`` into concrete ``radius_a``/``radius_b`` values,
+    and the :data:`~repro.sim.scenarios.STALL_RANGE_OPTIONS` into concrete
+    per-instance stall schedules drawn from position-keyed child seeds (like
+    the instances themselves, the draws depend only on the spec and the
+    stream position — never on the shard partition or execution order).
+    Every other option passes through to the runner verbatim.  Tasks are
     tagged with the shard id, so any record can be traced back to the shard
     (and therefore the spec slice) that produced it.
     """
+    import numpy as np
+
     from repro.parallel.runner import BatchTask
 
     base = spec.arm_options(shard.arm_index)
     ratios: Dict[str, Any] = {key: base.pop(key) for key in RATIO_OPTIONS if key in base}
+    stall_ranges: Dict[str, Any] = {
+        key: base.pop(key) for key in STALL_RANGE_OPTIONS if key in base
+    }
+    stream_seed = class_stream_seed(spec, shard.class_index) if stall_ranges else None
     tasks = []
-    for instance in instances:
+    for offset, instance in enumerate(instances):
         options = dict(base)
         if "radius_a_ratio" in ratios:
             options["radius_a"] = ratios["radius_a_ratio"] * instance.r
         if "radius_b_ratio" in ratios:
             options["radius_b"] = ratios["radius_b_ratio"] * instance.r
+        if stall_ranges:
+            options.update(stall_ranges)
+            child = np.random.SeedSequence(
+                entropy=stream_seed.entropy,
+                spawn_key=stream_seed.spawn_key
+                + (_STALL_SPAWN_TAG, shard.arm_index, shard.start + offset),
+            )
+            resolve_stall_options(options, np.random.default_rng(child))
         tasks.append(
             BatchTask.make(instance, spec.arms[shard.arm_index].algorithm,
                            tag=shard.shard_id, **options)

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.classification import InstanceClass
+from repro.sim.scenarios import validate_scenario_options
 from repro.util.errors import ReproError
 
 __all__ = [
@@ -97,6 +98,10 @@ def _validate_simulator_options(options: Mapping[str, Any], where: str) -> None:
             raise CampaignError(
                 f"{key} of {where} must be a non-negative finite number, got {value!r}"
             )
+    # Scenario-owned options (speed factors, stall schedules and their
+    # derived ranges) are validated by the families that declare them — the
+    # same code path the engines use, raised as a CampaignError here.
+    validate_scenario_options(options, where, error=CampaignError)
 
 
 def _json_clean(value: Any, where: str) -> Any:

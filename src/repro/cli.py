@@ -52,6 +52,7 @@ from repro.core.feasibility import feasibility_clause, is_covered_by_universal, 
 from repro.core.instance import Instance
 from repro.sim.asymmetric import simulate_asymmetric
 from repro.sim.engine import simulate
+from repro.sim.scenarios import registered_scenarios, validate_scenario_options
 from repro.util.errors import ReproError
 
 
@@ -124,6 +125,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if backend_error is not None:
         print(f"error: {backend_error}", file=sys.stderr)
         return 2
+    # Non-default scenario flags, validated by the registry before any work.
+    declared = {}
+    if args.speed_a != 1.0:
+        declared["speed_a"] = args.speed_a
+    if args.speed_b != 1.0:
+        declared["speed_b"] = args.speed_b
+    for key in ("stall_agent", "stall_time", "stall_duration"):
+        if getattr(args, key) is not None:
+            declared[key] = getattr(args, key)
+    try:
+        validate_scenario_options(declared, "command line", error=ValueError)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scenario_options = {
+        "speed_a": args.speed_a,
+        "speed_b": args.speed_b,
+        "stall_agent": args.stall_agent,
+        "stall_time": args.stall_time,
+        "stall_duration": args.stall_duration,
+    }
     if args.radius_a is not None or args.radius_b is not None:
         if args.engine == "vectorized" and args.timebase != "float":
             print(
@@ -143,6 +165,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             engine=args.engine,
             kernel_backend=args.kernel_backend,
             kernel_threads=args.kernel_threads,
+            **scenario_options,
         )
         result = outcome.result
         if outcome.frozen_agent is not None:
@@ -168,6 +191,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             engine=args.engine,
             kernel_backend=args.kernel_backend,
             kernel_threads=args.kernel_threads,
+            **scenario_options,
         )
     print(result.summary())
     if args.render:
@@ -204,6 +228,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         run_measure_experiment,
         run_scaling_experiment,
         run_schedule_ablation,
+        run_speed_ratio_experiment,
+        run_stalling_experiment,
         run_timebase_ablation,
         run_universal_coverage_experiment,
     )
@@ -237,12 +263,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             engine="event" if args.engine == "event" else "vectorized",
             campaign_dir=campaign_subdir("section5"),
         ),
+        "speeds": lambda: run_speed_ratio_experiment(
+            samples_per_type=args.samples,
+            engine="event" if args.engine == "event" else "vectorized",
+            campaign_dir=campaign_subdir("speeds"),
+        ),
+        "stalling": lambda: run_stalling_experiment(
+            samples_per_type=args.samples,
+            engine="event" if args.engine == "event" else "vectorized",
+            campaign_dir=campaign_subdir("stalling"),
+        ),
         "measure": lambda: run_measure_experiment(samples=args.samples * 20_000),
         "scaling": lambda: run_scaling_experiment(),
         "ablation": lambda: [run_timebase_ablation(), run_schedule_ablation()],
     }
     names = list(registry) if args.name == "all" else [args.name]
-    campaign_capable = {"thm32", "section5"}
+    campaign_capable = {"thm32", "section5", "speeds", "stalling"}
     if args.campaign_dir is not None and not campaign_capable.intersection(names):
         print(
             "error: --campaign-dir applies to the Monte-Carlo sweeps "
@@ -250,9 +286,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.campaign_dir is not None and args.engine == "event" and "section5" in names:
+    event_incompatible = {"section5", "speeds", "stalling"}.intersection(names)
+    if args.campaign_dir is not None and args.engine == "event" and event_incompatible:
         print(
-            "error: --campaign-dir routes section5 through the vectorized "
+            "error: --campaign-dir routes "
+            f"{', '.join(sorted(event_incompatible))} through the vectorized "
             "engine; drop --engine event (or drop --campaign-dir for the "
             "event cross-check)",
             file=sys.stderr,
@@ -273,6 +311,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_algorithms(_args: argparse.Namespace) -> int:
     for name in available_algorithms():
         print(f"{name:28s} {get_algorithm(name).name}")
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.sim.events import registered_event_kinds
+
+    print("scenario families:")
+    for family in registered_scenarios():
+        options = ", ".join(family.options) if family.options else "(none)"
+        events = ", ".join(family.event_kinds)
+        print(f"  {family.name:22s} events: {events}")
+        print(f"  {'':22s} options: {options}")
+        print(f"  {'':22s} {family.doc}")
+    print("event kinds:")
+    for kind in registered_event_kinds():
+        print(
+            f"  {kind.name:22s} detection={kind.detection} "
+            f"resolution={kind.resolution} tracking={kind.tracking_clamp}"
+        )
     return 0
 
 
@@ -627,6 +684,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="agent A's visibility radius (Section 5 extension)")
     simulate_parser.add_argument("--radius-b", type=float, default=None,
                                  help="agent B's visibility radius (Section 5 extension)")
+    simulate_parser.add_argument("--speed-a", type=float, default=1.0,
+                                 help="agent A's speed factor (heterogeneous-speed scenario)")
+    simulate_parser.add_argument("--speed-b", type=float, default=1.0,
+                                 help="agent B's speed factor (heterogeneous-speed scenario)")
+    simulate_parser.add_argument("--stall-agent", default=None, choices=("A", "B"),
+                                 help="agent that stalls once (stalling scenario; "
+                                      "requires --stall-time and --stall-duration)")
+    simulate_parser.add_argument("--stall-time", type=float, default=None,
+                                 help="stall onset in absolute time units (snaps to the "
+                                      "next segment boundary)")
+    simulate_parser.add_argument("--stall-duration", type=float, default=None,
+                                 help="stall length in absolute time units")
     simulate_parser.add_argument("--render", action="store_true", help="ASCII rendering of the run")
     simulate_parser.add_argument(
         "--allow-miss", action="store_true",
@@ -639,7 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=(
             "figures", "thm31", "thm32", "thm41", "section5",
-            "measure", "scaling", "ablation", "all",
+            "speeds", "stalling", "measure", "scaling", "ablation", "all",
         ),
     )
     experiment_parser.add_argument("--samples", type=int, default=6, help="samples per class/type/set")
@@ -662,15 +731,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--results-dir", default=None)
     experiment_parser.add_argument(
         "--campaign-dir", default=None, metavar="DIR",
-        help="run the Monte-Carlo sweeps (thm32, section5) as checkpointed "
-             "campaigns under DIR/<experiment>: interrupted runs resume, "
-             "finished shards are never recomputed",
+        help="run the Monte-Carlo sweeps (thm32, section5, speeds, stalling) "
+             "as checkpointed campaigns under DIR/<experiment>: interrupted "
+             "runs resume, finished shards are never recomputed",
     )
     experiment_parser.add_argument("--no-save", action="store_true", help="print only, write nothing")
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
     algorithms_parser = subparsers.add_parser("algorithms", help="list registered algorithms")
     algorithms_parser.set_defaults(handler=_cmd_algorithms)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list registered scenario families and event kinds",
+    )
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
 
     contracts_parser = subparsers.add_parser(
         "contracts",

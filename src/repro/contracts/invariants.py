@@ -158,6 +158,22 @@ SERVICE_RECOVER_RESUME_IDENTITY = declare(
     "an uninterrupted run",
 )
 
+# -- scenario layer ---------------------------------------------------------------
+
+SCENARIO_SPEED_SCALING = declare(
+    "scenario.speed_scaling",
+    "heterogeneous-speed scaling multiplies an agent's speed unit by the "
+    "declared positive finite factor and leaves every other unit and frame "
+    "parameter unchanged",
+)
+SCENARIO_STALL_SEGMENT = declare(
+    "scenario.stall_segment",
+    "a stalling-agent transform inserts exactly one zero-velocity segment of "
+    "the declared duration at the first segment boundary at or after the "
+    "onset, shifting later segments by the stall and leaving earlier motion "
+    "untouched",
+)
+
 
 # -- kernel checkers --------------------------------------------------------------
 

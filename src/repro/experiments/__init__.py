@@ -25,6 +25,7 @@ from repro.experiments.theorem31 import run_characterization_experiment
 from repro.experiments.theorem32 import run_universal_coverage_experiment
 from repro.experiments.theorem41 import run_exception_boundary_experiment
 from repro.experiments.section5 import run_asymmetric_radius_experiment
+from repro.experiments.scenarios import run_speed_ratio_experiment, run_stalling_experiment
 from repro.experiments.scaling import run_scaling_experiment
 from repro.experiments.ablation import run_timebase_ablation, run_schedule_ablation
 from repro.experiments.measure_experiment import run_measure_experiment
@@ -45,6 +46,8 @@ __all__ = [
     "run_universal_coverage_experiment",
     "run_exception_boundary_experiment",
     "run_asymmetric_radius_experiment",
+    "run_speed_ratio_experiment",
+    "run_stalling_experiment",
     "run_scaling_experiment",
     "run_timebase_ablation",
     "run_schedule_ablation",

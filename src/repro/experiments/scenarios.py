@@ -1,0 +1,399 @@
+"""Scenario-family experiments: heterogeneous speeds and stalling agents.
+
+Two sweeps make the new scenario families (:mod:`repro.sim.scenarios`)
+measurable, mirroring the Section 5 sweep's structure (one row per
+(type, grid-point) cell, campaign-capable, vectorized by default):
+
+**Heterogeneous speeds** — agent B's speed unit is scaled by a factor grid
+spanning much-slower to much-faster partners.  The paper's model is
+homogeneous (both agents cover one length unit per time unit); the sweep asks
+how robust the universal algorithm's coverage is when that assumption breaks.
+Expectation: rendezvous keeps succeeding across the grid — the algorithm's
+phases keep performing planar searches whose scaled copies still sweep the
+plane — with only the meeting time drifting.
+
+**Stalling agents** — agent B pauses for a duration grid at an onset drawn
+uniformly per instance (the ``stall`` event kind: the pause snaps to the next
+segment boundary and shifts the rest of the program in time).  This is a
+crash-recovery fault model: the sweep reports how much a transient stall of
+growing length delays rendezvous, with the zero-duration limit recovering the
+fault-free baseline.  Expectation: success rates stay flat; the mean meeting
+time grows by at most roughly the stall duration.
+
+Both sweeps run on the vectorized batch engine by default (one call per
+cell); ``engine="event"`` loops the per-instance event engine — the
+cross-check the scenario parity suite automates.  ``campaign_dir`` routes a
+sweep through the campaign orchestrator as checkpointed, resumable shards;
+the stalling sweep's per-instance onsets then serialize as a
+``stall_time_range`` arm option resolved deterministically by stream
+position, so resumed campaigns stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.almost_universal import AlmostUniversalRV
+from repro.algorithms.schedules import CompactSchedule, Schedule
+from repro.analysis.sampler import InstanceSampler, SamplerConfig
+from repro.experiments.report import ExperimentResult
+from repro.experiments.section5 import TYPE_CLASSES
+from repro.experiments.theorem32 import DEFAULT_COVERAGE_CONFIG
+from repro.sim.batch import simulate_batch
+from repro.sim.engine import simulate
+
+#: Speed-factor grid for agent B: slower and faster partners around the
+#: paper's homogeneous ``1.0``.
+DEFAULT_SPEED_FACTORS = (0.5, 1.0, 2.0)
+
+#: Stall-duration grid (absolute time units) for the faulty agent; ``0`` is
+#: represented by the fault-free baseline row.
+DEFAULT_STALL_DURATIONS = (2.0, 8.0)
+
+#: Stall onsets are drawn uniformly from ``[0, DEFAULT_STALL_ONSET_MAX]``.
+DEFAULT_STALL_ONSET_MAX = 20.0
+
+
+def _aggregate_rows(label: str, grid_key: str, grid_value, results) -> Dict[str, object]:
+    met = [result for result in results if result.met]
+    unresolved = len(results) - len(met)
+    return {
+        "label": label,
+        grid_key: grid_value,
+        "count": len(results),
+        "success_rate": len(met) / len(results),
+        "meeting_time_mean": (
+            float(np.mean([r.meeting_time for r in met])) if met else None
+        ),
+        "budget_exhausted": unresolved,
+    }
+
+
+def _campaign_scenario_result(
+    campaign_dir: str, name: str, arm_labels, grid_key: str, grid_values, spec
+) -> ExperimentResult:
+    """Assemble a scenario sweep table from a campaign directory's columns."""
+    from repro.campaign import status_rows
+
+    status = status_rows(campaign_dir)
+    by_label = {(cell["arm"], cell["class"]): cell for cell in status["cells"]}
+    rows: List[Dict[str, object]] = []
+    for cls in TYPE_CLASSES:
+        for arm_label, value in zip(arm_labels, grid_values):
+            cell = by_label[(arm_label, cls.value)]
+            rows.append(
+                {
+                    "label": cls.value,
+                    grid_key: value,
+                    "count": cell["count"],
+                    "success_rate": cell["success_rate"],
+                    "meeting_time_mean": cell["meeting_time_mean"],
+                    "budget_exhausted": cell["budget_exhausted"],
+                }
+            )
+    result = ExperimentResult(name=name, rows=rows)
+    result.add_note(
+        f"Campaign mode: columns stored under {campaign_dir} "
+        f"[{status['digest']}]; re-running resumes instead of recomputing."
+    )
+    result.add_note(
+        f"Budgets: max_time={spec.simulator['max_time']:g}, "
+        f"max_segments={spec.simulator['max_segments']}."
+    )
+    return result
+
+
+def _scenario_campaign_spec(
+    name: str,
+    arms,
+    samples_per_type: int,
+    seed: int,
+    config: Optional[SamplerConfig],
+    max_time: float,
+    max_segments: int,
+    radius_slack: float,
+    shard_size: int,
+):
+    from dataclasses import asdict
+
+    from repro.campaign import CampaignSpec
+
+    return CampaignSpec(
+        name=name,
+        arms=arms,
+        classes=tuple(cls.value for cls in TYPE_CLASSES),
+        instances_per_cell=samples_per_type,
+        seed=seed,
+        sampler=asdict(config if config is not None else DEFAULT_COVERAGE_CONFIG),
+        simulator={
+            "max_time": max_time,
+            "max_segments": max_segments,
+            "radius_slack": radius_slack,
+        },
+        shard_size=shard_size,
+    )
+
+
+def speed_campaign_spec(
+    samples_per_type: int = 8,
+    seed: int = 29,
+    *,
+    factors=DEFAULT_SPEED_FACTORS,
+    config: Optional[SamplerConfig] = None,
+    max_time: float = 1e6,
+    max_segments: int = 200_000,
+    radius_slack: float = 1e-9,
+    shard_size: int = 256,
+):
+    """The heterogeneous-speed sweep as a :class:`CampaignSpec` (one arm per factor)."""
+    from repro.campaign import CampaignArm
+
+    arms = tuple(
+        CampaignArm(
+            algorithm="almost-universal-compact",
+            label=f"speed-{factor:g}",
+            options={"speed_b": float(factor)} if factor != 1.0 else {},
+        )
+        for factor in factors
+    )
+    return _scenario_campaign_spec(
+        "heterogeneous-speed", arms, samples_per_type, seed, config,
+        max_time, max_segments, radius_slack, shard_size,
+    )
+
+
+def stalling_campaign_spec(
+    samples_per_type: int = 8,
+    seed: int = 31,
+    *,
+    durations=DEFAULT_STALL_DURATIONS,
+    onset_max: float = DEFAULT_STALL_ONSET_MAX,
+    config: Optional[SamplerConfig] = None,
+    max_time: float = 1e6,
+    max_segments: int = 200_000,
+    radius_slack: float = 1e-9,
+    shard_size: int = 256,
+):
+    """The stalling-agent sweep as a :class:`CampaignSpec`.
+
+    A fault-free baseline arm plus one arm per stall duration; the onset is a
+    ``stall_time_range`` arm option, so each instance's onset is drawn
+    deterministically by stream position at task-build time — resumable and
+    partition-independent like the instances themselves.
+    """
+    from repro.campaign import CampaignArm
+
+    arms = (CampaignArm(algorithm="almost-universal-compact", label="no-stall"),) + tuple(
+        CampaignArm(
+            algorithm="almost-universal-compact",
+            label=f"stall-{duration:g}",
+            options={
+                "stall_agent": "B",
+                "stall_time_range": [0.0, float(onset_max)],
+                "stall_duration": float(duration),
+            },
+        )
+        for duration in durations
+    )
+    return _scenario_campaign_spec(
+        "stalling-agent", arms, samples_per_type, seed, config,
+        max_time, max_segments, radius_slack, shard_size,
+    )
+
+
+def run_speed_ratio_experiment(
+    samples_per_type: int = 8,
+    seed: int = 29,
+    *,
+    factors=DEFAULT_SPEED_FACTORS,
+    schedule: Optional[Schedule] = None,
+    config: Optional[SamplerConfig] = None,
+    max_time: float = 1e6,
+    max_segments: int = 200_000,
+    radius_slack: float = 1e-9,
+    engine: str = "vectorized",
+    campaign_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep agent B's speed factor across the four algorithmic types.
+
+    One row per (type, factor) cell; ``factors`` scale agent B's speed unit
+    (``1.0`` is the paper's homogeneous model).  ``engine`` picks the backend;
+    ``campaign_dir`` routes the sweep through the campaign orchestrator as
+    checkpointed, resumable shards (vectorized engine, default schedule).
+    """
+    if engine not in ("event", "vectorized"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
+    if campaign_dir is not None:
+        if engine == "event":
+            raise ValueError(
+                "campaign mode routes float-timebase shards through the "
+                "vectorized engine; use engine='event' without campaign_dir"
+            )
+        if schedule is not None:
+            raise ValueError(
+                "campaign mode serializes the spec; custom schedule objects "
+                "have no registry name — use schedule=None"
+            )
+        from repro.campaign import run_campaign
+
+        spec = speed_campaign_spec(
+            samples_per_type, seed, factors=factors, config=config,
+            max_time=max_time, max_segments=max_segments,
+            radius_slack=radius_slack,
+        )
+        run_campaign(campaign_dir, spec)
+        return _campaign_scenario_result(
+            campaign_dir, "heterogeneous-speed",
+            [f"speed-{factor:g}" for factor in factors], "speed_b", factors, spec,
+        )
+
+    sampler = InstanceSampler(
+        config if config is not None else DEFAULT_COVERAGE_CONFIG, seed
+    )
+    algorithm = AlmostUniversalRV(schedule if schedule is not None else CompactSchedule())
+    rows: List[Dict[str, object]] = []
+    for cls in TYPE_CLASSES:
+        instances = sampler.batch_of_class(cls, samples_per_type)
+        for factor in factors:
+            if engine == "vectorized":
+                results = simulate_batch(
+                    instances, algorithm,
+                    max_time=max_time, max_segments=max_segments,
+                    radius_slack=radius_slack, speed_b=float(factor),
+                )
+            else:
+                results = [
+                    simulate(
+                        instance, algorithm,
+                        max_time=max_time, max_segments=max_segments,
+                        radius_slack=radius_slack, timebase="float",
+                        speed_b=float(factor),
+                    )
+                    for instance in instances
+                ]
+            rows.append(_aggregate_rows(cls.value, "speed_b", factor, results))
+
+    result = ExperimentResult(name="heterogeneous-speed", rows=rows)
+    result.add_note(
+        f"Algorithm: {algorithm.name}; engine={engine}; speed_b factors = "
+        f"{tuple(factors)}; budgets: max_time={max_time:g}, max_segments={max_segments}."
+    )
+    result.add_note(
+        "Heterogeneous-speed scenario: agent B's speed unit is scaled, so it "
+        "covers factor-times the ground per instruction while the program's "
+        "timing is unchanged.  Expectation: success_rate stays 1.0 across the "
+        "grid (budget exhaustion aside); only the meeting time drifts."
+    )
+    return result
+
+
+def run_stalling_experiment(
+    samples_per_type: int = 8,
+    seed: int = 31,
+    *,
+    durations=DEFAULT_STALL_DURATIONS,
+    onset_max: float = DEFAULT_STALL_ONSET_MAX,
+    schedule: Optional[Schedule] = None,
+    config: Optional[SamplerConfig] = None,
+    max_time: float = 1e6,
+    max_segments: int = 200_000,
+    radius_slack: float = 1e-9,
+    engine: str = "vectorized",
+    campaign_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep the faulty agent's stall duration across the four types.
+
+    A fault-free baseline row plus one row per (type, duration) cell.  Agent
+    B stalls once, for ``duration`` time units, at an onset drawn uniformly
+    from ``[0, onset_max]`` per instance (deterministic in ``seed``).
+    ``campaign_dir`` routes the sweep through the campaign orchestrator with
+    position-keyed onset draws, so resumed runs stay byte-identical.
+    """
+    if engine not in ("event", "vectorized"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
+    if campaign_dir is not None:
+        if engine == "event":
+            raise ValueError(
+                "campaign mode routes float-timebase shards through the "
+                "vectorized engine; use engine='event' without campaign_dir"
+            )
+        if schedule is not None:
+            raise ValueError(
+                "campaign mode serializes the spec; custom schedule objects "
+                "have no registry name — use schedule=None"
+            )
+        from repro.campaign import run_campaign
+
+        spec = stalling_campaign_spec(
+            samples_per_type, seed, durations=durations, onset_max=onset_max,
+            config=config, max_time=max_time, max_segments=max_segments,
+            radius_slack=radius_slack,
+        )
+        run_campaign(campaign_dir, spec)
+        return _campaign_scenario_result(
+            campaign_dir, "stalling-agent",
+            ["no-stall"] + [f"stall-{d:g}" for d in durations],
+            "stall_duration", (0.0,) + tuple(durations), spec,
+        )
+
+    sampler = InstanceSampler(
+        config if config is not None else DEFAULT_COVERAGE_CONFIG, seed
+    )
+    algorithm = AlmostUniversalRV(schedule if schedule is not None else CompactSchedule())
+    rows: List[Dict[str, object]] = []
+    for cls in TYPE_CLASSES:
+        instances = sampler.batch_of_class(cls, samples_per_type)
+        # One onset per instance, shared across the duration grid so rows
+        # differ only in the stall length.
+        onset_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(TYPE_CLASSES.index(cls),))
+        )
+        onsets = onset_rng.uniform(0.0, onset_max, len(instances))
+        baseline = simulate_batch(
+            instances, algorithm,
+            max_time=max_time, max_segments=max_segments, radius_slack=radius_slack,
+        ) if engine == "vectorized" else [
+            simulate(instance, algorithm, max_time=max_time,
+                     max_segments=max_segments, radius_slack=radius_slack,
+                     timebase="float")
+            for instance in instances
+        ]
+        rows.append(_aggregate_rows(cls.value, "stall_duration", 0.0, baseline))
+        for duration in durations:
+            if engine == "vectorized":
+                results = simulate_batch(
+                    instances, algorithm,
+                    max_time=max_time, max_segments=max_segments,
+                    radius_slack=radius_slack,
+                    stall_agent="B", stall_time=onsets,
+                    stall_duration=float(duration),
+                )
+            else:
+                results = [
+                    simulate(
+                        instance, algorithm,
+                        max_time=max_time, max_segments=max_segments,
+                        radius_slack=radius_slack, timebase="float",
+                        stall_agent="B", stall_time=float(onset),
+                        stall_duration=float(duration),
+                    )
+                    for instance, onset in zip(instances, onsets)
+                ]
+            rows.append(_aggregate_rows(cls.value, "stall_duration", duration, results))
+
+    result = ExperimentResult(name="stalling-agent", rows=rows)
+    result.add_note(
+        f"Algorithm: {algorithm.name}; engine={engine}; stall durations = "
+        f"{(0.0,) + tuple(durations)} (0.0 = fault-free baseline), onsets "
+        f"uniform in [0, {onset_max:g}]; budgets: max_time={max_time:g}, "
+        f"max_segments={max_segments}."
+    )
+    result.add_note(
+        "Stalling-agent scenario: agent B pauses once at the first segment "
+        "boundary at or after its onset, then resumes its program shifted in "
+        "time.  Expectation: success_rate matches the baseline and the mean "
+        "meeting time grows by at most roughly the stall duration."
+    )
+    return result

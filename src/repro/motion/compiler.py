@@ -38,6 +38,8 @@ from typing import Any, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.contracts import core as _contracts
+from repro.contracts.invariants import SCENARIO_STALL_SEGMENT
 from repro.core.instance import AgentSpec
 from repro.geometry.transforms import frame_matrix
 from repro.geometry.vec import Vec2, add, scale
@@ -747,3 +749,108 @@ def compile_trajectory_table(
         program, max_local_time=local_budget, max_steps=max_segments
     )
     return compile_table(spec, table)
+
+
+# -- stalling-agent lowering ------------------------------------------------------
+#
+# The "stall" event kind (repro.sim.events) pauses an agent for a fixed
+# interval starting at the *first segment boundary at or after* the onset.
+# Snapping to a boundary is the semantics, not an approximation: it needs no
+# segment splitting, so the lazy event stream and the columnar table apply the
+# identical transform — an inserted zero-velocity row, later rows shifted by
+# the stall — and the two engine paths stay bit-identical by construction.
+# A program that never reaches the onset (it finishes, or the run's horizon
+# cuts first) is returned untouched on both paths.
+
+
+def stalled_segments(
+    segments: Iterable[TrajectorySegment],
+    onset: float,
+    duration: float,
+    timebase: Optional[Any] = None,
+) -> Iterator[TrajectorySegment]:
+    """Lazily apply the stall transform to a trajectory-segment stream.
+
+    ``onset`` and ``duration`` are absolute time units; ``timebase`` shifts
+    the post-stall start times (plain float addition when ``None``).
+    """
+
+    def shifted(when):
+        return timebase.add(when, duration) if timebase is not None else when + duration
+
+    stalled = False
+    for segment in segments:
+        if not stalled and segment.start_time >= onset:
+            stalled = True
+            stall = TrajectorySegment(
+                start_time=segment.start_time,
+                duration=duration,
+                start_pos=segment.start_pos,
+                velocity=(0.0, 0.0),
+                kind="stall",
+            )
+            if _contracts.enabled():
+                SCENARIO_STALL_SEGMENT.check(
+                    stall.is_stationary
+                    and stall.duration == duration
+                    and stall.start_time >= onset,
+                    f"onset={onset} duration={duration} at={stall.start_time}",
+                )
+            yield stall
+        if stalled:
+            yield TrajectorySegment(
+                start_time=shifted(segment.start_time),
+                duration=segment.duration,
+                start_pos=segment.start_pos,
+                velocity=segment.velocity,
+                kind=segment.kind,
+            )
+        else:
+            yield segment
+
+
+def stalled_table(table: TrajectoryTable, onset: float, duration: float) -> TrajectoryTable:
+    """The columnar stall transform: the batch-engine lowering.
+
+    Inserts one zero-velocity row at the first *real* row starting at or
+    after ``onset`` and shifts that row and everything after it (including a
+    synthetic trailing row) by ``duration``.  Identity when no compiled row
+    qualifies — which, by the boundary-snapping semantics, is exactly when the
+    stall also never surfaces on the event path within the table's coverage.
+    """
+    count = int(table.segments)
+    insert = int(np.searchsorted(table.start_time[:count], onset, side="left"))
+    if insert >= count:
+        return table
+
+    def spliced(column: np.ndarray, stall_value: float, shift: float = 0.0) -> np.ndarray:
+        out = np.empty(len(column) + 1, dtype=column.dtype)
+        out[:insert] = column[:insert]
+        out[insert] = stall_value
+        out[insert + 1 :] = column[insert:] + shift if shift else column[insert:]
+        return out
+
+    stalled = TrajectoryTable(
+        start_time=spliced(table.start_time, float(table.start_time[insert]), duration),
+        duration=spliced(table.duration, duration),
+        start_x=spliced(table.start_x, float(table.start_x[insert])),
+        start_y=spliced(table.start_y, float(table.start_y[insert])),
+        vel_x=spliced(table.vel_x, 0.0),
+        vel_y=spliced(table.vel_y, 0.0),
+        exhausted=table.exhausted,
+        segments=count + 1,
+    )
+    if _contracts.enabled():
+        SCENARIO_STALL_SEGMENT.check(
+            len(stalled) == len(table) + 1
+            and stalled.vel_x[insert] == 0.0
+            and stalled.vel_y[insert] == 0.0
+            and float(stalled.duration[insert]) == duration
+            and float(stalled.start_time[insert]) >= onset
+            and bool(np.all(stalled.start_time[: insert + 1] == table.start_time[: insert + 1]))
+            and bool(
+                np.all(stalled.start_time[insert + 1 :] == table.start_time[insert:] + duration)
+            ),
+            f"onset={onset} duration={duration} insert={insert}",
+        )
+    return stalled

@@ -91,13 +91,23 @@ _VECTORIZABLE_OPTIONS = frozenset(
         "radius_b",
         "kernel_backend",
         "kernel_threads",
+        "speed_a",
+        "speed_b",
+        "stall_agent",
+        "stall_time",
+        "stall_duration",
     }
 )
 
-#: Options that become per-instance *columns* of one stacked asymmetric batch
-#: call rather than part of the grouping key: a whole radius-ratio sweep with
-#: distinct per-task radii is one ``simulate_batch_asymmetric`` call.
-_COLUMN_OPTIONS = frozenset({"radius_a", "radius_b"})
+#: Options that become per-instance *columns* of one stacked batch call
+#: rather than part of the grouping key: a whole radius-ratio sweep, a speed
+#: grid or a ranged stall schedule with distinct per-task values is one batch
+#: engine call.  ``stall_agent`` stays in the key — the batch engines take
+#: one stalled agent per call, so groups are all-stall-A, all-stall-B or
+#: stall-free.
+_COLUMN_OPTIONS = frozenset(
+    {"radius_a", "radius_b", "speed_a", "speed_b", "stall_time", "stall_duration"}
+)
 
 
 def _vectorizable(task: BatchTask) -> bool:
@@ -133,6 +143,25 @@ def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]
     options["backend"] = options.pop("kernel_backend", None)
     instances = [Instance.from_dict(task.instance) for task in tasks]
     algorithm = get_algorithm(tasks[0].algorithm)
+    # Stack the scenario column options into per-instance arrays (a task
+    # without a value gets the neutral default, like an unset radius).
+    for key in ("speed_a", "speed_b"):
+        if any(key in task.simulator_options for task in tasks):
+            options[key] = [
+                task.simulator_options.get(key, 1.0) for task in tasks
+            ]
+    if "stall_agent" in options:
+        try:
+            options["stall_time"] = [
+                float(task.simulator_options["stall_time"]) for task in tasks
+            ]
+            options["stall_duration"] = [
+                float(task.simulator_options["stall_duration"]) for task in tasks
+            ]
+        except KeyError:
+            raise ValueError(
+                "tasks with stall_agent must carry stall_time and stall_duration"
+            ) from None
     if any(_is_asymmetric(task) for task in tasks):
         radii_a = [
             task.simulator_options.get("radius_a", instance.r)

@@ -13,6 +13,10 @@ Endpoints (all JSON)::
                                          (shard counts, lease state,
                                          quarantined shards)
     GET  /campaigns/<digest>/report      per-(arm, class) aggregate cells
+    GET  /metrics                        operational counters: queue depth,
+                                         jobs by state, aggregate shard
+                                         attempts / retries / quarantines,
+                                         shard throughput
     GET  /healthz                        process liveness (always 200)
     GET  /readyz                         200 only after startup recovery
                                          finished and while not draining
@@ -133,6 +137,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if self.service.is_ready():
                 return 200, {"ready": True}
             return 503, {"ready": False, "reason": self.service.not_ready_reason()}
+        if path == "/metrics":
+            return 200, self.service.metrics()
         if path == "/campaigns":
             return 200, {"jobs": [job.as_dict() for job in self.service.jobs()]}
         parts = [part for part in path.split("/") if part]

@@ -164,6 +164,58 @@ class ServiceDaemon:
             "rows_total": status["rows_total"],
         }
 
+    def metrics(self) -> Dict[str, Any]:
+        """Operational counters for dashboards and smoke checks (``/metrics``).
+
+        Aggregates the durable queue (depth, jobs by state, journal damage
+        tallies), the live scheduler (in-flight runs, session outcomes), and
+        every job's recorded :class:`CampaignRunStats` (shard attempts,
+        retries, quarantines, computed rows, wall time) into one JSON-ready
+        snapshot.  ``shards_per_second`` is the aggregate executed-shard
+        throughput over recorded wall time — None until any job has stats.
+        """
+        jobs = self.queue.jobs()
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        shard_totals = {
+            "shard_attempts": 0,
+            "shards_executed": 0,
+            "shards_retried": 0,
+            "shards_quarantined": 0,
+            "rows_computed": 0,
+            "wall_seconds": 0.0,
+        }
+        for job in jobs:
+            if not job.stats:
+                continue
+            for key in shard_totals:
+                value = job.stats.get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    shard_totals[key] += value
+        wall = shard_totals["wall_seconds"]
+        throughput = (
+            round(shard_totals["shards_executed"] / wall, 3) if wall > 0 else None
+        )
+        return {
+            "ready": self.is_ready(),
+            "queue": {
+                "depth": self.queue.depth(),
+                "depth_limit": self.queue.depth_limit,
+                "jobs_total": len(jobs),
+                "jobs_by_state": by_state,
+                "attempts_total": sum(job.attempts for job in jobs),
+                "torn_lines": self.queue.torn_lines,
+                "invalid_records": self.queue.invalid_records,
+            },
+            "scheduler": {
+                "inflight": self.scheduler.inflight(),
+                "jobs_completed": self.scheduler.jobs_completed,
+                "jobs_quarantined": self.scheduler.jobs_quarantined,
+            },
+            "shards": dict(shard_totals, shards_per_second=throughput),
+        }
+
     # -- startup recovery ----------------------------------------------------------
     def recover(self) -> List[str]:
         """Repair the store of every crash-orphaned ``running`` job.

@@ -18,6 +18,16 @@ rendezvous in the paper:
   the event engine to 1e-9 relative tolerance (see the parity test suite).
 """
 
+from repro.sim.events import EventKind, get_event_kind, register_event_kind, registered_event_kinds
+from repro.sim.scenarios import (
+    ScenarioFamily,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    scenarios_for_options,
+    validate_scenario_options,
+)
 from repro.sim.timebase import FloatTimebase, ExactTimebase, Timebase, get_timebase
 from repro.sim.results import SimulationResult, TerminationReason
 from repro.sim.recorder import TrajectoryRecorder
@@ -27,6 +37,17 @@ from repro.sim.asymmetric import AsymmetricOutcome, simulate_asymmetric
 from repro.sim.batch_asymmetric import simulate_batch_asymmetric
 
 __all__ = [
+    "EventKind",
+    "ScenarioFamily",
+    "available_scenarios",
+    "get_event_kind",
+    "get_scenario",
+    "register_event_kind",
+    "register_scenario",
+    "registered_event_kinds",
+    "registered_scenarios",
+    "scenarios_for_options",
+    "validate_scenario_options",
     "FloatTimebase",
     "ExactTimebase",
     "Timebase",

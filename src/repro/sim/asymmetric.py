@@ -10,23 +10,26 @@ that keeps performing a planar search (as every phase of
 ``AlmostUniversalRV`` does) will subsequently bring the still-moving agent
 within the smaller radius.
 
-This module adds that semantics to the simulator:
+This module binds that semantics to the unified window loop of
+:mod:`repro.sim.engine`:
 
-* the first time the distance reaches the *larger* radius, the corresponding
-  agent freezes at its current position (its remaining program is discarded);
-* the simulation then continues with only the other agent moving;
-* rendezvous is declared at the first time the distance reaches the *smaller*
-  radius.
+* rendezvous is the ``meeting`` event kind against the *smaller* radius;
+* the freeze is the ``freeze`` event kind (:mod:`repro.sim.events`): a
+  dual-radius two-phase detection whose resolution stops the larger-radius
+  agent forever and re-simulates the rest of the window, with the
+  closest-approach tracker clamped at the freeze offset (scanning past it
+  would observe counterfactual motion).
 
 The symmetric case (``r_a == r_b``) degenerates to the ordinary engine.
 
-Two backends implement the semantics: the event-driven loop below
-(``engine="event"``, the default — timebase-generic and authoritative) and
-the vectorized batch engine of :mod:`repro.sim.batch_asymmetric`
-(``engine="vectorized"``, float timebase only, or call
-:func:`~repro.sim.batch_asymmetric.simulate_batch_asymmetric` directly for
-whole campaigns).  Outcomes match to the same 1e-9 relative tolerance as the
-symmetric engines; see ``tests/test_sim_asymmetric_batch_parity.py``.
+Two backends implement the semantics: the event path through
+:func:`~repro.sim.engine.drive_windows` (``engine="event"``, the default —
+timebase-generic and authoritative) and the vectorized batch engine of
+:mod:`repro.sim.batch_asymmetric` (``engine="vectorized"``, float timebase
+only, or call :func:`~repro.sim.batch_asymmetric.simulate_batch_asymmetric`
+directly for whole campaigns).  Outcomes match to the same 1e-9 relative
+tolerance as the symmetric engines; see
+``tests/test_sim_asymmetric_batch_parity.py``.
 """
 
 from __future__ import annotations
@@ -39,11 +42,16 @@ from typing import Any, Optional, Union
 from repro.contracts import core as _contracts
 from repro.contracts.invariants import check_outcome
 from repro.core.instance import Instance
-from repro.geometry.closest_approach import closest_approach_moving_points, first_time_within
-from repro.geometry.vec import Vec2, add, scale
-from repro.motion.compiler import TrajectorySegment
-from repro.sim.engine import _AgentCursor, _algorithm_name, _resolve_program
+from repro.motion.compiler import stalled_segments
+from repro.sim.engine import (
+    FreezeRule,
+    _AgentCursor,
+    _algorithm_name,
+    _resolve_program,
+    drive_windows,
+)
 from repro.sim.results import SimulationResult, TerminationReason
+from repro.sim.scenarios import scaled_agents, stall_schedule
 from repro.sim.timebase import Timebase, get_timebase
 
 
@@ -72,21 +80,6 @@ class AsymmetricOutcome:
         return self.result.meeting_time
 
 
-def _freeze(cursor: _AgentCursor, when, timebase: Timebase) -> Vec2:
-    """Stop an agent forever at its position at absolute time ``when``."""
-    position, _velocity = cursor.state_at(when)
-    cursor.current = TrajectorySegment(
-        start_time=when,
-        duration=math.inf,
-        start_pos=position,
-        velocity=(0.0, 0.0),
-        kind="frozen",
-    )
-    cursor.stream = iter(())
-    cursor.exhausted = True
-    return position
-
-
 def simulate_asymmetric(
     instance: Instance,
     algorithm: Any,
@@ -101,6 +94,11 @@ def simulate_asymmetric(
     engine: str = "event",
     kernel_backend: Optional[str] = None,
     kernel_threads: Optional[int] = None,
+    speed_a: float = 1.0,
+    speed_b: float = 1.0,
+    stall_agent: Optional[str] = None,
+    stall_time: Optional[float] = None,
+    stall_duration: Optional[float] = None,
 ) -> AsymmetricOutcome:
     """Simulate ``algorithm`` on ``instance`` with per-agent visibility radii.
 
@@ -113,15 +111,20 @@ def simulate_asymmetric(
     tolerance applied to *both* radii.  With ``track_min_distance=False``
     the closest-approach bookkeeping is skipped (``min_distance = inf``).
 
-    ``engine="event"`` (default) runs the timebase-generic loop below;
-    ``engine="vectorized"`` delegates to the columnar batch engine
-    (float timebase only), whose outcomes — ``met``, meeting time at 1e-9
-    relative, termination reason, closest approach, freeze event — match
-    this engine per the asymmetric parity suite.  ``kernel_backend``
-    selects the vectorized engine's element-wise kernel implementation (see
-    :mod:`repro.geometry.backends`) and ``kernel_threads`` its chunked
-    dispatch's thread count (results never depend on either); the event loop
-    ignores both.
+    ``speed_a``/``speed_b`` and the ``stall_*`` trio compose the
+    heterogeneous-speed and stalling-agent scenario families
+    (:mod:`repro.sim.scenarios`) with the asymmetric radii; they default to
+    the paper's homogeneous, fault-free model.
+
+    ``engine="event"`` (default) runs through the unified window loop of
+    :mod:`repro.sim.engine`; ``engine="vectorized"`` delegates to the
+    columnar batch engine (float timebase only), whose outcomes — ``met``,
+    meeting time at 1e-9 relative, termination reason, closest approach,
+    freeze event — match the event path per the asymmetric parity suite.
+    ``kernel_backend`` selects the vectorized engine's element-wise kernel
+    implementation (see :mod:`repro.geometry.backends`) and
+    ``kernel_threads`` its chunked dispatch's thread count (results never
+    depend on either); the event path ignores both.
     """
     if engine not in ("event", "vectorized"):
         raise ValueError(f"unknown engine {engine!r}; expected 'event' or 'vectorized'")
@@ -154,6 +157,11 @@ def simulate_asymmetric(
             track_min_distance=track_min_distance,
             backend=kernel_backend,
             kernel_threads=kernel_threads,
+            speed_a=speed_a,
+            speed_b=speed_b,
+            stall_agent=stall_agent,
+            stall_time=stall_time,
+            stall_duration=stall_duration,
         )[0]
 
     small = min(r_a, r_b) + radius_slack
@@ -162,139 +170,68 @@ def simulate_asymmetric(
 
     tb = get_timebase(timebase)
     wall_start = _time.perf_counter()
-    spec_a, spec_b = instance.agents()
-    cursor_a = _AgentCursor(spec_a, _resolve_program(algorithm, instance, spec_a, "A"), tb)
-    cursor_b = _AgentCursor(spec_b, _resolve_program(algorithm, instance, spec_b, "B"), tb)
+    spec_a, spec_b = scaled_agents(instance, speed_a, speed_b)
 
-    horizon = tb.lift(max_time)
-    current = tb.lift(0.0)
+    transform_a = transform_b = None
+    stall = stall_schedule(stall_agent, stall_time, stall_duration)
+    if stall is not None:
+        agent, onset, duration = stall
 
-    met = False
-    meeting_time_exact = None
-    meeting_pos_a = meeting_pos_b = None
-    min_distance = math.inf
-    min_distance_time: Optional[float] = None
-    windows = 0
-    termination = TerminationReason.MAX_TIME
-    frozen_agent: Optional[str] = None
-    freeze_time: Optional[float] = None
-    freeze_distance: Optional[float] = None
+        def transform(segments):
+            return stalled_segments(segments, onset, duration, tb)
 
-    while True:
-        windows += 1
-        end_a = cursor_a.end_time()
-        end_b = cursor_b.end_time()
-        window_end = horizon
-        if end_a is not None and end_a < window_end:
-            window_end = end_a
-        if end_b is not None and end_b < window_end:
-            window_end = end_b
-        window = max(tb.diff(window_end, current), 0.0)
+        if agent == "A":
+            transform_a = transform
+        else:
+            transform_b = transform
 
-        pos_a, vel_a = cursor_a.state_at(current)
-        pos_b, vel_b = cursor_b.state_at(current)
+    cursor_a = _AgentCursor(
+        spec_a, _resolve_program(algorithm, instance, spec_a, "A"), tb,
+        stream_transform=transform_a,
+    )
+    cursor_b = _AgentCursor(
+        spec_b, _resolve_program(algorithm, instance, spec_b, "B"), tb,
+        stream_transform=transform_b,
+    )
 
-        hit_small = first_time_within(pos_a, vel_a, pos_b, vel_b, small, window)
-        hit_large = (
-            first_time_within(pos_a, vel_a, pos_b, vel_b, large, window)
-            if frozen_agent is None
-            else None
-        )
-        # The *earliest* event wins: if the larger-radius agent sees the other
-        # one strictly before the distance reaches the smaller radius, it
-        # freezes and the rest of the window must be re-simulated with it
-        # stationary (its original motion past that moment never happens).
-        freeze_wins = hit_large is not None and (
-            hit_small is None or hit_large < hit_small
-        )
-
-        if track_min_distance:
-            # The tracked window is clamped to the earliest event when the
-            # freeze wins: beyond the freeze offset this window describes
-            # motion of the larger-radius agent that never happens, and its
-            # closest approach would be counterfactual.  The real post-freeze
-            # motion is tracked by the re-simulated windows that follow.  (A
-            # meeting window is still scanned in full, the symmetric engine's
-            # convention.)
-            tracked = hit_large if freeze_wins else window
-            approach = closest_approach_moving_points(
-                pos_a, vel_a, pos_b, vel_b, tracked
-            )
-            if approach.min_distance < min_distance:
-                min_distance = approach.min_distance
-                min_distance_time = tb.to_float(current) + approach.time_offset
-
-        if freeze_wins:
-            freeze_at = tb.add(current, hit_large)
-            frozen_agent = larger_agent
-            freeze_time = tb.to_float(freeze_at)
-            frozen_cursor = cursor_a if larger_agent == "A" else cursor_b
-            frozen_pos = _freeze(frozen_cursor, freeze_at, tb)
-            other_cursor = cursor_b if larger_agent == "A" else cursor_a
-            other_pos, _ = other_cursor.state_at(freeze_at)
-            freeze_distance = math.hypot(
-                frozen_pos[0] - other_pos[0], frozen_pos[1] - other_pos[1]
-            )
-            current = freeze_at
-            other_cursor.advance_past(current)
-            # The freeze resume must honour the segment budget exactly like
-            # the window-advance path below: a freeze landing on a segment
-            # boundary pulls new segments, and skipping the check here would
-            # let the run scan (and even meet) past the budget.
-            if cursor_a.segments_consumed + cursor_b.segments_consumed > max_segments:
-                termination = TerminationReason.MAX_SEGMENTS
-                break
-            continue
-
-        if hit_small is not None:
-            met = True
-            termination = TerminationReason.RENDEZVOUS
-            meeting_time_exact = tb.add(current, hit_small)
-            meeting_pos_a = add(pos_a, scale(vel_a, hit_small))
-            meeting_pos_b = add(pos_b, scale(vel_b, hit_small))
-            break
-
-        if cursor_a.exhausted and cursor_b.exhausted:
-            termination = TerminationReason.PROGRAMS_FINISHED
-            current = window_end
-            break
-        if window_end >= horizon:
-            termination = TerminationReason.MAX_TIME
-            current = horizon
-            break
-
-        current = window_end
-        cursor_a.advance_past(current)
-        cursor_b.advance_past(current)
-        if cursor_a.segments_consumed + cursor_b.segments_consumed > max_segments:
-            termination = TerminationReason.MAX_SEGMENTS
-            break
+    loop = drive_windows(
+        cursor_a,
+        cursor_b,
+        tb,
+        max_time=max_time,
+        max_segments=max_segments,
+        radius=small,
+        track_min_distance=track_min_distance,
+        freeze=FreezeRule(radius=large, agent=larger_agent),
+    )
 
     result = SimulationResult(
         instance=instance,
         algorithm_name=_algorithm_name(algorithm) + f"[r_a={r_a:g}, r_b={r_b:g}]",
-        met=met,
-        termination=termination,
-        meeting_time=(tb.to_float(meeting_time_exact) if met else None),
-        meeting_point_a=meeting_pos_a,
-        meeting_point_b=meeting_pos_b,
-        min_distance=min_distance,
-        min_distance_time=min_distance_time,
-        simulated_time=tb.to_float(meeting_time_exact if met else current),
+        met=loop.met,
+        termination=loop.termination,
+        meeting_time=(tb.to_float(loop.meeting_time_exact) if loop.met else None),
+        meeting_point_a=loop.meeting_pos_a,
+        meeting_point_b=loop.meeting_pos_b,
+        min_distance=loop.min_distance,
+        min_distance_time=loop.min_distance_time,
+        simulated_time=tb.to_float(
+            loop.meeting_time_exact if loop.met else loop.current
+        ),
         segments_a=cursor_a.segments_consumed,
         segments_b=cursor_b.segments_consumed,
-        windows_processed=windows,
+        windows_processed=loop.windows,
         elapsed_wall_seconds=_time.perf_counter() - wall_start,
         timebase_name=tb.name,
-        meeting_time_exact=meeting_time_exact,
+        meeting_time_exact=loop.meeting_time_exact,
     )
     outcome = AsymmetricOutcome(
         result=result,
         radius_a=r_a,
         radius_b=r_b,
-        frozen_agent=frozen_agent,
-        freeze_time=freeze_time,
-        freeze_distance=freeze_distance,
+        frozen_agent=loop.frozen_agent,
+        freeze_time=loop.freeze_time,
+        freeze_distance=loop.freeze_distance,
     )
     if _contracts.enabled():
         check_outcome(outcome, max_time=max_time)

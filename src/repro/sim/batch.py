@@ -83,14 +83,18 @@ from repro.sim.rounds import (
     KERNEL_CHUNK_WINDOWS,
     ProgramSource,
     RoundEntry,
+    StallTransform,
     build_windows,
     default_initial_horizon,
     entry_state_arrays,
     full_final_window_min,
+    per_instance_option,
     solve_round,
+    stall_arrays,
     trim_builder_cache,
     trim_compiler_cache,
 )
+from repro.sim.scenarios import scaled_agents
 from repro.util.logging import get_logger
 
 logger = get_logger("sim.batch")
@@ -130,6 +134,11 @@ def simulate_batch(
     initial_horizon: Optional[float] = None,
     backend=None,
     kernel_threads: Optional[int] = None,
+    speed_a: Any = 1.0,
+    speed_b: Any = 1.0,
+    stall_agent: Optional[str] = None,
+    stall_time: Any = None,
+    stall_duration: Any = None,
 ) -> List[SimulationResult]:
     """Simulate ``algorithm`` on every instance with the vectorized engine.
 
@@ -171,6 +180,17 @@ def simulate_batch(
         disjoint output slices and numpy releases the GIL, so results are
         bit-identical for every thread count — only wall time depends on it
         (worth > 1 on multi-core campaign hardware, pointless on 1-core CI).
+    speed_a, speed_b:
+        Heterogeneous-speed scenario (:mod:`repro.sim.scenarios`): positive
+        finite speed factors for agents A and B, each a scalar applied to the
+        whole batch or a per-instance sequence.  Defaults to the paper's
+        homogeneous model.
+    stall_agent, stall_time, stall_duration:
+        Stalling-agent scenario: ``stall_agent`` (``"A"`` or ``"B"``, one
+        agent for the whole batch) pauses for ``stall_duration`` time units
+        at the first segment boundary at or after ``stall_time``; the time
+        and duration may be per-instance sequences.  All three must be given
+        together or not at all.
 
     Returns one :class:`SimulationResult` per instance, in input order, with
     ``met``, the meeting time (1e-9 relative parity with the event engine),
@@ -194,7 +214,14 @@ def simulate_batch(
     wall_start = _time.perf_counter()
     source = ProgramSource(algorithm, max_segments)
     name = _algorithm_name(algorithm)
-    specs = [instance.agents() for instance in instances]
+    speeds_a = per_instance_option(speed_a, len(instances), "speed_a")
+    speeds_b = per_instance_option(speed_b, len(instances), "speed_b")
+    specs = [
+        scaled_agents(instance, sa, sb)
+        for instance, sa, sb in zip(instances, speeds_a.tolist(), speeds_b.tolist())
+    ]
+    stall = stall_arrays(stall_agent, stall_time, stall_duration, len(instances))
+    stall_memo = StallTransform() if stall is not None else None
     radii = np.array([instance.r for instance in instances]) + radius_slack
 
     cols = ResultColumns(len(instances))
@@ -215,12 +242,22 @@ def simulate_batch(
         pending_list = pending.tolist()
         horizon_list = cols.horizon[pending].tolist()
         scan_list = cols.scan_from[pending].tolist()
+        def entry_tables(idx: int, horizon: float):
+            table_a = source.table_for(idx, instances[idx], specs[idx][0], "A", horizon)
+            table_b = source.table_for(idx, instances[idx], specs[idx][1], "B", horizon)
+            if stall is not None:
+                agent, times, durations = stall
+                if agent == "A":
+                    table_a = stall_memo.apply(table_a, times[idx], durations[idx])
+                else:
+                    table_b = stall_memo.apply(table_b, times[idx], durations[idx])
+            return table_a, table_b
+
         entries = [
             RoundEntry(
                 idx,
                 instances[idx],
-                source.table_for(idx, instances[idx], specs[idx][0], "A", horizon),
-                source.table_for(idx, instances[idx], specs[idx][1], "B", horizon),
+                *entry_tables(idx, horizon),
                 horizon,
                 scan_from,
                 max_segments,

@@ -74,14 +74,18 @@ from repro.sim.rounds import (
     GROWTH_FACTOR,
     ProgramSource,
     RoundEntry,
+    StallTransform,
     build_windows,
     default_initial_horizon,
     entry_state_arrays,
     full_final_window_min,
+    per_instance_option,
     solve_round,
+    stall_arrays,
     trim_builder_cache,
     trim_compiler_cache,
 )
+from repro.sim.scenarios import scaled_agents
 from repro.util.logging import get_logger
 
 logger = get_logger("sim.batch_asymmetric")
@@ -139,6 +143,11 @@ def simulate_batch_asymmetric(
     initial_horizon: Optional[float] = None,
     backend=None,
     kernel_threads: Optional[int] = None,
+    speed_a: Any = 1.0,
+    speed_b: Any = 1.0,
+    stall_agent: Optional[str] = None,
+    stall_time: Any = None,
+    stall_duration: Any = None,
 ) -> List[AsymmetricOutcome]:
     """Simulate ``algorithm`` under per-agent radii with the vectorized engine.
 
@@ -161,6 +170,13 @@ def simulate_batch_asymmetric(
         frozen agent stops drawing on the budget at its freeze time, like the
         event engine's frozen cursor), the kernel-backend selection and the
         threaded chunk dispatch (bit-identical for every thread count).
+    speed_a, speed_b, stall_agent, stall_time, stall_duration:
+        The heterogeneous-speed and stalling-agent scenario options, exactly
+        as in :func:`repro.sim.batch.simulate_batch` (scalars or per-instance
+        sequences; ``stall_agent`` is one agent for the whole batch).  A
+        frozen agent's pending stall is discarded — its stationary table
+        replaces all remaining motion, like the event engine's cleared
+        cursor stream.
 
     Returns one :class:`~repro.sim.asymmetric.AsymmetricOutcome` per instance,
     in input order: an ordinary :class:`SimulationResult` (``met`` means the
@@ -187,7 +203,19 @@ def simulate_batch_asymmetric(
     wall_start = _time.perf_counter()
     source = ProgramSource(algorithm, max_segments)
     base_name = _algorithm_name(algorithm)
-    specs = [instance.agents() for instance in instances]
+    speeds_a = per_instance_option(speed_a, len(instances), "speed_a")
+    speeds_b = per_instance_option(speed_b, len(instances), "speed_b")
+    specs = [
+        scaled_agents(instance, sa, sb)
+        for instance, sa, sb in zip(instances, speeds_a.tolist(), speeds_b.tolist())
+    ]
+    stall = stall_arrays(stall_agent, stall_time, stall_duration, len(instances))
+    stall_memo = StallTransform() if stall is not None else None
+
+    def maybe_stalled(table, agent: str, idx: int):
+        if stall is not None and stall[0] == agent:
+            return stall_memo.apply(table, stall[1][idx], stall[2][idx])
+        return table
 
     # The smaller radius declares the meeting, the larger one the freeze; the
     # agent holding the larger radius freezes first (ties never freeze).
@@ -219,16 +247,27 @@ def simulate_batch_asymmetric(
             spec_a, spec_b = specs[idx]
             freeze = frozen.get(idx)
             if freeze is None:
-                table_a = source.table_for(idx, instance, spec_a, "A", horizon)
-                table_b = source.table_for(idx, instance, spec_b, "B", horizon)
+                table_a = maybe_stalled(
+                    source.table_for(idx, instance, spec_a, "A", horizon), "A", idx
+                )
+                table_b = maybe_stalled(
+                    source.table_for(idx, instance, spec_b, "B", horizon), "B", idx
+                )
                 extra = 0
             else:
+                # The frozen agent's stationary table replaces all remaining
+                # motion, pending stall included (the event engine clears the
+                # frozen cursor's stream); the other agent keeps its stall.
                 still = constant_table(freeze.position)
                 if freeze.agent == "A":
                     table_a = still
-                    table_b = source.table_for(idx, instance, spec_b, "B", horizon)
+                    table_b = maybe_stalled(
+                        source.table_for(idx, instance, spec_b, "B", horizon), "B", idx
+                    )
                 else:
-                    table_a = source.table_for(idx, instance, spec_a, "A", horizon)
+                    table_a = maybe_stalled(
+                        source.table_for(idx, instance, spec_a, "A", horizon), "A", idx
+                    )
                     table_b = still
                 extra = freeze.segments
             entries.append(

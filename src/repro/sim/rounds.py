@@ -333,6 +333,76 @@ def default_initial_horizon(instance: Instance, max_time: float) -> float:
     return min(max(snapped, raw), max_time)
 
 
+def per_instance_option(value: Any, count: int, label: str) -> np.ndarray:
+    """Broadcast a scalar-or-sequence simulator option to a float column.
+
+    The shared shape rule of the batch engines' per-instance options
+    (asymmetric radii, speed factors, stall schedules): a scalar applies to
+    every instance, a sequence must match the batch length exactly.
+    """
+    array = np.asarray(value, dtype=float)
+    if array.ndim == 0:
+        return np.full(count, float(array))
+    if array.shape != (count,):
+        raise ValueError(
+            f"{label} must be a scalar or a sequence of length {count}, "
+            f"got shape {array.shape}"
+        )
+    return array
+
+
+def stall_arrays(
+    stall_agent: Any, stall_time: Any, stall_duration: Any, count: int
+) -> Optional[Tuple[str, np.ndarray, np.ndarray]]:
+    """Validate and broadcast the stall trio for one batch (``None`` = inactive).
+
+    Mirrors :func:`repro.sim.scenarios.stall_schedule` for the vectorized
+    engines, where ``stall_time`` / ``stall_duration`` may be per-instance
+    columns (``stall_agent`` is one agent for the whole batch).
+    """
+    if stall_agent is None and stall_time is None and stall_duration is None:
+        return None
+    if stall_agent not in ("A", "B") or stall_time is None or stall_duration is None:
+        raise ValueError(
+            "stall_agent ('A'/'B'), stall_time and stall_duration must be "
+            "given together"
+        )
+    times = per_instance_option(stall_time, count, "stall_time")
+    durations = per_instance_option(stall_duration, count, "stall_duration")
+    if not bool(np.all(np.isfinite(times) & (times >= 0.0))):
+        raise ValueError("stall_time must be >= 0 and finite")
+    if not bool(np.all(np.isfinite(durations) & (durations > 0.0))):
+        raise ValueError("stall_duration must be positive and finite")
+    return str(stall_agent), times, durations
+
+
+class StallTransform:
+    """Memoized columnar stall transform for one batch-engine call.
+
+    :meth:`ProgramSource.table_for` returns cached table objects (one per
+    compiler growth state), so keying the splice on the table's identity both
+    avoids re-splicing per round and preserves table sharing — instances with
+    an identical source table and identical stall parameters keep receiving
+    one shared stalled table, which the window merge's identity-based dedup
+    (:func:`_dedup_tables`) relies on.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo: Dict[Tuple[int, int, float, float], TrajectoryTable] = {}
+
+    def apply(self, table: TrajectoryTable, onset: float, duration: float) -> TrajectoryTable:
+        from repro.motion.compiler import stalled_table  # local: avoids re-export churn
+
+        key = (id(table), len(table), float(onset), float(duration))
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = stalled_table(table, float(onset), float(duration))
+            self._memo[key] = cached
+        return cached
+
+
 class RoundEntry:
     """One instance's tables, horizon and budget state for one round.
 

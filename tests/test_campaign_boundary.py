@@ -110,6 +110,78 @@ class TestSimulatorOptionRanges:
         assert make_spec(simulator={"kernel_threads": None}) is not None
 
 
+class TestScenarioOptionBoundary:
+    """Scenario-owned options validate at the spec boundary via the registry."""
+
+    @pytest.mark.parametrize("options", [
+        {"speed_a": 0.0},
+        {"speed_b": -2.0},
+        {"speed_a": math.inf},
+        {"stall_agent": "A"},
+        {"stall_agent": "C", "stall_time": 1.0, "stall_duration": 1.0},
+        {"stall_agent": "A", "stall_time": -1.0, "stall_duration": 1.0},
+        {"stall_agent": "A", "stall_time": 1.0, "stall_duration": 0.0},
+        {"stall_agent": "A", "stall_time_range": [5.0, 2.0], "stall_duration": 1.0},
+        {"stall_agent": "A", "stall_time": 1.0, "stall_time_range": [0.0, 2.0],
+         "stall_duration": 1.0},
+    ])
+    def test_bad_scenario_defaults_fail_at_spec_construction(self, options):
+        with pytest.raises(CampaignError):
+            make_spec(simulator=dict({"max_time": 100.0}, **options))
+
+    def test_bad_scenario_arm_override_names_the_arm(self):
+        arm = CampaignArm(algorithm="stay-put", label="limping",
+                          options={"speed_a": -1.0})
+        with pytest.raises(CampaignError, match="arm 'limping'.*speed_a"):
+            make_spec(arms=(arm,))
+
+    def test_valid_scenario_options_accepted(self):
+        spec = make_spec(simulator={
+            "max_time": 100.0, "speed_a": 2.0, "speed_b": 0.5,
+            "stall_agent": "B", "stall_time_range": [0.0, 10.0],
+            "stall_duration_range": [0.5, 2.0],
+        })
+        assert spec.simulator["stall_agent"] == "B"
+
+    def test_stall_range_draws_are_partition_independent(self):
+        # The derived stall schedule is a pure function of (spec, arm, class,
+        # stream position): re-sharding the campaign must not move any draw.
+        from repro.campaign.shards import plan_shards, shard_instances, shard_tasks
+
+        def draws(shard_size):
+            spec = make_spec(
+                instances_per_cell=8, shard_size=shard_size,
+                simulator={"max_time": 100.0, "stall_agent": "A",
+                           "stall_time_range": [0.0, 10.0],
+                           "stall_duration_range": [1.0, 2.0]},
+            )
+            out = []
+            for shard in plan_shards(spec):
+                for task in shard_tasks(spec, shard, shard_instances(spec, shard)):
+                    options = task.simulator_options
+                    assert "stall_time_range" not in options
+                    assert 0.0 <= options["stall_time"] <= 10.0
+                    assert 1.0 <= options["stall_duration"] <= 2.0
+                    out.append((options["stall_time"], options["stall_duration"]))
+            return out
+
+        assert draws(8) == draws(3) == draws(1)
+
+    def test_stall_draws_differ_across_positions(self):
+        from repro.campaign.shards import plan_shards, shard_instances, shard_tasks
+
+        spec = make_spec(
+            instances_per_cell=6, shard_size=6,
+            simulator={"max_time": 100.0, "stall_agent": "A",
+                       "stall_time_range": [0.0, 10.0],
+                       "stall_duration_range": [1.0, 2.0]},
+        )
+        (shard,) = plan_shards(spec)
+        tasks = shard_tasks(spec, shard, shard_instances(spec, shard))
+        times = [task.simulator_options["stall_time"] for task in tasks]
+        assert len(set(times)) == len(times)
+
+
 class TestOrchestratorKnobs:
     @pytest.mark.parametrize(
         "knob, bad",

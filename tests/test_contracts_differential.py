@@ -14,6 +14,7 @@ must actually *bite* on fabricated mismatches in every mode.
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -29,7 +30,8 @@ from repro.core.instance import Instance
 from repro.geometry.backends import available_backends
 from repro.sim.asymmetric import simulate_asymmetric
 from repro.sim.batch import simulate_batch
-from repro.sim.engine import RendezvousSimulator
+from repro.sim.engine import RendezvousSimulator, simulate
+from repro.sim.scenarios import registered_scenarios, scenarios_for_options
 
 MAX_TIME = 1e4
 MAX_SEGMENTS = 10_000
@@ -100,6 +102,47 @@ class TestAsymmetricDifferential:
             kernel_backend=backend, **kwargs,
         )
         assert check_outcome_parity(event, batch)
+
+
+@pytest.mark.parametrize(
+    "family", registered_scenarios(), ids=lambda family: family.name
+)
+class TestScenarioFamilyDifferential:
+    """Every registered scenario family fuzzes event-vs-vectorized parity.
+
+    The family's own option sampler draws the scenario parameters, so a new
+    ``register_scenario`` call is automatically fuzzed here with zero test
+    edits — the registry is the coverage list.  Radius-bearing draws route
+    through the asymmetric entry point (freeze semantics included); all
+    others compare the unified engine directly against the batch engine.
+    """
+
+    @CONTRACT_SETTINGS
+    @given(params=instance_params, option_seed=st.integers(0, 2**32 - 1))
+    def test_event_vs_vectorized(self, family, params, option_seed):
+        instance = _build(params)
+        if instance is None:
+            return
+        options = family.sample_options(np.random.default_rng(option_seed))
+        assert family in scenarios_for_options(options) or not options
+        algorithm = get_algorithm("almost-universal-compact")
+        if "radius_a" in options or "radius_b" in options:
+            kwargs = dict(options, max_time=MAX_TIME, max_segments=MAX_SEGMENTS)
+            event = simulate_asymmetric(instance, algorithm, engine="event", **kwargs)
+            batch = simulate_asymmetric(
+                instance, algorithm, engine="vectorized", **kwargs
+            )
+            assert check_outcome_parity(event, batch)
+        else:
+            event = simulate(
+                instance, algorithm,
+                max_time=MAX_TIME, max_segments=MAX_SEGMENTS, **options,
+            )
+            batch = simulate_batch(
+                [instance], algorithm,
+                max_time=MAX_TIME, max_segments=MAX_SEGMENTS, **options,
+            )[0]
+            assert check_engine_parity(event, batch)
 
 
 class TestParityContractsBite:

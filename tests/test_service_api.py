@@ -42,6 +42,7 @@ class StubService:
         self.submit_error = None
         self.status_payload = None
         self.report_payload = None
+        self.metrics_payload = {"queue": {"depth": 1}, "shards": {}}
 
     def is_ready(self):
         return self.ready
@@ -69,6 +70,9 @@ class StubService:
 
     def campaign_report(self, digest):
         return self.report_payload if digest == "known" else None
+
+    def metrics(self):
+        return self.metrics_payload
 
 
 @pytest.fixture
@@ -202,6 +206,16 @@ class TestViews:
         service.report_payload = {"job": {"digest": "known"}, "cells": []}
         assert get(f"{base_url}/campaigns/known/report")[0] == 200
         assert get(f"{base_url}/campaigns/ghost/report")[0] == 404
+
+    def test_metrics_returns_the_facade_snapshot(self, base_url, service):
+        service.metrics_payload = {
+            "ready": True,
+            "queue": {"depth": 3, "jobs_by_state": {"running": 1, "submitted": 2}},
+            "shards": {"shard_attempts": 7, "shards_per_second": 1.25},
+        }
+        code, payload = get(f"{base_url}/metrics")
+        assert code == 200
+        assert payload == service.metrics_payload
 
     def test_unknown_get_is_404(self, base_url):
         assert get(f"{base_url}/nope")[0] == 404

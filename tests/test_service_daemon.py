@@ -108,6 +108,38 @@ class TestLifecycle:
         assert daemon.campaign_status("no-such-digest") is None
         assert daemon.campaign_report("no-such-digest") is None
 
+    def test_metrics_aggregate_queue_scheduler_and_run_stats(self, tmp_path, daemon):
+        before = daemon.metrics()
+        assert before["queue"]["jobs_total"] == 0
+        assert before["queue"]["depth"] == 0
+        assert before["shards"]["shards_per_second"] is None
+        daemon.start()
+        job, _ = daemon.submit(make_spec())
+        assert wait_for(lambda: daemon.queue.job(job.digest).state == "complete")
+        metrics = daemon.metrics()
+        assert metrics["ready"] is True
+        assert metrics["queue"]["jobs_by_state"] == {"complete": 1}
+        assert metrics["queue"]["depth"] == 0
+        assert metrics["queue"]["attempts_total"] == 1
+        assert metrics["queue"]["torn_lines"] == 0
+        assert metrics["scheduler"]["jobs_completed"] == 1
+        assert metrics["scheduler"]["jobs_quarantined"] == 0
+        # 6 instances / shard_size 2 = 3 shards, each attempted exactly once.
+        assert metrics["shards"]["shards_executed"] == 3
+        assert metrics["shards"]["shard_attempts"] == 3
+        assert metrics["shards"]["shards_retried"] == 0
+        assert metrics["shards"]["rows_computed"] == 6
+        assert metrics["shards"]["shards_per_second"] > 0
+
+    def test_metrics_served_over_http(self, tmp_path, daemon):
+        daemon.start()
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{daemon.port}/metrics", timeout=10
+        ) as response:
+            payload = json.loads(response.read())
+        assert payload["ready"] is True
+        assert payload["queue"]["depth"] == 0
+
     def test_status_before_store_exists(self, tmp_path):
         daemon = ServiceDaemon(tmp_path)
         job, _ = daemon.queue.submit(make_spec())
