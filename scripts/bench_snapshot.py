@@ -20,6 +20,14 @@ two engines is what gates (not absolute seconds), so the check is meaningful
 on hardware slower or faster than the machine that wrote the baseline; the
 tolerance absorbs machine-to-machine spread of the ratio itself (CI runners
 vs the baseline box, ``--quick``'s smaller amortization).
+
+``--profile`` additionally records the batch engine's phase breakdown
+(``repro.obs`` spans, forced on for that one run regardless of ``REPRO_OBS``)
+into the snapshot's ``phase_profile`` field.  ``--check`` refuses to run with
+observability on — instrumented runs, however cheap, are not the committed
+baseline's configuration — so the two flags gate each other's environments:
+the check leg proves ``REPRO_OBS=off`` stays on the baseline numbers, the
+profile leg documents where the seconds go.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ import platform
 import time
 from datetime import datetime, timezone
 
-from repro import contracts
+from repro import contracts, obs
 from repro.algorithms.registry import get_algorithm
 from repro.analysis.sampler import InstanceSampler
 from repro.core.classification import InstanceClass
@@ -85,6 +93,11 @@ def main() -> int:
         help="fresh speedup must reach this fraction of the baseline's "
              "(default 0.7; use a smaller value for --quick/CI runners)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="record the batch engine's phase breakdown (repro.obs spans, "
+             "forced on for that run) into the snapshot's phase_profile field",
+    )
     args = parser.parse_args()
     per_type = 25 if args.quick else args.instances_per_type
     baseline_speedup = None
@@ -102,6 +115,15 @@ def main() -> int:
                 f"--check requires {contracts.MODE_ENV}=off "
                 f"(currently {contracts.mode()!r}): contract-checked runs "
                 "are not comparable to the committed baseline"
+            )
+        if obs.mode() != "off":
+            # Same reasoning one layer over: the off-mode seam must cost one
+            # module-global read, and this gate is where that claim is held
+            # to the baseline numbers.
+            parser.error(
+                f"--check requires {obs.MODE_ENV}=off "
+                f"(currently {obs.mode()!r}): instrumented runs are not "
+                "comparable to the committed baseline"
             )
         with open(args.check) as handle:
             baseline_speedup = json.load(handle).get("speedup")
@@ -128,6 +150,25 @@ def main() -> int:
           f"({len(instances) / batch_seconds:,.0f} instances/s)")
     print(f"batch engine (verdict) : {verdict_seconds:.3f}s "
           f"({len(instances) / verdict_seconds:,.0f} instances/s)")
+
+    phase_profile = None
+    if args.profile:
+        # One extra instrumented run, mode forced on for just this block so
+        # the timed measurements above stay off-mode.  Registry totals are
+        # reset first so the warm-up runs don't leak into the breakdown.
+        from repro.obs import core as obs_core
+
+        obs_core.reset_counters()
+        with obs_core._override_mode("on"):
+            with obs_core.collect() as bucket:
+                profile_seconds, _ = timed(run_batch)
+        phase_profile = {
+            "seconds": round(profile_seconds, 4),
+            "phases": {key: round(value, 6) for key, value in sorted(bucket.items())},
+        }
+        print(f"phase profile          : {profile_seconds:.3f}s instrumented run")
+        for key, value in sorted(bucket.items()):
+            print(f"  {key:<22s} {value:9.4f}s  ({100 * value / profile_seconds:5.1f}%)")
 
     # Campaign mode: the same stratified workload declared as a CampaignSpec
     # and run through the orchestrator into a throwaway store.  Measures what
@@ -186,6 +227,10 @@ def main() -> int:
         # always "off" for comparable baselines, recorded so a snapshot taken
         # under check/raise can never be mistaken for one.
         "contracts": contracts.mode(),
+        # Observability mode of the *timed* runs (see repro.obs): same story
+        # as contracts — "off" for comparable baselines.  --profile's
+        # instrumented run is a separate, untimed-by-the-baseline pass.
+        "obs": obs.mode(),
         "batch_engine": {
             "seconds": round(batch_seconds, 4),
             "instances_per_second": round(len(instances) / batch_seconds, 1),
@@ -204,6 +249,8 @@ def main() -> int:
             "overhead_vs_batch": round(campaign_seconds / batch_seconds, 3),
         },
     }
+    if phase_profile is not None:
+        snapshot["phase_profile"] = phase_profile
 
     if not args.skip_event:
         simulator = RendezvousSimulator(max_time=MAX_TIME, max_segments=MAX_SEGMENTS)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import collections
 import os
+import pickle
 import random
 import signal
 import time
@@ -56,6 +57,9 @@ from repro.campaign.leases import LeaseManager
 from repro.campaign.shards import Shard, shard_instances, shard_tasks
 from repro.campaign.spec import CampaignError, CampaignSpec
 from repro.campaign.store import CampaignStore, records_to_columns
+from repro.obs import core as _obs
+from repro.obs import phases as _phases
+from repro.obs import trace as _trace
 from repro.util.logging import get_logger
 
 logger = get_logger("campaign.executor")
@@ -122,6 +126,17 @@ def _worker_main(spec: CampaignSpec, cache_policy: str, conn) -> None:
     worker holds its own inline :class:`BatchRunner` — vectorized shards are
     one batch-engine call, exact-timebase shards run the event engine
     in-process (the parallelism is already shard-granular).
+
+    Wire protocol: with observability off (the default) each shard answers
+    with one ``("ok", shard_id, columns, wall)`` tuple, byte-identical to the
+    historical format.  With observability on, the result arrives as *two*
+    messages — the bulk ``("columns", shard_id, columns)`` payload, whose
+    pickling and pipe write are themselves timed (``ipc.serialize`` /
+    ``ipc.pipe_send``, plus the payload byte count), followed by a small
+    ``("ok2", shard_id, wall, phases)`` meta record carrying those IPC
+    measurements.  The IPC cost of a message cannot ride the message it
+    times; the trailing meta record can.  The parent dispatches on the
+    message tag, never on its own mode, so mixed configurations stay safe.
     """
     # Workers must not receive the terminal's Ctrl-C: the parent handles
     # SIGINT, releases leases and shuts the pool down cleanly.
@@ -138,12 +153,40 @@ def _worker_main(spec: CampaignSpec, cache_policy: str, conn) -> None:
             try:
                 _apply_fault(fault)
                 started = time.perf_counter()
-                instances = shard_instances(spec, shard)
-                tasks = shard_tasks(spec, shard, instances)
-                with compiler_cache_admission(cache_policy):
-                    records = runner.run(tasks)
-                columns = records_to_columns(shard, records)
-                conn.send(("ok", shard.shard_id, columns, time.perf_counter() - started))
+                if not _obs.enabled():
+                    instances = shard_instances(spec, shard)
+                    tasks = shard_tasks(spec, shard, instances)
+                    with compiler_cache_admission(cache_policy):
+                        records = runner.run(tasks)
+                    columns = records_to_columns(shard, records)
+                    conn.send(
+                        ("ok", shard.shard_id, columns, time.perf_counter() - started)
+                    )
+                else:
+                    with _obs.span("campaign.shard", shard=shard.shard_id):
+                        with _obs.collect() as phases:
+                            with _obs.span("campaign.sample"):
+                                instances = shard_instances(spec, shard)
+                                tasks = shard_tasks(spec, shard, instances)
+                            with compiler_cache_admission(cache_policy):
+                                records = runner.run(tasks)
+                            with _obs.span("campaign.collate"):
+                                columns = records_to_columns(shard, records)
+                            # Wall excludes IPC, matching the off-mode format.
+                            wall = time.perf_counter() - started
+                            with _obs.span("ipc.serialize"):
+                                payload = pickle.dumps(
+                                    ("columns", shard.shard_id, columns),
+                                    protocol=pickle.HIGHEST_PROTOCOL,
+                                )
+                            _obs.add("ipc.bytes", len(payload))
+                            phases[_phases.IPC_BYTES_KEY] = float(len(payload))
+                            with _obs.span("ipc.pipe_send"):
+                                conn.send_bytes(payload)
+                        conn.send(("ok2", shard.shard_id, wall, dict(phases)))
+                    # Per-shard segment flush: a later terminated worker loses
+                    # at most the shard in flight, not its whole timeline.
+                    _trace.flush()
             except BaseException:
                 conn.send(("error", shard.shard_id, traceback.format_exc()))
 
@@ -328,7 +371,9 @@ class ShardExecutor:
                 continue
             if self._completed_elsewhere(shard):
                 continue
-            if not self.leases.acquire(shard.shard_id):
+            with _obs.span("campaign.lease"):
+                acquired = self.leases.acquire(shard.shard_id)
+            if not acquired:
                 foreign[shard.shard_id] = shard
                 continue
             if self._completed_elsewhere(shard):
@@ -367,10 +412,30 @@ class ShardExecutor:
                 except (EOFError, OSError):
                     self._lost(worker, ready, "worker died mid-result")
                     continue
-                worker.current = None
                 if message[0] == "ok":
+                    worker.current = None
                     self._commit(assignment, columns=message[2], wall=message[3])
+                elif message[0] == "columns":
+                    # Observability-on worker: the bulk payload is followed by
+                    # a small meta record with the wall time and phase dict
+                    # (or by an error raised between the two messages).
+                    try:
+                        meta = worker.conn.recv()
+                    except (EOFError, OSError):
+                        self._lost(worker, ready, "worker died mid-result")
+                        continue
+                    worker.current = None
+                    if meta[0] == "ok2":
+                        self._commit(
+                            assignment,
+                            columns=message[2],
+                            wall=meta[2],
+                            phases=meta[3],
+                        )
+                    else:
+                        self._failed(assignment, ready, meta[2])
                 else:
+                    worker.current = None
                     self._failed(assignment, ready, message[2])
             elif not worker.process.is_alive():
                 self._lost(worker, ready, "worker process died")
@@ -381,9 +446,12 @@ class ShardExecutor:
                     f"shard exceeded shard_timeout={self.shard_timeout}s",
                 )
 
-    def _commit(self, assignment: _Assignment, *, columns, wall: float) -> None:
+    def _commit(
+        self, assignment: _Assignment, *, columns, wall: float, phases=None
+    ) -> None:
         shard = assignment.shard
-        self.store.write_shard(shard, columns, wall_seconds=wall)
+        with _obs.span("campaign.store_write"):
+            self.store.write_shard(shard, columns, wall_seconds=wall, phases=phases)
         self.leases.release(shard.shard_id)
         self.stats.shards_executed += 1
         self.stats.rows_computed += shard.count

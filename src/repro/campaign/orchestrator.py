@@ -45,6 +45,8 @@ from repro.campaign.spec import CampaignError, CampaignSpec
 from repro.campaign.store import CampaignStore, records_to_columns
 from repro.contracts import core as _contracts
 from repro.contracts.invariants import CAMPAIGN_RESUME_NO_RECOMPUTE
+from repro.obs import core as _obs
+from repro.obs import trace as _trace
 from repro.sim.rounds import compiler_cache_admission, compiler_cache_entry_budget
 from repro.util.logging import get_logger
 
@@ -391,6 +393,12 @@ def run_campaign(
             stats.rows_recomputed == 0,
             f"{stats.rows_recomputed} rows recomputed for already-complete shards",
         )
+    if _trace.active():
+        # The pool is down by now, so worker segments are final; fold them
+        # (plus this process's buffer) into the one Perfetto-loadable file.
+        merged = _trace.merge()
+        if merged is not None:
+            emit(f"trace written: {merged}")
     return stats
 
 
@@ -445,7 +453,9 @@ def _run_inline(
                 if _completed_elsewhere(store, spec, shard, stats, emit):
                     progressed = True
                     continue
-                if not leases.acquire(shard.shard_id):
+                with _obs.span("campaign.lease"):
+                    acquired = leases.acquire(shard.shard_id)
+                if not acquired:
                     foreign[shard.shard_id] = shard
                     continue
                 if _completed_elsewhere(store, spec, shard, stats, emit):
@@ -472,14 +482,23 @@ def _run_inline(
                 try:
                     if fault is not None:
                         raise RuntimeError("injected shard fault")
-                    instances = shard_instances(spec, shard)
-                    tasks = shard_tasks(spec, shard, instances)
-                    with compiler_cache_admission(policy):
-                        records = runner.run(tasks)
-                    columns = records_to_columns(shard, records)
-                    store.write_shard(
-                        shard, columns, wall_seconds=time.perf_counter() - shard_start
-                    )
+                    # The umbrella span sits *outside* the collector window so
+                    # only leaf phases land in the manifest's phases dict.
+                    with _obs.span("campaign.shard", shard=shard.shard_id):
+                        with _obs.collect() as phases:
+                            with _obs.span("campaign.sample"):
+                                instances = shard_instances(spec, shard)
+                                tasks = shard_tasks(spec, shard, instances)
+                            with compiler_cache_admission(policy):
+                                records = runner.run(tasks)
+                            with _obs.span("campaign.collate"):
+                                columns = records_to_columns(shard, records)
+                        # Matches the worker loop: wall excludes the commit.
+                        wall = time.perf_counter() - shard_start
+                        with _obs.span("campaign.store_write"):
+                            store.write_shard(
+                                shard, columns, wall_seconds=wall, phases=phases
+                            )
                 except Exception as error:
                     if attempt >= max_attempts:
                         import traceback as traceback_module

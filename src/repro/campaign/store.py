@@ -376,8 +376,15 @@ class CampaignStore:
         columns: Mapping[str, np.ndarray],
         *,
         wall_seconds: float = 0.0,
+        phases: Optional[Mapping[str, float]] = None,
     ) -> Dict[str, Any]:
-        """Persist one completed shard: atomic data file, then manifest record."""
+        """Persist one completed shard: atomic data file, then manifest record.
+
+        ``phases`` (observability on only) is a phase-id -> seconds breakdown
+        recorded in the manifest record next to ``wall_seconds``; the npz
+        column bytes stay a pure function of the spec either way, and manifest
+        readers ignore keys they do not know.
+        """
         unknown = set(columns) - set(RESULT_COLUMNS)
         missing = set(RESULT_COLUMNS) - set(columns)
         if unknown or missing:
@@ -414,6 +421,10 @@ class CampaignStore:
             "wall_seconds": round(float(wall_seconds), 6),
             "completed_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         }
+        if phases:
+            record["phases"] = {
+                key: round(float(value), 6) for key, value in sorted(phases.items())
+            }
         with open(self.manifest_path, "a") as handle:
             # A crash can tear the previous append after its bytes but before
             # its newline; appending straight after would merge this record

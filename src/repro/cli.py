@@ -42,8 +42,9 @@ Exit-code contract (every subcommand, tested in ``tests/test_cli.py``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.algorithms.bounds import universal_phase_bound
 from repro.algorithms.registry import available_algorithms, get_algorithm
@@ -479,6 +480,9 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
 
     status = status_rows(args.campaign_dir)
+    if args.json:
+        print(json.dumps(status, sort_keys=True))
+        return 0 if status["shards_complete"] == status["shards_total"] else 3
     print(f"campaign          : {status['name']} [{status['digest']}]")
     print(f"shards complete   : {status['shards_complete']}/{status['shards_total']}")
     print(f"rows stored       : {status['rows_stored']}/{status['rows_total']}")
@@ -502,10 +506,26 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         store = CampaignStore(args.campaign_dir)
         problems = store.verify(plan_shards(store.load_spec()))
         if problems:
-            for problem in problems:
-                print(f"[check] FAIL: {problem}", file=sys.stderr)
+            if args.json:
+                print(json.dumps({"check_failures": problems}, sort_keys=True))
+            else:
+                for problem in problems:
+                    print(f"[check] FAIL: {problem}", file=sys.stderr)
             return 1
     status = status_rows(args.campaign_dir)
+    if args.json:
+        payload = dict(
+            status,
+            complete=status["shards_complete"] == status["shards_total"],
+            checked=bool(args.check),
+        )
+        if args.output_csv:
+            write_csv(status["cells"], args.output_csv)
+            payload["output_csv"] = args.output_csv
+        print(json.dumps(payload, sort_keys=True))
+        if args.check or payload["complete"]:
+            return 0
+        return 3
     print(f"== campaign {status['name']} [{status['digest']}] ==")
     print(format_table(status["cells"]))
     if args.output_csv:
@@ -522,6 +542,146 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             f"(incomplete: {status['shards_complete']}/{status['shards_total']} shards)"
         )
         return 3
+    return 0
+
+
+def _profile_data(campaign_dir: str) -> Dict[str, Any]:
+    """Aggregate the manifest's per-shard ``phases`` dicts into an arm profile."""
+    from repro.campaign import CampaignStore
+    from repro.obs.phases import IPC_BYTES_KEY, IPC_PHASES, WALL_PHASES
+
+    store = CampaignStore(campaign_dir)
+    spec = store.load_spec()
+    completed = store.completed()
+    arms: Dict[str, Dict[str, Any]] = {}
+    ipc: List[Dict[str, Any]] = []
+    shards_profiled = 0
+    for shard_id, record in sorted(
+        completed.items(), key=lambda item: item[1].get("index", 0)
+    ):
+        arm_index = int(record.get("arm", 0))
+        label = (
+            spec.arms[arm_index].label
+            if 0 <= arm_index < len(spec.arms)
+            else f"arm-{arm_index}"
+        )
+        bucket = arms.setdefault(
+            label,
+            {
+                "shards": 0,
+                "shards_profiled": 0,
+                "rows": 0,
+                "wall_seconds": 0.0,
+                "phases": {},
+                "attributed_seconds": 0.0,
+            },
+        )
+        bucket["shards"] += 1
+        bucket["rows"] += int(record.get("rows", 0))
+        bucket["wall_seconds"] += float(record.get("wall_seconds", 0.0))
+        phases = record.get("phases")
+        if not isinstance(phases, dict) or not phases:
+            continue
+        shards_profiled += 1
+        bucket["shards_profiled"] += 1
+        for key, value in phases.items():
+            if key == IPC_BYTES_KEY:
+                continue
+            bucket["phases"][key] = bucket["phases"].get(key, 0.0) + float(value)
+        bucket["attributed_seconds"] += sum(
+            float(phases.get(key, 0.0)) for key in WALL_PHASES
+        )
+        if any(key in phases for key in IPC_PHASES):
+            ipc.append(
+                {
+                    "shard_id": shard_id,
+                    "arm": label,
+                    "serialize_seconds": float(phases.get("ipc.serialize", 0.0)),
+                    "pipe_send_seconds": float(phases.get("ipc.pipe_send", 0.0)),
+                    "bytes": int(phases.get(IPC_BYTES_KEY, 0)),
+                }
+            )
+    for bucket in arms.values():
+        wall = bucket["wall_seconds"]
+        bucket["attribution"] = (
+            round(bucket["attributed_seconds"] / wall, 4) if wall > 0 else None
+        )
+    return {
+        "name": spec.name,
+        "digest": spec.digest(),
+        "shards_profiled": shards_profiled,
+        "shards_total": len(completed),
+        "arms": arms,
+        "ipc": ipc,
+    }
+
+
+def _cmd_campaign_profile(args: argparse.Namespace) -> int:
+    from repro.obs import MODE_ENV
+    from repro.obs.phases import WALL_PHASES
+
+    profile = _profile_data(args.campaign_dir)
+    if args.json:
+        print(json.dumps(profile, sort_keys=True))
+        return 0 if profile["shards_profiled"] else 3
+    print(f"== campaign {profile['name']} [{profile['digest']}] profile ==")
+    if not profile["shards_profiled"]:
+        print(
+            f"no phase data in the manifest ({profile['shards_total']} shards); "
+            f"run the campaign with {MODE_ENV}=on to record phase breakdowns",
+            file=sys.stderr,
+        )
+        return 3
+    for label, bucket in sorted(profile["arms"].items()):
+        wall = bucket["wall_seconds"]
+        rows = bucket["rows"]
+        print()
+        print(
+            f"arm={label}: {bucket['shards']} shards "
+            f"({bucket['shards_profiled']} profiled), {rows} rows, "
+            f"{wall:.4f}s wall"
+        )
+        ordered = [key for key in WALL_PHASES if key in bucket["phases"]]
+        ordered += sorted(set(bucket["phases"]) - set(WALL_PHASES))
+        width = max((len(key) for key in ordered), default=5)
+        print(f"  {'phase'.ljust(width)}  {'seconds':>10}  {'% wall':>7}  {'rows/s':>12}")
+        for key in ordered:
+            seconds = bucket["phases"][key]
+            share = f"{seconds / wall:7.1%}" if wall > 0 else "      -"
+            rate = f"{rows / seconds:12.0f}" if seconds > 0 else f"{'-':>12}"
+            print(f"  {key.ljust(width)}  {seconds:10.4f}  {share}  {rate}")
+        if bucket["attribution"] is not None:
+            print(
+                f"  attributed: {bucket['attribution']:.1%} of wall time "
+                f"({bucket['attributed_seconds']:.4f}s of {wall:.4f}s)"
+            )
+    if profile["ipc"]:
+        print()
+        print("worker IPC (measured inside the worker, per shard):")
+        print(f"  {'shard':<18} {'arm':<16} {'serialize':>10}  {'pipe send':>10}  {'bytes':>10}")
+        for row in profile["ipc"]:
+            print(
+                f"  {row['shard_id'][:16]:<18} {row['arm'][:16]:<16} "
+                f"{row['serialize_seconds']:10.6f}  {row['pipe_send_seconds']:10.6f}  "
+                f"{row['bytes']:>10}"
+            )
+    return 0
+
+
+def _cmd_obs_list(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    active = obs.mode()
+    print(
+        f"observability mode: {active}  (set {obs.MODE_ENV}=off|on; "
+        f"{obs.TRACE_ENV}=<path> writes a Chrome/Perfetto trace and implies on)"
+    )
+    rows = obs.all_instruments()
+    width = max(len(instrument.id) for instrument in rows)
+    print(f"{'instrument'.ljust(width)}  kind     description")
+    for instrument in rows:
+        print(f"{instrument.id.ljust(width)}  {instrument.kind:<7}  {instrument.doc}")
+    print(f"{len(rows)} instruments registered")
     return 0
 
 
@@ -759,6 +919,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     contracts_list.set_defaults(handler=_cmd_contracts_list)
 
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="inspect the declared observability instruments (REPRO_OBS)",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_list = obs_sub.add_parser(
+        "list", help="list every declared span and counter with its doc"
+    )
+    obs_list.set_defaults(handler=_cmd_obs_list)
+
     campaign_parser = subparsers.add_parser(
         "campaign",
         help="sharded, checkpointed, resumable simulation campaigns",
@@ -846,6 +1016,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_status = campaign_sub.add_parser(
         "status", help="shard completion and streaming per-cell aggregates")
     campaign_status.add_argument("--campaign-dir", required=True, metavar="DIR")
+    campaign_status.add_argument("--json", action="store_true",
+                                 help="emit the status as one JSON object "
+                                      "(same exit-code contract)")
     campaign_status.set_defaults(handler=_cmd_campaign_status)
 
     campaign_report = campaign_sub.add_parser(
@@ -856,7 +1029,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument("--check", action="store_true",
                                  help="verify completeness and shard checksums; "
                                       "non-zero exit on any problem")
+    campaign_report.add_argument("--json", action="store_true",
+                                 help="emit the report as one JSON object "
+                                      "(same exit-code contract)")
     campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_profile = campaign_sub.add_parser(
+        "profile",
+        help="phase-level wall-time breakdown per arm from the manifest's "
+             "observability records (campaigns run with REPRO_OBS=on)",
+    )
+    campaign_profile.add_argument("--campaign-dir", required=True, metavar="DIR")
+    campaign_profile.add_argument("--json", action="store_true",
+                                  help="emit the profile as one JSON object")
+    campaign_profile.set_defaults(handler=_cmd_campaign_profile)
 
     campaign_doctor = campaign_sub.add_parser(
         "doctor",

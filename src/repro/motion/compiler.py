@@ -44,6 +44,7 @@ from repro.core.instance import AgentSpec
 from repro.geometry.transforms import frame_matrix
 from repro.geometry.vec import Vec2, add, scale
 from repro.motion.instructions import Instruction, Move, Wait
+from repro.obs import core as _obs
 from repro.util.errors import AlgorithmContractError
 
 
@@ -620,6 +621,7 @@ class IncrementalTableCompiler:
         global _ROWS_COMPILED_TOTAL
         count = self._count
         _ROWS_COMPILED_TOTAL += n - count
+        _obs.add("compiler.rows_compiled", n - count)
         self._ensure_capacity(self._pre + n + 1)
         dx = local.dx[count:n]
         dy = local.dy[count:n]

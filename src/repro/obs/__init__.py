@@ -1,0 +1,55 @@
+"""Zero-overhead observability: spans, counters, traces, phase metrics.
+
+See :mod:`repro.obs.core` for the model (instrument registry, ``REPRO_OBS``
+mode switch frozen at import, the zero-cost-when-off claim),
+:mod:`repro.obs.phases` for the closed phase vocabulary,
+:mod:`repro.obs.trace` for the ``REPRO_TRACE_FILE`` Chrome-trace sink, and
+:mod:`repro.obs.prom` for the ``/metrics`` Prometheus exposition.  Importing
+this package registers every instrument.
+"""
+
+from repro.obs import phases
+from repro.obs import trace
+from repro.obs.core import (
+    MODE_ENV,
+    MODES,
+    Instrument,
+    add,
+    all_instruments,
+    collect,
+    declare_counter,
+    declare_span,
+    enabled,
+    get,
+    instrument_rows,
+    mode,
+    record,
+    reset_counters,
+    resolve_mode,
+    span,
+)
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import TRACE_ENV
+
+__all__ = [
+    "MODE_ENV",
+    "MODES",
+    "TRACE_ENV",
+    "Instrument",
+    "add",
+    "all_instruments",
+    "collect",
+    "declare_counter",
+    "declare_span",
+    "enabled",
+    "get",
+    "instrument_rows",
+    "mode",
+    "phases",
+    "record",
+    "render_prometheus",
+    "reset_counters",
+    "resolve_mode",
+    "span",
+    "trace",
+]

@@ -1,0 +1,138 @@
+"""Prometheus text exposition for the service's ``/metrics`` payload.
+
+Renders the JSON snapshot :meth:`ServiceDaemon.metrics` already produces into
+the text format (version 0.0.4) scrapers expect: ``# TYPE``-headed counter
+and gauge lines covering queue depth, jobs by state, scheduler session
+outcomes, and shard throughput — both the lifetime totals and the
+since-startup window.  Pure function of the payload (missing keys are simply
+omitted), so the HTTP layer stays a one-call content negotiation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The exposition-format content type (Prometheus text format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _number(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def _format(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def sample(
+        self, name: str, kind: str, value: Any, labels: str = "", help_text: str = ""
+    ) -> None:
+        number = _number(value)
+        if number is None:
+            return
+        if help_text:
+            self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+        self.lines.append(f"{name}{labels} {_format(number)}")
+
+    def grouped(self, name: str, kind: str, samples, help_text: str = "") -> None:
+        """One ``# TYPE`` header over several labelled samples."""
+        rows = [
+            (labels, _number(value))
+            for labels, value in samples
+            if _number(value) is not None
+        ]
+        if not rows:
+            return
+        if help_text:
+            self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+        for labels, number in rows:
+            self.lines.append(f"{name}{labels} {_format(number)}")
+
+
+def _shard_block(writer: _Writer, prefix: str, shards: Mapping[str, Any], window: str) -> None:
+    counters = (
+        ("shard_attempts", "shard dispatch attempts"),
+        ("shards_executed", "shards computed and committed"),
+        ("shards_retried", "shard dispatches that were retries"),
+        ("shards_quarantined", "shards moved to the failed/ ledger"),
+        ("rows_computed", "result rows computed"),
+        ("wall_seconds", "shard wall time recorded"),
+    )
+    for key, help_text in counters:
+        writer.sample(
+            f"{prefix}_{key}_total",
+            "counter",
+            shards.get(key),
+            help_text=f"{help_text} ({window})",
+        )
+    writer.sample(
+        f"{prefix}_shards_per_second",
+        "gauge",
+        shards.get("shards_per_second"),
+        help_text=f"executed-shard throughput over recorded wall time ({window})",
+    )
+
+
+def render_prometheus(metrics: Mapping[str, Any]) -> str:
+    """The ``/metrics`` JSON payload as Prometheus text exposition."""
+    writer = _Writer()
+    writer.sample(
+        "repro_service_ready", "gauge", metrics.get("ready"),
+        help_text="1 once startup recovery finished and while not draining",
+    )
+    queue = metrics.get("queue") or {}
+    writer.sample("repro_queue_depth", "gauge", queue.get("depth"),
+                  help_text="unfinished jobs in the durable queue")
+    writer.sample("repro_queue_depth_limit", "gauge", queue.get("depth_limit"),
+                  help_text="backpressure threshold (absent when unbounded)")
+    writer.sample("repro_jobs_total", "gauge", queue.get("jobs_total"),
+                  help_text="jobs ever journaled")
+    by_state = queue.get("jobs_by_state") or {}
+    writer.grouped(
+        "repro_jobs",
+        "gauge",
+        [(f'{{state="{state}"}}', count) for state, count in sorted(by_state.items())],
+        help_text="jobs by journaled state",
+    )
+    writer.sample("repro_job_attempts_total", "counter", queue.get("attempts_total"),
+                  help_text="job dispatch attempts (lifetime)")
+    writer.sample("repro_journal_torn_lines_total", "counter", queue.get("torn_lines"),
+                  help_text="torn journal lines skipped at replay")
+    writer.sample(
+        "repro_journal_invalid_records_total", "counter", queue.get("invalid_records"),
+        help_text="unparseable journal records skipped at replay",
+    )
+    scheduler = metrics.get("scheduler") or {}
+    writer.sample("repro_scheduler_inflight", "gauge", scheduler.get("inflight"),
+                  help_text="campaign runs in flight")
+    writer.sample(
+        "repro_scheduler_jobs_completed_total", "counter",
+        scheduler.get("jobs_completed"),
+        help_text="jobs this scheduler session completed",
+    )
+    writer.sample(
+        "repro_scheduler_jobs_quarantined_total", "counter",
+        scheduler.get("jobs_quarantined"),
+        help_text="jobs this scheduler session quarantined",
+    )
+    shards = metrics.get("shards") or {}
+    if shards:
+        _shard_block(writer, "repro_shards_lifetime", shards, "lifetime, all journaled jobs")
+    session = metrics.get("shards_session") or {}
+    if session:
+        _shard_block(writer, "repro_shards_session", session, "since daemon startup")
+    return "\n".join(writer.lines) + "\n"

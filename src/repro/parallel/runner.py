@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.registry import get_algorithm
 from repro.core.instance import Instance
+from repro.obs import core as _obs
 from repro.sim.batch import simulate_batch
 from repro.sim.batch_asymmetric import simulate_batch_asymmetric
 from repro.sim.engine import RendezvousSimulator
@@ -141,7 +142,8 @@ def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]
         if key != "timebase" and key not in _COLUMN_OPTIONS
     }
     options["backend"] = options.pop("kernel_backend", None)
-    instances = [Instance.from_dict(task.instance) for task in tasks]
+    with _obs.span("campaign.sample"):
+        instances = [Instance.from_dict(task.instance) for task in tasks]
     algorithm = get_algorithm(tasks[0].algorithm)
     # Stack the scenario column options into per-instance arrays (a task
     # without a value gets the neutral default, like an unset radius).
@@ -178,21 +180,22 @@ def _execute_vectorized_group(tasks: Sequence[BatchTask]) -> List[Dict[str, Any]
     else:
         outcomes = None
         results = simulate_batch(instances, algorithm, **options)
-    records = []
-    for k, (task, result) in enumerate(zip(tasks, results)):
-        record = result.as_record()
-        record["tag"] = task.tag
-        if outcomes is not None:
-            # Surface the asymmetric engine's freeze event; the campaign
-            # store and the Section 5 sweep aggregate these columns.  The
-            # event-engine fallback has no record-level freeze channel, so
-            # the keys mark the difference between "did not freeze" and
-            # "not recorded".
-            record["frozen_agent"] = outcomes[k].frozen_agent
-            record["freeze_time"] = outcomes[k].freeze_time
-            record["freeze_distance"] = outcomes[k].freeze_distance
-        records.append(record)
-    return records
+    with _obs.span("campaign.collate"):
+        records = []
+        for k, (task, result) in enumerate(zip(tasks, results)):
+            record = result.as_record()
+            record["tag"] = task.tag
+            if outcomes is not None:
+                # Surface the asymmetric engine's freeze event; the campaign
+                # store and the Section 5 sweep aggregate these columns.  The
+                # event-engine fallback has no record-level freeze channel, so
+                # the keys mark the difference between "did not freeze" and
+                # "not recorded".
+                record["frozen_agent"] = outcomes[k].frozen_agent
+                record["freeze_time"] = outcomes[k].freeze_time
+                record["freeze_distance"] = outcomes[k].freeze_distance
+            records.append(record)
+        return records
 
 
 @dataclass

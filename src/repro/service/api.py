@@ -16,7 +16,11 @@ Endpoints (all JSON)::
     GET  /metrics                        operational counters: queue depth,
                                          jobs by state, aggregate shard
                                          attempts / retries / quarantines,
-                                         shard throughput
+                                         shard throughput (lifetime and
+                                         since-startup windows); JSON by
+                                         default, Prometheus text exposition
+                                         with ``?format=prometheus`` or an
+                                         ``Accept: text/plain`` header
     GET  /healthz                        process liveness (always 200)
     GET  /readyz                         200 only after startup recovery
                                          finished and while not draining
@@ -37,8 +41,10 @@ import json
 import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.obs import prom
 from repro.service.queue import QueueFull, ServiceError
 from repro.util.logging import get_logger, log_event
 
@@ -85,8 +91,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, body: str, content_type: str) -> None:
+        encoded = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _error(self, code: int, message: str) -> None:
         self._send_json(code, {"error": message})
+
+    def _wants_prometheus(self, query: Dict[str, Any]) -> bool:
+        formats = query.get("format")
+        if formats:
+            return formats[-1] == "prometheus"
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept and "application/json" not in accept
 
     # -- routes ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
@@ -124,8 +146,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(201 if created else 200, payload)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/") or "/"
+        if path == "/metrics" and self._wants_prometheus(parse_qs(url.query)):
+            try:
+                body = prom.render_prometheus(self.service.metrics())
+            except ServiceError as error:
+                self._send_json(500, {"error": str(error)})
+                return
+            self._send_text(200, body, prom.CONTENT_TYPE)
+            return
         try:
-            code, payload = self._route_get(self.path.rstrip("/") or "/")
+            code, payload = self._route_get(path)
         except ServiceError as error:
             code, payload = 500, {"error": str(error)}
         self._send_json(code, payload)

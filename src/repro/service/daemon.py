@@ -173,6 +173,13 @@ class ServiceDaemon:
         retries, quarantines, computed rows, wall time) into one JSON-ready
         snapshot.  ``shards_per_second`` is the aggregate executed-shard
         throughput over recorded wall time — None until any job has stats.
+
+        ``shards`` sums *every* journaled job's stats, so it grows without
+        bound across daemon sessions — useful as a lifetime odometer, useless
+        for "what is the service doing now".  ``shards_session`` is the same
+        shape restricted to campaigns run by this scheduler session (anchored
+        to the scheduler's in-memory counters, zeroed at daemon startup), so
+        dashboards can rate-limit on a window that decays with restarts.
         """
         jobs = self.queue.jobs()
         by_state: Dict[str, int] = {}
@@ -197,6 +204,13 @@ class ServiceDaemon:
         throughput = (
             round(shard_totals["shards_executed"] / wall, 3) if wall > 0 else None
         )
+        session = self.scheduler.session_window()
+        session_wall = session["wall_seconds"]
+        session_throughput = (
+            round(session["shards_executed"] / session_wall, 3)
+            if session_wall > 0
+            else None
+        )
         return {
             "ready": self.is_ready(),
             "queue": {
@@ -214,6 +228,7 @@ class ServiceDaemon:
                 "jobs_quarantined": self.scheduler.jobs_quarantined,
             },
             "shards": dict(shard_totals, shards_per_second=throughput),
+            "shards_session": dict(session, shards_per_second=session_throughput),
         }
 
     # -- startup recovery ----------------------------------------------------------

@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.campaign.spec import CampaignSpec
 from repro.contracts import core as _contracts
 from repro.contracts.invariants import QUEUE_DIGEST_DEDUP, QUEUE_JOURNAL_MONOTONIC
+from repro.obs import core as _obs
 from repro.util.errors import ReproError
 
 __all__ = [
@@ -178,16 +179,17 @@ class JobQueue:
         from repro.campaign.store import _missing_trailing_newline
 
         record = dict(record, ts=_utc_now())
-        with open(self.journal_path, "a") as handle:
-            # Isolate a newline-less torn tail (crash mid-append) so this
-            # record never merges into the fragment — see the same guard on
-            # the campaign manifest.
-            if _missing_trailing_newline(self.journal_path):
-                handle.write("\n")
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            self._crash_point("journal-pre-fsync")
-            os.fsync(handle.fileno())
+        with _obs.span("service.queue_append"):
+            with open(self.journal_path, "a") as handle:
+                # Isolate a newline-less torn tail (crash mid-append) so this
+                # record never merges into the fragment — see the same guard on
+                # the campaign manifest.
+                if _missing_trailing_newline(self.journal_path):
+                    handle.write("\n")
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                self._crash_point("journal-pre-fsync")
+                os.fsync(handle.fileno())
 
     def journal_records(self) -> List[Dict[str, Any]]:
         """All parseable journal records in append order (torn lines skipped)."""
@@ -214,18 +216,19 @@ class JobQueue:
         return records
 
     def _replay(self) -> None:
-        self.torn_lines = 0
-        self.invalid_records = 0
-        for record in self.journal_records():
-            event = record.get("event")
-            if event == "daemon-start":
-                self.clean_shutdown = False
-            elif event == "daemon-shutdown":
-                self.clean_shutdown = True
-            elif event == "job":
-                self._replay_job(record)
-            else:
-                self.invalid_records += 1
+        with _obs.span("service.queue_replay"):
+            self.torn_lines = 0
+            self.invalid_records = 0
+            for record in self.journal_records():
+                event = record.get("event")
+                if event == "daemon-start":
+                    self.clean_shutdown = False
+                elif event == "daemon-shutdown":
+                    self.clean_shutdown = True
+                elif event == "job":
+                    self._replay_job(record)
+                else:
+                    self.invalid_records += 1
 
     def _replay_job(self, record: Dict[str, Any]) -> None:
         digest = record.get("digest")

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.campaign.executor import retry_delay
 from repro.campaign.orchestrator import run_campaign
+from repro.obs import core as _obs
 from repro.service.queue import Job, JobQueue, ServiceError
 from repro.util.logging import get_logger, log_event
 
@@ -85,6 +86,19 @@ class Scheduler:
         #: and the daemon's idle detection.
         self.jobs_completed = 0
         self.jobs_quarantined = 0
+        #: Shard work done by *this* scheduler session (since construction),
+        #: accumulated from each run's stats under the lock.  The daemon's
+        #: ``/metrics`` reports these as the since-startup window next to the
+        #: lifetime totals summed from the journal, which otherwise grow
+        #: without bound across sessions and drown recent throughput.
+        self.session_shard_totals: Dict[str, float] = {
+            "shard_attempts": 0,
+            "shards_executed": 0,
+            "shards_retried": 0,
+            "shards_quarantined": 0,
+            "rows_computed": 0,
+            "wall_seconds": 0.0,
+        }
 
     # -- introspection -----------------------------------------------------------
     def stopping(self) -> bool:
@@ -169,15 +183,17 @@ class Scheduler:
             log_event(
                 logger, logging.INFO, "job dispatched",
                 digest=digest, attempt=attempt, state="running",
-                worker_pid=os.getpid(),
+                worker_pid=os.getpid(), trace_id=digest,
             )
-            stats = run_campaign(
-                self.queue.store_path(digest),
-                job.spec(),
-                progress=self._progress(digest, attempt),
-                should_stop=self._stop.is_set,
-                **self.campaign_options,
-            )
+            with _obs.span("service.dispatch", digest=digest[:16]):
+                stats = run_campaign(
+                    self.queue.store_path(digest),
+                    job.spec(),
+                    progress=self._progress(digest, attempt),
+                    should_stop=self._stop.is_set,
+                    **self.campaign_options,
+                )
+            self._accumulate_session(stats)
             if stats.complete:
                 self.queue.mark_complete(digest, stats=stats.as_dict())
                 self.jobs_completed += 1
@@ -237,6 +253,21 @@ class Scheduler:
         finally:
             with self._lock:
                 self._inflight.pop(digest, None)
+
+    def _accumulate_session(self, stats) -> None:
+        with self._lock:
+            totals = self.session_shard_totals
+            totals["shard_attempts"] += stats.shard_attempts
+            totals["shards_executed"] += stats.shards_executed
+            totals["shards_retried"] += stats.shards_retried
+            totals["shards_quarantined"] += stats.shards_quarantined
+            totals["rows_computed"] += stats.rows_computed
+            totals["wall_seconds"] += stats.wall_seconds
+
+    def session_window(self) -> Dict[str, float]:
+        """A snapshot of this session's shard totals (see ``__init__``)."""
+        with self._lock:
+            return dict(self.session_shard_totals)
 
     def _progress(self, digest: str, attempt: int):
         def emit(line: str) -> None:

@@ -67,6 +67,7 @@ import numpy as np
 
 from repro.contracts import core as _contracts
 from repro.contracts.invariants import check_result
+from repro.obs import core as _obs
 from repro.core.instance import Instance
 from repro.geometry.backends import get_backend, resolve_kernel_threads
 from repro.sim.columns import (
@@ -212,25 +213,26 @@ def simulate_batch(
         return []
 
     wall_start = _time.perf_counter()
-    source = ProgramSource(algorithm, max_segments)
-    name = _algorithm_name(algorithm)
-    speeds_a = per_instance_option(speed_a, len(instances), "speed_a")
-    speeds_b = per_instance_option(speed_b, len(instances), "speed_b")
-    specs = [
-        scaled_agents(instance, sa, sb)
-        for instance, sa, sb in zip(instances, speeds_a.tolist(), speeds_b.tolist())
-    ]
-    stall = stall_arrays(stall_agent, stall_time, stall_duration, len(instances))
-    stall_memo = StallTransform() if stall is not None else None
-    radii = np.array([instance.r for instance in instances]) + radius_slack
-
-    cols = ResultColumns(len(instances))
-    if initial_horizon is None:
-        cols.horizon[:] = [
-            default_initial_horizon(instance, max_time) for instance in instances
+    with _obs.span("engine.compile"):
+        source = ProgramSource(algorithm, max_segments)
+        name = _algorithm_name(algorithm)
+        speeds_a = per_instance_option(speed_a, len(instances), "speed_a")
+        speeds_b = per_instance_option(speed_b, len(instances), "speed_b")
+        specs = [
+            scaled_agents(instance, sa, sb)
+            for instance, sa, sb in zip(instances, speeds_a.tolist(), speeds_b.tolist())
         ]
-    else:
-        cols.horizon[:] = min(initial_horizon, max_time)
+        stall = stall_arrays(stall_agent, stall_time, stall_duration, len(instances))
+        stall_memo = StallTransform() if stall is not None else None
+        radii = np.array([instance.r for instance in instances]) + radius_slack
+
+        cols = ResultColumns(len(instances))
+        if initial_horizon is None:
+            cols.horizon[:] = [
+                default_initial_horizon(instance, max_time) for instance in instances
+            ]
+        else:
+            cols.horizon[:] = min(initial_horizon, max_time)
     pending = np.arange(len(instances), dtype=np.int64)
     total_windows = 0
     round_number = 0
@@ -253,141 +255,146 @@ def simulate_batch(
                     table_b = stall_memo.apply(table_b, times[idx], durations[idx])
             return table_a, table_b
 
-        entries = [
-            RoundEntry(
-                idx,
-                instances[idx],
-                *entry_tables(idx, horizon),
-                horizon,
-                scan_from,
-                max_segments,
-                max_time,
+        with _obs.span("engine.compile"):
+            entries = [
+                RoundEntry(
+                    idx,
+                    instances[idx],
+                    *entry_tables(idx, horizon),
+                    horizon,
+                    scan_from,
+                    max_segments,
+                    max_time,
+                )
+                for idx, horizon, scan_from in zip(pending_list, horizon_list, scan_list)
+            ]
+        with _obs.span("engine.build_windows"):
+            windows = build_windows(entries)
+            radius = np.repeat(radii[pending], windows.counts)
+        with _obs.span("engine.kernel_solve", backend=kernel.name, threads=threads):
+            solution = solve_round(
+                windows,
+                radius,
+                track_min_distance=track_min_distance,
+                backend=kernel,
+                threads=threads,
             )
-            for idx, horizon, scan_from in zip(pending_list, horizon_list, scan_list)
-        ]
-        windows = build_windows(entries)
-        radius = np.repeat(radii[pending], windows.counts)
-        solution = solve_round(
-            windows,
-            radius,
-            track_min_distance=track_min_distance,
-            backend=kernel,
-            threads=threads,
-        )
         total_windows += len(windows)
 
-        offsets = windows.offsets
-        lo = offsets[:-1]
-        hi = offsets[1:]
-        first_hit = solution.first_hit
-        met = first_hit < hi
+        with _obs.span("engine.assemble"):
+            offsets = windows.offsets
+            lo = offsets[:-1]
+            hi = offsets[1:]
+            first_hit = solution.first_hit
+            met = first_hit < hi
 
-        if track_min_distance:
-            # Earlier rounds take precedence on ties, mirroring the event
-            # engine's first-window-wins rule.  The matching is best-effort:
-            # on near-equal minima, ulp-level differences between the engines
-            # can pick a different (equally minimal) window.
-            cols.fold_round_min(pending, solution.group_min, solution.min_time)
+            if track_min_distance:
+                # Earlier rounds take precedence on ties, mirroring the event
+                # engine's first-window-wins rule.  The matching is best-effort:
+                # on near-equal minima, ulp-level differences between the engines
+                # can pick a different (equally minimal) window.
+                cols.fold_round_min(pending, solution.group_min, solution.min_time)
 
-        # Round classification: the mask form of RoundEntry.resolves_without_hit.
-        budget_limited, entry_horizon, finish = entry_state_arrays(entries)
-        finished_within = finish <= entry_horizon
-        unresolved = (
-            ~met
-            & ~budget_limited
-            & ~finished_within
-            & (entry_horizon < max_time)
-        )
-        terminal = ~met & ~unresolved
-
-        if np.any(unresolved):
-            grow = pending[unresolved]
-            cols.horizon[grow] = np.minimum(
-                cols.horizon[grow] * GROWTH_FACTOR, max_time
+            # Round classification: the mask form of RoundEntry.resolves_without_hit.
+            budget_limited, entry_horizon, finish = entry_state_arrays(entries)
+            finished_within = finish <= entry_horizon
+            unresolved = (
+                ~met
+                & ~budget_limited
+                & ~finished_within
+                & (entry_horizon < max_time)
             )
-            # The final window was cut at the horizon; the next round re-scans
-            # it from its start, at full length.
-            cols.scan_from[grow] = windows.starts[hi[unresolved] - 1]
-            cols.windows_before[grow] += (hi - lo)[unresolved] - 1
+            terminal = ~met & ~unresolved
 
-        if np.any(terminal):
-            rows = pending[terminal]
-            code = np.full(rows.shape[0], _CODE_MAX_TIME, dtype=np.int8)
-            code[budget_limited[terminal]] = _CODE_MAX_SEGMENTS
-            code[
-                ~budget_limited[terminal]
-                & finished_within[terminal]
-                & (finish[terminal] < max_time)
-            ] = _CODE_PROGRAMS_FINISHED
-            cols.termination[rows] = code
-            cols.windows_processed[rows] = (
-                cols.windows_before[rows] + (hi - lo)[terminal]
-            )
-            # The event loop reports the capped horizon on a budget stop and
-            # the full time budget otherwise.
-            cols.simulated_time[rows] = np.where(
-                budget_limited[terminal], entry_horizon[terminal], max_time
-            )
+            if np.any(unresolved):
+                grow = pending[unresolved]
+                cols.horizon[grow] = np.minimum(
+                    cols.horizon[grow] * GROWTH_FACTOR, max_time
+                )
+                # The final window was cut at the horizon; the next round re-scans
+                # it from its start, at full length.
+                cols.scan_from[grow] = windows.starts[hi[unresolved] - 1]
+                cols.windows_before[grow] += (hi - lo)[unresolved] - 1
 
-        if np.any(met):
-            rows = pending[met]
-            hit_index = first_hit[met]
-            offset = solution.hit_offset[met]
-            start = windows.starts[hit_index]
-            meeting_time = start + offset
-            pax, pay, vax, vay, pbx, pby, vbx, vby = (
-                column[hit_index] for column in windows.states
-            )
-            cols.met[rows] = True
-            cols.termination[rows] = _CODE_RENDEZVOUS
-            cols.meeting_time[rows] = meeting_time
-            cols.meet_ax[rows] = pax + vax * offset
-            cols.meet_ay[rows] = pay + vay * offset
-            cols.meet_bx[rows] = pbx + vbx * offset
-            cols.meet_by[rows] = pby + vby * offset
-            cols.simulated_time[rows] = meeting_time
-            cols.windows_processed[rows] = (
-                cols.windows_before[rows] + (hit_index - lo[met]) + 1
-            )
+            if np.any(terminal):
+                rows = pending[terminal]
+                code = np.full(rows.shape[0], _CODE_MAX_TIME, dtype=np.int8)
+                code[budget_limited[terminal]] = _CODE_MAX_SEGMENTS
+                code[
+                    ~budget_limited[terminal]
+                    & finished_within[terminal]
+                    & (finish[terminal] < max_time)
+                ] = _CODE_PROGRAMS_FINISHED
+                cols.termination[rows] = code
+                cols.windows_processed[rows] = (
+                    cols.windows_before[rows] + (hi - lo)[terminal]
+                )
+                # The event loop reports the capped horizon on a budget stop and
+                # the full time budget otherwise.
+                cols.simulated_time[rows] = np.where(
+                    budget_limited[terminal], entry_horizon[terminal], max_time
+                )
 
-        # Per-resolved-instance residue (runs once per instance per batch):
-        # segment-cursor counts up to the stopping point, and the event
-        # engine's full-length rescan of a meeting window that was cut at the
-        # adaptive horizon rather than at a segment boundary.
-        resolved_positions = np.nonzero(met | terminal)[0]
-        if resolved_positions.size:
-            met_list = met.tolist()
-            for k in resolved_positions.tolist():
-                entry = entries[k]
-                if met_list[k]:
-                    segments_until = float(windows.starts[first_hit[k]])
-                    if (
-                        track_min_distance
-                        and first_hit[k] == hi[k] - 1
-                        and not entry.budget_limited
-                    ):
-                        full_window = full_final_window_min(
-                            entry, windows, int(first_hit[k]), max_time
-                        )
-                        if full_window is not None:
-                            cols.improve_min(entry.index, *full_window)
-                else:
-                    segments_until = entry.horizon
-                segments_a, segments_b = entry.segments_in_play(segments_until)
-                cols.segments_a[entry.index] = segments_a
-                cols.segments_b[entry.index] = segments_b
+            if np.any(met):
+                rows = pending[met]
+                hit_index = first_hit[met]
+                offset = solution.hit_offset[met]
+                start = windows.starts[hit_index]
+                meeting_time = start + offset
+                pax, pay, vax, vay, pbx, pby, vbx, vby = (
+                    column[hit_index] for column in windows.states
+                )
+                cols.met[rows] = True
+                cols.termination[rows] = _CODE_RENDEZVOUS
+                cols.meeting_time[rows] = meeting_time
+                cols.meet_ax[rows] = pax + vax * offset
+                cols.meet_ay[rows] = pay + vay * offset
+                cols.meet_bx[rows] = pbx + vbx * offset
+                cols.meet_by[rows] = pby + vby * offset
+                cols.simulated_time[rows] = meeting_time
+                cols.windows_processed[rows] = (
+                    cols.windows_before[rows] + (hit_index - lo[met]) + 1
+                )
 
-        pending = pending[unresolved]
+            # Per-resolved-instance residue (runs once per instance per batch):
+            # segment-cursor counts up to the stopping point, and the event
+            # engine's full-length rescan of a meeting window that was cut at the
+            # adaptive horizon rather than at a segment boundary.
+            resolved_positions = np.nonzero(met | terminal)[0]
+            if resolved_positions.size:
+                met_list = met.tolist()
+                for k in resolved_positions.tolist():
+                    entry = entries[k]
+                    if met_list[k]:
+                        segments_until = float(windows.starts[first_hit[k]])
+                        if (
+                            track_min_distance
+                            and first_hit[k] == hi[k] - 1
+                            and not entry.budget_limited
+                        ):
+                            full_window = full_final_window_min(
+                                entry, windows, int(first_hit[k]), max_time
+                            )
+                            if full_window is not None:
+                                cols.improve_min(entry.index, *full_window)
+                    else:
+                        segments_until = entry.horizon
+                    segments_a, segments_b = entry.segments_in_play(segments_until)
+                    cols.segments_a[entry.index] = segments_a
+                    cols.segments_b[entry.index] = segments_b
+
+            pending = pending[unresolved]
 
     trim_builder_cache()
     trim_compiler_cache()
     elapsed = _time.perf_counter() - wall_start
-    results = cols.build_results(
-        instances, name, elapsed_wall_seconds=elapsed / max(len(instances), 1)
-    )
-    if _contracts.enabled():
-        for result in results:
-            check_result(result, max_time=max_time)
+    with _obs.span("engine.assemble"):
+        results = cols.build_results(
+            instances, name, elapsed_wall_seconds=elapsed / max(len(instances), 1)
+        )
+        if _contracts.enabled():
+            for result in results:
+                check_result(result, max_time=max_time)
 
     logger.debug(
         "simulate_batch: %d instances, %d windows over %d rounds, %.3fs",

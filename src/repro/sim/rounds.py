@@ -66,6 +66,7 @@ from repro.motion.compiler import (
     LocalProgramBuilder,
     TrajectoryTable,
 )
+from repro.obs import core as _obs
 from repro.sim.engine import _resolve_program
 from repro.sim.results import TerminationReason
 
@@ -117,6 +118,7 @@ def _trim_builder_cache() -> None:
         or sum(len(b) for b in _BUILDER_CACHE.values()) > _BUILDER_CACHE_ROW_LIMIT
     ):
         del _BUILDER_CACHE[next(iter(_BUILDER_CACHE))]
+        _obs.add("builder_cache.evictions")
 
 
 def trim_builder_cache() -> None:
@@ -156,6 +158,7 @@ def _trim_compiler_cache() -> None:
         > _COMPILER_CACHE_ROW_LIMIT
     ):
         del _COMPILER_CACHE[next(iter(_COMPILER_CACHE))]
+        _obs.add("compiler_cache.evictions")
 
 
 def trim_compiler_cache() -> None:
@@ -298,7 +301,10 @@ class ProgramSource:
                 global_key = (self._cache_key, spec)
                 compiler = _COMPILER_CACHE.pop(global_key, None)
                 if compiler is None:
+                    _obs.add("compiler_cache.misses")
                     compiler = IncrementalTableCompiler(spec)
+                else:
+                    _obs.add("compiler_cache.hits")
                 # (Re-)insert at the back: dict order is the LRU order.  The
                 # run keeps its direct reference either way; eviction only
                 # means the cross-call cache declines to retain the entry.
@@ -309,6 +315,7 @@ class ProgramSource:
                 _COMPILER_CACHE[global_key] = compiler
                 while len(_COMPILER_CACHE) > _COMPILER_CACHE_LIMIT:
                     del _COMPILER_CACHE[next(iter(_COMPILER_CACHE))]
+                    _obs.add("compiler_cache.evictions")
             else:
                 compiler = IncrementalTableCompiler(spec)
             self._compilers[compiler_key] = compiler
@@ -466,10 +473,19 @@ class RoundEntry:
                 horizon = cutoff
                 self.budget_limited = True
         # Safety net: coverage falling short of the horizon (a table truncated
-        # by its per-agent overshoot cap) is also a budget stop.
+        # by its per-agent overshoot cap) is also a budget stop.  Coverage is
+        # requested in *local* time (horizon / clock_rate) and the table's end
+        # maps back through the same factor, so for clock rates != 1 the end
+        # can land an ulp short of the horizon it fully covers — only a
+        # macroscopic shortfall (at least a whole segment) means truncation.
         for table in (table_a, table_b):
-            if not table.exhausted and table.end_time < horizon:
-                horizon = table.end_time
+            end = table.end_time
+            if (
+                not table.exhausted
+                and end < horizon
+                and not math.isclose(end, horizon, rel_tol=1e-9, abs_tol=1e-9)
+            ):
+                horizon = end
                 self.budget_limited = True
         self.horizon = max(horizon, 0.0)
 

@@ -92,7 +92,13 @@ def json_log_handler(stream: Optional[TextIO] = None) -> logging.Handler:
 
 
 def log_event(
-    logger: logging.Logger, level: int, message: str, **fields: Any
+    logger: logging.Logger,
+    level: int,
+    message: str,
+    *,
+    span: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    **fields: Any,
 ) -> None:
     """Log ``message`` with structured ``fields`` attached via ``extra=``.
 
@@ -100,7 +106,16 @@ def log_event(
     (``{"message": "shard complete", "digest": ..., "shard_id": ...}``);
     under plain formatters they are simply carried on the record.  ``None``
     values are dropped so absent context never becomes ``"null"`` noise.
+
+    ``span`` and ``trace_id`` are first-class correlation fields: call sites
+    instrumented with :mod:`repro.obs` pass the active phase id as ``span``
+    and a request/job key (the service uses the campaign digest) as
+    ``trace_id``, so a log line can be matched to its span in a merged
+    ``REPRO_TRACE_FILE`` timeline.  Both default to None and are dropped like
+    any other absent field — existing call sites are unchanged.
     """
+    fields["span"] = span
+    fields["trace_id"] = trace_id
     logger.log(
         level, message, extra={k: v for k, v in fields.items() if v is not None}
     )

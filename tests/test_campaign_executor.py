@@ -411,3 +411,36 @@ class TestConcurrentRunners:
         # ...yet the campaign finished, byte-identical to the reference.
         assert stats.complete
         identical_stores(directory, sequential_reference)
+
+
+class TestWorkerPhaseObservability:
+    """REPRO_OBS=on in the pool: workers measure, the parent just commits.
+
+    Spawned workers re-resolve the mode from the inherited environment, time
+    their own IPC (two-message protocol: pickled columns, then metadata with
+    the phase dict), and the parent — still off-mode itself — dispatches on
+    the message tag and writes whatever phases arrive into the manifest.
+    """
+
+    def test_pool_ships_phases_and_ipc_bytes(
+        self, tmp_path, monkeypatch, sequential_reference
+    ):
+        from repro.obs.phases import IPC_BYTES_KEY, IPC_PHASES, WALL_PHASES
+
+        monkeypatch.setenv("REPRO_OBS", "on")
+        directory = tmp_path / "camp"
+        stats = run_campaign(str(directory), make_spec(), workers=2)
+        assert stats.complete
+        records = CampaignStore(str(directory)).completed()
+        assert records
+        allowed = set(WALL_PHASES) | set(IPC_PHASES) | {IPC_BYTES_KEY}
+        for record in records.values():
+            phases = record["phases"]
+            assert set(phases) <= allowed
+            assert phases[IPC_BYTES_KEY] > 0
+            for key in IPC_PHASES:
+                assert phases[key] >= 0.0
+            attributed = sum(phases.get(key, 0.0) for key in WALL_PHASES)
+            assert 0.0 < attributed <= record["wall_seconds"] + 1e-6
+        # Instrumentation must not perturb the computation itself.
+        identical_stores(directory, sequential_reference)

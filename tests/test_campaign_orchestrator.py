@@ -268,3 +268,45 @@ class TestFreezeHeavyExactCrossCheck:
         md_f, md_e = columns["min_distance"][float_arm], columns["min_distance"][exact_arm]
         finite = np.isfinite(md_f) & np.isfinite(md_e)
         assert np.allclose(md_f[finite], md_e[finite], rtol=1e-9, atol=1e-12)
+
+
+class TestPhaseObservability:
+    """REPRO_OBS=on: manifests gain phase slices; results must not change."""
+
+    def test_inline_run_records_wall_phase_slices(self, tmp_path):
+        from repro.obs.core import _override_mode
+        from repro.obs.phases import WALL_PHASES
+
+        directory = str(tmp_path / "camp")
+        with _override_mode("on"):
+            stats = run_campaign(directory, make_spec())
+        assert stats.complete
+        records = CampaignStore(directory).completed()
+        assert records
+        for record in records.values():
+            phases = record["phases"]
+            # The inline loop collects only the wall-window leaves — the
+            # umbrella span and lease/store_write stay out of the bucket.
+            assert set(phases) <= set(WALL_PHASES)
+            assert "engine.kernel_solve" in phases
+            attributed = sum(phases.get(key, 0.0) for key in WALL_PHASES)
+            assert 0.0 < attributed <= record["wall_seconds"] + 1e-6
+
+    def test_instrumented_store_is_byte_identical_to_off(self, tmp_path):
+        from repro.obs.core import _override_mode
+
+        plain, traced = str(tmp_path / "off"), str(tmp_path / "on")
+        with _override_mode("off"):
+            run_campaign(plain, make_spec())
+        with _override_mode("on"):
+            run_campaign(traced, make_spec())
+        identical_stores(plain, traced)
+
+    def test_off_mode_manifest_carries_no_phases(self, tmp_path):
+        from repro.obs.core import _override_mode
+
+        directory = str(tmp_path / "camp")
+        with _override_mode("off"):
+            run_campaign(directory, make_spec())
+        for record in CampaignStore(directory).completed().values():
+            assert "phases" not in record

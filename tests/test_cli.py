@@ -478,3 +478,111 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         assert "leases            : 0 active, 0 stale" in out
         assert "quarantined" not in out  # nothing quarantined, line suppressed
+
+
+class TestCampaignJsonViews:
+    """--json on status/report: machine-readable payloads, same exit codes."""
+
+    def _run_args(self, directory, extra=()):
+        return [
+            "campaign", "run", "--campaign-dir", str(directory),
+            "--name", "cli-json", "--algorithm", "almost-universal-compact",
+            "--classes", "type-1", "--instances-per-cell", "4",
+            "--shard-size", "2", "--seed", "5",
+            "--max-time", "1e6", "--max-segments", "30000",
+            *extra,
+        ]
+
+    def test_status_json_complete_and_partial(self, tmp_path, capsys):
+        import json
+
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory, ["--max-shards", "1"])) == 3
+        capsys.readouterr()
+        code = main([
+            "campaign", "status", "--campaign-dir", str(directory), "--json",
+        ])
+        partial = json.loads(capsys.readouterr().out)
+        assert code == 3
+        assert partial["shards_complete"] == 1
+        assert partial["shards_complete"] < partial["shards_total"]
+        assert main(["campaign", "resume", "--campaign-dir", str(directory)]) == 0
+        capsys.readouterr()
+        code = main([
+            "campaign", "status", "--campaign-dir", str(directory), "--json",
+        ])
+        complete = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert complete["shards_complete"] == complete["shards_total"]
+
+    def test_report_json_check_payload(self, tmp_path, capsys):
+        import json
+
+        directory = tmp_path / "camp"
+        assert main(self._run_args(directory)) == 0
+        capsys.readouterr()
+        code = main([
+            "campaign", "report", "--campaign-dir", str(directory),
+            "--check", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["complete"] is True
+        assert payload["checked"] is True
+        assert payload["name"] == "cli-json"
+
+
+class TestObservabilityCommands:
+    """`campaign profile` and `obs list`: the consumption side of the spans."""
+
+    def _run_args(self, directory, extra=()):
+        return [
+            "campaign", "run", "--campaign-dir", str(directory),
+            "--name", "cli-obs", "--algorithm", "almost-universal-compact",
+            "--classes", "type-1", "--instances-per-cell", "4",
+            "--shard-size", "2", "--seed", "5",
+            "--max-time", "1e6", "--max-segments", "30000",
+            *extra,
+        ]
+
+    def test_profile_without_phases_exits_incomplete(self, tmp_path, capsys):
+        from repro.obs.core import _override_mode
+
+        directory = tmp_path / "camp"
+        with _override_mode("off"):
+            assert main(self._run_args(directory)) == 0
+        capsys.readouterr()
+        code = main(["campaign", "profile", "--campaign-dir", str(directory)])
+        assert code == 3
+        assert "REPRO_OBS" in capsys.readouterr().err
+
+    def test_profile_reports_phase_table_and_attribution(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.core import _override_mode
+
+        directory = tmp_path / "camp"
+        with _override_mode("on"):
+            assert main(self._run_args(directory)) == 0
+        capsys.readouterr()
+        code = main(["campaign", "profile", "--campaign-dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine.kernel_solve" in out
+        assert "% of wall time" in out
+        code = main([
+            "campaign", "profile", "--campaign-dir", str(directory), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["shards_profiled"] == payload["shards_total"] > 0
+        (arm,) = payload["arms"].values()
+        assert arm["attribution"] > 0.5
+        assert "engine.kernel_solve" in arm["phases"]
+
+    def test_obs_list_prints_the_vocabulary(self, capsys):
+        assert main(["obs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.kernel_solve" in out
+        assert "ipc.bytes" in out
+        assert "REPRO_OBS" in out

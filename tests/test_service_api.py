@@ -100,6 +100,22 @@ def get(url):
         return error.code, json.loads(error.read())
 
 
+def get_raw(url, accept=None):
+    """GET without assuming JSON: returns (status, content-type, body text)."""
+    request = urllib.request.Request(url)
+    if accept is not None:
+        request.add_header("Accept", accept)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode(),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type", ""), error.read().decode()
+
+
 def post(url, body, content_length=None):
     if isinstance(body, (dict, list)):
         body = json.dumps(body).encode()
@@ -220,3 +236,53 @@ class TestViews:
     def test_unknown_get_is_404(self, base_url):
         assert get(f"{base_url}/nope")[0] == 404
         assert get(f"{base_url}/campaigns/x/unknown-view")[0] == 404
+
+
+class TestMetricsExposition:
+    """Content negotiation on /metrics: JSON default, Prometheus on request."""
+
+    PAYLOAD = {
+        "ready": True,
+        "queue": {"depth": 3, "jobs_total": 5,
+                  "jobs_by_state": {"running": 1, "submitted": 2}},
+        "scheduler": {"inflight": 1},
+        "shards": {"shards_executed": 7, "wall_seconds": 2.0,
+                   "shards_per_second": 3.5},
+        "shards_session": {"shards_executed": 2, "wall_seconds": 0.5,
+                           "shards_per_second": 4.0},
+    }
+
+    def test_query_parameter_selects_prometheus(self, base_url, service):
+        service.metrics_payload = self.PAYLOAD
+        code, content_type, body = get_raw(f"{base_url}/metrics?format=prometheus")
+        assert code == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_queue_depth gauge" in body
+        assert "repro_queue_depth 3" in body
+        assert 'repro_jobs{state="running"} 1' in body
+        assert "# TYPE repro_shards_lifetime_shards_executed_total counter" in body
+        assert "repro_shards_session_shards_per_second 4" in body
+
+    def test_accept_header_selects_prometheus(self, base_url, service):
+        service.metrics_payload = self.PAYLOAD
+        code, content_type, body = get_raw(
+            f"{base_url}/metrics", accept="text/plain"
+        )
+        assert code == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_service_ready gauge" in body
+
+    def test_json_accept_keeps_the_json_default(self, base_url, service):
+        service.metrics_payload = self.PAYLOAD
+        code, content_type, body = get_raw(
+            f"{base_url}/metrics", accept="application/json, text/plain"
+        )
+        assert code == 200
+        assert content_type.startswith("application/json")
+        assert json.loads(body) == self.PAYLOAD
+
+    def test_default_remains_json(self, base_url, service):
+        service.metrics_payload = self.PAYLOAD
+        code, payload = get(f"{base_url}/metrics")
+        assert code == 200
+        assert payload == self.PAYLOAD

@@ -131,6 +131,31 @@ class TestLifecycle:
         assert metrics["shards"]["rows_computed"] == 6
         assert metrics["shards"]["shards_per_second"] > 0
 
+    def test_session_shard_window_resets_on_restart(self, tmp_path, daemon):
+        daemon.start()
+        job, _ = daemon.submit(make_spec())
+        assert wait_for(lambda: daemon.queue.job(job.digest).state == "complete")
+        metrics = daemon.metrics()
+        # First session: this scheduler executed everything, so the
+        # since-startup window matches the lifetime totals.
+        assert metrics["shards_session"]["shards_executed"] == 3
+        assert metrics["shards_session"]["rows_computed"] == 6
+        assert metrics["shards_session"]["shards_per_second"] > 0
+        daemon.stop(timeout=60)
+
+        successor = ServiceDaemon(tmp_path)
+        try:
+            successor.start()
+            assert wait_for(successor.is_ready)
+            fresh = successor.metrics()
+            # Lifetime totals replay from the journal; the session window
+            # starts empty — the distinction the two keys exist for.
+            assert fresh["shards"]["shards_executed"] == 3
+            assert fresh["shards_session"]["shards_executed"] == 0
+            assert fresh["shards_session"]["shards_per_second"] is None
+        finally:
+            successor.stop(timeout=60)
+
     def test_metrics_served_over_http(self, tmp_path, daemon):
         daemon.start()
         with urllib.request.urlopen(

@@ -89,6 +89,27 @@ class TestEngineParityAcrossClasses:
             for event, batch in zip(event_results, batch_results):
                 assert_results_match(event, batch)
 
+    def test_ulp_short_table_coverage_is_not_a_budget_stop(self):
+        # Regression: with clock rate tau=0.6 the compiled table's end time
+        # maps back through horizon/tau and lands one ulp below the 243.0
+        # horizon (242.99999999999997).  The RoundEntry coverage safety net
+        # used a strict `end_time < horizon` and misread the fully-covering
+        # table as truncated by the per-agent cap, terminating the batch run
+        # with a spurious max-segments verdict while the event engine went on
+        # to the real meeting near t=425.
+        instance = Instance(r=0.5, x=0.0, y=3.0, phi=0.0, tau=0.6,
+                            v=0.5, t=0.0, chi=-1)
+        algorithm = get_algorithm("almost-universal-compact")
+        event = RendezvousSimulator(max_time=1e4, max_segments=10_000).run(
+            instance, algorithm
+        )
+        batch = simulate_batch(
+            [instance], algorithm, max_time=1e4, max_segments=10_000
+        )[0]
+        assert event.met and batch.met
+        assert batch.termination == TerminationReason.RENDEZVOUS
+        assert_results_match(event, batch)
+
     def test_results_are_in_input_order(self):
         sampler = InstanceSampler(seed=9)
         instances = sampler.batch_of_class(InstanceClass.TYPE_4, 5)

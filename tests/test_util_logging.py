@@ -49,6 +49,26 @@ class TestFormatter:
         assert payload["attempt"] == 2
         assert payload["worker_pid"] == 999
 
+    def test_span_and_trace_id_are_first_class_fields(self):
+        lines = capture(
+            lambda logger: log_event(
+                logger, logging.INFO, "job dispatched",
+                span="service.dispatch", trace_id="deadbeefcafe",
+            )
+        )
+        (payload,) = lines
+        assert payload["span"] == "service.dispatch"
+        assert payload["trace_id"] == "deadbeefcafe"
+
+    def test_absent_correlation_fields_are_dropped(self):
+        lines = capture(
+            lambda logger: log_event(logger, logging.INFO, "plain", digest="d1")
+        )
+        (payload,) = lines
+        assert "span" not in payload
+        assert "trace_id" not in payload
+        assert payload["digest"] == "d1"
+
     def test_none_fields_dropped(self):
         lines = capture(
             lambda logger: log_event(

@@ -1,0 +1,93 @@
+"""Unit tests for the wall-clock helpers every span's timing rides on.
+
+``repro.obs`` spans time their blocks through :class:`WallTimer`, so its
+semantics (error paths, restart behaviour, live-vs-stopped ``elapsed``) are
+now load-bearing for the phase numbers in manifests and traces.
+"""
+
+import time
+
+import pytest
+
+from repro.util.timers import WallTimer, format_duration
+
+
+class TestWallTimer:
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError, match=r"stop\(\) called before start"):
+            WallTimer().stop()
+
+    def test_lap_before_start_raises(self):
+        with pytest.raises(RuntimeError, match=r"lap\(\) called before start"):
+            WallTimer().lap()
+
+    def test_elapsed_before_start_is_zero(self):
+        assert WallTimer().elapsed == 0.0
+
+    def test_stop_returns_elapsed_and_freezes_it(self):
+        timer = WallTimer()
+        timer.start()
+        time.sleep(0.002)
+        returned = timer.stop()
+        assert returned == timer.elapsed
+        assert returned >= 0.002
+        frozen = timer.elapsed
+        time.sleep(0.002)
+        assert timer.elapsed == frozen
+
+    def test_elapsed_is_live_while_running(self):
+        timer = WallTimer()
+        timer.start()
+        first = timer.elapsed
+        time.sleep(0.002)
+        assert timer.elapsed > first
+
+    def test_context_manager_round_trip(self):
+        with WallTimer() as timer:
+            time.sleep(0.001)
+        assert timer.stopped_at is not None
+        assert timer.elapsed >= 0.001
+
+    def test_restart_clears_the_stop_mark(self):
+        timer = WallTimer()
+        timer.start()
+        timer.stop()
+        timer.start()
+        assert timer.stopped_at is None
+        timer.stop()
+
+    def test_laps_accumulate_with_labels(self):
+        timer = WallTimer()
+        timer.start()
+        first = timer.lap("warm")
+        second = timer.lap("solve")
+        assert second >= first >= 0.0
+        assert [label for label, _ in timer.laps] == ["warm", "solve"]
+        assert isinstance(timer.laps, tuple)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds, rendered",
+        [
+            (0.0, "0.0 us"),
+            (5e-7, "0.5 us"),
+            (9.99e-4, "999.0 us"),
+            (1e-3, "1.0 ms"),
+            (0.999, "999.0 ms"),
+            (1.0, "1.00 s"),
+            (119.99, "119.99 s"),
+            (120.0, "2.0 min"),
+            (3600.0, "60.0 min"),
+        ],
+    )
+    def test_unit_boundaries(self, seconds, rendered):
+        assert format_duration(seconds) == rendered
+
+    @pytest.mark.parametrize(
+        "seconds, rendered",
+        [(-5e-7, "-0.5 us"), (-0.25, "-250.0 ms"), (-90.0, "-90.00 s"),
+         (-7200.0, "-120.0 min")],
+    )
+    def test_negative_durations_mirror_positive(self, seconds, rendered):
+        assert format_duration(seconds) == rendered
